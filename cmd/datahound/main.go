@@ -1,0 +1,63 @@
+// Command datahound drives the Data Hounds pipeline from the shell:
+// harness a flat file into a warehouse (fetch -> XML transform -> DTD
+// validate -> shred), or apply an incremental update.
+//
+//	datahound -db warehouse.db -name hlx_enzyme.DEFAULT -format enzyme -file data/enzyme.dat
+//	datahound -db warehouse.db -name hlx_enzyme.DEFAULT -format enzyme -file data/enzyme_v2.dat -update
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"xomatiq/internal/core"
+	"xomatiq/internal/hounds"
+)
+
+func main() {
+	dbPath := flag.String("db", "warehouse.db", "warehouse database file")
+	name := flag.String("name", "", "warehouse database name (e.g. hlx_enzyme.DEFAULT)")
+	format := flag.String("format", "", "source format: enzyme | embl | sprot")
+	file := flag.String("file", "", "flat file to harness")
+	update := flag.Bool("update", false, "apply as incremental update instead of full load")
+	flag.Parse()
+
+	if *name == "" || *format == "" || *file == "" {
+		log.Fatal("datahound: -name, -format and -file are required")
+	}
+	tr, ok := hounds.Registry[*format]
+	if !ok {
+		log.Fatalf("datahound: unknown format %q (want enzyme, embl or sprot)", *format)
+	}
+	eng, err := core.Open(core.NewConfig(*dbPath))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.Recovered() {
+		fmt.Println("warehouse recovered from WAL after unclean shutdown")
+	}
+	eng.Bus().Subscribe(func(t hounds.Trigger) {
+		c := t.Change
+		fmt.Printf("trigger: %s +%d ~%d -%d\n", c.DB, len(c.Added), len(c.Modified), len(c.Removed))
+	})
+
+	if err := eng.RegisterSource(*name, hounds.FileSource{Path: *file}, tr); err != nil {
+		log.Fatal(err)
+	}
+	if *update {
+		cs, err := eng.Update(*name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("update applied: added=%d modified=%d removed=%d\n",
+			len(cs.Added), len(cs.Modified), len(cs.Removed))
+		return
+	}
+	n, err := eng.Harness(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("harnessed %d entries into %s\n", n, *name)
+}

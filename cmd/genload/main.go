@@ -1,0 +1,51 @@
+// Command genload writes synthetic biological flat files — the stand-ins
+// for the 2003 FTP dumps of ENZYME, EMBL and Swiss-Prot (see DESIGN.md).
+//
+//	genload -out data -enzyme 500 -embl 2000 -sprot 2000 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"xomatiq/internal/benchutil"
+	"xomatiq/internal/bio"
+)
+
+func main() {
+	out := flag.String("out", "data", "output directory")
+	nEnzyme := flag.Int("enzyme", 500, "ENZYME entries (plus the paper's sample)")
+	nEMBL := flag.Int("embl", 1000, "EMBL entries (division INV)")
+	nSProt := flag.Int("sprot", 1000, "Swiss-Prot entries")
+	seed := flag.Int64("seed", 1, "generator seed")
+	cdc6 := flag.Float64("cdc6", 0.02, "fraction of entries mentioning cdc6")
+	ecRate := flag.Float64("eclink", 0.3, "fraction of EMBL entries with EC links")
+	flag.Parse()
+
+	opts := bio.GenOptions{Seed: *seed, Cdc6Rate: *cdc6, ECLinkRate: *ecRate}
+	flats, err := benchutil.BuildFlats(*nEnzyme, *nEMBL, *nSProt, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	files := map[string]string{
+		"enzyme.dat":    flats.Enzyme,
+		"embl_inv.dat":  flats.EMBL,
+		"sprot_all.dat": flats.SProt,
+	}
+	for name, content := range files {
+		if content == "" {
+			continue
+		}
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(content))
+	}
+}

@@ -1,0 +1,233 @@
+// Command xomatiq is the interactive query console — the text-mode
+// equivalent of the paper's visual query interface (Figures 7, 10, 12).
+// It shows warehoused DTD structures, accepts queries in the three modes
+// the GUI offers (keyword search, sub-tree search, join queries written
+// in full FLWR), and renders results as tables or XML.
+//
+//	xomatiq -db warehouse.db
+//
+// Console commands:
+//
+//	\dbs                     list warehoused databases
+//	\dtd <db>                show a database's DTD structure tree
+//	\doc <db> <entry>        reconstruct one entry as XML
+//	\kw <db> [db...] : <kw>  keyword search mode (Fig. 8)
+//	\mode table|xml          result display mode
+//	\quit                    exit
+//
+// Anything else is a XomatiQ FLWR query; end it with a line containing
+// only ";".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"xomatiq/internal/core"
+)
+
+func main() {
+	dbPath := flag.String("db", "warehouse.db", "warehouse database file")
+	flag.Parse()
+
+	eng, err := core.Open(core.NewConfig(*dbPath))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.Recovered() {
+		fmt.Println("(warehouse recovered from WAL after unclean shutdown)")
+	}
+	fmt.Println("XomatiQ console — \\dbs lists databases, \\quit exits.")
+	repl(eng, os.Stdin, os.Stdout)
+}
+
+func repl(eng *core.Engine, in io.Reader, out io.Writer) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	mode := "table"
+	var queryBuf []string
+	prompt := func() {
+		if len(queryBuf) > 0 {
+			fmt.Fprint(out, "  ... ")
+		} else {
+			fmt.Fprint(out, "xomatiq> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case len(queryBuf) == 0 && strings.HasPrefix(trimmed, "\\"):
+			if !command(eng, out, trimmed, &mode) {
+				return
+			}
+		case trimmed == ";":
+			query := strings.Join(queryBuf, "\n")
+			queryBuf = nil
+			runQuery(eng, out, query, mode)
+		case trimmed == "" && len(queryBuf) == 0:
+			// skip blank lines between queries
+		default:
+			queryBuf = append(queryBuf, line)
+			// Single-line queries ending in ';' run immediately.
+			if strings.HasSuffix(trimmed, ";") {
+				query := strings.TrimSuffix(strings.Join(queryBuf, "\n"), ";")
+				queryBuf = nil
+				runQuery(eng, out, query, mode)
+			}
+		}
+		prompt()
+	}
+}
+
+// command handles a backslash command; returns false to exit.
+func command(eng *core.Engine, out io.Writer, line string, mode *string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\quit", "\\q":
+		return false
+	case "\\dbs":
+		for _, db := range eng.Databases() {
+			n, _ := eng.DocCount(db)
+			fmt.Fprintf(out, "  %-24s %6d entries\n", db, n)
+		}
+	case "\\dtd":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: \\dtd <db>")
+			break
+		}
+		tree, err := eng.DTDTree(fields[1])
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		fmt.Fprint(out, tree)
+	case "\\doc":
+		if len(fields) != 3 {
+			fmt.Fprintln(out, "usage: \\doc <db> <entry>")
+			break
+		}
+		xml, err := eng.Document(fields[1], fields[2])
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		fmt.Fprintln(out, xml)
+	case "\\kw":
+		runKeywordMode(eng, out, fields[1:], *mode)
+	case "\\stats":
+		phys, whs, err := eng.Stats()
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		fmt.Fprintf(out, "file: %d pages, wal: %d bytes, dirty: %d pages\n",
+			phys.FilePages, phys.WALBytes, phys.DirtyPages)
+		for _, w := range whs {
+			fmt.Fprintf(out, "  %-24s %6d docs %5d paths\n", w.DB, w.Docs, w.Paths)
+		}
+		for _, t := range phys.Tables {
+			fmt.Fprintf(out, "  table %-12s %8d rows  indexes: %s\n",
+				t.Name, t.Rows, strings.Join(t.Indexes, ", "))
+		}
+	case "\\plan":
+		query := strings.TrimSpace(strings.TrimPrefix(line, "\\plan"))
+		if query == "" {
+			fmt.Fprintln(out, "usage: \\plan <query on one line>")
+			break
+		}
+		plan, err := eng.Explain(query)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		fmt.Fprintln(out, plan)
+	case "\\mode":
+		if len(fields) == 2 && (fields[1] == "table" || fields[1] == "xml") {
+			*mode = fields[1]
+			fmt.Fprintln(out, "display mode:", *mode)
+		} else {
+			fmt.Fprintln(out, "usage: \\mode table|xml")
+		}
+	default:
+		fmt.Fprintln(out, "unknown command; try \\dbs \\dtd \\doc \\kw \\stats \\plan \\mode \\quit")
+	}
+	return true
+}
+
+// runKeywordMode builds the Fig. 8-style keyword query from "\kw db1 db2
+// : keyword" and runs it.
+func runKeywordMode(eng *core.Engine, out io.Writer, args []string, mode string) {
+	sep := -1
+	for i, a := range args {
+		if a == ":" {
+			sep = i
+			break
+		}
+	}
+	if sep <= 0 || sep == len(args)-1 {
+		fmt.Fprintln(out, "usage: \\kw <db> [db...] : <keyword>")
+		return
+	}
+	dbs := args[:sep]
+	kw := strings.Join(args[sep+1:], " ")
+	var sb strings.Builder
+	sb.WriteString("FOR ")
+	for i, db := range dbs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "$v%d IN document(%q)/%s", i, db, rootOf(eng, db))
+	}
+	sb.WriteString("\nWHERE ")
+	for i := range dbs {
+		if i > 0 {
+			sb.WriteString(" AND ")
+		}
+		fmt.Fprintf(&sb, "contains($v%d, %q, any)", i, kw)
+	}
+	sb.WriteString("\nRETURN ")
+	for i := range dbs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "$v%d//entry_name", i)
+	}
+	fmt.Fprintln(out, "generated query:")
+	fmt.Fprintln(out, sb.String())
+	runQuery(eng, out, sb.String(), mode)
+}
+
+// rootOf guesses the root element of a database from its DTD tree.
+func rootOf(eng *core.Engine, db string) string {
+	tree, err := eng.DTDTree(db)
+	if err != nil {
+		return "hlx_n_sequence"
+	}
+	first := strings.SplitN(tree, "\n", 2)[0]
+	return strings.Fields(first)[0]
+}
+
+func runQuery(eng *core.Engine, out io.Writer, query, mode string) {
+	if strings.TrimSpace(query) == "" {
+		return
+	}
+	res, err := eng.Query(query)
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	if mode == "xml" {
+		fmt.Fprintln(out, res.XML())
+	} else {
+		fmt.Fprint(out, res.Table())
+	}
+	fmt.Fprintf(out, "(%d rows, %s mode)\n", len(res.Rows), res.Mode)
+}

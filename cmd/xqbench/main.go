@@ -1,0 +1,365 @@
+// Command xqbench regenerates the experiment tables of EXPERIMENTS.md:
+// one section per experiment id in DESIGN.md §4, printing the measured
+// series in a paper-style table. For statistically tighter numbers use
+// the Go benchmarks (go test -bench=. -benchmem); xqbench favours a
+// quick, readable end-to-end run.
+//
+//	xqbench                  run every experiment
+//	xqbench -exp E4,E7       run selected experiments
+//	xqbench -scale 2         double the corpus sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"xomatiq/internal/benchutil"
+	"xomatiq/internal/bio"
+	"xomatiq/internal/core"
+	"xomatiq/internal/nativexml"
+	"xomatiq/internal/srs"
+	"xomatiq/internal/xq"
+)
+
+var (
+	scale   = flag.Int("scale", 1, "corpus size multiplier")
+	expFlag = flag.String("exp", "", "comma-separated experiment ids (default all)")
+)
+
+var benchOpts = bio.GenOptions{Seed: 42, Cdc6Rate: 0.02, ECLinkRate: 0.3}
+
+func main() {
+	flag.Parse()
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		if e = strings.TrimSpace(strings.ToUpper(e)); e != "" {
+			want[e] = true
+		}
+	}
+	run := func(id, title string, fn func()) {
+		if len(want) > 0 && !want[id] {
+			return
+		}
+		fmt.Printf("\n=== %s: %s ===\n", id, title)
+		fn()
+	}
+	run("E3", "Data Hounds pipeline load throughput", e3)
+	run("E4", "Fig. 8 keyword query: inverted index ablation", e4)
+	run("E5", "Fig. 9 sub-tree query scaling", e5)
+	run("E6", "Fig. 11 join query scaling", e6)
+	run("E7", "query time vs XML reconstruction time", e7)
+	run("E8", "secondary index ablation over the query suite", e8)
+	run("E9", "XomatiQ vs SRS-style field lookups", e9)
+	run("E10", "relational engine vs native XML processor", e10)
+	run("E11", "document-order operators (BEFORE/AFTER)", e11)
+	run("E12", "incremental update vs full re-harness", e12)
+	run("E13", "numeric values table vs coerced string scan", e13)
+	run("E15", "sequence/non-sequence split: motif search", e15)
+}
+
+// med runs fn iters times and returns the median duration.
+func med(iters int, fn func()) time.Duration {
+	if iters < 1 {
+		iters = 1
+	}
+	times := make([]time.Duration, iters)
+	for i := range times {
+		t0 := time.Now()
+		fn()
+		times[i] = time.Since(t0)
+	}
+	for i := range times {
+		for j := i + 1; j < len(times); j++ {
+			if times[j] < times[i] {
+				times[i], times[j] = times[j], times[i]
+			}
+		}
+	}
+	return times[len(times)/2]
+}
+
+func mustFlats(nEnz, nEMBL, nSProt int) *benchutil.Flats {
+	f, err := benchutil.BuildFlats(nEnz**scale, nEMBL**scale, nSProt**scale, benchOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return f
+}
+
+func mustWarehouse(f *benchutil.Flats, mod func(*core.Config)) (*core.Engine, func()) {
+	dir, err := os.MkdirTemp("", "xqbench")
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := benchutil.Warehouse(dir, f, mod)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return eng, func() { eng.Close(); os.RemoveAll(dir) }
+}
+
+func mustQuery(eng *core.Engine, q string) *core.Result {
+	res, err := eng.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func e3() {
+	fmt.Printf("%-10s %12s %14s\n", "entries", "load time", "entries/sec")
+	for _, n := range []int{100, 500, 1000} {
+		f := mustFlats(n, 0, 0)
+		d := med(3, func() {
+			eng, cleanup := mustWarehouse(&benchutil.Flats{Enzyme: f.Enzyme}, nil)
+			_ = eng
+			cleanup()
+		})
+		fmt.Printf("%-10d %12v %14.0f\n", n**scale+1, d.Round(time.Millisecond),
+			float64(n**scale+1)/d.Seconds())
+	}
+}
+
+func e4() {
+	fmt.Printf("%-14s %-10s %12s %8s\n", "corpus", "kw index", "latency", "rows")
+	for _, n := range []int{200, 1000} {
+		f := mustFlats(10, n, n)
+		for _, useIndex := range []bool{true, false} {
+			eng, cleanup := mustWarehouse(f, func(c *core.Config) { c.UseKeywordIndex = useIndex })
+			rows := len(mustQuery(eng, benchutil.Figure8Query).Rows)
+			d := med(5, func() { mustQuery(eng, benchutil.Figure8Query) })
+			fmt.Printf("%-14s %-10v %12v %8d\n",
+				fmt.Sprintf("%dx2", n**scale), useIndex, d.Round(time.Microsecond), rows)
+			cleanup()
+		}
+	}
+}
+
+func e5() {
+	fmt.Printf("%-10s %12s %8s\n", "entries", "latency", "rows")
+	for _, n := range []int{200, 1000, 3000} {
+		f := mustFlats(n, 0, 0)
+		eng, cleanup := mustWarehouse(f, nil)
+		rows := len(mustQuery(eng, benchutil.Figure9Query).Rows)
+		d := med(5, func() { mustQuery(eng, benchutil.Figure9Query) })
+		fmt.Printf("%-10d %12v %8d\n", n**scale+1, d.Round(time.Microsecond), rows)
+		cleanup()
+	}
+}
+
+func e6() {
+	fmt.Printf("%-18s %12s %8s\n", "corpus", "latency", "rows")
+	for _, size := range []struct{ enz, embl int }{{100, 300}, {300, 1500}} {
+		f := mustFlats(size.enz, size.embl, 0)
+		eng, cleanup := mustWarehouse(f, nil)
+		rows := len(mustQuery(eng, benchutil.Figure11Query).Rows)
+		d := med(5, func() { mustQuery(eng, benchutil.Figure11Query) })
+		fmt.Printf("%-18s %12v %8d\n",
+			fmt.Sprintf("enz=%d embl=%d", size.enz**scale, size.embl**scale),
+			d.Round(time.Microsecond), rows)
+		cleanup()
+	}
+}
+
+func e7() {
+	f := mustFlats(500, 0, 0)
+	eng, cleanup := mustWarehouse(f, nil)
+	defer cleanup()
+	qd := med(5, func() { mustQuery(eng, benchutil.Figure9Query) })
+	res := mustQuery(eng, benchutil.Figure9Query)
+	hits := map[string]bool{}
+	for _, r := range res.Rows {
+		hits[r[0]] = true
+	}
+	rd := med(5, func() {
+		for h := range hits {
+			if _, err := eng.Document("hlx_enzyme.DEFAULT", h); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+	n, _ := eng.DocCount("hlx_enzyme.DEFAULT")
+	names, err := eng.DB().Query(`SELECT name FROM docs WHERE db = 'hlx_enzyme.DEFAULT'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ad := med(2, func() {
+		for _, r := range names.Rows {
+			if _, err := eng.Document("hlx_enzyme.DEFAULT", r[0].Text()); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+	fmt.Printf("%-32s %12v\n", "Fig. 9 query (SQL only)", qd.Round(time.Microsecond))
+	fmt.Printf("%-32s %12v  (%d docs)\n", "reconstruct query hits", rd.Round(time.Microsecond), len(hits))
+	fmt.Printf("%-32s %12v  (%d docs)\n", "reconstruct whole database", ad.Round(time.Millisecond), n)
+	fmt.Printf("reconstruction/query ratio (hits): %.1fx\n", float64(rd)/float64(qd))
+}
+
+func e8() {
+	f := mustFlats(300, 500, 500)
+	fmt.Printf("%-16s %16s %16s %10s\n", "query", "all indexes", "no indexes", "slowdown")
+	engIdx, cleanIdx := mustWarehouse(f, nil)
+	engNo, cleanNo := mustWarehouse(f, func(c *core.Config) {
+		c.WithIndexes = false
+		c.UseKeywordIndex = false
+	})
+	defer cleanIdx()
+	defer cleanNo()
+	for _, q := range benchutil.QuerySuite {
+		di := med(3, func() { mustQuery(engIdx, q.Query) })
+		dn := med(3, func() { mustQuery(engNo, q.Query) })
+		fmt.Printf("%-16s %16v %16v %9.1fx\n", q.Name,
+			di.Round(time.Microsecond), dn.Round(time.Microsecond),
+			float64(dn)/float64(di))
+	}
+}
+
+func e9() {
+	f := mustFlats(1000, 0, 0)
+	entries, err := bio.ParseEnzyme(strings.NewReader(f.Enzyme))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := srs.New()
+	anyEntries := make([]any, len(entries))
+	for i, e := range entries {
+		anyEntries[i] = e
+	}
+	sys.AddDatabank("enzyme", anyEntries, []srs.FieldIndex{
+		{Name: "id", Extract: func(e any) []string { return []string{e.(*bio.EnzymeEntry).ID} }},
+		{Name: "cofactor", Extract: func(e any) []string { return e.(*bio.EnzymeEntry).Cofactors }},
+	}, nil)
+	eng, cleanup := mustWarehouse(f, nil)
+	defer cleanup()
+
+	ds := med(20, func() {
+		if _, err := sys.Lookup("enzyme", "cofactor", "Copper"); err != nil {
+			log.Fatal(err)
+		}
+	})
+	q := `FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE $a//cofactor = "Copper" RETURN $a//enzyme_id`
+	dx := med(5, func() { mustQuery(eng, q) })
+	fmt.Printf("%-38s %12s\n", "query shape", "latency")
+	fmt.Printf("%-38s %12v\n", "SRS indexed field lookup", ds.Round(time.Microsecond))
+	fmt.Printf("%-38s %12v\n", "XomatiQ same lookup (via values idx)", dx.Round(time.Microsecond))
+	fmt.Println("\nexpressiveness (can the system answer it?):")
+	fmt.Printf("%-38s %8s %8s\n", "query", "SRS", "XomatiQ")
+	matrix := []struct {
+		name                          string
+		fieldIdx, anyLvl, join, theta bool
+	}{
+		{"indexed field lookup", true, false, false, false},
+		{"unindexed field search", false, false, false, false},
+		{"any-level element (Fig. 9)", true, true, false, false},
+		{"ad-hoc join (Fig. 11)", true, false, true, false},
+		{"numeric range (theta)", true, false, false, true},
+	}
+	for _, m := range matrix {
+		fmt.Printf("%-38s %8v %8v\n", m.name,
+			sys.CanAnswer("enzyme", m.fieldIdx, m.anyLvl, m.join, m.theta), true)
+	}
+}
+
+func e10() {
+	fmt.Printf("%-10s %16s %16s %14s\n", "entries", "relational", "native DOM", "corpus bytes")
+	for _, n := range []int{200, 1000, 3000} {
+		f := mustFlats(n, 0, 0)
+		eng, cleanup := mustWarehouse(f, nil)
+		corpus, err := benchutil.Corpus(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := xq.MustParse(benchutil.Figure9Query)
+		dr := med(5, func() { mustQuery(eng, benchutil.Figure9Query) })
+		dn := med(5, func() {
+			if _, err := nativexml.Eval(corpus, q); err != nil {
+				log.Fatal(err)
+			}
+		})
+		fmt.Printf("%-10d %16v %16v %14d\n", n**scale+1,
+			dr.Round(time.Microsecond), dn.Round(time.Microsecond),
+			benchutil.CorpusBytes(corpus))
+		cleanup()
+	}
+}
+
+func e11() {
+	f := mustFlats(500, 0, 0)
+	eng, cleanup := mustWarehouse(f, nil)
+	defer cleanup()
+	q := `FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE $a//alternate_name BEFORE $a//cofactor
+RETURN $a//enzyme_id`
+	rows := len(mustQuery(eng, q).Rows)
+	d := med(3, func() { mustQuery(eng, q) })
+	fmt.Printf("%-40s %12v %6d rows\n", "BEFORE comparison over 500 entries", d.Round(time.Microsecond), rows)
+}
+
+func e13() {
+	f := mustFlats(10, 1000, 0)
+	eng, cleanup := mustWarehouse(f, nil)
+	defer cleanup()
+	dn := med(10, func() {
+		if _, err := eng.DB().Query(
+			`SELECT COUNT(*) FROM values_num WHERE db = 'hlx_embl.inv' AND val > 100 AND val < 300`); err != nil {
+			log.Fatal(err)
+		}
+	})
+	ds := med(3, func() {
+		if _, err := eng.DB().Query(
+			`SELECT COUNT(*) FROM values_str WHERE db = 'hlx_embl.inv' AND val > 100 AND val < 300`); err != nil {
+			log.Fatal(err)
+		}
+	})
+	fmt.Printf("%-40s %12v\n", "values_num indexed range", dn.Round(time.Microsecond))
+	fmt.Printf("%-40s %12v  (%.0fx)\n", "values_str coerced scan", ds.Round(time.Microsecond), float64(ds)/float64(dn))
+}
+
+func e15() {
+	f := mustFlats(10, 1000, 0)
+	eng, cleanup := mustWarehouse(f, nil)
+	defer cleanup()
+	q := `FOR $a IN document("hlx_embl.inv")/hlx_n_sequence
+WHERE seqcontains($a//sequence_data, "acgtacgt")
+RETURN $a//embl_accession_number`
+	rows := len(mustQuery(eng, q).Rows)
+	dm := med(3, func() { mustQuery(eng, q) })
+	da := med(3, func() {
+		if _, err := eng.DB().Query(
+			`SELECT COUNT(*) FROM values_str WHERE db = 'hlx_embl.inv' AND CONTAINS(val, 'acgtacgt')`); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := eng.DB().Query(
+			`SELECT COUNT(*) FROM seq_data WHERE db = 'hlx_embl.inv' AND CONTAINS(seq, 'acgtacgt')`); err != nil {
+			log.Fatal(err)
+		}
+	})
+	fmt.Printf("%-40s %12v %6d rows\n", "motif via seq_data (seqcontains)", dm.Round(time.Microsecond), rows)
+	fmt.Printf("%-40s %12v  (no-split counterfactual)\n", "motif over all text", da.Round(time.Microsecond))
+}
+
+func e12() {
+	// Mirrors BenchmarkE12: 500-entry dump, 15-entry delta.
+	f := mustFlats(500, 0, 0)
+	eng, cleanup := mustWarehouse(f, nil)
+	defer cleanup()
+	entries, err := bio.ParseEnzyme(strings.NewReader(f.Enzyme))
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = entries
+	full := med(3, func() {
+		if _, err := eng.Harness("hlx_enzyme.DEFAULT"); err != nil {
+			log.Fatal(err)
+		}
+	})
+	fmt.Printf("%-34s %12v\n", "full re-harness (500 entries)", full.Round(time.Millisecond))
+	fmt.Println("(see BenchmarkE12IncrementalUpdate for the delta path; shape:")
+	fmt.Println(" incremental delta cost ~ parse+diff, full reload ~ parse+shred)")
+}

@@ -1,0 +1,78 @@
+// DTD inference: the Data Hounds authoring workflow. "Writing the
+// XML-transformer module for the ENZYME database involves specifying a
+// DTD for the data in the flat-file" — this example shows the schema-
+// discovery step that bootstraps such a DTD: infer one from sample XML
+// instances, validate the instances against it, and render the structure
+// tree a curator would review before hand-tuning.
+//
+// Run with:
+//
+//	go run ./examples/dtd_inference
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xomatiq/internal/bio"
+	"xomatiq/internal/dtd"
+	"xomatiq/internal/hounds"
+	"xomatiq/internal/xmldoc"
+)
+
+func main() {
+	// Pretend these XML entries arrived from a new, undocumented source:
+	// transform a few generated ENZYME entries and forget the DTD.
+	entries := bio.GenEnzymes(25, bio.GenOptions{Seed: 2})
+	var docs []*xmldoc.Document
+	for _, e := range entries {
+		docs = append(docs, hounds.EnzymeEntryToXML(e))
+	}
+
+	// Step 1: infer a DTD from the instances.
+	inferred := dtd.Infer(docs...)
+	fmt.Println("inferred DTD:")
+	fmt.Println(inferred.String())
+
+	// Step 2: the inferred DTD validates everything it was derived from.
+	bad := 0
+	for _, d := range docs {
+		if errs := inferred.Validate(d); len(errs) > 0 {
+			bad++
+		}
+	}
+	fmt.Printf("validation against inferred DTD: %d/%d documents valid\n\n", len(docs)-bad, len(docs))
+
+	// Step 3: the structure tree the curator reviews (the same view the
+	// XomatiQ query panel shows).
+	fmt.Println("structure tree:")
+	fmt.Println(inferred.Tree())
+
+	// Step 4: compare against the hand-written Figure 5 DTD — inference
+	// recovers the same element vocabulary.
+	official := dtd.MustParse(hounds.EnzymeDTD)
+	inferredNames := map[string]bool{}
+	for _, n := range inferred.ElementNames() {
+		inferredNames[n] = true
+	}
+	missing := 0
+	for _, n := range official.ElementNames() {
+		if !inferredNames[n] {
+			fmt.Printf("not observed in the sample: <%s>\n", n)
+			missing++
+		}
+	}
+	if missing == 0 {
+		fmt.Println("inferred vocabulary covers every element of the paper's Figure 5 DTD")
+	} else {
+		fmt.Printf("(%d rare element(s) absent from this sample; a larger harvest would surface them)\n", missing)
+	}
+
+	// Step 5: a document violating the schema is caught.
+	mutant := xmldoc.MustParse(`<hlx_enzyme><db_entry><bogus_field>x</bogus_field></db_entry></hlx_enzyme>`)
+	errs := inferred.Validate(mutant)
+	if len(errs) == 0 {
+		log.Fatal("mutant should not validate")
+	}
+	fmt.Printf("\nmutant document rejected: %v\n", errs[0])
+}

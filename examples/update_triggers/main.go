@@ -1,0 +1,101 @@
+// Update triggers: the Data Hounds incremental-update cycle. A remote
+// source publishes new versions of the ENZYME databank; the hounds diff
+// each version against the warehouse, apply only the delta, and fire
+// triggers to subscribed applications ("Once the changes have been
+// committed to the local warehouse, the Data Hounds sends out triggers
+// to related applications").
+//
+// Run with:
+//
+//	go run ./examples/update_triggers
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"xomatiq"
+)
+
+func flatten(entries []*xomatiq.EnzymeEntry) string {
+	var buf bytes.Buffer
+	if err := xomatiq.WriteEnzyme(&buf, entries); err != nil {
+		log.Fatal(err)
+	}
+	return buf.String()
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "xomatiq-triggers")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	eng, err := xomatiq.Open(xomatiq.NewConfig(filepath.Join(dir, "warehouse.db")))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// A downstream application subscribes to warehouse changes.
+	eng.Bus().Subscribe(func(t xomatiq.Trigger) {
+		c := t.Change
+		fmt.Printf("  [trigger] %s %s: +%d added, ~%d modified, -%d removed\n",
+			c.DB, c.Version, len(c.Added), len(c.Modified), len(c.Removed))
+	})
+
+	// Version 1 of the remote databank.
+	entries := xomatiq.GenEnzymes(50, xomatiq.GenOptions{Seed: 6})
+	src := xomatiq.NewSimSource("expasy.org/enzyme", flatten(entries))
+	if err := eng.RegisterSource("hlx_enzyme.DEFAULT", src, xomatiq.EnzymeTransformer{}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("initial harness:")
+	if _, err := eng.Harness("hlx_enzyme.DEFAULT"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The remote publishes version 2: one entry curated (new comment),
+	// one withdrawn, two new enzymes characterised.
+	v2 := make([]*xomatiq.EnzymeEntry, len(entries))
+	copy(v2, entries)
+	curated := *v2[10]
+	curated.Comments = append([]string{"Revised substrate specificity after curation."}, curated.Comments...)
+	v2[10] = &curated
+	withdrawn := v2[20].ID
+	v2 = append(v2[:20], v2[21:]...)
+	v2 = append(v2,
+		&xomatiq.EnzymeEntry{ID: "6.1.1.99", Description: []string{"Novel ligase."}, Cofactors: []string{"Zinc"}},
+		&xomatiq.EnzymeEntry{ID: "6.1.2.99", Description: []string{"Novel synthetase."}})
+	src.Publish(flatten(v2))
+
+	fmt.Printf("\nremote published v2 (withdrew %s):\n", withdrawn)
+	cs, err := eng.Update("hlx_enzyme.DEFAULT")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  applied delta: added=%v modified=%v removed=%v\n",
+		cs.Added, cs.Modified, cs.Removed)
+
+	// Queries immediately see the delta.
+	res, err := eng.Query(`FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//comment, "curation")
+RETURN $a//enzyme_id, $a//enzyme_description`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nentries mentioning 'curation' after the update:")
+	fmt.Println(res.Table())
+
+	// A third fetch with no remote change applies nothing.
+	fmt.Println("re-fetch with no remote change:")
+	cs, err = eng.Update("hlx_enzyme.DEFAULT")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  delta empty: %v (nothing left out, nothing added twice)\n", cs.Empty())
+}

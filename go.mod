@@ -1,0 +1,3 @@
+module xomatiq
+
+go 1.22

@@ -1,0 +1,357 @@
+package bio
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// figure2 is the paper's sample ENZYME entry, verbatim layout.
+const figure2 = `ID   1.14.17.3
+DE   Peptidylglycine monooxygenase.
+AN   Peptidyl alpha-amidating enzyme.
+AN   Peptidylglycine 2-hydroxylase.
+CA   Peptidylglycine + ascorbate + O(2) = peptidyl(2-hydroxyglycine) +
+CA   dehydroascorbate + H(2)O.
+CF   Copper.
+CC   -!- Peptidylglycines with a neutral amino acid residue in the
+CC       penultimate position are the best substrates for the enzyme.
+CC   -!- The enzyme also catalyzes the dismutation of the product to
+CC       glyoxylate and the corresponding desglycine peptide amide.
+PR   PROSITE; PDOC00080;
+DR   P10731, AMD_BOVIN ;  P19021, AMD_HUMAN ;  P14925, AMD_RAT  ;
+DR   P08478, AMD1_XENLA;  P12890, AMD2_XENLA;
+//
+`
+
+func TestParseEnzymeFigure2(t *testing.T) {
+	entries, err := ParseEnzyme(strings.NewReader(figure2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	e := entries[0]
+	if e.ID != "1.14.17.3" {
+		t.Errorf("ID = %q", e.ID)
+	}
+	if len(e.Description) != 1 || e.Description[0] != "Peptidylglycine monooxygenase." {
+		t.Errorf("DE = %v", e.Description)
+	}
+	if len(e.AltNames) != 2 {
+		t.Errorf("AN = %v", e.AltNames)
+	}
+	if len(e.Catalytic) != 2 { // two CA lines (continuation handled at XML layer)
+		t.Errorf("CA = %v", e.Catalytic)
+	}
+	if len(e.Cofactors) != 1 || e.Cofactors[0] != "Copper" {
+		t.Errorf("CF = %v", e.Cofactors)
+	}
+	if len(e.Comments) != 2 || !strings.HasPrefix(e.Comments[0], "Peptidylglycines with") {
+		t.Errorf("CC = %v", e.Comments)
+	}
+	if !strings.Contains(e.Comments[0], "penultimate position") {
+		t.Error("CC continuation not joined")
+	}
+	if len(e.PrositeRefs) != 1 || e.PrositeRefs[0] != "PDOC00080" {
+		t.Errorf("PR = %v", e.PrositeRefs)
+	}
+	if len(e.SwissProt) != 5 {
+		t.Fatalf("DR = %v", e.SwissProt)
+	}
+	if e.SwissProt[0] != (EnzymeRef{"P10731", "AMD_BOVIN"}) {
+		t.Errorf("DR[0] = %v", e.SwissProt[0])
+	}
+	if e.SwissProt[4] != (EnzymeRef{"P12890", "AMD2_XENLA"}) {
+		t.Errorf("DR[4] = %v", e.SwissProt[4])
+	}
+}
+
+func TestEnzymeWriteParseRoundTrip(t *testing.T) {
+	in := GenEnzymes(50, GenOptions{Seed: 7})
+	var buf bytes.Buffer
+	if err := WriteEnzyme(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseEnzyme(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip %d -> %d entries", len(in), len(out))
+	}
+	for i := range in {
+		if in[i].ID != out[i].ID {
+			t.Fatalf("entry %d ID %q -> %q", i, in[i].ID, out[i].ID)
+		}
+		if !reflect.DeepEqual(in[i].Cofactors, out[i].Cofactors) {
+			t.Errorf("entry %d cofactors %v -> %v", i, in[i].Cofactors, out[i].Cofactors)
+		}
+		if !reflect.DeepEqual(in[i].SwissProt, out[i].SwissProt) {
+			t.Errorf("entry %d refs %v -> %v", i, in[i].SwissProt, out[i].SwissProt)
+		}
+		if len(in[i].Comments) != len(out[i].Comments) {
+			t.Errorf("entry %d comments %d -> %d", i, len(in[i].Comments), len(out[i].Comments))
+		}
+	}
+}
+
+func TestParseEnzymeErrors(t *testing.T) {
+	bad := []string{
+		"//\n",                             // terminator without entry
+		"DE   text\n//\n",                  // DE before ID
+		"ID   1.1.1.1\n",                   // missing terminator
+		"ID   1.1.1.1\n//\n",               // missing DE
+		"ID   1.1.1.1\nID   2.2.2.2\n//\n", // double ID
+		"ID   1.1.1.1\nZZ   junk\n//\n",    // unknown code
+		"ID   1.1.1.1\nDE   d\nDR   noseparator\n//\n", // bad DR
+	}
+	for _, src := range bad {
+		if _, err := ParseEnzyme(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseEnzyme(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseEMBL(t *testing.T) {
+	src := `ID   IN00001 standard; DNA; INV; 240 BP.
+AC   X10001;
+DE   Drosophila melanogaster cdc6 gene,
+DE   complete cds.
+KW   cdc6; cell cycle.
+OS   Drosophila melanogaster
+FT   CDS             12..240
+FT                   /gene="cdc6"
+FT                   /EC_number="1.14.17.3"
+FT   misc_feature    1..11
+FT                   /note="promoter"
+SQ   Sequence 30 BP;
+     acgtacgtac gtacgtacgt acgtacgtac                                    30
+//
+`
+	entries, err := ParseEMBL(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	e := entries[0]
+	if e.ID != "IN00001" || e.Division != "INV" || e.Accession != "X10001" {
+		t.Errorf("header = %+v", e)
+	}
+	if e.Description != "Drosophila melanogaster cdc6 gene, complete cds." {
+		t.Errorf("DE = %q", e.Description)
+	}
+	if len(e.Keywords) != 2 || e.Keywords[0] != "cdc6" {
+		t.Errorf("KW = %v", e.Keywords)
+	}
+	if len(e.Features) != 2 {
+		t.Fatalf("features = %+v", e.Features)
+	}
+	cds := e.Features[0]
+	if cds.Key != "CDS" || cds.Location != "12..240" || len(cds.Qualifiers) != 2 {
+		t.Errorf("CDS = %+v", cds)
+	}
+	if cds.Qualifiers[1] != (EMBLQualifier{"EC_number", "1.14.17.3"}) {
+		t.Errorf("EC qualifier = %+v", cds.Qualifiers[1])
+	}
+	if e.Sequence != "acgtacgtacgtacgtacgtacgtacgtac" {
+		t.Errorf("sequence = %q", e.Sequence)
+	}
+}
+
+func TestEMBLWriteParseRoundTrip(t *testing.T) {
+	enz := GenEnzymes(20, GenOptions{Seed: 3})
+	var ids []string
+	for _, e := range enz {
+		ids = append(ids, e.ID)
+	}
+	in := GenEMBL(60, "inv", ids, GenOptions{Seed: 3})
+	var buf bytes.Buffer
+	if err := WriteEMBL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseEMBL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip %d -> %d", len(in), len(out))
+	}
+	for i := range in {
+		if in[i].Accession != out[i].Accession || in[i].Sequence != out[i].Sequence {
+			t.Fatalf("entry %d diverged", i)
+		}
+		if !reflect.DeepEqual(in[i].Features, out[i].Features) {
+			t.Errorf("entry %d features %+v -> %+v", i, in[i].Features, out[i].Features)
+		}
+	}
+}
+
+func TestParseSProt(t *testing.T) {
+	src := `ID   CDC6_YEAST     STANDARD;      PRT;  40 AA.
+AC   P09119; Q12345;
+DE   Cell division control protein 6 (cdc6).
+GN   Name=cdc6; Name=orc6.
+OS   Saccharomyces cerevisiae.
+KW   Cell cycle; DNA replication; Nucleus.
+DR   EMBL; X12345;
+DR   PROSITE; PS00001;
+SQ   SEQUENCE   40 AA;
+     MSAIPITPTK RIRRNLFDDA PATPPRPLKR KKLVFDDKLE                          40
+//
+`
+	entries, err := ParseSProt(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entries[0]
+	if e.ID != "CDC6_YEAST" || e.Accession != "P09119" {
+		t.Errorf("header = %+v", e)
+	}
+	if len(e.GeneNames) != 2 || e.GeneNames[0] != "cdc6" {
+		t.Errorf("GN = %v", e.GeneNames)
+	}
+	if len(e.Keywords) != 3 || e.Keywords[1] != "DNA replication" {
+		t.Errorf("KW = %v", e.Keywords)
+	}
+	if len(e.Refs) != 2 || e.Refs[0] != (SProtRef{"EMBL", "X12345"}) {
+		t.Errorf("DR = %v", e.Refs)
+	}
+	if len(e.Sequence) != 40 || !strings.HasPrefix(e.Sequence, "MSAIPITPTK") {
+		t.Errorf("sequence = %q", e.Sequence)
+	}
+}
+
+func TestSProtWriteParseRoundTrip(t *testing.T) {
+	in := GenSProt(60, GenOptions{Seed: 5})
+	var buf bytes.Buffer
+	if err := WriteSProt(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseSProt(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip %d -> %d", len(in), len(out))
+	}
+	for i := range in {
+		if in[i].ID != out[i].ID || in[i].Accession != out[i].Accession ||
+			in[i].Sequence != out[i].Sequence {
+			t.Fatalf("entry %d diverged: %+v vs %+v", i, in[i], out[i])
+		}
+		if !reflect.DeepEqual(in[i].GeneNames, out[i].GeneNames) {
+			t.Errorf("entry %d genes %v -> %v", i, in[i].GeneNames, out[i].GeneNames)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := GenEnzymes(30, GenOptions{Seed: 11})
+	b := GenEnzymes(30, GenOptions{Seed: 11})
+	if !reflect.DeepEqual(a, b) {
+		t.Error("GenEnzymes not deterministic")
+	}
+	c := GenEnzymes(30, GenOptions{Seed: 12})
+	same := true
+	for i := range a {
+		if a[i].ID != c[i].ID {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestGeneratorRates(t *testing.T) {
+	opts := GenOptions{Seed: 9, Cdc6Rate: 0.5}
+	sp := GenSProt(400, opts)
+	cdc6 := 0
+	for _, e := range sp {
+		if e.GeneNames[0] == "cdc6" {
+			cdc6++
+		}
+	}
+	if cdc6 < 120 || cdc6 > 280 {
+		t.Errorf("cdc6 rate off: %d/400 at rate 0.5", cdc6)
+	}
+	// EC links resolve to real enzyme ids.
+	enz := GenEnzymes(10, opts)
+	ids := map[string]bool{}
+	var idList []string
+	for _, e := range enz {
+		ids[e.ID] = true
+		idList = append(idList, e.ID)
+	}
+	embl := GenEMBL(200, "inv", idList, GenOptions{Seed: 9, ECLinkRate: 0.6})
+	links := 0
+	for _, e := range embl {
+		for _, f := range e.Features {
+			for _, q := range f.Qualifiers {
+				if q.Type == "EC_number" {
+					links++
+					if !ids[q.Value] {
+						t.Fatalf("EC link %q does not resolve", q.Value)
+					}
+				}
+			}
+		}
+	}
+	if links < 60 || links > 180 {
+		t.Errorf("EC link rate off: %d/200 at rate 0.6", links)
+	}
+}
+
+func TestGenEnzymesIncludesSample(t *testing.T) {
+	entries := GenEnzymes(5, GenOptions{Seed: 1})
+	if entries[0].ID != "1.14.17.3" {
+		t.Error("corpus should always include the Figure 2 sample entry")
+	}
+	if len(entries) != 6 {
+		t.Errorf("entries = %d, want n+1", len(entries))
+	}
+}
+
+func TestQuickEnzymeRoundTripAnySeed(t *testing.T) {
+	f := func(seed int64) bool {
+		in := GenEnzymes(10, GenOptions{Seed: seed})
+		var buf bytes.Buffer
+		if err := WriteEnzyme(&buf, in); err != nil {
+			return false
+		}
+		out, err := ParseEnzyme(&buf)
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if in[i].ID != out[i].ID || len(in[i].AltNames) != len(out[i].AltNames) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteWrappedRespectsWidth(t *testing.T) {
+	var buf bytes.Buffer
+	long := strings.Repeat("word ", 50)
+	writeWrapped(&buf, "CC", long)
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if len(line) > 78 {
+			t.Errorf("line exceeds column 78: %q", line)
+		}
+		if !strings.HasPrefix(line, "CC   ") {
+			t.Errorf("wrapped line missing code: %q", line)
+		}
+	}
+}

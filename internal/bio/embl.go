@@ -1,0 +1,246 @@
+package bio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// EMBLQualifier is one feature qualifier, e.g. type "EC_number" with
+// value "1.14.17.3". The paper's join query (Fig. 11) matches
+// qualifier[@qualifier_type = "EC number"] against ENZYME ids.
+type EMBLQualifier struct {
+	Type  string
+	Value string
+}
+
+// EMBLFeature is one feature-table entry (FT lines).
+type EMBLFeature struct {
+	Key        string // e.g. "CDS", "gene"
+	Location   string // e.g. "266..13480"
+	Qualifiers []EMBLQualifier
+}
+
+// EMBLEntry is one EMBL nucleotide entry in the simplified 2003-era flat
+// format the Data Hounds consume.
+type EMBLEntry struct {
+	ID          string // entry name
+	Division    string // e.g. "INV" (invertebrates) — hlx_embl.inv sections
+	Accession   string // AC line
+	Description string // DE lines joined
+	Keywords    []string
+	Organism    string
+	Features    []EMBLFeature
+	Sequence    string // concatenated nucleotides
+}
+
+// ParseEMBL reads an EMBL-style flat file.
+func ParseEMBL(r io.Reader) ([]*EMBLEntry, error) {
+	var entries []*EMBLEntry
+	var cur *EMBLEntry
+	var inSeq bool
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "//") {
+			if cur == nil {
+				return nil, fmt.Errorf("bio: embl line %d: terminator without entry", lineNo)
+			}
+			entries = append(entries, cur)
+			cur, inSeq = nil, false
+			continue
+		}
+		if inSeq {
+			// Sequence lines: groups of bases with trailing position.
+			cur.Sequence += extractSeq(line)
+			continue
+		}
+		if len(line) < 2 {
+			return nil, fmt.Errorf("bio: embl line %d: short line", lineNo)
+		}
+		code := line[:2]
+		data := ""
+		if len(line) > 5 {
+			data = strings.TrimRight(line[5:], " ")
+		}
+		switch code {
+		case "ID":
+			if cur != nil {
+				return nil, fmt.Errorf("bio: embl line %d: ID before terminator", lineNo)
+			}
+			cur = &EMBLEntry{}
+			// "NAME standard; DNA; INV; 1234 BP."
+			fields := strings.Split(data, ";")
+			head := strings.Fields(fields[0])
+			if len(head) > 0 {
+				cur.ID = head[0]
+			}
+			if len(fields) >= 3 {
+				cur.Division = strings.TrimSpace(fields[2])
+			}
+		case "AC":
+			if cur == nil {
+				return nil, fmt.Errorf("bio: embl line %d: AC before ID", lineNo)
+			}
+			cur.Accession = strings.Trim(strings.TrimSpace(data), ";")
+		case "DE":
+			if cur == nil {
+				return nil, fmt.Errorf("bio: embl line %d: DE before ID", lineNo)
+			}
+			if cur.Description != "" {
+				cur.Description += " "
+			}
+			cur.Description += strings.TrimSpace(data)
+		case "KW":
+			if cur == nil {
+				return nil, fmt.Errorf("bio: embl line %d: KW before ID", lineNo)
+			}
+			for _, k := range strings.Split(strings.TrimSuffix(data, "."), ";") {
+				k = strings.TrimSpace(k)
+				if k != "" {
+					cur.Keywords = append(cur.Keywords, k)
+				}
+			}
+		case "OS":
+			if cur == nil {
+				return nil, fmt.Errorf("bio: embl line %d: OS before ID", lineNo)
+			}
+			cur.Organism = strings.TrimSpace(data)
+		case "FT":
+			if cur == nil {
+				return nil, fmt.Errorf("bio: embl line %d: FT before ID", lineNo)
+			}
+			if err := parseFT(cur, line); err != nil {
+				return nil, fmt.Errorf("bio: embl line %d: %w", lineNo, err)
+			}
+		case "SQ":
+			if cur == nil {
+				return nil, fmt.Errorf("bio: embl line %d: SQ before ID", lineNo)
+			}
+			inSeq = true
+		case "XX":
+			// separator, ignore
+		default:
+			// Tolerate other annotation codes (RN, RT, DT ...) as opaque.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bio: embl: %w", err)
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("bio: embl: entry %s missing terminator", cur.ID)
+	}
+	return entries, nil
+}
+
+// parseFT handles feature lines:
+//
+//	FT   CDS             266..1342
+//	FT                   /EC_number="1.14.17.3"
+//	FT                   /gene="cdc6"
+func parseFT(e *EMBLEntry, line string) error {
+	body := line[2:]
+	trimmed := strings.TrimLeft(body, " ")
+	indent := len(body) - len(trimmed)
+	if indent < 16 && trimmed != "" && !strings.HasPrefix(trimmed, "/") {
+		// New feature: key at column 6, location at column 22.
+		fields := strings.Fields(trimmed)
+		f := EMBLFeature{Key: fields[0]}
+		if len(fields) > 1 {
+			f.Location = fields[1]
+		}
+		e.Features = append(e.Features, f)
+		return nil
+	}
+	// Qualifier continuation.
+	if !strings.HasPrefix(trimmed, "/") {
+		return fmt.Errorf("bad FT continuation %q", line)
+	}
+	if len(e.Features) == 0 {
+		return fmt.Errorf("qualifier before any feature")
+	}
+	q := strings.TrimPrefix(trimmed, "/")
+	name, val, found := strings.Cut(q, "=")
+	if !found {
+		e.Features[len(e.Features)-1].Qualifiers = append(
+			e.Features[len(e.Features)-1].Qualifiers, EMBLQualifier{Type: name})
+		return nil
+	}
+	val = strings.Trim(val, `"`)
+	e.Features[len(e.Features)-1].Qualifiers = append(
+		e.Features[len(e.Features)-1].Qualifiers, EMBLQualifier{Type: name, Value: val})
+	return nil
+}
+
+func extractSeq(line string) string {
+	var sb strings.Builder
+	for _, c := range line {
+		switch {
+		case c >= 'a' && c <= 'z':
+			sb.WriteRune(c)
+		case c >= 'A' && c <= 'Z':
+			sb.WriteRune(c + 32)
+		}
+	}
+	return sb.String()
+}
+
+// WriteEMBL renders entries in the flat format ParseEMBL reads.
+func WriteEMBL(w io.Writer, entries []*EMBLEntry) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		fmt.Fprintf(bw, "ID   %s standard; DNA; %s; %d BP.\n", e.ID, e.Division, len(e.Sequence))
+		fmt.Fprintf(bw, "AC   %s;\n", e.Accession)
+		writeWrapped(bw, "DE", e.Description)
+		if len(e.Keywords) > 0 {
+			writeLine(bw, "KW", strings.Join(e.Keywords, "; ")+".")
+		}
+		if e.Organism != "" {
+			writeLine(bw, "OS", e.Organism)
+		}
+		for _, f := range e.Features {
+			fmt.Fprintf(bw, "FT   %-16s%s\n", f.Key, f.Location)
+			for _, q := range f.Qualifiers {
+				if q.Value == "" {
+					fmt.Fprintf(bw, "FT                   /%s\n", q.Type)
+				} else {
+					fmt.Fprintf(bw, "FT                   /%s=%q\n", q.Type, q.Value)
+				}
+			}
+		}
+		if e.Sequence != "" {
+			fmt.Fprintf(bw, "SQ   Sequence %d BP;\n", len(e.Sequence))
+			writeSeqLines(bw, e.Sequence)
+		}
+		fmt.Fprintln(bw, "//")
+	}
+	return bw.Flush()
+}
+
+func writeSeqLines(w io.Writer, seq string) {
+	for i := 0; i < len(seq); i += 60 {
+		end := i + 60
+		if end > len(seq) {
+			end = len(seq)
+		}
+		chunk := seq[i:end]
+		var sb strings.Builder
+		sb.WriteString("     ")
+		for j := 0; j < len(chunk); j += 10 {
+			je := j + 10
+			if je > len(chunk) {
+				je = len(chunk)
+			}
+			sb.WriteString(chunk[j:je])
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(w, "%-70s%10d\n", sb.String(), end)
+	}
+}

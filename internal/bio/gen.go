@@ -1,0 +1,263 @@
+package bio
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// The generators below stand in for the 2003 FTP dumps of ENZYME, EMBL
+// and Swiss-Prot (see DESIGN.md's substitution table). They are seeded
+// and deterministic, emit the exact flat-file grammars the parsers in
+// this package read, and plant controlled cross-links: EMBL features
+// carry EC_number qualifiers referencing generated ENZYME ids (the
+// Fig. 11 join), and a configurable fraction of entries mention the
+// cdc6 gene (the Fig. 8 keyword search).
+
+var (
+	enzymeHeads = []string{
+		"Peptidylglycine", "Alcohol", "Alanine", "Glutamate", "Pyruvate",
+		"Tyrosine", "Hexokinase", "Catalase", "Aldehyde", "Glycerol",
+		"Cytochrome-c", "Superoxide", "Nitrate", "Choline", "Malate",
+	}
+	enzymeTails = []string{
+		"monooxygenase", "dehydrogenase", "transaminase", "kinase",
+		"oxidase", "reductase", "hydrolase", "synthase", "carboxylase",
+		"isomerase", "phosphatase", "transferase", "dismutase",
+	}
+	cofactorPool = []string{
+		"Copper", "Zinc", "Magnesium", "Iron", "Manganese", "FAD",
+		"NAD(+)", "Pyridoxal 5'-phosphate", "Heme", "Cobalt",
+	}
+	substratePool = []string{
+		"ascorbate", "glyoxylate", "pyruvate", "oxaloacetate", "a ketone",
+		"an aldehyde", "L-alanine", "2-oxoglutarate", "acetaldehyde",
+		"glycerol", "choline", "a primary alcohol", "D-glucose", "ATP",
+		"a methyl ketone", "NAD(+)", "H(2)O", "O(2)", "phosphate",
+	}
+	commentPool = []string{
+		"Requires a neutral amino acid residue in the penultimate position",
+		"Also acts more slowly on related substrates",
+		"The enzyme is highly specific for its cofactor",
+		"Involved in the final step of the biosynthetic pathway",
+		"Activity is inhibited by high substrate concentrations",
+		"Forms a homodimer in solution",
+		"The reaction proceeds via a ping-pong mechanism",
+		"Isolated originally from bovine pituitary tissue",
+	}
+	diseasePool = []string{
+		"Acatalasemia", "Phenylketonuria", "Galactosemia", "Alkaptonuria",
+		"Homocystinuria", "Tyrosinemia", "Histidinemia", "Hyperprolinemia",
+	}
+	genePool = []string{
+		"cdc6", "cdc28", "rad51", "pol2", "act1", "tub2", "his3", "leu2",
+		"ura3", "gal4", "ste12", "hsp70", "sod1", "cyc1", "pgk1",
+	}
+	organismPool = []string{
+		"Saccharomyces cerevisiae", "Drosophila melanogaster",
+		"Caenorhabditis elegans", "Homo sapiens", "Mus musculus",
+		"Bos taurus", "Xenopus laevis", "Rattus norvegicus",
+	}
+	keywordPool = []string{
+		"Oxidoreductase", "Transferase", "Hydrolase", "Cell cycle",
+		"DNA replication", "Metal-binding", "Zinc", "Copper",
+		"Mitochondrion", "Nucleus", "Phosphorylation", "Glycolysis",
+	}
+	orgCodes = []string{"BOVIN", "HUMAN", "RAT", "XENLA", "YEAST", "DROME", "CAEEL", "MOUSE"}
+)
+
+// GenOptions control the synthetic corpus.
+type GenOptions struct {
+	Seed int64
+	// Cdc6Rate is the fraction of Swiss-Prot/EMBL entries mentioning the
+	// cdc6 cell-division-cycle gene (Fig. 8 workload). Default 0.02.
+	Cdc6Rate float64
+	// ECLinkRate is the fraction of EMBL entries carrying an EC_number
+	// qualifier that matches a generated ENZYME id (Fig. 11 workload).
+	// Default 0.3.
+	ECLinkRate float64
+	// SeqLen is the mean sequence length. Default 240.
+	SeqLen int
+}
+
+func (o *GenOptions) fill() {
+	if o.Cdc6Rate == 0 {
+		o.Cdc6Rate = 0.02
+	}
+	if o.ECLinkRate == 0 {
+		o.ECLinkRate = 0.3
+	}
+	if o.SeqLen == 0 {
+		o.SeqLen = 240
+	}
+}
+
+// GenEnzymes generates n ENZYME entries with distinct EC numbers.
+func GenEnzymes(n int, opts GenOptions) []*EnzymeEntry {
+	opts.fill()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	entries := make([]*EnzymeEntry, 0, n+1)
+	// Entry 0 is always the paper's sample, so the Fig. 2 walk-through is
+	// present in every corpus.
+	entries = append(entries, SampleEnzymeEntry())
+	for i := 0; i < n; i++ {
+		ec := fmt.Sprintf("%d.%d.%d.%d", 1+rng.Intn(6), 1+rng.Intn(20), 1+rng.Intn(20), 1+i)
+		head := enzymeHeads[rng.Intn(len(enzymeHeads))]
+		tail := enzymeTails[rng.Intn(len(enzymeTails))]
+		e := &EnzymeEntry{
+			ID:          ec,
+			Description: []string{head + " " + tail + "."},
+		}
+		for k := rng.Intn(3); k > 0; k-- {
+			e.AltNames = append(e.AltNames,
+				enzymeHeads[rng.Intn(len(enzymeHeads))]+" "+enzymeTails[rng.Intn(len(enzymeTails))]+".")
+		}
+		// Catalytic activity: substrate + substrate = product + product.
+		a, b := substratePool[rng.Intn(len(substratePool))], substratePool[rng.Intn(len(substratePool))]
+		c, d := substratePool[rng.Intn(len(substratePool))], substratePool[rng.Intn(len(substratePool))]
+		e.Catalytic = append(e.Catalytic, fmt.Sprintf("%s + %s = %s + %s.",
+			strings.ToUpper(a[:1])+a[1:], b, c, d))
+		for k := rng.Intn(3); k > 0; k-- {
+			e.Cofactors = append(e.Cofactors, cofactorPool[rng.Intn(len(cofactorPool))])
+		}
+		for k := rng.Intn(3); k > 0; k-- {
+			e.Comments = append(e.Comments, commentPool[rng.Intn(len(commentPool))]+".")
+		}
+		if rng.Float64() < 0.15 {
+			e.Diseases = append(e.Diseases, EnzymeDisease{
+				Name: diseasePool[rng.Intn(len(diseasePool))],
+				MIM:  fmt.Sprintf("%06d", 100000+rng.Intn(500000)),
+			})
+		}
+		if rng.Float64() < 0.5 {
+			e.PrositeRefs = append(e.PrositeRefs, fmt.Sprintf("PDOC%05d", rng.Intn(100000)))
+		}
+		for k := 1 + rng.Intn(4); k > 0; k-- {
+			gene := strings.ToUpper(genePool[rng.Intn(len(genePool))])
+			org := orgCodes[rng.Intn(len(orgCodes))]
+			e.SwissProt = append(e.SwissProt, EnzymeRef{
+				Accession: fmt.Sprintf("P%05d", rng.Intn(100000)),
+				Name:      gene + "_" + org,
+			})
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// GenSProt generates n Swiss-Prot entries; a Cdc6Rate fraction mention
+// the cdc6 gene in GN/DE/KW lines.
+func GenSProt(n int, opts GenOptions) []*SProtEntry {
+	opts.fill()
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	entries := make([]*SProtEntry, 0, n)
+	for i := 0; i < n; i++ {
+		gene := genePool[rng.Intn(len(genePool))]
+		isCdc6 := rng.Float64() < opts.Cdc6Rate
+		if isCdc6 {
+			gene = "cdc6"
+		}
+		org := organismPool[rng.Intn(len(organismPool))]
+		code := orgCodes[rng.Intn(len(orgCodes))]
+		e := &SProtEntry{
+			ID:        strings.ToUpper(gene) + "_" + code,
+			Accession: fmt.Sprintf("P%05d", 10000+i),
+			Description: fmt.Sprintf("%s protein %s.",
+				strings.ToUpper(gene[:1])+gene[1:], describeRole(rng, isCdc6)),
+			GeneNames: []string{gene},
+			Organism:  org,
+			Sequence:  randProtein(rng, opts.SeqLen),
+		}
+		for k := 1 + rng.Intn(3); k > 0; k-- {
+			e.Keywords = append(e.Keywords, keywordPool[rng.Intn(len(keywordPool))])
+		}
+		if isCdc6 {
+			e.Keywords = append(e.Keywords, "Cell cycle")
+		}
+		for k := rng.Intn(3); k > 0; k-- {
+			e.Refs = append(e.Refs, SProtRef{
+				Database:  "EMBL",
+				Accession: fmt.Sprintf("X%05d", rng.Intn(100000)),
+			})
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+func describeRole(rng *rand.Rand, isCdc6 bool) string {
+	if isCdc6 {
+		return "(cell division cycle protein cdc6)"
+	}
+	roles := []string{
+		"(putative oxidoreductase)", "(DNA repair protein)",
+		"(heat shock protein)", "(structural component)",
+		"(metabolic enzyme)", "(transcription factor)",
+	}
+	return roles[rng.Intn(len(roles))]
+}
+
+// GenEMBL generates n EMBL entries in the given division; ECLinkRate of
+// them carry an EC_number qualifier drawn from enzymeIDs and Cdc6Rate
+// carry a /gene="cdc6" qualifier.
+func GenEMBL(n int, division string, enzymeIDs []string, opts GenOptions) []*EMBLEntry {
+	opts.fill()
+	rng := rand.New(rand.NewSource(opts.Seed + 2))
+	entries := make([]*EMBLEntry, 0, n)
+	for i := 0; i < n; i++ {
+		gene := genePool[rng.Intn(len(genePool))]
+		if rng.Float64() < opts.Cdc6Rate {
+			gene = "cdc6"
+		}
+		org := organismPool[rng.Intn(len(organismPool))]
+		seqLen := opts.SeqLen/2 + rng.Intn(opts.SeqLen)
+		e := &EMBLEntry{
+			ID:          fmt.Sprintf("%s%05d", strings.ToUpper(division[:2]), i),
+			Division:    strings.ToUpper(division),
+			Accession:   fmt.Sprintf("X%05d", 10000+i),
+			Description: fmt.Sprintf("%s %s gene, complete cds.", org, gene),
+			Keywords:    []string{gene},
+			Organism:    org,
+			Sequence:    randDNA(rng, seqLen),
+		}
+		feat := EMBLFeature{
+			Key:      "CDS",
+			Location: fmt.Sprintf("%d..%d", 1+rng.Intn(100), seqLen),
+			Qualifiers: []EMBLQualifier{
+				{Type: "gene", Value: gene},
+			},
+		}
+		if len(enzymeIDs) > 0 && rng.Float64() < opts.ECLinkRate {
+			feat.Qualifiers = append(feat.Qualifiers, EMBLQualifier{
+				Type:  "EC_number",
+				Value: enzymeIDs[rng.Intn(len(enzymeIDs))],
+			})
+		}
+		e.Features = append(e.Features, feat)
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+const (
+	dnaAlphabet     = "acgt"
+	proteinAlphabet = "ACDEFGHIKLMNPQRSTVWY"
+)
+
+func randDNA(rng *rand.Rand, n int) string {
+	var sb strings.Builder
+	sb.Grow(n)
+	for i := 0; i < n; i++ {
+		sb.WriteByte(dnaAlphabet[rng.Intn(len(dnaAlphabet))])
+	}
+	return sb.String()
+}
+
+func randProtein(rng *rand.Rand, n int) string {
+	var sb strings.Builder
+	sb.Grow(n)
+	for i := 0; i < n; i++ {
+		sb.WriteByte(proteinAlphabet[rng.Intn(len(proteinAlphabet))])
+	}
+	return sb.String()
+}

@@ -1,0 +1,158 @@
+package bio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SProtRef is a Swiss-Prot DR cross-reference: "EMBL; X12345; ..." etc.
+type SProtRef struct {
+	Database  string
+	Accession string
+}
+
+// SProtEntry is one Swiss-Prot protein entry in the simplified 2003-era
+// flat format.
+type SProtEntry struct {
+	ID          string // entry name, e.g. AMD_BOVIN
+	Accession   string
+	Description string
+	GeneNames   []string // GN line
+	Organism    string
+	Keywords    []string
+	Refs        []SProtRef
+	Sequence    string // amino acid residues
+}
+
+// ParseSProt reads a Swiss-Prot-style flat file.
+func ParseSProt(r io.Reader) ([]*SProtEntry, error) {
+	var entries []*SProtEntry
+	var cur *SProtEntry
+	var inSeq bool
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "//") {
+			if cur == nil {
+				return nil, fmt.Errorf("bio: sprot line %d: terminator without entry", lineNo)
+			}
+			entries = append(entries, cur)
+			cur, inSeq = nil, false
+			continue
+		}
+		if inSeq {
+			cur.Sequence += strings.ToUpper(extractSeq(line))
+			continue
+		}
+		if len(line) < 2 {
+			return nil, fmt.Errorf("bio: sprot line %d: short line", lineNo)
+		}
+		code := line[:2]
+		data := ""
+		if len(line) > 5 {
+			data = strings.TrimRight(line[5:], " ")
+		}
+		if code == "ID" {
+			if cur != nil {
+				return nil, fmt.Errorf("bio: sprot line %d: ID before terminator", lineNo)
+			}
+			cur = &SProtEntry{}
+			fields := strings.Fields(data)
+			if len(fields) > 0 {
+				cur.ID = fields[0]
+			}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("bio: sprot line %d: %s before ID", lineNo, code)
+		}
+		switch code {
+		case "AC":
+			// First accession is primary.
+			accs := strings.Split(data, ";")
+			if cur.Accession == "" && len(accs) > 0 {
+				cur.Accession = strings.TrimSpace(accs[0])
+			}
+		case "DE":
+			if cur.Description != "" {
+				cur.Description += " "
+			}
+			cur.Description += strings.TrimSpace(data)
+		case "GN":
+			for _, g := range strings.FieldsFunc(strings.TrimSuffix(data, "."), func(r rune) bool {
+				return r == ';' || r == ','
+			}) {
+				g = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(g), "Name="))
+				if g != "" && !strings.EqualFold(g, "OR") && !strings.EqualFold(g, "AND") {
+					cur.GeneNames = append(cur.GeneNames, g)
+				}
+			}
+		case "OS":
+			cur.Organism = strings.TrimSuffix(strings.TrimSpace(data), ".")
+		case "KW":
+			for _, k := range strings.Split(strings.TrimSuffix(data, "."), ";") {
+				k = strings.TrimSpace(k)
+				if k != "" {
+					cur.Keywords = append(cur.Keywords, k)
+				}
+			}
+		case "DR":
+			// "EMBL; X12345; ..." — keep database and first accession.
+			parts := strings.Split(data, ";")
+			if len(parts) >= 2 {
+				cur.Refs = append(cur.Refs, SProtRef{
+					Database:  strings.TrimSpace(parts[0]),
+					Accession: strings.TrimSpace(parts[1]),
+				})
+			}
+		case "SQ":
+			inSeq = true
+		case "XX":
+		default:
+			// Other annotation codes pass through unparsed.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bio: sprot: %w", err)
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("bio: sprot: entry %s missing terminator", cur.ID)
+	}
+	return entries, nil
+}
+
+// WriteSProt renders entries in the flat format ParseSProt reads.
+func WriteSProt(w io.Writer, entries []*SProtEntry) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		fmt.Fprintf(bw, "ID   %s     STANDARD;      PRT;  %d AA.\n", e.ID, len(e.Sequence))
+		fmt.Fprintf(bw, "AC   %s;\n", e.Accession)
+		writeWrapped(bw, "DE", e.Description)
+		if len(e.GeneNames) > 0 {
+			writeLine(bw, "GN", strings.Join(e.GeneNames, "; ")+".")
+		}
+		if e.Organism != "" {
+			writeLine(bw, "OS", e.Organism+".")
+		}
+		if len(e.Keywords) > 0 {
+			writeWrapped(bw, "KW", strings.Join(e.Keywords, "; ")+".")
+		}
+		for _, r := range e.Refs {
+			fmt.Fprintf(bw, "DR   %s; %s;\n", r.Database, r.Accession)
+		}
+		if e.Sequence != "" {
+			fmt.Fprintf(bw, "SQ   SEQUENCE   %d AA;\n", len(e.Sequence))
+			writeSeqLines(bw, strings.ToLower(e.Sequence))
+		}
+		fmt.Fprintln(bw, "//")
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"xomatiq/internal/bio"
+	"xomatiq/internal/hounds"
+)
+
+// TestConcurrentQueriesAndUpdates exercises the paper's "concurrency
+// access" claim: parallel readers run the figure queries while the Data
+// Hounds apply incremental updates. Run with -race to check the locking.
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	e := openEngine(t)
+	entries := bio.GenEnzymes(30, bio.GenOptions{Seed: 77})
+	src := hounds.NewSimSource("enzyme", enzymeFlat(t, entries))
+	if err := e.RegisterSource("hlx_enzyme.DEFAULT", src, hounds.EnzymeTransformer{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Harness("hlx_enzyme.DEFAULT"); err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 4
+	const iterations = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, readers*iterations+iterations)
+
+	// Readers: figure-9 style queries (SQL path) and exact lookups.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				q := `FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a, "copper", any) RETURN $a//enzyme_id`
+				if r%2 == 0 {
+					q = `FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE $a//enzyme_id = "1.14.17.3" RETURN $a//enzyme_description`
+				}
+				if _, err := e.Query(q); err != nil {
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Writer: alternate between two source versions.
+	v2entries := append(append([]*bio.EnzymeEntry{}, entries...),
+		&bio.EnzymeEntry{ID: "9.1.1.1", Description: []string{"Flapping enzyme."}})
+	v1, v2 := enzymeFlat(t, entries), enzymeFlat(t, v2entries)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iterations; i++ {
+			if i%2 == 0 {
+				src.Publish(v2)
+			} else {
+				src.Publish(v1)
+			}
+			if _, err := e.Update("hlx_enzyme.DEFAULT"); err != nil {
+				errs <- fmt.Errorf("writer: %w", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Warehouse consistent afterwards: count matches one of the versions.
+	n, err := e.DocCount("hlx_enzyme.DEFAULT")
+	if err != nil || (n != 31 && n != 32) {
+		t.Errorf("final DocCount = %d, %v", n, err)
+	}
+}
+
+// TestConcurrentSQLReaders drives the relational engine directly from
+// many goroutines.
+func TestConcurrentSQLReaders(t *testing.T) {
+	e := openEngine(t)
+	setupEnzyme(t, e, 20)
+	db := e.DB()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8*25)
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				rows, err := db.Query(`SELECT COUNT(*) FROM docs WHERE db = 'hlx_enzyme.DEFAULT'`)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rows.Rows[0][0].Int() != 21 {
+					errs <- fmt.Errorf("count = %v", rows.Rows[0][0])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,536 @@
+// Package core implements the XomatiQ engine: the warehouse lifecycle
+// (Data Hounds harnessing, incremental updates, triggers) and the query
+// pipeline (XomatiQ query -> XQ2SQL -> relational engine -> tagger, with
+// a native-XML fallback for shapes outside the translatable subset).
+// This is the component stack of the paper's Figure 1 plus §3.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"xomatiq/internal/dtd"
+	"xomatiq/internal/hounds"
+	"xomatiq/internal/nativexml"
+	"xomatiq/internal/shred"
+	"xomatiq/internal/sql"
+	"xomatiq/internal/xmldoc"
+	"xomatiq/internal/xq"
+	"xomatiq/internal/xq2sql"
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// Path is the warehouse database file; its WAL lives beside it.
+	Path string
+	// PoolPages is the buffer pool capacity (default 4096 pages).
+	PoolPages int
+	// WithIndexes creates the shredding schema's secondary indexes
+	// (default true via NewConfig; the E8 ablation turns it off).
+	WithIndexes bool
+	// UseKeywordIndex enables inverted-index prefilters for contains()
+	// (default true via NewConfig; the E4 ablation turns it off).
+	UseKeywordIndex bool
+	// Async skips the WAL fsync on commit (bulk benchmark loads).
+	Async bool
+}
+
+// NewConfig returns the default configuration for a warehouse at path.
+func NewConfig(path string) Config {
+	return Config{Path: path, WithIndexes: true, UseKeywordIndex: true}
+}
+
+// Engine is a XomatiQ warehouse instance.
+type Engine struct {
+	cfg   Config
+	db    *sql.DB
+	store *shred.Store
+	bus   *hounds.Bus
+
+	mu      sync.Mutex
+	sources map[string]*sourceReg
+	corpus  map[string][]*xmldoc.Document // native-fallback cache
+}
+
+type sourceReg struct {
+	source      hounds.Source
+	transformer hounds.Transformer
+	lastVersion string
+}
+
+// Open opens (or creates) a warehouse.
+func Open(cfg Config) (*Engine, error) {
+	opts := sql.Options{PoolPages: cfg.PoolPages}
+	var db *sql.DB
+	var err error
+	if cfg.Async {
+		db, err = sql.OpenAsync(cfg.Path, opts)
+	} else {
+		db, err = sql.Open(cfg.Path, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	store, err := shred.Open(db, cfg.WithIndexes)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	return &Engine{
+		cfg:     cfg,
+		db:      db,
+		store:   store,
+		bus:     hounds.NewBus(),
+		sources: map[string]*sourceReg{},
+		corpus:  map[string][]*xmldoc.Document{},
+	}, nil
+}
+
+// Close checkpoints and closes the warehouse.
+func (e *Engine) Close() error { return e.db.Close() }
+
+// DB exposes the underlying relational engine (benchmarks, diagnostics).
+func (e *Engine) DB() *sql.DB { return e.db }
+
+// Store exposes the shredded warehouse (benchmarks, diagnostics).
+func (e *Engine) Store() *shred.Store { return e.store }
+
+// Bus returns the trigger bus applications subscribe to.
+func (e *Engine) Bus() *hounds.Bus { return e.bus }
+
+// Recovered reports whether opening replayed a WAL after a crash.
+func (e *Engine) Recovered() bool { return e.db.Recovered() }
+
+// RegisterSource attaches a remote source and its transformer under a
+// warehouse database name (e.g. "hlx_enzyme.DEFAULT").
+func (e *Engine) RegisterSource(dbName string, src hounds.Source, tr hounds.Transformer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.sources[dbName]; dup {
+		return fmt.Errorf("core: source for %q already registered", dbName)
+	}
+	if err := e.store.RegisterDB(dbName, tr.SequencePaths(), dtdText(tr)); err != nil {
+		return err
+	}
+	e.sources[dbName] = &sourceReg{source: src, transformer: tr}
+	return nil
+}
+
+func dtdText(tr hounds.Transformer) string { return tr.DTD().String() }
+
+// Harness performs a full load: fetch the source, transform to XML,
+// validate against the DTD, shred into the warehouse (one batch), and
+// fire a trigger. Returns the number of documents loaded.
+func (e *Engine) Harness(dbName string) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	reg, ok := e.sources[dbName]
+	if !ok {
+		return 0, fmt.Errorf("core: no source registered for %q", dbName)
+	}
+	rc, version, err := reg.source.Fetch()
+	if err != nil {
+		return 0, err
+	}
+	docs, err := transformAll(reg.transformer, rc)
+	rc.Close()
+	if err != nil {
+		return 0, err
+	}
+	// Replace any previous harvest of this database, committing in
+	// chunks: each chunk is crash-atomic and the engine checkpoints
+	// between chunks, bounding the dirty working set under the buffer
+	// pool's no-steal policy. A crash mid-harvest leaves a consistent
+	// prefix, which the next harness replaces wholesale.
+	if err := e.db.Begin(); err != nil {
+		return 0, err
+	}
+	if err := e.store.ClearDatabase(dbName); err != nil {
+		e.db.Commit()
+		return 0, err
+	}
+	if err := e.db.Commit(); err != nil {
+		return 0, err
+	}
+	if err := e.loadChunked(dbName, docs); err != nil {
+		return 0, err
+	}
+	reg.lastVersion = version
+	e.corpus[dbName] = docs
+	e.bus.Publish(hounds.Trigger{Change: hounds.ChangeSet{
+		DB: dbName, Version: version, Added: docNamesOf(docs),
+	}})
+	return len(docs), nil
+}
+
+func transformAll(tr hounds.Transformer, r io.Reader) ([]*xmldoc.Document, error) {
+	return hounds.TransformAndValidate(tr, r)
+}
+
+// loadChunked shreds documents in crash-atomic batches of loadChunkSize.
+func (e *Engine) loadChunked(dbName string, docs []*xmldoc.Document) error {
+	const loadChunkSize = 200
+	for start := 0; start < len(docs); start += loadChunkSize {
+		end := start + loadChunkSize
+		if end > len(docs) {
+			end = len(docs)
+		}
+		if err := e.db.Begin(); err != nil {
+			return err
+		}
+		for _, d := range docs[start:end] {
+			if _, err := e.store.LoadDocument(dbName, d); err != nil {
+				e.db.Commit()
+				return err
+			}
+		}
+		if err := e.db.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func docNamesOf(docs []*xmldoc.Document) []string {
+	names := make([]string, len(docs))
+	for i, d := range docs {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// Update fetches the source again, diffs against the warehoused harvest
+// and applies only the delta ("the ability to download and integrate the
+// latest updates to any database without any information being left out
+// or added twice"). A trigger describing the change set is published.
+func (e *Engine) Update(dbName string) (hounds.ChangeSet, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	reg, ok := e.sources[dbName]
+	if !ok {
+		return hounds.ChangeSet{}, fmt.Errorf("core: no source registered for %q", dbName)
+	}
+	rc, version, err := reg.source.Fetch()
+	if err != nil {
+		return hounds.ChangeSet{}, err
+	}
+	newDocs, err := transformAll(reg.transformer, rc)
+	rc.Close()
+	if err != nil {
+		return hounds.ChangeSet{}, err
+	}
+	oldDocs, err := e.corpusDocsLocked(dbName)
+	if err != nil {
+		return hounds.ChangeSet{}, err
+	}
+	cs := hounds.DiffDocs(dbName, version, oldDocs, newDocs)
+	if cs.Empty() {
+		reg.lastVersion = version
+		return cs, nil
+	}
+	byName := map[string]*xmldoc.Document{}
+	for _, d := range newDocs {
+		byName[d.Name] = d
+	}
+	// Deletions first (removed entries and the old versions of modified
+	// ones), then the replacement loads in crash-atomic chunks.
+	if err := e.db.Begin(); err != nil {
+		return cs, err
+	}
+	for _, name := range append(append([]string{}, cs.Removed...), cs.Modified...) {
+		if err := e.store.DeleteDocument(dbName, name); err != nil {
+			e.db.Commit()
+			return cs, err
+		}
+	}
+	if err := e.db.Commit(); err != nil {
+		return cs, err
+	}
+	var loads []*xmldoc.Document
+	for _, name := range append(append([]string{}, cs.Modified...), cs.Added...) {
+		loads = append(loads, byName[name])
+	}
+	if err := e.loadChunked(dbName, loads); err != nil {
+		return cs, err
+	}
+	reg.lastVersion = version
+	e.corpus[dbName] = newDocs
+	e.bus.Publish(hounds.Trigger{Change: cs})
+	return cs, nil
+}
+
+// docNames lists the entry keys warehoused under a database.
+func (e *Engine) docNames(dbName string) ([]string, error) {
+	rows, err := e.db.Query(fmt.Sprintf(
+		`SELECT name FROM docs WHERE db = %s`, shred.Quote(dbName)))
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(rows.Rows))
+	for _, r := range rows.Rows {
+		names = append(names, r[0].Text())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Databases lists warehoused database names.
+func (e *Engine) Databases() []string { return e.store.Databases() }
+
+// DocCount reports the number of entries warehoused under a database.
+func (e *Engine) DocCount(dbName string) (int, error) { return e.store.DocCount(dbName) }
+
+// DTDTree renders the database's DTD as the indented structure tree the
+// GUI's left panel shows (Fig. 7a).
+func (e *Engine) DTDTree(dbName string) (string, error) {
+	text, ok := e.store.DTD(dbName)
+	if !ok {
+		return "", fmt.Errorf("core: unknown database %q", dbName)
+	}
+	if strings.TrimSpace(text) == "" {
+		return "(no DTD registered)", nil
+	}
+	d, err := dtd.Parse(text)
+	if err != nil {
+		return "", fmt.Errorf("core: stored DTD unparseable: %w", err)
+	}
+	return d.Tree(), nil
+}
+
+// Document reconstructs one warehoused entry as XML text (the right
+// panel of Fig. 7b).
+func (e *Engine) Document(dbName, name string) (string, error) {
+	doc, err := e.store.ReconstructByName(dbName, name)
+	if err != nil {
+		return "", err
+	}
+	return doc.Serialize(xmldoc.SerializeOptions{Indent: "  "}), nil
+}
+
+// Mode reports which execution path answered a query.
+type Mode string
+
+// Execution modes.
+const (
+	ModeSQL    Mode = "sql"    // XQ2SQL translation over the relational engine
+	ModeNative Mode = "native" // in-memory fallback
+)
+
+// Result is a materialised query result.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+	Mode    Mode
+	SQL     string // generated SQL when Mode == ModeSQL
+}
+
+// Query parses and runs a XomatiQ query. The XQ2SQL path is tried first;
+// query shapes outside the translatable subset fall back to native
+// evaluation over reconstructed documents.
+func (e *Engine) Query(src string) (*Result, error) {
+	q, err := xq.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.QueryParsed(q)
+}
+
+// QueryParsed runs an already-parsed query.
+func (e *Engine) QueryParsed(q *xq.Query) (*Result, error) {
+	tr, err := xq2sql.Translate(e.store, q, xq2sql.Options{
+		UseKeywordIndex: e.cfg.UseKeywordIndex,
+	})
+	if err == nil {
+		rows, qerr := e.db.Query(tr.SQL)
+		if qerr != nil {
+			return nil, fmt.Errorf("core: executing translated SQL: %w", qerr)
+		}
+		res := &Result{Columns: tr.Columns, Mode: ModeSQL, SQL: tr.SQL}
+		for _, tup := range rows.Rows {
+			row := make([]string, len(tup))
+			for i, v := range tup {
+				row[i] = v.String()
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		return res, nil
+	}
+	if !errors.Is(err, xq2sql.ErrUnsupported) {
+		return nil, err
+	}
+	// Native fallback over reconstructed documents.
+	corpus, cerr := e.corpusFor(q)
+	if cerr != nil {
+		return nil, cerr
+	}
+	nres, nerr := nativexml.Eval(corpus, q)
+	if nerr != nil {
+		return nil, nerr
+	}
+	return &Result{Columns: nres.Columns, Rows: nres.Rows, Mode: ModeNative}, nil
+}
+
+// corpusFor reconstructs (and caches) the documents of every database a
+// query references.
+func (e *Engine) corpusFor(q *xq.Query) (nativexml.Corpus, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	needed := map[string]bool{}
+	for _, b := range q.For {
+		if b.Path.Doc != "" {
+			needed[b.Path.Doc] = true
+		}
+	}
+	out := nativexml.Corpus{}
+	for db := range needed {
+		docs, err := e.corpusDocsLocked(db)
+		if err != nil {
+			return nil, err
+		}
+		out[db] = docs
+	}
+	return out, nil
+}
+
+// corpusDocsLocked returns cached documents, reconstructing from the
+// warehouse on a cold cache. Caller holds e.mu.
+func (e *Engine) corpusDocsLocked(db string) ([]*xmldoc.Document, error) {
+	if docs, ok := e.corpus[db]; ok {
+		return docs, nil
+	}
+	names, err := e.docNames(db)
+	if err != nil {
+		return nil, err
+	}
+	docs := make([]*xmldoc.Document, 0, len(names))
+	for _, n := range names {
+		d, err := e.store.ReconstructByName(db, n)
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, d)
+	}
+	e.corpus[db] = docs
+	return docs, nil
+}
+
+// Explain translates a XomatiQ query and renders both the generated SQL
+// and the relational plan the engine would execute — the "analysis of
+// the query plans generated by the query optimizer" workflow (§3.2).
+// Queries outside the translatable subset report the native fallback.
+func (e *Engine) Explain(src string) (string, error) {
+	q, err := xq.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	tr, err := xq2sql.Translate(e.store, q, xq2sql.Options{
+		UseKeywordIndex: e.cfg.UseKeywordIndex,
+	})
+	if errors.Is(err, xq2sql.ErrUnsupported) {
+		return fmt.Sprintf("native evaluation (no single-SELECT translation: %v)", err), nil
+	}
+	if err != nil {
+		return "", err
+	}
+	plan, err := e.db.Explain(tr.SQL)
+	if err != nil {
+		return "", err
+	}
+	return "SQL: " + tr.SQL + "\nplan:\n  " + strings.ReplaceAll(plan, "\n", "\n  "), nil
+}
+
+// WarehouseStats summarises one warehoused database.
+type WarehouseStats struct {
+	DB    string
+	Docs  int
+	Paths int
+}
+
+// Stats reports physical database statistics plus per-warehouse counts.
+func (e *Engine) Stats() (sql.Stats, []WarehouseStats, error) {
+	phys := e.db.Stats()
+	var whs []WarehouseStats
+	for _, dbName := range e.store.Databases() {
+		n, err := e.store.DocCount(dbName)
+		if err != nil {
+			return phys, nil, err
+		}
+		whs = append(whs, WarehouseStats{
+			DB: dbName, Docs: n, Paths: e.store.PathCount(dbName),
+		})
+	}
+	return phys, whs, nil
+}
+
+// Compact rewrites the warehouse into a fresh file at path, reclaiming
+// pages leaked by index rebuilds and re-harnessed databases. The running
+// engine keeps using the old file; reopen the new one to switch.
+func (e *Engine) Compact(path string) error {
+	return e.db.CompactTo(path, sql.Options{PoolPages: e.cfg.PoolPages})
+}
+
+// XML renders a result as an XML document (the "display the results in
+// XML format" option of Fig. 7b).
+func (r *Result) XML() string {
+	root := xmldoc.NewElement("results")
+	for _, row := range r.Rows {
+		re := root.AddChild(xmldoc.NewElement("result"))
+		for i, col := range r.Columns {
+			ce := re.AddChild(xmldoc.NewElement(col))
+			if row[i] != "" {
+				ce.AddText(row[i])
+			}
+		}
+	}
+	doc := &xmldoc.Document{Root: root}
+	return doc.Serialize(xmldoc.SerializeOptions{Indent: "  "})
+}
+
+// Table renders a result as fixed-width text (the "simple table format"
+// option).
+func (r *Result) Table() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, v := range row {
+			if len(v) > 60 {
+				v = v[:57] + "..."
+			}
+			if len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(vals []string) {
+		for i, v := range vals {
+			if len(v) > 60 {
+				v = v[:57] + "..."
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(v)
+			for p := len(v); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	seps := make([]string, len(r.Columns))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(seps)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,313 @@
+// Package dtd implements Document Type Definitions: parsing, validation
+// of documents against content models, inference of a DTD from document
+// instances, and rendering. The Data Hounds "involve specifying a set of
+// DTDs for every kind of data in the remote biological sources"; XomatiQ
+// displays DTD structures in its query interface so users can click
+// elements to build queries.
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Occurs is a content-particle quantifier.
+type Occurs uint8
+
+// Quantifiers.
+const (
+	One  Occurs = iota
+	Opt         // ?
+	Star        // *
+	Plus        // +
+)
+
+func (o Occurs) String() string {
+	switch o {
+	case Opt:
+		return "?"
+	case Star:
+		return "*"
+	case Plus:
+		return "+"
+	}
+	return ""
+}
+
+// ParticleKind classifies content particles.
+type ParticleKind uint8
+
+// Particle kinds.
+const (
+	PName   ParticleKind = iota // element name
+	PSeq                        // (a, b, c)
+	PChoice                     // (a | b | c)
+)
+
+// Particle is one node of a content model expression.
+type Particle struct {
+	Kind     ParticleKind
+	Name     string // for PName
+	Children []*Particle
+	Occurs   Occurs
+}
+
+// ContentKind classifies an element's declared content.
+type ContentKind uint8
+
+// Content kinds.
+const (
+	CEmpty    ContentKind = iota // EMPTY
+	CAny                         // ANY
+	CPCData                      // (#PCDATA)
+	CMixed                       // (#PCDATA | a | b)*
+	CChildren                    // element content
+)
+
+// Element is one <!ELEMENT> declaration.
+type Element struct {
+	Name    string
+	Content ContentKind
+	Mixed   []string  // allowed element names for CMixed
+	Model   *Particle // for CChildren
+}
+
+// AttrType classifies attribute declarations.
+type AttrType uint8
+
+// Attribute types (the subset biological DTDs use).
+const (
+	AttrCDATA AttrType = iota
+	AttrNMTOKEN
+	AttrID
+	AttrIDRef
+	AttrEnum
+)
+
+// AttrDefault classifies attribute defaults.
+type AttrDefault uint8
+
+// Attribute default kinds.
+const (
+	DefImplied AttrDefault = iota
+	DefRequired
+	DefFixed
+	DefValue
+)
+
+// Attr is one attribute in an <!ATTLIST> declaration.
+type Attr struct {
+	Element string
+	Name    string
+	Type    AttrType
+	Enum    []string
+	Default AttrDefault
+	Value   string // for DefFixed / DefValue
+}
+
+// DTD is a parsed document type definition.
+type DTD struct {
+	Root     string // the first declared element, by convention
+	Elements map[string]*Element
+	Attrs    map[string][]*Attr // element -> attributes in declaration order
+	order    []string           // element declaration order
+}
+
+// New returns an empty DTD.
+func New() *DTD {
+	return &DTD{Elements: make(map[string]*Element), Attrs: make(map[string][]*Attr)}
+}
+
+// ElementNames returns element names in declaration order.
+func (d *DTD) ElementNames() []string { return append([]string(nil), d.order...) }
+
+// addElement registers a declaration, keeping order.
+func (d *DTD) addElement(e *Element) error {
+	if _, dup := d.Elements[e.Name]; dup {
+		return fmt.Errorf("dtd: duplicate element declaration %q", e.Name)
+	}
+	d.Elements[e.Name] = e
+	d.order = append(d.order, e.Name)
+	if d.Root == "" {
+		d.Root = e.Name
+	}
+	return nil
+}
+
+// String renders the DTD as declaration text.
+func (d *DTD) String() string {
+	var sb strings.Builder
+	for _, name := range d.order {
+		e := d.Elements[name]
+		sb.WriteString("<!ELEMENT " + name + " " + contentString(e) + ">\n")
+		if attrs := d.Attrs[name]; len(attrs) > 0 {
+			sb.WriteString("<!ATTLIST " + name)
+			for _, a := range attrs {
+				sb.WriteString("\n  " + a.Name + " " + attrTypeString(a) + " " + attrDefaultString(a))
+			}
+			sb.WriteString(">\n")
+		}
+	}
+	return sb.String()
+}
+
+func contentString(e *Element) string {
+	switch e.Content {
+	case CEmpty:
+		return "EMPTY"
+	case CAny:
+		return "ANY"
+	case CPCData:
+		return "(#PCDATA)"
+	case CMixed:
+		if len(e.Mixed) == 0 {
+			return "(#PCDATA)*"
+		}
+		return "(#PCDATA | " + strings.Join(e.Mixed, " | ") + ")*"
+	case CChildren:
+		s := particleString(e.Model)
+		if e.Model.Kind == PName {
+			s = "(" + s + ")" // a bare name needs a group to reparse
+		}
+		return s
+	}
+	return "ANY"
+}
+
+func particleString(p *Particle) string {
+	switch p.Kind {
+	case PName:
+		return p.Name + p.Occurs.String()
+	case PSeq:
+		parts := make([]string, len(p.Children))
+		for i, c := range p.Children {
+			parts[i] = particleString(c)
+		}
+		return "(" + strings.Join(parts, ", ") + ")" + p.Occurs.String()
+	case PChoice:
+		parts := make([]string, len(p.Children))
+		for i, c := range p.Children {
+			parts[i] = particleString(c)
+		}
+		return "(" + strings.Join(parts, " | ") + ")" + p.Occurs.String()
+	}
+	return "()"
+}
+
+func attrTypeString(a *Attr) string {
+	switch a.Type {
+	case AttrNMTOKEN:
+		return "NMTOKEN"
+	case AttrID:
+		return "ID"
+	case AttrIDRef:
+		return "IDREF"
+	case AttrEnum:
+		return "(" + strings.Join(a.Enum, " | ") + ")"
+	}
+	return "CDATA"
+}
+
+func attrDefaultString(a *Attr) string {
+	switch a.Default {
+	case DefRequired:
+		return "#REQUIRED"
+	case DefFixed:
+		return `#FIXED "` + a.Value + `"`
+	case DefValue:
+		return `"` + a.Value + `"`
+	}
+	return "#IMPLIED"
+}
+
+// Tree renders the DTD as an indented structure tree rooted at the root
+// element — the view the XomatiQ GUI's left panel shows (Fig. 7a). Cycles
+// and repeated types print with an ellipsis.
+func (d *DTD) Tree() string {
+	var sb strings.Builder
+	var walk func(name string, depth int, seen map[string]bool, suffix string)
+	walk = func(name string, depth int, seen map[string]bool, suffix string) {
+		pad := strings.Repeat("  ", depth)
+		attrs := ""
+		for _, a := range d.Attrs[name] {
+			attrs += " @" + a.Name
+		}
+		e := d.Elements[name]
+		if e == nil {
+			sb.WriteString(pad + name + suffix + " (undeclared)\n")
+			return
+		}
+		if seen[name] {
+			sb.WriteString(pad + name + suffix + " ...\n")
+			return
+		}
+		seen[name] = true
+		defer delete(seen, name)
+		kind := ""
+		switch e.Content {
+		case CPCData:
+			kind = " #PCDATA"
+		case CEmpty:
+			kind = " EMPTY"
+		case CMixed:
+			kind = " mixed"
+		}
+		sb.WriteString(pad + name + suffix + kind + attrs + "\n")
+		var each func(p *Particle)
+		each = func(p *Particle) {
+			switch p.Kind {
+			case PName:
+				walk(p.Name, depth+1, seen, p.Occurs.String())
+			default:
+				for _, c := range p.Children {
+					each(c)
+				}
+			}
+		}
+		if e.Content == CChildren && e.Model != nil {
+			each(e.Model)
+		}
+		for _, m := range e.Mixed {
+			walk(m, depth+1, seen, "*")
+		}
+	}
+	if d.Root != "" {
+		walk(d.Root, 0, map[string]bool{}, "")
+	}
+	return sb.String()
+}
+
+// names returns the sorted element names mentioned by a particle.
+func (p *Particle) names(out map[string]bool) {
+	if p == nil {
+		return
+	}
+	if p.Kind == PName {
+		out[p.Name] = true
+	}
+	for _, c := range p.Children {
+		c.names(out)
+	}
+}
+
+// ReferencedNames lists element names referenced by content models but
+// never declared (schema lint used by the hounds when authoring DTDs).
+func (d *DTD) ReferencedNames() (undeclared []string) {
+	ref := map[string]bool{}
+	for _, e := range d.Elements {
+		if e.Model != nil {
+			e.Model.names(ref)
+		}
+		for _, m := range e.Mixed {
+			ref[m] = true
+		}
+	}
+	for n := range ref {
+		if _, ok := d.Elements[n]; !ok {
+			undeclared = append(undeclared, n)
+		}
+	}
+	sort.Strings(undeclared)
+	return undeclared
+}

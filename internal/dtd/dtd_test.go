@@ -1,0 +1,318 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+
+	"xomatiq/internal/xmldoc"
+)
+
+// enzymeDTD is the paper's Figure 5 DTD (underscored names).
+const enzymeDTD = `
+<!ELEMENT hlx_enzyme (db_entry)>
+<!ELEMENT db_entry (enzyme_id, enzyme_description+, alternate_name_list,
+  catalytic_activity*, cofactor_list, comment_list, prosite_reference*,
+  swissprot_reference_list, disease_list)>
+<!ELEMENT enzyme_id (#PCDATA)>
+<!ELEMENT enzyme_description (#PCDATA)>
+<!ELEMENT alternate_name_list (alternate_name*)>
+<!ELEMENT alternate_name (#PCDATA)>
+<!ELEMENT catalytic_activity (#PCDATA)>
+<!ELEMENT cofactor_list (cofactor*)>
+<!ELEMENT cofactor (#PCDATA)>
+<!ELEMENT comment_list (comment*)>
+<!ELEMENT comment (#PCDATA)>
+<!ELEMENT prosite_reference (#PCDATA)>
+<!ATTLIST prosite_reference
+  prosite_accession_number NMTOKEN #REQUIRED>
+<!ELEMENT swissprot_reference_list (reference*)>
+<!ELEMENT reference (#PCDATA)>
+<!ATTLIST reference
+  name CDATA #REQUIRED
+  swissprot_accession_number NMTOKEN #REQUIRED>
+<!ELEMENT disease_list (disease*)>
+<!ELEMENT disease (#PCDATA)>
+<!ATTLIST disease mim_id CDATA #REQUIRED>
+`
+
+const validEnzymeDoc = `<hlx_enzyme><db_entry>
+  <enzyme_id>1.14.17.3</enzyme_id>
+  <enzyme_description>Peptidylglycine monooxygenase.</enzyme_description>
+  <alternate_name_list>
+    <alternate_name>Peptidyl alpha-amidating enzyme</alternate_name>
+  </alternate_name_list>
+  <catalytic_activity>Peptidylglycine + ascorbate + O(2)</catalytic_activity>
+  <cofactor_list><cofactor>Copper</cofactor></cofactor_list>
+  <comment_list><comment>Best substrates have a neutral residue.</comment></comment_list>
+  <prosite_reference prosite_accession_number="PDOC00080">PROSITE</prosite_reference>
+  <swissprot_reference_list>
+    <reference name="AMD_BOVIN" swissprot_accession_number="P10731">ref</reference>
+  </swissprot_reference_list>
+  <disease_list/>
+</db_entry></hlx_enzyme>`
+
+func TestParseEnzymeDTD(t *testing.T) {
+	d, err := Parse(enzymeDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root != "hlx_enzyme" {
+		t.Errorf("root = %q", d.Root)
+	}
+	if len(d.Elements) != 16 {
+		t.Errorf("elements = %d", len(d.Elements))
+	}
+	entry := d.Elements["db_entry"]
+	if entry.Content != CChildren || entry.Model.Kind != PSeq || len(entry.Model.Children) != 9 {
+		t.Fatalf("db_entry model = %+v", entry.Model)
+	}
+	if entry.Model.Children[1].Occurs != Plus || entry.Model.Children[3].Occurs != Star {
+		t.Error("quantifiers not parsed")
+	}
+	attrs := d.Attrs["reference"]
+	if len(attrs) != 2 || attrs[0].Default != DefRequired || attrs[1].Type != AttrNMTOKEN {
+		t.Errorf("reference attrs = %+v", attrs)
+	}
+	if und := d.ReferencedNames(); len(und) != 0 {
+		t.Errorf("undeclared refs = %v", und)
+	}
+}
+
+func TestDTDStringRoundTrip(t *testing.T) {
+	d := MustParse(enzymeDTD)
+	d2, err := Parse(d.String())
+	if err != nil {
+		t.Fatalf("reparse rendered DTD: %v\n%s", err, d.String())
+	}
+	if len(d2.Elements) != len(d.Elements) || d2.Root != d.Root {
+		t.Error("round trip lost declarations")
+	}
+	if d2.String() != d.String() {
+		t.Error("rendering not stable")
+	}
+}
+
+func TestValidateValid(t *testing.T) {
+	d := MustParse(enzymeDTD)
+	doc := xmldoc.MustParse(validEnzymeDoc)
+	if errs := d.Validate(doc); len(errs) != 0 {
+		t.Errorf("valid document rejected: %v", errs)
+	}
+}
+
+func TestValidateViolations(t *testing.T) {
+	d := MustParse(enzymeDTD)
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"wrong root", `<other/>`, "root element"},
+		{"missing child", `<hlx_enzyme/>`, "do not match model"},
+		{"undeclared element", `<hlx_enzyme><bogus/></hlx_enzyme>`, "not declared"},
+		{"missing required attr",
+			`<hlx_enzyme><db_entry><enzyme_id>x</enzyme_id><enzyme_description>d</enzyme_description>
+			 <alternate_name_list/><cofactor_list/><comment_list/>
+			 <prosite_reference>p</prosite_reference>
+			 <swissprot_reference_list/><disease_list/></db_entry></hlx_enzyme>`,
+			"required attribute"},
+		{"text in element content", `<hlx_enzyme>stray text<db_entry><enzyme_id>x</enzyme_id><enzyme_description>d</enzyme_description><alternate_name_list/><cofactor_list/><comment_list/><swissprot_reference_list/><disease_list/></db_entry></hlx_enzyme>`,
+			"character data"},
+		{"out of order children",
+			`<hlx_enzyme><db_entry><enzyme_description>d</enzyme_description><enzyme_id>x</enzyme_id><alternate_name_list/><cofactor_list/><comment_list/><swissprot_reference_list/><disease_list/></db_entry></hlx_enzyme>`,
+			"do not match model"},
+	}
+	for _, c := range cases {
+		doc, err := xmldoc.Parse(c.doc, xmldoc.ParseOptions{})
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		errs := d.Validate(doc)
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), c.want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: expected violation containing %q, got %v", c.name, c.want, errs)
+		}
+	}
+}
+
+func TestValidateAttrTypes(t *testing.T) {
+	d := MustParse(`
+<!ELEMENT r EMPTY>
+<!ATTLIST r
+  tok NMTOKEN #IMPLIED
+  mode (fast | slow) #IMPLIED
+  ver CDATA #FIXED "1"
+>`)
+	check := func(doc string, wantErr bool, frag string) {
+		t.Helper()
+		errs := d.Validate(xmldoc.MustParse(doc))
+		if (len(errs) > 0) != wantErr {
+			t.Errorf("Validate(%s) errs = %v, wantErr %v", doc, errs, wantErr)
+		}
+		if wantErr && frag != "" && !strings.Contains(errs[0].Error(), frag) {
+			t.Errorf("error %q does not mention %q", errs[0].Error(), frag)
+		}
+	}
+	check(`<r tok="abc" mode="fast" ver="1"/>`, false, "")
+	check(`<r tok="has space"/>`, true, "NMTOKEN")
+	check(`<r mode="medium"/>`, true, "not in")
+	check(`<r ver="2"/>`, true, "fixed")
+	check(`<r unknown="x"/>`, true, "not declared")
+}
+
+func TestContentModelChoiceAndNesting(t *testing.T) {
+	d := MustParse(`<!ELEMENT r ((a | b)+, c?)>
+<!ELEMENT a EMPTY><!ELEMENT b EMPTY><!ELEMENT c EMPTY>`)
+	valid := []string{
+		`<r><a/></r>`,
+		`<r><b/><a/><b/></r>`,
+		`<r><a/><c/></r>`,
+	}
+	invalid := []string{
+		`<r/>`,
+		`<r><c/></r>`,
+		`<r><a/><c/><c/></r>`,
+		`<r><c/><a/></r>`,
+	}
+	for _, s := range valid {
+		if errs := d.Validate(xmldoc.MustParse(s)); len(errs) != 0 {
+			t.Errorf("%s should be valid: %v", s, errs)
+		}
+	}
+	for _, s := range invalid {
+		if errs := d.Validate(xmldoc.MustParse(s)); len(errs) == 0 {
+			t.Errorf("%s should be invalid", s)
+		}
+	}
+}
+
+func TestMixedContent(t *testing.T) {
+	d := MustParse(`<!ELEMENT p (#PCDATA | em)*><!ELEMENT em (#PCDATA)>`)
+	if errs := d.Validate(xmldoc.MustParse(`<p>text <em>emph</em> more</p>`)); len(errs) != 0 {
+		t.Errorf("mixed content rejected: %v", errs)
+	}
+	d2 := MustParse(`<!ELEMENT p (#PCDATA | em)*><!ELEMENT em (#PCDATA)><!ELEMENT b EMPTY>`)
+	if errs := d2.Validate(xmldoc.MustParse(`<p><b/></p>`)); len(errs) == 0 {
+		t.Error("disallowed mixed child accepted")
+	}
+}
+
+func TestAnyAndEmpty(t *testing.T) {
+	d := MustParse(`<!ELEMENT r ANY><!ELEMENT e EMPTY>`)
+	if errs := d.Validate(xmldoc.MustParse(`<r>text<e/></r>`)); len(errs) != 0 {
+		t.Errorf("ANY rejected: %v", errs)
+	}
+	if errs := d.Validate(xmldoc.MustParse(`<r><e>oops</e></r>`)); len(errs) == 0 {
+		t.Error("EMPTY with content accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<!ELEMENT r (a, b | c)>`, // mixed separators
+		`<!ELEMENT r (a>`,
+		`<!ELEMENT r (#PCDATA | a)>`, // mixed without *
+		`<!ATTLIST r a BOGUS #IMPLIED>`,
+		`<!ELEMENT r EMPTY><!ELEMENT r EMPTY>`,
+		`<!BOGUS decl>`,
+		`<!ATTLIST r a CDATA>`,
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestInferFromInstances(t *testing.T) {
+	docs := []*xmldoc.Document{
+		xmldoc.MustParse(`<e><id>1</id><name>a</name><name>b</name><ref acc="X"/></e>`),
+		xmldoc.MustParse(`<e><id>2</id><name>c</name></e>`),
+	}
+	d := Infer(docs...)
+	if d.Root != "e" {
+		t.Errorf("root = %q", d.Root)
+	}
+	e := d.Elements["e"]
+	if e.Content != CChildren {
+		t.Fatalf("content = %v", e.Content)
+	}
+	model := particleString(e.Model)
+	if !strings.Contains(model, "id") || !strings.Contains(model, "name+") || !strings.Contains(model, "ref?") {
+		t.Errorf("inferred model = %s", model)
+	}
+	if d.Elements["id"].Content != CPCData {
+		t.Error("id should be #PCDATA")
+	}
+	if d.Elements["ref"].Content != CEmpty {
+		t.Error("ref should be EMPTY")
+	}
+	attrs := d.Attrs["ref"]
+	if len(attrs) != 1 || attrs[0].Default != DefRequired {
+		t.Errorf("ref attrs = %+v", attrs)
+	}
+	// Inferred DTD validates its inputs.
+	for i, doc := range docs {
+		if errs := d.Validate(doc); len(errs) != 0 {
+			t.Errorf("doc %d rejected by inferred DTD: %v", i, errs)
+		}
+	}
+}
+
+func TestInferMixedAndInconsistent(t *testing.T) {
+	docs := []*xmldoc.Document{
+		xmldoc.MustParse(`<p>text <em>x</em></p>`),
+		xmldoc.MustParse(`<p><em>y</em> tail</p>`),
+	}
+	d := Infer(docs...)
+	if d.Elements["p"].Content != CMixed {
+		t.Errorf("p content = %v", d.Elements["p"].Content)
+	}
+	// Inconsistent child order falls back to a repeated choice.
+	docs2 := []*xmldoc.Document{
+		xmldoc.MustParse(`<r><a/><b/></r>`),
+		xmldoc.MustParse(`<r><b/><a/></r>`),
+	}
+	d2 := Infer(docs2...)
+	m := d2.Elements["r"].Model
+	if m.Kind != PChoice || m.Occurs != Star {
+		t.Errorf("inconsistent order model = %s", particleString(m))
+	}
+	for i, doc := range docs2 {
+		if errs := d2.Validate(doc); len(errs) != 0 {
+			t.Errorf("doc %d rejected: %v", i, errs)
+		}
+	}
+}
+
+func TestTreeRendering(t *testing.T) {
+	d := MustParse(enzymeDTD)
+	tree := d.Tree()
+	if !strings.HasPrefix(tree, "hlx_enzyme") {
+		t.Errorf("tree should start at root:\n%s", tree)
+	}
+	for _, frag := range []string{"db_entry", "enzyme_description+", "alternate_name*", "@mim_id", "#PCDATA"} {
+		if !strings.Contains(tree, frag) {
+			t.Errorf("tree missing %q:\n%s", frag, tree)
+		}
+	}
+	// Recursive DTDs terminate.
+	rec := MustParse(`<!ELEMENT a (a?)>`)
+	if !strings.Contains(rec.Tree(), "...") {
+		t.Error("recursive tree should elide")
+	}
+}
+
+func TestReferencedNamesUndeclared(t *testing.T) {
+	d := MustParse(`<!ELEMENT r (missing, alsomissing?)>`)
+	und := d.ReferencedNames()
+	if len(und) != 2 || und[0] != "alsomissing" {
+		t.Errorf("undeclared = %v", und)
+	}
+}

@@ -1,0 +1,374 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads DTD declarations (<!ELEMENT ...> and <!ATTLIST ...>) from
+// src. Comments and parameter entities are skipped; unknown declarations
+// are rejected.
+func Parse(src string) (*DTD, error) {
+	d := New()
+	p := &dparser{src: src}
+	for {
+		p.skipSpaceAndComments()
+		if p.pos >= len(p.src) {
+			return d, nil
+		}
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "<!ELEMENT"):
+			p.pos += len("<!ELEMENT")
+			if err := p.elementDecl(d); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(p.src[p.pos:], "<!ATTLIST"):
+			p.pos += len("<!ATTLIST")
+			if err := p.attlistDecl(d); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(p.src[p.pos:], "<?"):
+			i := strings.Index(p.src[p.pos:], "?>")
+			if i < 0 {
+				return nil, p.errf("unterminated processing instruction")
+			}
+			p.pos += i + 2
+		default:
+			return nil, p.errf("unexpected content %q", snippet(p.src[p.pos:]))
+		}
+	}
+}
+
+// MustParse parses or panics; for embedded schema constants.
+func MustParse(src string) *DTD {
+	d, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func snippet(s string) string {
+	if len(s) > 20 {
+		return s[:20] + "..."
+	}
+	return s
+}
+
+type dparser struct {
+	src string
+	pos int
+}
+
+func (p *dparser) errf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:p.pos], "\n")
+	return fmt.Errorf("dtd: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *dparser) skipSpaceAndComments() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		if strings.HasPrefix(p.src[p.pos:], "<!--") {
+			if i := strings.Index(p.src[p.pos:], "-->"); i >= 0 {
+				p.pos += i + 3
+				continue
+			}
+			p.pos = len(p.src)
+			return
+		}
+		return
+	}
+}
+
+func (p *dparser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == ':' || c == '-' || c == '.' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c >= 0x80
+}
+
+func (p *dparser) name() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected name")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *dparser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return p.errf("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+func (p *dparser) peekByte() byte {
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *dparser) elementDecl(d *DTD) error {
+	name, err := p.name()
+	if err != nil {
+		return err
+	}
+	e := &Element{Name: name}
+	p.skipSpace()
+	switch {
+	case strings.HasPrefix(p.src[p.pos:], "EMPTY"):
+		p.pos += 5
+		e.Content = CEmpty
+	case strings.HasPrefix(p.src[p.pos:], "ANY"):
+		p.pos += 3
+		e.Content = CAny
+	default:
+		if err := p.contentModel(e); err != nil {
+			return err
+		}
+	}
+	if err := p.expect('>'); err != nil {
+		return err
+	}
+	return d.addElement(e)
+}
+
+// contentModel parses "(...)" content: (#PCDATA), mixed, or children.
+func (p *dparser) contentModel(e *Element) error {
+	if err := p.expect('('); err != nil {
+		return err
+	}
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], "#PCDATA") {
+		p.pos += len("#PCDATA")
+		for {
+			p.skipSpace()
+			if p.peekByte() == '|' {
+				p.pos++
+				m, err := p.name()
+				if err != nil {
+					return err
+				}
+				e.Mixed = append(e.Mixed, m)
+				continue
+			}
+			break
+		}
+		if err := p.expect(')'); err != nil {
+			return err
+		}
+		if p.pos < len(p.src) && p.src[p.pos] == '*' {
+			p.pos++
+		} else if len(e.Mixed) > 0 {
+			return p.errf("mixed content must end with )*")
+		}
+		if len(e.Mixed) > 0 {
+			e.Content = CMixed
+		} else {
+			e.Content = CPCData
+		}
+		return nil
+	}
+	// Children content: we've consumed '('; parse the group body.
+	m, err := p.group()
+	if err != nil {
+		return err
+	}
+	e.Content = CChildren
+	e.Model = m
+	return nil
+}
+
+// group parses a content group whose '(' was already consumed, including
+// the closing ')' and optional quantifier.
+func (p *dparser) group() (*Particle, error) {
+	var parts []*Particle
+	sep := byte(0)
+	for {
+		cp, err := p.cp()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, cp)
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated group")
+		}
+		c := p.src[p.pos]
+		if c == ',' || c == '|' {
+			if sep != 0 && sep != c {
+				return nil, p.errf("mixed ',' and '|' in one group")
+			}
+			sep = c
+			p.pos++
+			continue
+		}
+		if c == ')' {
+			p.pos++
+			break
+		}
+		return nil, p.errf("unexpected %q in content model", string(c))
+	}
+	kind := PSeq
+	if sep == '|' {
+		kind = PChoice
+	}
+	g := &Particle{Kind: kind, Children: parts}
+	if len(parts) == 1 && parts[0].Occurs == One {
+		// Collapse single-child groups, keeping the group quantifier.
+		g = parts[0]
+	}
+	g.Occurs = p.occurs(g.Occurs)
+	return g, nil
+}
+
+// cp parses one content particle: name or nested group, with quantifier.
+func (p *dparser) cp() (*Particle, error) {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		p.pos++
+		return p.group()
+	}
+	n, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	pt := &Particle{Kind: PName, Name: n}
+	pt.Occurs = p.occurs(One)
+	return pt, nil
+}
+
+func (p *dparser) occurs(base Occurs) Occurs {
+	if p.pos >= len(p.src) {
+		return base
+	}
+	switch p.src[p.pos] {
+	case '?':
+		p.pos++
+		return Opt
+	case '*':
+		p.pos++
+		return Star
+	case '+':
+		p.pos++
+		return Plus
+	}
+	return base
+}
+
+func (p *dparser) attlistDecl(d *DTD) error {
+	elem, err := p.name()
+	if err != nil {
+		return err
+	}
+	for {
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == '>' {
+			p.pos++
+			return nil
+		}
+		aname, err := p.name()
+		if err != nil {
+			return err
+		}
+		a := &Attr{Element: elem, Name: aname}
+		p.skipSpace()
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "CDATA"):
+			p.pos += 5
+			a.Type = AttrCDATA
+		case strings.HasPrefix(p.src[p.pos:], "NMTOKEN"):
+			p.pos += 7
+			a.Type = AttrNMTOKEN
+		case strings.HasPrefix(p.src[p.pos:], "IDREF"):
+			p.pos += 5
+			a.Type = AttrIDRef
+		case strings.HasPrefix(p.src[p.pos:], "ID"):
+			p.pos += 2
+			a.Type = AttrID
+		case p.src[p.pos] == '(':
+			p.pos++
+			a.Type = AttrEnum
+			for {
+				v, err := p.name()
+				if err != nil {
+					return err
+				}
+				a.Enum = append(a.Enum, v)
+				p.skipSpace()
+				if p.peekByte() == '|' {
+					p.pos++
+					continue
+				}
+				break
+			}
+			if err := p.expect(')'); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unknown attribute type for %q", aname)
+		}
+		p.skipSpace()
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "#REQUIRED"):
+			p.pos += len("#REQUIRED")
+			a.Default = DefRequired
+		case strings.HasPrefix(p.src[p.pos:], "#IMPLIED"):
+			p.pos += len("#IMPLIED")
+			a.Default = DefImplied
+		case strings.HasPrefix(p.src[p.pos:], "#FIXED"):
+			p.pos += len("#FIXED")
+			a.Default = DefFixed
+			v, err := p.quoted()
+			if err != nil {
+				return err
+			}
+			a.Value = v
+		default:
+			v, err := p.quoted()
+			if err != nil {
+				return err
+			}
+			a.Default = DefValue
+			a.Value = v
+		}
+		d.Attrs[elem] = append(d.Attrs[elem], a)
+	}
+}
+
+func (p *dparser) quoted() (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
+		return "", p.errf("expected quoted value")
+	}
+	q := p.src[p.pos]
+	p.pos++
+	end := strings.IndexByte(p.src[p.pos:], q)
+	if end < 0 {
+		return "", p.errf("unterminated quoted value")
+	}
+	v := p.src[p.pos : p.pos+end]
+	p.pos += end + 1
+	return v, nil
+}

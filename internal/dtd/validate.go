@@ -1,0 +1,444 @@
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xomatiq/internal/xmldoc"
+)
+
+// nfa is a Thompson construction over element names for one content
+// model: states with name-labelled and epsilon transitions.
+type nfa struct {
+	trans  []map[string][]int // state -> name -> next states
+	eps    [][]int            // state -> epsilon next states
+	start  int
+	accept int
+}
+
+func newNFA() *nfa {
+	n := &nfa{}
+	n.start = n.state()
+	n.accept = n.state()
+	return n
+}
+
+func (n *nfa) state() int {
+	n.trans = append(n.trans, map[string][]int{})
+	n.eps = append(n.eps, nil)
+	return len(n.trans) - 1
+}
+
+func (n *nfa) edge(from int, name string, to int) {
+	n.trans[from][name] = append(n.trans[from][name], to)
+}
+
+func (n *nfa) epsEdge(from, to int) { n.eps[from] = append(n.eps[from], to) }
+
+// build wires particle p between states from and to.
+func (n *nfa) build(p *Particle, from, to int) {
+	inner := func(a, b int) {
+		switch p.Kind {
+		case PName:
+			n.edge(a, p.Name, b)
+		case PSeq:
+			cur := a
+			for i, c := range p.Children {
+				next := b
+				if i < len(p.Children)-1 {
+					next = n.state()
+				}
+				n.build(c, cur, next)
+				cur = next
+			}
+			if len(p.Children) == 0 {
+				n.epsEdge(a, b)
+			}
+		case PChoice:
+			for _, c := range p.Children {
+				n.build(c, a, b)
+			}
+		}
+	}
+	switch p.Occurs {
+	case One:
+		inner(from, to)
+	case Opt:
+		inner(from, to)
+		n.epsEdge(from, to)
+	case Star:
+		mid := n.state()
+		n.epsEdge(from, mid)
+		inner(mid, mid)
+		n.epsEdge(mid, to)
+	case Plus:
+		mid := n.state()
+		inner(from, mid)
+		inner(mid, mid)
+		n.epsEdge(mid, to)
+	}
+}
+
+// closure expands a state set through epsilon edges.
+func (n *nfa) closure(set map[int]bool) {
+	stack := make([]int, 0, len(set))
+	for s := range set {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.eps[s] {
+			if !set[t] {
+				set[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+}
+
+// match reports whether the name sequence is accepted.
+func (n *nfa) match(names []string) bool {
+	cur := map[int]bool{n.start: true}
+	n.closure(cur)
+	for _, name := range names {
+		next := map[int]bool{}
+		for s := range cur {
+			for _, t := range n.trans[s][name] {
+				next[t] = true
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		n.closure(next)
+		cur = next
+	}
+	return cur[n.accept]
+}
+
+// compile builds the NFA for an element's children model.
+func compile(p *Particle) *nfa {
+	n := newNFA()
+	n.build(p, n.start, n.accept)
+	return n
+}
+
+// ValidationError describes one violation.
+type ValidationError struct {
+	Element string
+	Msg     string
+}
+
+func (e ValidationError) Error() string { return fmt.Sprintf("dtd: <%s>: %s", e.Element, e.Msg) }
+
+// Validate checks a document against the DTD, returning every violation
+// (nil means valid).
+func (d *DTD) Validate(doc *xmldoc.Document) []ValidationError {
+	var errs []ValidationError
+	compiled := map[string]*nfa{}
+	var walk func(n *xmldoc.Node)
+	walk = func(n *xmldoc.Node) {
+		e := d.Elements[n.Name]
+		if e == nil {
+			errs = append(errs, ValidationError{n.Name, "element not declared"})
+		} else {
+			errs = append(errs, d.checkContent(e, n, compiled)...)
+			errs = append(errs, d.checkAttrs(n)...)
+		}
+		for _, c := range n.Children {
+			if c.Kind == xmldoc.KindElement {
+				walk(c)
+			}
+		}
+	}
+	if doc.Root.Name != d.Root && d.Root != "" {
+		errs = append(errs, ValidationError{doc.Root.Name, fmt.Sprintf("root element is %q, DTD declares %q", doc.Root.Name, d.Root)})
+	}
+	walk(doc.Root)
+	return errs
+}
+
+func (d *DTD) checkContent(e *Element, n *xmldoc.Node, compiled map[string]*nfa) []ValidationError {
+	var errs []ValidationError
+	hasText := false
+	var childNames []string
+	for _, c := range n.Children {
+		switch c.Kind {
+		case xmldoc.KindText:
+			if strings.TrimSpace(c.Data) != "" {
+				hasText = true
+			}
+		case xmldoc.KindElement:
+			childNames = append(childNames, c.Name)
+		}
+	}
+	switch e.Content {
+	case CAny:
+	case CEmpty:
+		if hasText || len(childNames) > 0 {
+			errs = append(errs, ValidationError{n.Name, "declared EMPTY but has content"})
+		}
+	case CPCData:
+		if len(childNames) > 0 {
+			errs = append(errs, ValidationError{n.Name, fmt.Sprintf("declared (#PCDATA) but has element children %v", childNames)})
+		}
+	case CMixed:
+		allowed := map[string]bool{}
+		for _, m := range e.Mixed {
+			allowed[m] = true
+		}
+		for _, cn := range childNames {
+			if !allowed[cn] {
+				errs = append(errs, ValidationError{n.Name, fmt.Sprintf("child <%s> not allowed in mixed content", cn)})
+			}
+		}
+	case CChildren:
+		if hasText {
+			errs = append(errs, ValidationError{n.Name, "character data not allowed in element content"})
+		}
+		m := compiled[e.Name]
+		if m == nil {
+			m = compile(e.Model)
+			compiled[e.Name] = m
+		}
+		if !m.match(childNames) {
+			errs = append(errs, ValidationError{n.Name,
+				fmt.Sprintf("children %v do not match model %s", childNames, particleString(e.Model))})
+		}
+	}
+	return errs
+}
+
+func (d *DTD) checkAttrs(n *xmldoc.Node) []ValidationError {
+	var errs []ValidationError
+	decls := d.Attrs[n.Name]
+	declared := map[string]*Attr{}
+	for _, a := range decls {
+		declared[a.Name] = a
+	}
+	for _, a := range n.Attrs {
+		decl := declared[a.Name]
+		if decl == nil {
+			errs = append(errs, ValidationError{n.Name, fmt.Sprintf("attribute %q not declared", a.Name)})
+			continue
+		}
+		switch decl.Type {
+		case AttrEnum:
+			ok := false
+			for _, v := range decl.Enum {
+				if v == a.Data {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				errs = append(errs, ValidationError{n.Name, fmt.Sprintf("attribute %q value %q not in %v", a.Name, a.Data, decl.Enum)})
+			}
+		case AttrNMTOKEN:
+			if strings.ContainsAny(a.Data, " \t\n\r") || a.Data == "" {
+				errs = append(errs, ValidationError{n.Name, fmt.Sprintf("attribute %q value %q is not an NMTOKEN", a.Name, a.Data)})
+			}
+		}
+		if decl.Default == DefFixed && a.Data != decl.Value {
+			errs = append(errs, ValidationError{n.Name, fmt.Sprintf("attribute %q must be fixed %q", a.Name, decl.Value)})
+		}
+	}
+	for _, decl := range decls {
+		if decl.Default == DefRequired {
+			if _, ok := n.Attr(decl.Name); !ok {
+				errs = append(errs, ValidationError{n.Name, fmt.Sprintf("required attribute %q missing", decl.Name)})
+			}
+		}
+	}
+	return errs
+}
+
+// Infer derives a DTD from document instances: the schema-discovery step
+// a Data Hounds author runs before hand-tuning the mapping. Heuristics:
+// an element with only text is (#PCDATA); with only elements, a sequence
+// over the observed child-name order when consistent, else a repeated
+// choice; with both, mixed content. Attribute declarations are CDATA,
+// #REQUIRED when present on every instance.
+func Infer(docs ...*xmldoc.Document) *DTD {
+	type elemStat struct {
+		hasText    bool
+		hasElems   bool
+		instances  int
+		childSeqs  [][]string
+		attrCounts map[string]int
+	}
+	stats := map[string]*elemStat{}
+	var order []string
+	stat := func(name string) *elemStat {
+		s := stats[name]
+		if s == nil {
+			s = &elemStat{attrCounts: map[string]int{}}
+			stats[name] = s
+			order = append(order, name)
+		}
+		return s
+	}
+	var walk func(n *xmldoc.Node)
+	walk = func(n *xmldoc.Node) {
+		s := stat(n.Name)
+		s.instances++
+		var seq []string
+		for _, c := range n.Children {
+			switch c.Kind {
+			case xmldoc.KindText:
+				if strings.TrimSpace(c.Data) != "" {
+					s.hasText = true
+				}
+			case xmldoc.KindElement:
+				s.hasElems = true
+				seq = append(seq, c.Name)
+				walk(c)
+			}
+		}
+		s.childSeqs = append(s.childSeqs, seq)
+		for _, a := range n.Attrs {
+			s.attrCounts[a.Name]++
+		}
+	}
+	for _, doc := range docs {
+		walk(doc.Root)
+	}
+
+	d := New()
+	for _, name := range order {
+		s := stats[name]
+		e := &Element{Name: name}
+		switch {
+		case s.hasText && s.hasElems:
+			e.Content = CMixed
+			e.Mixed = distinctNames(s.childSeqs)
+		case s.hasText:
+			e.Content = CPCData
+		case s.hasElems:
+			e.Content = CChildren
+			e.Model = inferModel(s.childSeqs)
+		default:
+			e.Content = CEmpty
+		}
+		d.addElement(e)
+		var anames []string
+		for a := range s.attrCounts {
+			anames = append(anames, a)
+		}
+		sort.Strings(anames)
+		for _, a := range anames {
+			def := DefImplied
+			if s.attrCounts[a] == s.instances {
+				def = DefRequired
+			}
+			d.Attrs[name] = append(d.Attrs[name], &Attr{Element: name, Name: a, Type: AttrCDATA, Default: def})
+		}
+	}
+	return d
+}
+
+func distinctNames(seqs [][]string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, seq := range seqs {
+		for _, n := range seq {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// inferModel builds a sequence model when every instance's children
+// follow one name order (runs of repeats allowed), else a repeated
+// choice over the observed names.
+func inferModel(seqs [][]string) *Particle {
+	// Collapse each sequence to its run order.
+	runOrder := func(seq []string) []string {
+		var out []string
+		for _, n := range seq {
+			if len(out) == 0 || out[len(out)-1] != n {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	// Candidate global order: run order of the longest sequence; verify
+	// every instance's run order is a subsequence of it.
+	var longest []string
+	for _, s := range seqs {
+		ro := runOrder(s)
+		if len(ro) > len(longest) {
+			longest = ro
+		}
+	}
+	consistent := true
+	for _, s := range seqs {
+		if !isSubsequence(runOrder(s), longest) {
+			consistent = false
+			break
+		}
+	}
+	if !consistent || len(longest) == 0 {
+		return &Particle{Kind: PChoice, Occurs: Star, Children: nameParticles(distinctNames(seqs))}
+	}
+	// Quantifier per name: min/max occurrences across instances.
+	minC := map[string]int{}
+	maxC := map[string]int{}
+	for i, s := range seqs {
+		counts := map[string]int{}
+		for _, n := range s {
+			counts[n]++
+		}
+		for _, n := range longest {
+			c := counts[n]
+			if i == 0 {
+				minC[n] = c
+			} else if c < minC[n] {
+				minC[n] = c
+			}
+			if c > maxC[n] {
+				maxC[n] = c
+			}
+		}
+	}
+	children := make([]*Particle, len(longest))
+	for i, n := range longest {
+		occ := One
+		switch {
+		case minC[n] == 0 && maxC[n] <= 1:
+			occ = Opt
+		case minC[n] == 0:
+			occ = Star
+		case maxC[n] > 1:
+			occ = Plus
+		}
+		children[i] = &Particle{Kind: PName, Name: n, Occurs: occ}
+	}
+	if len(children) == 1 {
+		return children[0]
+	}
+	return &Particle{Kind: PSeq, Children: children}
+}
+
+func nameParticles(names []string) []*Particle {
+	out := make([]*Particle, len(names))
+	for i, n := range names {
+		out[i] = &Particle{Kind: PName, Name: n}
+	}
+	return out
+}
+
+func isSubsequence(sub, full []string) bool {
+	i := 0
+	for _, n := range full {
+		if i < len(sub) && sub[i] == n {
+			i++
+		}
+	}
+	return i == len(sub)
+}

@@ -1,0 +1,257 @@
+package hounds
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"xomatiq/internal/bio"
+	"xomatiq/internal/xmldoc"
+)
+
+func TestEnzymeEntryToXMLMatchesFigure6(t *testing.T) {
+	doc := EnzymeEntryToXML(bio.SampleEnzymeEntry())
+	if doc.Name != "1.14.17.3" {
+		t.Errorf("doc name = %q", doc.Name)
+	}
+	entry := doc.Root.FirstChild("db_entry")
+	if got := entry.FirstChild("enzyme_id").Text(); got != "1.14.17.3" {
+		t.Errorf("enzyme_id = %q", got)
+	}
+	alts := entry.FirstChild("alternate_name_list").ChildElements("alternate_name")
+	if len(alts) != 2 || alts[0].Text() != "Peptidyl alpha-amidating enzyme" {
+		t.Errorf("alternate names = %d", len(alts))
+	}
+	if got := entry.FirstChild("cofactor_list").FirstChild("cofactor").Text(); got != "Copper" {
+		t.Errorf("cofactor = %q", got)
+	}
+	pr := entry.FirstChild("prosite_reference")
+	if v, _ := pr.Attr("prosite_accession_number"); v != "PDOC00080" {
+		t.Errorf("prosite = %q", v)
+	}
+	refs := entry.FirstChild("swissprot_reference_list").ChildElements("reference")
+	if len(refs) != 5 {
+		t.Fatalf("references = %d", len(refs))
+	}
+	if v, _ := refs[0].Attr("name"); v != "AMD_BOVIN" {
+		t.Errorf("ref name = %q", v)
+	}
+	if v, _ := refs[0].Attr("swissprot_accession_number"); v != "P10731" {
+		t.Errorf("ref acc = %q", v)
+	}
+	if dl := entry.FirstChild("disease_list"); dl == nil || len(dl.ChildElements("")) != 0 {
+		t.Error("disease_list should be present and empty")
+	}
+}
+
+func TestTransformersValidateAgainstDTDs(t *testing.T) {
+	opts := bio.GenOptions{Seed: 21}
+	enz := bio.GenEnzymes(40, opts)
+	var ids []string
+	for _, e := range enz {
+		ids = append(ids, e.ID)
+	}
+
+	var enzBuf, emblBuf, sprotBuf bytes.Buffer
+	if err := bio.WriteEnzyme(&enzBuf, enz); err != nil {
+		t.Fatal(err)
+	}
+	if err := bio.WriteEMBL(&emblBuf, bio.GenEMBL(40, "inv", ids, opts)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bio.WriteSProt(&sprotBuf, bio.GenSProt(40, opts)); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		tr  Transformer
+		src io.Reader
+		n   int
+	}{
+		{EnzymeTransformer{}, &enzBuf, 41},
+		{EMBLTransformer{}, &emblBuf, 40},
+		{SProtTransformer{}, &sprotBuf, 40},
+	}
+	for _, c := range cases {
+		docs, err := TransformAndValidate(c.tr, c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.tr.Name(), err)
+		}
+		if len(docs) != c.n {
+			t.Errorf("%s: %d docs, want %d", c.tr.Name(), len(docs), c.n)
+		}
+		for _, d := range docs {
+			if d.Name == "" {
+				t.Fatalf("%s: document without key", c.tr.Name())
+			}
+		}
+	}
+}
+
+func TestTransformAndValidateRejectsViolations(t *testing.T) {
+	// An entry missing DE fails at the parser; craft a transformer
+	// violation instead: empty prosite accession violates NMTOKEN.
+	e := bio.SampleEnzymeEntry()
+	e.PrositeRefs = []string{""}
+	var buf bytes.Buffer
+	if err := bio.WriteEnzyme(&buf, []*bio.EnzymeEntry{e}); err != nil {
+		t.Fatal(err)
+	}
+	// Writing "" then reparsing drops the ref; transform directly.
+	doc := EnzymeEntryToXML(e)
+	errs := EnzymeTransformer{}.DTD().Validate(doc)
+	if len(errs) == 0 {
+		t.Error("empty NMTOKEN should fail validation")
+	}
+}
+
+func TestEMBLQualifierTypeHumanised(t *testing.T) {
+	entry := &bio.EMBLEntry{
+		ID: "X", Division: "INV", Accession: "X00001",
+		Features: []bio.EMBLFeature{{
+			Key: "CDS", Location: "1..10",
+			Qualifiers: []bio.EMBLQualifier{{Type: "EC_number", Value: "1.1.1.1"}},
+		}},
+	}
+	doc := EMBLEntryToXML(entry)
+	q := doc.Root.DescendantElements("qualifier")
+	if len(q) != 1 {
+		t.Fatal("no qualifier")
+	}
+	if v, _ := q[0].Attr("qualifier_type"); v != "EC number" {
+		t.Errorf("qualifier_type = %q, want humanised form", v)
+	}
+	if q[0].Text() != "1.1.1.1" {
+		t.Errorf("qualifier value = %q", q[0].Text())
+	}
+}
+
+func TestSequenceDataSeparated(t *testing.T) {
+	sp := bio.GenSProt(5, bio.GenOptions{Seed: 2})
+	doc := SProtEntryToXML(sp[0])
+	seq := doc.Root.DescendantElements("sequence_data")
+	if len(seq) != 1 || seq[0].Text() != sp[0].Sequence {
+		t.Error("sequence_data element missing or wrong")
+	}
+	got := (SProtTransformer{}).SequencePaths()
+	if len(got) != 1 || got[0] != "/hlx_n_sequence/db_entry/sequence_data" {
+		t.Errorf("SequencePaths = %v", got)
+	}
+	if seq[0].Path() != got[0] {
+		t.Errorf("sequence path %q != declared %q", seq[0].Path(), got[0])
+	}
+}
+
+func TestFileSource(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.txt")
+	if err := os.WriteFile(path, []byte("content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := FileSource{Path: path}
+	rc, ver, err := src.Fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(rc)
+	rc.Close()
+	if string(data) != "content" || ver == "" {
+		t.Errorf("fetch = %q ver %q", data, ver)
+	}
+	if _, _, err := (FileSource{Path: path + ".missing"}).Fetch(); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestSimSourceVersions(t *testing.T) {
+	src := NewSimSource("enzyme", "v1 content")
+	rc, ver, _ := src.Fetch()
+	data, _ := io.ReadAll(rc)
+	if string(data) != "v1 content" || ver != "v1" {
+		t.Errorf("initial fetch = %q %q", data, ver)
+	}
+	src.Publish("v2 content")
+	rc, ver, _ = src.Fetch()
+	data, _ = io.ReadAll(rc)
+	if string(data) != "v2 content" || ver != "v2" {
+		t.Errorf("after publish = %q %q", data, ver)
+	}
+	if src.Version() != "v2" {
+		t.Errorf("Version = %q", src.Version())
+	}
+}
+
+func docsOf(t *testing.T, entries []*bio.EnzymeEntry) []*xmldoc.Document {
+	t.Helper()
+	docs := make([]*xmldoc.Document, 0, len(entries))
+	for _, e := range entries {
+		docs = append(docs, EnzymeEntryToXML(e))
+	}
+	return docs
+}
+
+func TestDiffDocs(t *testing.T) {
+	entries := bio.GenEnzymes(10, bio.GenOptions{Seed: 31})
+	old := docsOf(t, entries)
+
+	// New harvest: drop one, modify one, add one.
+	modified := make([]*bio.EnzymeEntry, len(entries))
+	copy(modified, entries)
+	dropped := modified[3].ID
+	modified = append(modified[:3], modified[4:]...)
+	changed := *modified[5]
+	changed.Comments = append([]string{"A new curator comment."}, changed.Comments...)
+	modified[5] = &changed
+	added := &bio.EnzymeEntry{ID: "9.9.9.9", Description: []string{"New enzyme."}}
+	modified = append(modified, added)
+
+	cs := DiffDocs("enzyme", "v2", old, docsOf(t, modified))
+	if !reflect.DeepEqual(cs.Added, []string{"9.9.9.9"}) {
+		t.Errorf("Added = %v", cs.Added)
+	}
+	if !reflect.DeepEqual(cs.Modified, []string{changed.ID}) {
+		t.Errorf("Modified = %v", cs.Modified)
+	}
+	if !reflect.DeepEqual(cs.Removed, []string{dropped}) {
+		t.Errorf("Removed = %v", cs.Removed)
+	}
+	if cs.Empty() || cs.Total() != 3 {
+		t.Errorf("Total = %d", cs.Total())
+	}
+	// Identical harvests diff empty even when reordered.
+	rev := append([]*xmldoc.Document(nil), old...)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	if cs := DiffDocs("enzyme", "v2", old, rev); !cs.Empty() {
+		t.Errorf("reordered identical harvest diffs: %+v", cs)
+	}
+}
+
+func TestBusDeliversInOrder(t *testing.T) {
+	bus := NewBus()
+	var got []string
+	bus.Subscribe(func(tr Trigger) { got = append(got, "a:"+tr.Change.DB) })
+	bus.Subscribe(func(tr Trigger) { got = append(got, "b:"+tr.Change.DB) })
+	bus.Publish(Trigger{Change: ChangeSet{DB: "enzyme"}})
+	bus.Publish(Trigger{Change: ChangeSet{DB: "embl"}})
+	want := "a:enzyme|b:enzyme|a:embl|b:embl"
+	if strings.Join(got, "|") != want {
+		t.Errorf("delivery = %v", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{"enzyme", "embl", "sprot"} {
+		tr, ok := Registry[name]
+		if !ok || tr.Name() != name {
+			t.Errorf("registry missing %q", name)
+		}
+		if tr.DTD() == nil {
+			t.Errorf("%s DTD nil", name)
+		}
+	}
+}

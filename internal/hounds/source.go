@@ -1,0 +1,84 @@
+package hounds
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Source is a remote database location the hounds can fetch. The paper's
+// sources are FTP/HTTP sites publishing flat files plus periodic updates
+// at "pre-designated locations"; offline, a Source is a local file or an
+// in-process simulated remote.
+type Source interface {
+	// Name identifies the source for logging and triggers.
+	Name() string
+	// Fetch opens the current full dump and reports its version tag.
+	Fetch() (io.ReadCloser, string, error)
+}
+
+// FileSource reads a flat file from disk.
+type FileSource struct {
+	Path string
+}
+
+// Name implements Source.
+func (s FileSource) Name() string { return s.Path }
+
+// Fetch implements Source; the version is the file's mtime and size.
+func (s FileSource) Fetch() (io.ReadCloser, string, error) {
+	f, err := os.Open(s.Path)
+	if err != nil {
+		return nil, "", fmt.Errorf("hounds: fetch %s: %w", s.Path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, "", err
+	}
+	return f, fmt.Sprintf("%d-%d", st.ModTime().UnixNano(), st.Size()), nil
+}
+
+// SimSource is an in-process simulated remote: versioned full dumps
+// published by the test or benchmark driving it. It stands in for the
+// FTP/HTTP sites of the paper.
+type SimSource struct {
+	name string
+
+	mu      sync.Mutex
+	content string
+	version int
+}
+
+// NewSimSource creates a simulated remote with initial content.
+func NewSimSource(name, content string) *SimSource {
+	return &SimSource{name: name, content: content, version: 1}
+}
+
+// Name implements Source.
+func (s *SimSource) Name() string { return s.name }
+
+// Fetch implements Source.
+func (s *SimSource) Fetch() (io.ReadCloser, string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return io.NopCloser(strings.NewReader(s.content)), fmt.Sprintf("v%d", s.version), nil
+}
+
+// Publish replaces the remote content, bumping the version — the remote
+// site releasing an update.
+func (s *SimSource) Publish(content string) {
+	s.mu.Lock()
+	s.content = content
+	s.version++
+	s.mu.Unlock()
+}
+
+// Version reports the current version tag.
+func (s *SimSource) Version() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("v%d", s.version)
+}

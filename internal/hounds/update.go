@@ -1,0 +1,91 @@
+package hounds
+
+import (
+	"sync"
+
+	"xomatiq/internal/xmldoc"
+)
+
+// ChangeSet describes an incremental update of one database: which entry
+// keys were added, modified or removed between two harvests. The paper's
+// requirement: "the ability to download and integrate the latest updates
+// to any database without any information being left out or added twice".
+type ChangeSet struct {
+	DB       string
+	Version  string
+	Added    []string
+	Modified []string
+	Removed  []string
+}
+
+// Empty reports whether the change set carries no changes.
+func (c ChangeSet) Empty() bool {
+	return len(c.Added) == 0 && len(c.Modified) == 0 && len(c.Removed) == 0
+}
+
+// Total reports the number of changed entries.
+func (c ChangeSet) Total() int { return len(c.Added) + len(c.Modified) + len(c.Removed) }
+
+// DiffDocs compares two harvests entry by entry (documents keyed by
+// Name) and reports the delta. Content comparison uses the serialised
+// canonical form, so reordered but identical entries are unchanged.
+func DiffDocs(db, version string, old, new []*xmldoc.Document) ChangeSet {
+	cs := ChangeSet{DB: db, Version: version}
+	oldByKey := make(map[string]string, len(old))
+	for _, d := range old {
+		oldByKey[d.Name] = d.Serialize(xmldoc.SerializeOptions{NoDecl: true})
+	}
+	seen := make(map[string]bool, len(new))
+	for _, d := range new {
+		seen[d.Name] = true
+		ser := d.Serialize(xmldoc.SerializeOptions{NoDecl: true})
+		prev, existed := oldByKey[d.Name]
+		switch {
+		case !existed:
+			cs.Added = append(cs.Added, d.Name)
+		case prev != ser:
+			cs.Modified = append(cs.Modified, d.Name)
+		}
+	}
+	for _, d := range old {
+		if !seen[d.Name] {
+			cs.Removed = append(cs.Removed, d.Name)
+		}
+	}
+	return cs
+}
+
+// Trigger is a warehouse-change notification. "Once the changes have
+// been committed to the local warehouse, the Data Hounds sends out
+// triggers to related applications."
+type Trigger struct {
+	Change ChangeSet
+}
+
+// Bus delivers triggers to subscribers synchronously, in subscription
+// order.
+type Bus struct {
+	mu   sync.Mutex
+	subs []func(Trigger)
+}
+
+// NewBus returns an empty trigger bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Subscribe registers a callback for future triggers.
+func (b *Bus) Subscribe(fn func(Trigger)) {
+	b.mu.Lock()
+	b.subs = append(b.subs, fn)
+	b.mu.Unlock()
+}
+
+// Publish delivers a trigger to every subscriber.
+func (b *Bus) Publish(t Trigger) {
+	b.mu.Lock()
+	subs := make([]func(Trigger), len(b.subs))
+	copy(subs, b.subs)
+	b.mu.Unlock()
+	for _, fn := range subs {
+		fn(t)
+	}
+}

@@ -1,0 +1,211 @@
+// node.go implements the on-page layout of B+tree nodes: a cell pointer
+// directory kept sorted by key, with cell payloads growing down from the
+// page end. Unlike the generic slotted page, cell positions here are
+// logical ranks, not stable slots, so binary search works directly.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"xomatiq/internal/storage/page"
+)
+
+// Node header layout (shares kind/aux offsets with package page so the
+// buffer pool's page view stays coherent):
+//
+//	0..2   numCells
+//	2..4   freeStart (end of the cell pointer directory)
+//	4..6   freeEnd   (start of the cell payload heap)
+//	6      kind
+//	7      reserved
+//	8..12  aux: right sibling (leaf) or leftmost child (inner)
+//	12..   cell pointer directory, 2 bytes per cell, sorted by key
+//
+// Leaf cell:  [2]klen [2]vlen key value
+// Inner cell: [2]klen key [4]child
+const (
+	nodeHeader  = 12
+	ptrSize     = 2
+	offNumCells = 0
+	offFree     = 2
+	offEnd      = 4
+	offAuxN     = 8
+)
+
+type node struct {
+	buf []byte
+}
+
+func wrapNode(p *page.Page) node { return node{buf: p.Bytes()} }
+
+func (n node) u16(off int) int     { return int(binary.LittleEndian.Uint16(n.buf[off:])) }
+func (n node) put16(off, v int)    { binary.LittleEndian.PutUint16(n.buf[off:], uint16(v)) }
+func (n node) numCells() int       { return n.u16(offNumCells) }
+func (n node) isLeaf() bool        { return page.Kind(n.buf[6]) == page.KindBTreeLeaf }
+func (n node) aux() uint32         { return binary.LittleEndian.Uint32(n.buf[offAuxN:]) }
+func (n node) setAux(v uint32)     { binary.LittleEndian.PutUint32(n.buf[offAuxN:], v) }
+func (n node) cellPtr(i int) int   { return n.u16(nodeHeader + i*ptrSize) }
+func (n node) setCellPtr(i, v int) { n.put16(nodeHeader+i*ptrSize, v) }
+func (n node) freeBytes() int      { return n.u16(offEnd) - n.u16(offFree) }
+
+// init prepares an empty node of the given kind.
+func (n node) init(kind page.Kind) {
+	n.put16(offNumCells, 0)
+	n.put16(offFree, nodeHeader)
+	n.put16(offEnd, page.Size)
+	n.buf[6] = byte(kind)
+	n.buf[7] = 0
+	n.setAux(0)
+}
+
+// key returns the key of cell i (aliases the buffer).
+func (n node) key(i int) []byte {
+	off := n.cellPtr(i)
+	klen := n.u16(off)
+	if n.isLeaf() {
+		return n.buf[off+4 : off+4+klen]
+	}
+	return n.buf[off+2 : off+2+klen]
+}
+
+// value returns the value of leaf cell i (aliases the buffer).
+func (n node) value(i int) []byte {
+	off := n.cellPtr(i)
+	klen, vlen := n.u16(off), n.u16(off+2)
+	return n.buf[off+4+klen : off+4+klen+vlen]
+}
+
+// child returns the child page of inner cell i.
+func (n node) child(i int) uint32 {
+	off := n.cellPtr(i)
+	klen := n.u16(off)
+	return binary.LittleEndian.Uint32(n.buf[off+2+klen:])
+}
+
+// cellSize reports the payload bytes used by cell i.
+func (n node) cellSize(i int) int {
+	off := n.cellPtr(i)
+	klen := n.u16(off)
+	if n.isLeaf() {
+		return 4 + klen + n.u16(off+2)
+	}
+	return 2 + klen + 4
+}
+
+// search finds the rank of key: the first cell whose key is >= key, and
+// whether an exact match exists there.
+func (n node) search(key []byte) (int, bool) {
+	lo, hi := 0, n.numCells()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.key(mid), key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < n.numCells() && bytes.Equal(n.key(lo), key)
+}
+
+// insertCellAt writes raw cell bytes and splices its pointer in at rank i.
+// The caller has verified fit (possibly after compact).
+func (n node) insertCellAt(i int, cell []byte) {
+	end := n.u16(offEnd) - len(cell)
+	copy(n.buf[end:], cell)
+	n.put16(offEnd, end)
+	num := n.numCells()
+	// Shift pointers [i, num) right by one.
+	copy(n.buf[nodeHeader+(i+1)*ptrSize:], n.buf[nodeHeader+i*ptrSize:nodeHeader+num*ptrSize])
+	n.setCellPtr(i, end)
+	n.put16(offNumCells, num+1)
+	n.put16(offFree, nodeHeader+(num+1)*ptrSize)
+}
+
+// removeCellAt deletes the pointer at rank i; payload space is reclaimed
+// lazily by compact.
+func (n node) removeCellAt(i int) {
+	num := n.numCells()
+	copy(n.buf[nodeHeader+i*ptrSize:], n.buf[nodeHeader+(i+1)*ptrSize:nodeHeader+num*ptrSize])
+	n.put16(offNumCells, num-1)
+	n.put16(offFree, nodeHeader+(num-1)*ptrSize)
+}
+
+// compact rewrites live cells contiguously, reclaiming holes.
+func (n node) compact() {
+	num := n.numCells()
+	type cell struct {
+		ptr  int
+		data []byte
+	}
+	cells := make([]cell, num)
+	for i := 0; i < num; i++ {
+		sz := n.cellSize(i)
+		data := make([]byte, sz)
+		copy(data, n.buf[n.cellPtr(i):n.cellPtr(i)+sz])
+		cells[i] = cell{i, data}
+	}
+	end := page.Size
+	for i, c := range cells {
+		end -= len(c.data)
+		copy(n.buf[end:], c.data)
+		n.setCellPtr(i, end)
+	}
+	n.put16(offEnd, end)
+}
+
+// leafCell builds the raw bytes of a leaf cell.
+func leafCell(key, val []byte) []byte {
+	cell := make([]byte, 4+len(key)+len(val))
+	binary.LittleEndian.PutUint16(cell, uint16(len(key)))
+	binary.LittleEndian.PutUint16(cell[2:], uint16(len(val)))
+	copy(cell[4:], key)
+	copy(cell[4+len(key):], val)
+	return cell
+}
+
+// innerCell builds the raw bytes of an inner cell.
+func innerCell(key []byte, child uint32) []byte {
+	cell := make([]byte, 2+len(key)+4)
+	binary.LittleEndian.PutUint16(cell, uint16(len(key)))
+	copy(cell[2:], key)
+	binary.LittleEndian.PutUint32(cell[2+len(key):], child)
+	return cell
+}
+
+// fits reports whether a cell of the given size can be placed, possibly
+// after compaction.
+func (n node) fits(cellLen int) bool {
+	need := cellLen + ptrSize
+	if n.freeBytes() >= need {
+		return true
+	}
+	// Account space reclaimable by compaction.
+	used := 0
+	for i := 0; i < n.numCells(); i++ {
+		used += n.cellSize(i)
+	}
+	total := page.Size - nodeHeader - (n.numCells()+1)*ptrSize - used
+	return total >= cellLen
+}
+
+// ensureFit compacts when needed so a cell of cellLen fits; callers check
+// fits() first.
+func (n node) ensureFit(cellLen int) {
+	if n.freeBytes() < cellLen+ptrSize {
+		n.compact()
+	}
+}
+
+func (n node) check() error {
+	if n.numCells() < 0 || nodeHeader+n.numCells()*ptrSize > n.u16(offEnd) {
+		return fmt.Errorf("btree: node directory overlaps heap")
+	}
+	for i := 1; i < n.numCells(); i++ {
+		if bytes.Compare(n.key(i-1), n.key(i)) >= 0 {
+			return fmt.Errorf("btree: node keys out of order at %d", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+// Package hash implements an in-memory equality index: key bytes to a
+// multiset of fixed payloads (record IDs). Hash indexes are not
+// persisted; the engine rebuilds them from heap contents on open, which
+// also covers crash recovery (index pages are outside the WAL).
+package hash
+
+import "bytes"
+
+// Index maps keys to lists of payloads, preserving insertion order per
+// key. Duplicate (key, payload) pairs are allowed.
+type Index struct {
+	m map[string][][]byte
+	n int
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{m: make(map[string][][]byte)}
+}
+
+// Insert adds a (key, payload) pair.
+func (ix *Index) Insert(key, payload []byte) {
+	p := append([]byte(nil), payload...)
+	ix.m[string(key)] = append(ix.m[string(key)], p)
+	ix.n++
+}
+
+// Delete removes one occurrence of (key, payload). It reports whether a
+// matching pair existed.
+func (ix *Index) Delete(key, payload []byte) bool {
+	k := string(key)
+	list := ix.m[k]
+	for i, p := range list {
+		if bytes.Equal(p, payload) {
+			list = append(list[:i], list[i+1:]...)
+			if len(list) == 0 {
+				delete(ix.m, k)
+			} else {
+				ix.m[k] = list
+			}
+			ix.n--
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup calls fn for every payload stored under key, in insertion order,
+// until fn returns false.
+func (ix *Index) Lookup(key []byte, fn func(payload []byte) bool) {
+	for _, p := range ix.m[string(key)] {
+		if !fn(p) {
+			return
+		}
+	}
+}
+
+// Len reports the number of stored pairs.
+func (ix *Index) Len() int { return ix.n }
+
+// Keys reports the number of distinct keys.
+func (ix *Index) Keys() int { return len(ix.m) }

@@ -1,0 +1,75 @@
+package hash
+
+import (
+	"fmt"
+	"testing"
+)
+
+func collect(ix *Index, key string) []string {
+	var out []string
+	ix.Lookup([]byte(key), func(p []byte) bool {
+		out = append(out, string(p))
+		return true
+	})
+	return out
+}
+
+func TestInsertLookup(t *testing.T) {
+	ix := New()
+	ix.Insert([]byte("EC number"), []byte("rid1"))
+	ix.Insert([]byte("EC number"), []byte("rid2"))
+	ix.Insert([]byte("other"), []byte("rid3"))
+	got := collect(ix, "EC number")
+	if fmt.Sprint(got) != "[rid1 rid2]" {
+		t.Errorf("Lookup = %v", got)
+	}
+	if ix.Len() != 3 || ix.Keys() != 2 {
+		t.Errorf("Len=%d Keys=%d", ix.Len(), ix.Keys())
+	}
+	if got := collect(ix, "absent"); got != nil {
+		t.Errorf("absent key returned %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	ix := New()
+	ix.Insert([]byte("k"), []byte("a"))
+	ix.Insert([]byte("k"), []byte("b"))
+	ix.Insert([]byte("k"), []byte("a")) // duplicate pair
+	if !ix.Delete([]byte("k"), []byte("a")) {
+		t.Fatal("Delete failed")
+	}
+	if got := collect(ix, "k"); fmt.Sprint(got) != "[b a]" {
+		t.Errorf("after delete = %v", got)
+	}
+	if ix.Delete([]byte("k"), []byte("zzz")) {
+		t.Error("Delete of absent payload reported true")
+	}
+	ix.Delete([]byte("k"), []byte("a"))
+	ix.Delete([]byte("k"), []byte("b"))
+	if ix.Keys() != 0 || ix.Len() != 0 {
+		t.Errorf("index not empty: Keys=%d Len=%d", ix.Keys(), ix.Len())
+	}
+}
+
+func TestLookupEarlyStop(t *testing.T) {
+	ix := New()
+	for i := 0; i < 10; i++ {
+		ix.Insert([]byte("k"), []byte{byte(i)})
+	}
+	n := 0
+	ix.Lookup([]byte("k"), func([]byte) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestPayloadIsolation(t *testing.T) {
+	ix := New()
+	p := []byte("mutable")
+	ix.Insert([]byte("k"), p)
+	p[0] = 'X'
+	if got := collect(ix, "k")[0]; got != "mutable" {
+		t.Errorf("stored payload aliased caller slice: %q", got)
+	}
+}

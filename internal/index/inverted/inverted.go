@@ -1,0 +1,170 @@
+// Package inverted implements the keyword index behind XomatiQ's
+// contains() extension ("simple keyword-based queries, similar to those
+// found in web-based search engines"). It maps lowercased tokens to
+// postings of (document, node) pairs, so a keyword query resolves to the
+// exact text nodes that mention the word without scanning the warehouse.
+//
+// The index lives in memory and is rebuilt from the shredded warehouse on
+// open; like the other indexes it sits outside the WAL.
+package inverted
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// Posting locates one occurrence scope: a node within a document.
+type Posting struct {
+	Doc  uint32
+	Node uint32
+}
+
+// Index is the inverted keyword index. It is safe for concurrent use:
+// loads write while query translation reads.
+type Index struct {
+	mu       sync.RWMutex
+	postings map[string][]Posting
+	byDoc    map[uint32][]string // tokens contributed by each document
+	tokens   int
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		postings: make(map[string][]Posting),
+		byDoc:    make(map[uint32][]string),
+	}
+}
+
+// Tokenize splits text into lowercased index tokens: maximal runs of
+// letters or digits, plus compound tokens where runs are joined by '.' or
+// '-' (so EC numbers like "1.14.17.3" and names like "cdc6-like" are
+// searchable as a whole).
+func Tokenize(text string) []string {
+	var out []string
+	lower := strings.ToLower(text)
+	n := len(lower)
+	isAlnum := func(r rune) bool { return unicode.IsLetter(r) || unicode.IsDigit(r) }
+	i := 0
+	for i < n {
+		r := rune(lower[i])
+		if !isAlnum(r) {
+			i++
+			continue
+		}
+		// Scan a compound: alnum runs joined by single '.' or '-'.
+		start := i
+		lastRunStart := i
+		var runs []string
+		for i < n {
+			j := i
+			for j < n && isAlnum(rune(lower[j])) {
+				j++
+			}
+			runs = append(runs, lower[i:j])
+			lastRunStart = i
+			i = j
+			if i+1 < n && (lower[i] == '.' || lower[i] == '-') && isAlnum(rune(lower[i+1])) {
+				i++
+				continue
+			}
+			break
+		}
+		_ = lastRunStart
+		out = append(out, runs...)
+		if len(runs) > 1 {
+			out = append(out, lower[start:i])
+		}
+	}
+	return out
+}
+
+// AddText tokenizes text and indexes every token under (doc, node).
+// Repeated tokens within one call are indexed once.
+func (ix *Index) AddText(doc, node uint32, text string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	seen := map[string]bool{}
+	for _, tok := range Tokenize(text) {
+		if seen[tok] {
+			continue
+		}
+		seen[tok] = true
+		ix.postings[tok] = append(ix.postings[tok], Posting{Doc: doc, Node: node})
+		ix.byDoc[doc] = append(ix.byDoc[doc], tok)
+		ix.tokens++
+	}
+}
+
+// Lookup returns the postings for one keyword (lowercased exact token
+// match), in insertion order. The returned slice is a copy.
+func (ix *Index) Lookup(keyword string) []Posting {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	list := ix.postings[strings.ToLower(strings.TrimSpace(keyword))]
+	if list == nil {
+		return nil
+	}
+	out := make([]Posting, len(list))
+	copy(out, list)
+	return out
+}
+
+// LookupDocs returns the distinct documents mentioning the keyword, in
+// ascending order.
+func (ix *Index) LookupDocs(keyword string) []uint32 {
+	seen := map[uint32]bool{}
+	var docs []uint32
+	for _, p := range ix.Lookup(keyword) {
+		if !seen[p.Doc] {
+			seen[p.Doc] = true
+			docs = append(docs, p.Doc)
+		}
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
+	return docs
+}
+
+// DeleteDoc removes every posting contributed by doc (used when the Data
+// Hounds incremental update replaces or deletes an entry).
+func (ix *Index) DeleteDoc(doc uint32) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	toks := ix.byDoc[doc]
+	if toks == nil {
+		return
+	}
+	for _, tok := range toks {
+		list := ix.postings[tok]
+		kept := list[:0]
+		for _, p := range list {
+			if p.Doc != doc {
+				kept = append(kept, p)
+			} else {
+				ix.tokens--
+			}
+		}
+		if len(kept) == 0 {
+			delete(ix.postings, tok)
+		} else {
+			ix.postings[tok] = kept
+		}
+	}
+	delete(ix.byDoc, doc)
+}
+
+// Len reports the number of stored postings.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tokens
+}
+
+// DistinctTokens reports the vocabulary size.
+func (ix *Index) DistinctTokens() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings)
+}

@@ -1,0 +1,330 @@
+package nativexml
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"xomatiq/internal/bio"
+	"xomatiq/internal/hounds"
+	"xomatiq/internal/xmldoc"
+	"xomatiq/internal/xq"
+)
+
+// buildCorpus assembles a small warehouse with the three paper databases.
+func buildCorpus(t *testing.T, nEnz, nEMBL, nSProt int) Corpus {
+	const seed = 77
+	t.Helper()
+	opts := bio.GenOptions{Seed: seed, Cdc6Rate: 0.2, ECLinkRate: 0.5}
+	enz := bio.GenEnzymes(nEnz, opts)
+	var ids []string
+	for _, e := range enz {
+		ids = append(ids, e.ID)
+	}
+	corpus := Corpus{}
+	var buf bytes.Buffer
+	if err := bio.WriteEnzyme(&buf, enz); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := hounds.TransformAndValidate(hounds.EnzymeTransformer{}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus["hlx_enzyme.DEFAULT"] = docs
+
+	buf.Reset()
+	if err := bio.WriteEMBL(&buf, bio.GenEMBL(nEMBL, "inv", ids, opts)); err != nil {
+		t.Fatal(err)
+	}
+	if docs, err = hounds.TransformAndValidate(hounds.EMBLTransformer{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	corpus["hlx_embl.inv"] = docs
+
+	buf.Reset()
+	if err := bio.WriteSProt(&buf, bio.GenSProt(nSProt, opts)); err != nil {
+		t.Fatal(err)
+	}
+	if docs, err = hounds.TransformAndValidate(hounds.SProtTransformer{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	corpus["hlx_sprot.all"] = docs
+	return corpus
+}
+
+func TestFigure9SubtreeQuery(t *testing.T) {
+	corpus := buildCorpus(t, 30, 0, 0)
+	q := xq.MustParse(`FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//catalytic_activity, "ketone")
+RETURN $a//enzyme_id, $a//enzyme_description`)
+	res, err := Eval(corpus, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 2 || res.Columns[0] != "enzyme_id" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	// Cross-check against direct inspection.
+	want := map[string]bool{}
+	for _, d := range corpus["hlx_enzyme.DEFAULT"] {
+		for _, ca := range d.Root.DescendantElements("catalytic_activity") {
+			if strings.Contains(strings.ToLower(ca.Text()), "ketone") {
+				want[d.Name] = true
+			}
+		}
+	}
+	got := map[string]bool{}
+	for _, r := range res.Rows {
+		got[r[0]] = true
+	}
+	if len(got) != len(want) {
+		t.Errorf("matched enzymes = %d, want %d", len(got), len(want))
+	}
+	for id := range want {
+		if !got[id] {
+			t.Errorf("missing enzyme %s", id)
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("workload has no ketone matches; generator broken")
+	}
+}
+
+func TestFigure8KeywordQuery(t *testing.T) {
+	corpus := buildCorpus(t, 5, 25, 25)
+	q := xq.MustParse(`FOR $a IN document("hlx_embl.inv")/hlx_n_sequence,
+    $b IN document("hlx_sprot.all")/hlx_n_sequence
+WHERE contains($a, "cdc6", any) AND contains($b, "cdc6", any)
+RETURN $b//sprot_accession_number, $a//embl_accession_number`)
+	res, err := Eval(corpus, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: cross product of cdc6-mentioning entries in each db.
+	countMentions := func(docs []*xmldoc.Document) int {
+		n := 0
+		for _, d := range docs {
+			found := false
+			d.Root.Descendants(func(m *xmldoc.Node) bool {
+				if (m.Kind == xmldoc.KindText || m.Kind == xmldoc.KindAttr) &&
+					strings.Contains(strings.ToLower(m.Data), "cdc6") {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				n++
+			}
+		}
+		return n
+	}
+	na := countMentions(corpus["hlx_embl.inv"])
+	nb := countMentions(corpus["hlx_sprot.all"])
+	if na == 0 || nb == 0 {
+		t.Fatal("generator produced no cdc6 entries")
+	}
+	if len(res.Rows) != na*nb {
+		t.Errorf("rows = %d, want %d x %d", len(res.Rows), na, nb)
+	}
+}
+
+func TestFigure11JoinQuery(t *testing.T) {
+	corpus := buildCorpus(t, 10, 40, 0)
+	q := xq.MustParse(`FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a//qualifier[@qualifier_type = "EC number"] = $b/enzyme_id
+RETURN $Accession_Number = $a//embl_accession_number,
+       $Accession_Description = $a//description`)
+	res, err := Eval(corpus, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Columns[0] != "Accession_Number" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	// Expected: EMBL entries whose EC qualifier matches a warehoused id.
+	ids := map[string]bool{}
+	for _, d := range corpus["hlx_enzyme.DEFAULT"] {
+		ids[d.Name] = true
+	}
+	want := map[string]bool{}
+	for _, d := range corpus["hlx_embl.inv"] {
+		for _, qn := range d.Root.DescendantElements("qualifier") {
+			if tp, _ := qn.Attr("qualifier_type"); tp == "EC number" && ids[qn.Text()] {
+				want[d.Name] = true
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("generator produced no EC links")
+	}
+	got := map[string]bool{}
+	for _, r := range res.Rows {
+		got[r[0]] = true
+	}
+	if len(got) != len(want) {
+		t.Errorf("joined accessions = %d, want %d", len(got), len(want))
+	}
+}
+
+func corpusOf(docs ...string) Corpus {
+	var ds []*xmldoc.Document
+	for i, s := range docs {
+		d := xmldoc.MustParse(s)
+		d.Name = fmt.Sprintf("d%d", i)
+		ds = append(ds, d)
+	}
+	return Corpus{"db": ds}
+}
+
+func evalRows(t *testing.T, c Corpus, src string) []string {
+	t.Helper()
+	res, err := Eval(c, xq.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, r := range res.Rows {
+		out = append(out, strings.Join(r, "|"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestPathAxes(t *testing.T) {
+	c := corpusOf(`<r><a><b>1</b></a><b>2</b><c><a><b>3</b></a></c></r>`)
+	// Child axis.
+	rows := evalRows(t, c, `FOR $x IN document("db")/r RETURN $x/b`)
+	if strings.Join(rows, ";") != "2" {
+		t.Errorf("child axis = %v", rows)
+	}
+	// Descendant axis.
+	rows = evalRows(t, c, `FOR $x IN document("db")/r RETURN $x//b`)
+	if strings.Join(rows, ";") != "1;2;3" {
+		t.Errorf("descendant axis = %v", rows)
+	}
+	// Multi-step.
+	rows = evalRows(t, c, `FOR $x IN document("db")/r//a RETURN $x/b`)
+	if strings.Join(rows, ";") != "1;3" {
+		t.Errorf("nested bindings = %v", rows)
+	}
+}
+
+func TestAttributesAndPredicates(t *testing.T) {
+	c := corpusOf(`<r><q t="ec">1.1.1.1</q><q t="other">x</q><q t="ec">2.2.2.2</q></r>`)
+	rows := evalRows(t, c, `FOR $x IN document("db")/r RETURN $x/q[@t = "ec"]`)
+	if strings.Join(rows, ";") != "1.1.1.1;2.2.2.2" {
+		t.Errorf("attr predicate = %v", rows)
+	}
+	rows = evalRows(t, c, `FOR $x IN document("db")/r RETURN $x/q/@t`)
+	if strings.Join(rows, ";") != "ec;other" { // distinct values
+		t.Errorf("attr step = %v", rows)
+	}
+}
+
+func TestElementPredicate(t *testing.T) {
+	c := corpusOf(`<r><e><id>1</id><v>one</v></e><e><id>2</id><v>two</v></e></r>`)
+	rows := evalRows(t, c, `FOR $x IN document("db")/r RETURN $x/e[id = "2"]/v`)
+	if strings.Join(rows, ";") != "two" {
+		t.Errorf("element predicate = %v", rows)
+	}
+}
+
+func TestNumericComparison(t *testing.T) {
+	c := corpusOf(
+		`<r><name>a</name><len>900</len></r>`,
+		`<r><name>b</name><len>90</len></r>`,
+		`<r><name>c</name><len>1000</len></r>`,
+	)
+	rows := evalRows(t, c, `FOR $x IN document("db")/r WHERE $x/len > 500 RETURN $x/name`)
+	if strings.Join(rows, ";") != "a;c" {
+		t.Errorf("numeric comparison = %v (string compare would give only a)", rows)
+	}
+}
+
+func TestOrBranches(t *testing.T) {
+	c := corpusOf(
+		`<r><k>alpha</k></r>`,
+		`<r><k>beta</k></r>`,
+		`<r><k>gamma</k></r>`,
+	)
+	rows := evalRows(t, c, `FOR $x IN document("db")/r
+WHERE contains($x/k, "alpha") OR contains($x/k, "beta")
+RETURN $x/k`)
+	if strings.Join(rows, ";") != "alpha;beta" {
+		t.Errorf("OR = %v", rows)
+	}
+	rows = evalRows(t, c, `FOR $x IN document("db")/r
+WHERE NOT contains($x/k, "alpha")
+RETURN $x/k`)
+	if strings.Join(rows, ";") != "beta;gamma" {
+		t.Errorf("NOT = %v", rows)
+	}
+}
+
+func TestBeforeAfter(t *testing.T) {
+	c := corpusOf(
+		`<r><x>first</x><y>second</y></r>`,
+		`<r><y>first</y><x>second</x></r>`,
+	)
+	rows := evalRows(t, c, `FOR $a IN document("db")/r WHERE $a/x BEFORE $a/y RETURN $a/x`)
+	if strings.Join(rows, ";") != "first" {
+		t.Errorf("BEFORE = %v", rows)
+	}
+	rows = evalRows(t, c, `FOR $a IN document("db")/r WHERE $a/x AFTER $a/y RETURN $a/x`)
+	if strings.Join(rows, ";") != "second" {
+		t.Errorf("AFTER = %v", rows)
+	}
+}
+
+func TestInnerJoinSemanticsOnReturn(t *testing.T) {
+	c := corpusOf(
+		`<r><id>1</id><opt>here</opt></r>`,
+		`<r><id>2</id></r>`,
+	)
+	rows := evalRows(t, c, `FOR $x IN document("db")/r RETURN $x/id, $x/opt`)
+	if strings.Join(rows, ";") != "1|here" {
+		t.Errorf("unmatched return item should drop row: %v", rows)
+	}
+}
+
+func TestDistinctRows(t *testing.T) {
+	c := corpusOf(`<r><k>dup</k><k>dup</k></r>`)
+	rows := evalRows(t, c, `FOR $x IN document("db")/r RETURN $x/k`)
+	if strings.Join(rows, ";") != "dup" {
+		t.Errorf("distinct = %v", rows)
+	}
+}
+
+func TestUnknownDatabase(t *testing.T) {
+	c := corpusOf(`<r/>`)
+	if _, err := Eval(c, xq.MustParse(`FOR $x IN document("nope")/r RETURN $x/k`)); err == nil {
+		t.Error("unknown database should fail")
+	}
+}
+
+func TestEmptyCrossProduct(t *testing.T) {
+	c := corpusOf(`<r><k>v</k></r>`)
+	res, err := Eval(c, xq.MustParse(
+		`FOR $x IN document("db")/r, $y IN document("db")/missing RETURN $x/k`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestLetResolution(t *testing.T) {
+	c := corpusOf(`<r><e><id>7</id></e></r>`)
+	rows := evalRows(t, c, `FOR $x IN document("db")/r
+LET $e := $x/e
+WHERE $e/id = "7"
+RETURN $e/id`)
+	if strings.Join(rows, ";") != "7" {
+		t.Errorf("let = %v", rows)
+	}
+}

@@ -1,0 +1,473 @@
+package shred
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xomatiq/internal/bio"
+	"xomatiq/internal/hounds"
+	"xomatiq/internal/sql"
+	"xomatiq/internal/xmldoc"
+)
+
+func openStore(t *testing.T) *Store {
+	t.Helper()
+	db, err := sql.Open(filepath.Join(t.TempDir(), "wh.db"), sql.Options{PoolPages: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	s, err := Open(db, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func loadSample(t *testing.T, s *Store) int {
+	t.Helper()
+	if err := s.RegisterDB("hlx_enzyme.DEFAULT", nil, hounds.EnzymeDTD); err != nil {
+		t.Fatal(err)
+	}
+	doc := hounds.EnzymeEntryToXML(bio.SampleEnzymeEntry())
+	id, err := s.LoadDocument("hlx_enzyme.DEFAULT", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestLoadAndReconstruct(t *testing.T) {
+	s := openStore(t)
+	id := loadSample(t, s)
+	orig := hounds.EnzymeEntryToXML(bio.SampleEnzymeEntry())
+	got, err := s.Reconstruct("hlx_enzyme.DEFAULT", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "1.14.17.3" {
+		t.Errorf("reconstructed name = %q", got.Name)
+	}
+	if !xmldoc.Equal(orig.Root, got.Root) {
+		t.Errorf("reconstruction differs:\nwant %s\ngot  %s",
+			orig.Serialize(xmldoc.SerializeOptions{NoDecl: true}),
+			got.Serialize(xmldoc.SerializeOptions{NoDecl: true}))
+	}
+}
+
+func TestReconstructByName(t *testing.T) {
+	s := openStore(t)
+	loadSample(t, s)
+	doc, err := s.ReconstructByName("hlx_enzyme.DEFAULT", "1.14.17.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Name != "hlx_enzyme" {
+		t.Errorf("root = %q", doc.Root.Name)
+	}
+	if _, err := s.ReconstructByName("hlx_enzyme.DEFAULT", "absent"); err == nil {
+		t.Error("absent document should fail")
+	}
+}
+
+func TestValuesTablesAndTypes(t *testing.T) {
+	s := openStore(t)
+	if err := s.RegisterDB("db", nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	doc := xmldoc.MustParse(`<ann><name>seq1</name><length>900</length><score>8.25</score></ann>`)
+	doc.Name = "a1"
+	if _, err := s.LoadDocument("db", doc); err != nil {
+		t.Fatal(err)
+	}
+	// String values present for every text/attr node.
+	rows, err := s.DB.Query(`SELECT COUNT(*) FROM values_str WHERE db = 'db'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Rows[0][0].Int() != 3 {
+		t.Errorf("values_str count = %v", rows.Rows[0][0])
+	}
+	// Numeric-looking values double-stored in values_num (paper §2.2).
+	rows, _ = s.DB.Query(`SELECT COUNT(*) FROM values_num WHERE db = 'db'`)
+	if rows.Rows[0][0].Int() != 2 {
+		t.Errorf("values_num count = %v", rows.Rows[0][0])
+	}
+	// Numeric range query through values_num.
+	pid, ok := s.PathID("db", "/ann/length")
+	if !ok {
+		t.Fatal("no path id for /ann/length")
+	}
+	rows, err = s.DB.Query(fmt.Sprintf(
+		`SELECT COUNT(*) FROM values_num WHERE db = 'db' AND path_id = %d AND val > 500`, pid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Rows[0][0].Int() != 1 {
+		t.Errorf("numeric range count = %v", rows.Rows[0][0])
+	}
+}
+
+func TestSequenceSeparation(t *testing.T) {
+	s := openStore(t)
+	if err := s.RegisterDB("embl", []string{"/hlx_n_sequence/db_entry/sequence_data"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	entry := &bio.EMBLEntry{
+		ID: "E1", Division: "INV", Accession: "X00001",
+		Description: "test entry", Sequence: "acgtacgt",
+	}
+	doc := hounds.EMBLEntryToXML(entry)
+	id, err := s.LoadDocument("embl", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := s.DB.Query(`SELECT seq FROM seq_data WHERE db = 'embl'`)
+	if len(rows.Rows) != 1 || rows.Rows[0][0].Text() != "acgtacgt" {
+		t.Errorf("seq_data = %v", rows.Rows)
+	}
+	// Sequence residues must NOT pollute values_str or the keyword index.
+	rows, _ = s.DB.Query(`SELECT COUNT(*) FROM values_str WHERE db = 'embl' AND val = 'acgtacgt'`)
+	if rows.Rows[0][0].Int() != 0 {
+		t.Error("sequence leaked into values_str")
+	}
+	if got := s.Keywords("embl").Lookup("acgtacgt"); got != nil {
+		t.Error("sequence leaked into keyword index")
+	}
+	// Reconstruction still includes the sequence.
+	rec, err := s.Reconstruct("embl", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := rec.Root.DescendantElements("sequence_data")
+	if len(seq) != 1 || seq[0].Text() != "acgtacgt" {
+		t.Error("sequence lost in reconstruction")
+	}
+}
+
+func TestKeywordIndex(t *testing.T) {
+	s := openStore(t)
+	loadSample(t, s)
+	kw := s.Keywords("hlx_enzyme.DEFAULT")
+	if kw == nil {
+		t.Fatal("no keyword index")
+	}
+	if docs := kw.LookupDocs("monooxygenase"); len(docs) != 1 {
+		t.Errorf("monooxygenase docs = %v", docs)
+	}
+	if docs := kw.LookupDocs("copper"); len(docs) != 1 {
+		t.Errorf("copper docs = %v", docs)
+	}
+	// EC number searchable as compound token.
+	if docs := kw.LookupDocs("1.14.17.3"); len(docs) != 1 {
+		t.Errorf("EC number docs = %v", docs)
+	}
+}
+
+func TestKeywordIndexRebuiltOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wh.db")
+	db, err := sql.Open(path, sql.Options{PoolPages: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(db, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterDB("hlx_enzyme.DEFAULT", nil, hounds.EnzymeDTD); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadDocument("hlx_enzyme.DEFAULT", hounds.EnzymeEntryToXML(bio.SampleEnzymeEntry())); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := sql.Open(path, sql.Options{PoolPages: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	s2, err := Open(db2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if docs := s2.Keywords("hlx_enzyme.DEFAULT").LookupDocs("copper"); len(docs) != 1 {
+		t.Errorf("rebuilt keyword index docs = %v", docs)
+	}
+	if dtdText, ok := s2.DTD("hlx_enzyme.DEFAULT"); !ok || !strings.Contains(dtdText, "hlx_enzyme") {
+		t.Error("DTD not persisted")
+	}
+	if got := s2.Databases(); len(got) != 1 || got[0] != "hlx_enzyme.DEFAULT" {
+		t.Errorf("Databases = %v", got)
+	}
+}
+
+func TestDeleteDocument(t *testing.T) {
+	s := openStore(t)
+	loadSample(t, s)
+	doc2 := hounds.EnzymeEntryToXML(&bio.EnzymeEntry{
+		ID: "2.2.2.2", Description: []string{"Another enzyme with copper."},
+		Cofactors: []string{"Copper"},
+	})
+	if _, err := s.LoadDocument("hlx_enzyme.DEFAULT", doc2); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.DocCount("hlx_enzyme.DEFAULT"); n != 2 {
+		t.Fatalf("DocCount = %d", n)
+	}
+	if err := s.DeleteDocument("hlx_enzyme.DEFAULT", "1.14.17.3"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.DocCount("hlx_enzyme.DEFAULT"); n != 1 {
+		t.Errorf("DocCount after delete = %d", n)
+	}
+	// All tuples gone.
+	rows, _ := s.DB.Query(`SELECT COUNT(*) FROM nodes WHERE db = 'hlx_enzyme.DEFAULT' AND doc_id = 0`)
+	if rows.Rows[0][0].Int() != 0 {
+		t.Error("nodes not deleted")
+	}
+	// Keyword index no longer finds the deleted doc.
+	if docs := s.Keywords("hlx_enzyme.DEFAULT").LookupDocs("monooxygenase"); len(docs) != 0 {
+		t.Errorf("deleted doc still indexed: %v", docs)
+	}
+	if docs := s.Keywords("hlx_enzyme.DEFAULT").LookupDocs("copper"); len(docs) != 1 {
+		t.Errorf("surviving doc lost: %v", docs)
+	}
+	if err := s.DeleteDocument("hlx_enzyme.DEFAULT", "absent"); err == nil {
+		t.Error("delete of absent doc should fail")
+	}
+}
+
+func TestPathsMatching(t *testing.T) {
+	s := openStore(t)
+	loadSample(t, s)
+	db := "hlx_enzyme.DEFAULT"
+	// Absolute.
+	ids := s.PathsMatching(db, "/hlx_enzyme/db_entry/enzyme_id")
+	if len(ids) != 1 {
+		t.Errorf("absolute match = %v", ids)
+	}
+	// Descendant.
+	ids = s.PathsMatching(db, "//enzyme_id")
+	if len(ids) != 1 {
+		t.Errorf("descendant match = %v", ids)
+	}
+	ids = s.PathsMatching(db, "/hlx_enzyme//reference")
+	if len(ids) != 1 {
+		t.Errorf("mixed match = %v", ids)
+	}
+	ids = s.PathsMatching(db, "//@swissprot_accession_number")
+	if len(ids) != 1 {
+		t.Errorf("attr match = %v", ids)
+	}
+	if ids := s.PathsMatching(db, "//nonexistent"); len(ids) != 0 {
+		t.Errorf("bogus pattern matched %v", ids)
+	}
+}
+
+func TestOrderPreservedAcrossShred(t *testing.T) {
+	s := openStore(t)
+	if err := s.RegisterDB("db", nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	doc := xmldoc.MustParse(`<r><x>1</x><y>2</y><x>3</x><y>4</y><x>5</x></r>`)
+	doc.Name = "ordered"
+	id, err := s.LoadDocument("db", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.Reconstruct("db", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, c := range rec.Root.ChildElements("") {
+		names = append(names, c.Name+c.Text())
+	}
+	if strings.Join(names, ",") != "x1,y2,x3,y4,x5" {
+		t.Errorf("order broken: %v", names)
+	}
+	// Dewey sort keys in the nodes table follow document order via plain
+	// string ORDER BY.
+	rows, err := s.DB.Query(`SELECT name, dewey FROM nodes WHERE db = 'db' AND kind = 0 ORDER BY dewey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq []string
+	for _, r := range rows.Rows {
+		seq = append(seq, r[0].Text())
+	}
+	if strings.Join(seq, ",") != "r,x,y,x,y,x" {
+		t.Errorf("dewey ORDER BY order = %v", seq)
+	}
+}
+
+func TestTagRowsAndTable(t *testing.T) {
+	s := openStore(t)
+	loadSample(t, s)
+	rows, err := s.DB.Query(`SELECT name AS doc_name, doc_id FROM docs WHERE db = 'hlx_enzyme.DEFAULT'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := TagRows(rows, "results", "result")
+	out := doc.Serialize(xmldoc.SerializeOptions{NoDecl: true})
+	if !strings.Contains(out, "<doc_name>1.14.17.3</doc_name>") {
+		t.Errorf("tagged XML = %s", out)
+	}
+	table := TagTable(rows)
+	if !strings.Contains(table, "doc_name") || !strings.Contains(table, "1.14.17.3") {
+		t.Errorf("table = %s", table)
+	}
+	if !strings.Contains(table, "---") {
+		t.Error("table missing separator")
+	}
+}
+
+func TestSanitizeElemName(t *testing.T) {
+	cases := map[string]string{
+		"name":             "name",
+		"Accession Number": "Accession_Number",
+		"COUNT(*)":         "COUNT___",
+		"1abc":             "_abc",
+		"":                 "col_",
+	}
+	for in, want := range cases {
+		if got := sanitizeElemName(in); got != want {
+			t.Errorf("sanitizeElemName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLoadUnregisteredDB(t *testing.T) {
+	s := openStore(t)
+	doc := xmldoc.MustParse(`<r/>`)
+	if _, err := s.LoadDocument("nope", doc); err == nil {
+		t.Error("load into unregistered db should fail")
+	}
+}
+
+func TestBatchLoadMany(t *testing.T) {
+	s := openStore(t)
+	if err := s.RegisterDB("hlx_enzyme.DEFAULT", nil, hounds.EnzymeDTD); err != nil {
+		t.Fatal(err)
+	}
+	entries := bio.GenEnzymes(30, bio.GenOptions{Seed: 4})
+	var buf bytes.Buffer
+	if err := bio.WriteEnzyme(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := hounds.TransformAndValidate(hounds.EnzymeTransformer{}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DB.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		if _, err := s.LoadDocument("hlx_enzyme.DEFAULT", d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.DB.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.DocCount("hlx_enzyme.DEFAULT"); n != len(docs) {
+		t.Errorf("DocCount = %d, want %d", n, len(docs))
+	}
+	// Every loaded document reconstructs identically.
+	for _, d := range docs[:5] {
+		rec, err := s.ReconstructByName("hlx_enzyme.DEFAULT", d.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !xmldoc.Equal(d.Root, rec.Root) {
+			t.Fatalf("document %q reconstruction differs", d.Name)
+		}
+	}
+}
+
+func TestReconstructSubtree(t *testing.T) {
+	s := openStore(t)
+	loadSample(t, s)
+	db := "hlx_enzyme.DEFAULT"
+	id, ok, err := s.DocID(db, "1.14.17.3")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	// Find the node id of the cofactor element via SQL, then rebuild just
+	// that subtree.
+	rows, err := s.DB.Query(fmt.Sprintf(
+		`SELECT n.node_id FROM nodes n, paths p
+		 WHERE n.db = %s AND p.db = %s AND n.path_id = p.path_id
+		   AND p.path = '/hlx_enzyme/db_entry/cofactor_list' AND n.kind = 0 AND n.doc_id = %d`,
+		Quote(db), Quote(db), id))
+	if err != nil || len(rows.Rows) != 1 {
+		t.Fatalf("cofactor_list node lookup: %v rows=%d", err, len(rows.Rows))
+	}
+	nodeID := int(rows.Rows[0][0].Int())
+	sub, err := s.ReconstructSubtree(db, id, nodeID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Name != "cofactor_list" || sub.FirstChild("cofactor").Text() != "Copper" {
+		t.Errorf("subtree = %s", xmldoc.SerializeNode(sub, xmldoc.SerializeOptions{}))
+	}
+	if _, err := s.ReconstructSubtree(db, id, 99999); err == nil {
+		t.Error("bogus node id should fail")
+	}
+	if _, err := s.Reconstruct(db, 12345); err == nil {
+		t.Error("bogus doc id should fail")
+	}
+}
+
+func TestQuote(t *testing.T) {
+	if got := Quote("it's"); got != "'it''s'" {
+		t.Errorf("Quote = %q", got)
+	}
+	if got := Quote(""); got != "''" {
+		t.Errorf("Quote empty = %q", got)
+	}
+}
+
+func TestClearDatabase(t *testing.T) {
+	s := openStore(t)
+	loadSample(t, s)
+	if err := s.ClearDatabase("hlx_enzyme.DEFAULT"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.DocCount("hlx_enzyme.DEFAULT"); n != 0 {
+		t.Errorf("DocCount after clear = %d", n)
+	}
+	if docs := s.Keywords("hlx_enzyme.DEFAULT").LookupDocs("copper"); len(docs) != 0 {
+		t.Error("keyword index survived clear")
+	}
+	// Registration and DTD survive; reloading works and doc ids restart.
+	doc := hounds.EnzymeEntryToXML(bio.SampleEnzymeEntry())
+	docID, err := s.LoadDocument("hlx_enzyme.DEFAULT", doc)
+	if err != nil || docID != 0 {
+		t.Errorf("reload after clear: id=%d err=%v", docID, err)
+	}
+	if err := s.ClearDatabase("unknown"); err == nil {
+		t.Error("clear of unregistered db should fail")
+	}
+}
+
+func TestHasDBAndPathCount(t *testing.T) {
+	s := openStore(t)
+	loadSample(t, s)
+	if !s.HasDB("hlx_enzyme.DEFAULT") || s.HasDB("nope") {
+		t.Error("HasDB misbehaves")
+	}
+	if s.PathCount("hlx_enzyme.DEFAULT") < 10 {
+		t.Errorf("PathCount = %d", s.PathCount("hlx_enzyme.DEFAULT"))
+	}
+	if s.PathCount("nope") != 0 {
+		t.Error("PathCount of unknown db should be 0")
+	}
+}

@@ -1,0 +1,120 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xomatiq/internal/storage/heap"
+	"xomatiq/internal/value"
+)
+
+// Stats summarises the physical state of a database.
+type Stats struct {
+	FilePages  int // pages in the data file, including the header
+	WALBytes   int64
+	DirtyPages int
+	Tables     []TableStats
+}
+
+// TableStats describes one table.
+type TableStats struct {
+	Name    string
+	Rows    int
+	Indexes []string
+}
+
+// Stats reports the database's physical statistics.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := Stats{
+		FilePages:  db.mgr.NumPages(),
+		WALBytes:   db.log.Size(),
+		DirtyPages: db.pool.DirtyCount(),
+	}
+	for _, t := range db.cat.tables {
+		ts := TableStats{Name: t.Name, Rows: t.Heap.Count()}
+		for _, ix := range t.Indexes {
+			kind := "btree"
+			if ix.UsingHash {
+				kind = "hash"
+			}
+			ts.Indexes = append(ts.Indexes, fmt.Sprintf("%s(%s %s)", ix.Name, kind, strings.Join(ix.Columns, ",")))
+		}
+		sort.Strings(ts.Indexes)
+		s.Tables = append(s.Tables, ts)
+	}
+	sort.Slice(s.Tables, func(i, j int) bool { return s.Tables[i].Name < s.Tables[j].Name })
+	return s
+}
+
+// CompactTo rewrites the live contents of the database into a fresh file
+// at path — the VACUUM operation that reclaims pages leaked by dropped
+// tables and rebuilt indexes (this engine's B+trees do not merge
+// underfull pages, and crash recovery abandons old index pages). The
+// source database is unchanged; callers swap files afterwards.
+func (db *DB) CompactTo(path string, opts Options) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out, err := Open(path, opts)
+	if err != nil {
+		return err
+	}
+	// Copy tables and rows in one batch, then recreate indexes.
+	names := make([]string, 0, len(db.cat.tables))
+	for n := range db.cat.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if err := out.Begin(); err != nil {
+		out.Close()
+		return err
+	}
+	for _, n := range names {
+		t := db.cat.tables[n]
+		if _, err := out.ExecStmt(&CreateTable{Name: t.Name, Columns: t.Columns}); err != nil {
+			out.Close()
+			return fmt.Errorf("sql: compact: create %s: %w", t.Name, err)
+		}
+		var serr error
+		scanErr := t.Heap.Scan(func(_ heap.RID, rec []byte) bool {
+			tup, derr := value.DecodeTuple(rec)
+			if derr != nil {
+				serr = derr
+				return false
+			}
+			if derr := out.InsertTuple(t.Name, tup); derr != nil {
+				serr = derr
+				return false
+			}
+			return true
+		})
+		if scanErr != nil {
+			out.Close()
+			return scanErr
+		}
+		if serr != nil {
+			out.Close()
+			return serr
+		}
+	}
+	if err := out.Commit(); err != nil {
+		out.Close()
+		return err
+	}
+	for _, n := range names {
+		t := db.cat.tables[n]
+		for _, ix := range t.Indexes {
+			stmt := &CreateIndex{
+				Name: ix.Name, Table: t.Name,
+				Columns: ix.Columns, UsingHash: ix.UsingHash,
+			}
+			if _, err := out.ExecStmt(stmt); err != nil {
+				out.Close()
+				return fmt.Errorf("sql: compact: index %s: %w", ix.Name, err)
+			}
+		}
+	}
+	return out.Close()
+}

@@ -1,0 +1,905 @@
+package sql
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"xomatiq/internal/index/btree"
+	"xomatiq/internal/index/hash"
+	"xomatiq/internal/storage/bufpool"
+	"xomatiq/internal/storage/disk"
+	"xomatiq/internal/storage/heap"
+	"xomatiq/internal/storage/wal"
+	"xomatiq/internal/value"
+)
+
+// Options tune a DB instance.
+type Options struct {
+	// PoolPages is the buffer pool capacity in pages (default 4096,
+	// i.e. 32 MiB). A single transaction must not dirty more pages than
+	// the pool holds.
+	PoolPages int
+	// WALSoftLimit triggers a checkpoint once the log exceeds this many
+	// bytes at a statement boundary (default 32 MiB).
+	WALSoftLimit int64
+	// SyncOnCommit fsyncs the WAL at every commit (default true). Turning
+	// it off trades durability of the most recent transactions for bulk
+	// load speed; the warehouse loader uses explicit batches instead.
+	SyncOnCommit bool
+}
+
+func (o *Options) fill() {
+	if o.PoolPages == 0 {
+		o.PoolPages = 4096
+	}
+	if o.WALSoftLimit == 0 {
+		o.WALSoftLimit = 32 << 20
+	}
+}
+
+// DB is an embedded relational database: one data file plus one WAL.
+// It is safe for concurrent use; writes are serialised.
+type DB struct {
+	mu   sync.RWMutex
+	mgr  *disk.Manager
+	pool *bufpool.Pool
+	log  *wal.Log
+	cat  *catalog
+	catH *heap.Heap
+
+	opts      Options
+	nextTxn   uint64
+	inBatch   bool
+	batchTxn  uint64
+	recovered bool // true when Open replayed a WAL
+}
+
+// Result reports the effect of a non-query statement.
+type Result struct {
+	RowsAffected int
+}
+
+// Rows is a fully materialised query result.
+type Rows struct {
+	Columns []string
+	Rows    []value.Tuple
+}
+
+// Open opens (or creates) a database at path; the WAL lives at path+".wal".
+func Open(path string, opts Options) (*DB, error) {
+	opts.fill()
+	if opts.SyncOnCommit == false {
+		// Zero value means "unset": default to true. Callers who really
+		// want async commits set it via OpenAsync.
+		opts.SyncOnCommit = true
+	}
+	return open(path, opts)
+}
+
+// OpenAsync opens a database whose commits do not fsync the WAL. Intended
+// for benchmarks and bulk rebuilds where the warehouse can be re-harnessed.
+func OpenAsync(path string, opts Options) (*DB, error) {
+	opts.fill()
+	opts.SyncOnCommit = false
+	return open(path, opts)
+}
+
+func open(path string, opts Options) (*DB, error) {
+	mgr, err := disk.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(path + ".wal")
+	if err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	db := &DB{
+		mgr:  mgr,
+		pool: bufpool.New(mgr, opts.PoolPages),
+		log:  log,
+		cat:  newCatalog(),
+		opts: opts,
+	}
+	db.pool.SetNoSteal(true)
+
+	// Crash recovery: replay committed WAL ops onto the checkpointed
+	// data file, then checkpoint and start clean. Indexes are rebuilt
+	// below because index pages are not logged.
+	if log.Size() > 0 {
+		ops, err := wal.CommittedOps(path + ".wal")
+		if err != nil {
+			db.closeFiles()
+			return nil, fmt.Errorf("sql: recovery scan: %w", err)
+		}
+		for _, op := range ops {
+			if err := mgr.EnsureAllocated(disk.PageID(op.Page)); err != nil {
+				db.closeFiles()
+				return nil, fmt.Errorf("sql: recovery extend: %w", err)
+			}
+		}
+		if err := heap.Replay(db.pool, ops); err != nil {
+			db.closeFiles()
+			return nil, fmt.Errorf("sql: recovery replay: %w", err)
+		}
+		if err := db.pool.Flush(); err != nil {
+			db.closeFiles()
+			return nil, err
+		}
+		if err := log.Truncate(); err != nil {
+			db.closeFiles()
+			return nil, err
+		}
+		db.recovered = len(ops) > 0
+	}
+
+	if err := db.loadCatalog(); err != nil {
+		db.closeFiles()
+		return nil, err
+	}
+	return db, nil
+}
+
+func (db *DB) closeFiles() {
+	db.log.Close()
+	db.mgr.Close()
+}
+
+// Recovered reports whether Open replayed a WAL (i.e. the previous
+// process crashed or was killed after unsynced work).
+func (db *DB) Recovered() bool { return db.recovered }
+
+// loadCatalog opens (or initialises) the catalog heap at page 1 and
+// materialises table and index state.
+func (db *DB) loadCatalog() error {
+	const catalogFirstPage = disk.PageID(1)
+	if db.mgr.NumPages() <= 1 {
+		// Fresh database: create the catalog heap and checkpoint so the
+		// fixed page assignment is durable.
+		h, err := heap.Create(db.pool, db.log, 0)
+		if err != nil {
+			return err
+		}
+		if h.FirstPage() != catalogFirstPage {
+			return fmt.Errorf("sql: catalog heap landed on page %d", h.FirstPage())
+		}
+		db.catH = h
+		if err := db.log.Append(wal.Record{Txn: 0, Op: wal.OpCommit}); err != nil {
+			return err
+		}
+		return db.checkpointLocked()
+	}
+	h, err := heap.Open(db.pool, db.log, catalogFirstPage)
+	if err != nil {
+		return fmt.Errorf("sql: open catalog: %w", err)
+	}
+	db.catH = h
+
+	// First pass: tables. Second pass: indexes (they reference tables).
+	type pendingIndex struct {
+		tup value.Tuple
+		rid heap.RID
+	}
+	var pend []pendingIndex
+	err = h.Scan(func(rid heap.RID, rec []byte) bool {
+		tup, derr := value.DecodeTuple(rec)
+		if derr != nil {
+			err = derr
+			return false
+		}
+		switch tup[0].Text() {
+		case "T":
+			name, first, cols, derr := decodeTableRow(tup)
+			if derr != nil {
+				err = derr
+				return false
+			}
+			th, derr := heap.Open(db.pool, db.log, first)
+			if derr != nil {
+				err = derr
+				return false
+			}
+			db.cat.tables[strings.ToLower(name)] = &TableInfo{
+				Name: name, Columns: cols, Heap: th, rid: rid,
+			}
+		case "I":
+			pend = append(pend, pendingIndex{tup, rid})
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range pend {
+		name, tbl, anchor, usingHash, cols, derr := decodeIndexRow(p.tup)
+		if derr != nil {
+			return derr
+		}
+		t, derr := db.cat.table(tbl)
+		if derr != nil {
+			return fmt.Errorf("sql: index %q references missing table: %w", name, derr)
+		}
+		ix := &IndexInfo{
+			Name: name, Table: t.Name, Columns: cols, UsingHash: usingHash, rid: p.rid,
+		}
+		for _, c := range cols {
+			pos := t.ColIndex(c)
+			if pos < 0 {
+				return fmt.Errorf("sql: index %q references missing column %q", name, c)
+			}
+			ix.ColPos = append(ix.ColPos, pos)
+		}
+		if usingHash {
+			ix.Hash = hash.New()
+			if err := db.rebuildHash(t, ix); err != nil {
+				return err
+			}
+		} else if db.recovered || anchor < 0 {
+			if err := db.rebuildBTree(t, ix); err != nil {
+				return err
+			}
+			if err := db.rewriteIndexRow(ix); err != nil {
+				return err
+			}
+		} else {
+			tr, err := btree.Open(db.pool, disk.PageID(anchor))
+			if err != nil {
+				return err
+			}
+			ix.BTree = tr
+		}
+		t.Indexes = append(t.Indexes, ix)
+		db.cat.indexes[strings.ToLower(name)] = ix
+	}
+	if db.recovered {
+		// Persist rebuilt anchors and start from a clean checkpoint.
+		if err := db.log.Append(wal.Record{Txn: 0, Op: wal.OpCommit}); err != nil {
+			return err
+		}
+		return db.checkpointLocked()
+	}
+	return nil
+}
+
+func (db *DB) rebuildBTree(t *TableInfo, ix *IndexInfo) error {
+	tr, err := btree.Create(db.pool)
+	if err != nil {
+		return err
+	}
+	ix.BTree = tr
+	var serr error
+	err = t.Heap.Scan(func(rid heap.RID, rec []byte) bool {
+		tup, derr := value.DecodeTuple(rec)
+		if derr != nil {
+			serr = derr
+			return false
+		}
+		if _, derr := tr.Insert(ix.Key(tup, rid, true), ridBytes(rid)); derr != nil {
+			serr = derr
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return serr
+}
+
+func (db *DB) rebuildHash(t *TableInfo, ix *IndexInfo) error {
+	var serr error
+	err := t.Heap.Scan(func(rid heap.RID, rec []byte) bool {
+		tup, derr := value.DecodeTuple(rec)
+		if derr != nil {
+			serr = derr
+			return false
+		}
+		ix.Hash.Insert(ix.Key(tup, rid, false), ridBytes(rid))
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return serr
+}
+
+// rewriteIndexRow updates an index's catalog row in place (anchor moved).
+func (db *DB) rewriteIndexRow(ix *IndexInfo) error {
+	nr, err := db.catH.Update(0, ix.rid, encodeIndexRow(ix))
+	if err != nil {
+		return err
+	}
+	ix.rid = nr
+	return nil
+}
+
+// Crash abandons the database without flushing the buffer pool,
+// simulating a process kill. Committed transactions survive via the WAL;
+// everything since the last commit is lost. Used by recovery tests and
+// the E14 benchmark.
+func (db *DB) Crash() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	// The WAL buffer may hold committed-but-unsynced records when
+	// SyncOnCommit is off; flush the buffer (not the pool!) so the log
+	// itself is intact, as it would be after an OS-level flush.
+	if err := db.log.Close(); err != nil {
+		db.mgr.Close()
+		return err
+	}
+	return db.mgr.Close()
+}
+
+// Close checkpoints and closes the database.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.checkpointLocked(); err != nil {
+		db.closeFiles()
+		return err
+	}
+	if err := db.log.Close(); err != nil {
+		db.mgr.Close()
+		return err
+	}
+	return db.mgr.Close()
+}
+
+// checkpointLocked flushes all dirty pages and truncates the WAL. Caller
+// holds db.mu and there must be no open batch.
+func (db *DB) checkpointLocked() error {
+	if err := db.pool.Flush(); err != nil {
+		return err
+	}
+	return db.log.Truncate()
+}
+
+// Checkpoint forces a checkpoint (flush + WAL truncate).
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.inBatch {
+		return errors.New("sql: cannot checkpoint inside an open batch")
+	}
+	return db.checkpointLocked()
+}
+
+// Begin starts an explicit batch: statements until Commit share one WAL
+// transaction and become durable atomically. Auto-checkpointing pauses,
+// so a batch must not dirty more pages than the pool holds.
+func (db *DB) Begin() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.inBatch {
+		return errors.New("sql: batch already open")
+	}
+	db.nextTxn++
+	db.batchTxn = db.nextTxn
+	db.inBatch = true
+	return nil
+}
+
+// Commit makes the open batch durable.
+func (db *DB) Commit() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.inBatch {
+		return errors.New("sql: no open batch")
+	}
+	db.inBatch = false
+	if err := db.log.Append(wal.Record{Txn: db.batchTxn, Op: wal.OpCommit}); err != nil {
+		return err
+	}
+	if db.opts.SyncOnCommit {
+		if err := db.log.Sync(); err != nil {
+			return err
+		}
+	}
+	return db.maybeCheckpointLocked()
+}
+
+func (db *DB) maybeCheckpointLocked() error {
+	if db.inBatch {
+		return nil
+	}
+	if db.log.Size() > db.opts.WALSoftLimit || db.pool.DirtyCount() > db.opts.PoolPages/2 {
+		return db.checkpointLocked()
+	}
+	return nil
+}
+
+// Exec parses and runs one statement. SELECTs run too, discarding rows;
+// use Query for results.
+func (db *DB) Exec(src string) (Result, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return Result{}, err
+	}
+	return db.ExecStmt(stmt)
+}
+
+// ExecStmt runs a parsed statement.
+func (db *DB) ExecStmt(stmt Statement) (Result, error) {
+	switch s := stmt.(type) {
+	case *Select:
+		rows, err := db.QueryStmt(s)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{RowsAffected: len(rows.Rows)}, nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	txn := db.batchTxn
+	if !db.inBatch {
+		db.nextTxn++
+		txn = db.nextTxn
+	}
+	var res Result
+	var err error
+	switch s := stmt.(type) {
+	case *CreateTable:
+		err = db.createTable(txn, s)
+	case *CreateIndex:
+		err = db.createIndex(txn, s)
+	case *DropTable:
+		err = db.dropTable(txn, s)
+	case *DropIndex:
+		err = db.dropIndex(txn, s)
+	case *Insert:
+		res, err = db.insert(txn, s)
+	case *Delete:
+		res, err = db.deleteRows(txn, s)
+	case *Update:
+		res, err = db.updateRows(txn, s)
+	default:
+		err = fmt.Errorf("sql: unsupported statement %T", stmt)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	if !db.inBatch {
+		if err := db.log.Append(wal.Record{Txn: txn, Op: wal.OpCommit}); err != nil {
+			return Result{}, err
+		}
+		if db.opts.SyncOnCommit {
+			if err := db.log.Sync(); err != nil {
+				return Result{}, err
+			}
+		}
+		if err := db.maybeCheckpointLocked(); err != nil {
+			return Result{}, err
+		}
+	}
+	return res, nil
+}
+
+// Query parses and runs a SELECT, returning materialised rows.
+func (db *DB) Query(src string) (*Rows, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("sql: Query requires a SELECT, got %T", stmt)
+	}
+	return db.QueryStmt(sel)
+}
+
+// QueryStmt runs a parsed SELECT.
+func (db *DB) QueryStmt(sel *Select) (*Rows, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.runSelect(sel)
+}
+
+// Table exposes table metadata (column defs and row count).
+func (db *DB) Table(name string) (cols []ColumnDef, rows int, err error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.cat.table(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	return append([]ColumnDef(nil), t.Columns...), t.Heap.Count(), nil
+}
+
+// Tables lists the table names in the catalog.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var names []string
+	for _, t := range db.cat.tables {
+		names = append(names, t.Name)
+	}
+	return names
+}
+
+func (db *DB) createTable(txn uint64, s *CreateTable) error {
+	key := strings.ToLower(s.Name)
+	if _, exists := db.cat.tables[key]; exists {
+		if s.IfNotExists {
+			return nil
+		}
+		return fmt.Errorf("sql: table %q already exists", s.Name)
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("sql: table %q has no columns", s.Name)
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Columns {
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			return fmt.Errorf("sql: duplicate column %q", c.Name)
+		}
+		seen[lc] = true
+	}
+	h, err := heap.Create(db.pool, db.log, txn)
+	if err != nil {
+		return err
+	}
+	rid, err := db.catH.Insert(txn, encodeTableRow(s.Name, h.FirstPage(), s.Columns))
+	if err != nil {
+		return err
+	}
+	db.cat.tables[key] = &TableInfo{Name: s.Name, Columns: s.Columns, Heap: h, rid: rid}
+	return nil
+}
+
+func (db *DB) createIndex(txn uint64, s *CreateIndex) error {
+	key := strings.ToLower(s.Name)
+	if _, exists := db.cat.indexes[key]; exists {
+		if s.IfNotExists {
+			return nil
+		}
+		return fmt.Errorf("sql: index %q already exists", s.Name)
+	}
+	t, err := db.cat.table(s.Table)
+	if err != nil {
+		return err
+	}
+	ix := &IndexInfo{Name: s.Name, Table: t.Name, Columns: s.Columns, UsingHash: s.UsingHash}
+	for _, c := range s.Columns {
+		pos := t.ColIndex(c)
+		if pos < 0 {
+			return fmt.Errorf("sql: index %q: no column %q in %q", s.Name, c, s.Table)
+		}
+		ix.ColPos = append(ix.ColPos, pos)
+	}
+	if s.UsingHash {
+		ix.Hash = hash.New()
+		if err := db.rebuildHash(t, ix); err != nil {
+			return err
+		}
+	} else {
+		if err := db.rebuildBTree(t, ix); err != nil {
+			return err
+		}
+	}
+	rid, err := db.catH.Insert(txn, encodeIndexRow(ix))
+	if err != nil {
+		return err
+	}
+	ix.rid = rid
+	t.Indexes = append(t.Indexes, ix)
+	db.cat.indexes[key] = ix
+	return nil
+}
+
+func (db *DB) dropTable(txn uint64, s *DropTable) error {
+	key := strings.ToLower(s.Name)
+	t, exists := db.cat.tables[key]
+	if !exists {
+		if s.IfExists {
+			return nil
+		}
+		return fmt.Errorf("sql: no such table %q", s.Name)
+	}
+	for _, ix := range t.Indexes {
+		if err := db.catH.Delete(txn, ix.rid); err != nil {
+			return err
+		}
+		delete(db.cat.indexes, strings.ToLower(ix.Name))
+	}
+	if err := db.catH.Delete(txn, t.rid); err != nil {
+		return err
+	}
+	delete(db.cat.tables, key)
+	// Heap and index pages are leaked until the file is rebuilt; the
+	// warehouse drops tables only when re-harnessing a whole database.
+	return nil
+}
+
+func (db *DB) dropIndex(txn uint64, s *DropIndex) error {
+	key := strings.ToLower(s.Name)
+	ix, exists := db.cat.indexes[key]
+	if !exists {
+		if s.IfExists {
+			return nil
+		}
+		return fmt.Errorf("sql: no such index %q", s.Name)
+	}
+	if err := db.catH.Delete(txn, ix.rid); err != nil {
+		return err
+	}
+	delete(db.cat.indexes, key)
+	t, err := db.cat.table(ix.Table)
+	if err == nil {
+		for i, x := range t.Indexes {
+			if x == ix {
+				t.Indexes = append(t.Indexes[:i], t.Indexes[i+1:]...)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+func (db *DB) insert(txn uint64, s *Insert) (Result, error) {
+	t, err := db.cat.table(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	// Column mapping: position i of a VALUES row goes to table column
+	// mapping[i].
+	mapping := make([]int, 0, len(t.Columns))
+	if s.Columns == nil {
+		for i := range t.Columns {
+			mapping = append(mapping, i)
+		}
+	} else {
+		for _, c := range s.Columns {
+			pos := t.ColIndex(c)
+			if pos < 0 {
+				return Result{}, fmt.Errorf("sql: no column %q in %q", c, s.Table)
+			}
+			mapping = append(mapping, pos)
+		}
+	}
+	emptyRow := Row{Schema: &Schema{}}
+	n := 0
+	for _, exprs := range s.Rows {
+		if len(exprs) != len(mapping) {
+			return Result{RowsAffected: n}, fmt.Errorf("sql: INSERT row has %d values, want %d", len(exprs), len(mapping))
+		}
+		tup := make(value.Tuple, len(t.Columns)) // unmentioned columns NULL
+		for i, e := range exprs {
+			v, err := Eval(e, emptyRow)
+			if err != nil {
+				return Result{RowsAffected: n}, err
+			}
+			cv, err := coerce(v, t.Columns[mapping[i]].Type)
+			if err != nil {
+				return Result{RowsAffected: n}, fmt.Errorf("sql: column %q: %w", t.Columns[mapping[i]].Name, err)
+			}
+			tup[mapping[i]] = cv
+		}
+		if err := db.insertTuple(txn, t, tup); err != nil {
+			return Result{RowsAffected: n}, err
+		}
+		n++
+	}
+	return Result{RowsAffected: n}, nil
+}
+
+// InsertTuple adds a pre-built tuple to a table, bypassing the parser.
+// The shredder uses this fast path for warehouse loads.
+func (db *DB) InsertTuple(table string, tup value.Tuple) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.cat.table(table)
+	if err != nil {
+		return err
+	}
+	if len(tup) != len(t.Columns) {
+		return fmt.Errorf("sql: tuple has %d values, table %q has %d columns", len(tup), table, len(t.Columns))
+	}
+	for i := range tup {
+		cv, err := coerce(tup[i], t.Columns[i].Type)
+		if err != nil {
+			return fmt.Errorf("sql: column %q: %w", t.Columns[i].Name, err)
+		}
+		tup[i] = cv
+	}
+	txn := db.batchTxn
+	if !db.inBatch {
+		db.nextTxn++
+		txn = db.nextTxn
+	}
+	if err := db.insertTuple(txn, t, tup); err != nil {
+		return err
+	}
+	if !db.inBatch {
+		if err := db.log.Append(wal.Record{Txn: txn, Op: wal.OpCommit}); err != nil {
+			return err
+		}
+		if db.opts.SyncOnCommit {
+			if err := db.log.Sync(); err != nil {
+				return err
+			}
+		}
+		return db.maybeCheckpointLocked()
+	}
+	return nil
+}
+
+func (db *DB) insertTuple(txn uint64, t *TableInfo, tup value.Tuple) error {
+	rid, err := t.Heap.Insert(txn, tup.Encode(nil))
+	if err != nil {
+		return err
+	}
+	for _, ix := range t.Indexes {
+		if ix.Hash != nil {
+			ix.Hash.Insert(ix.Key(tup, rid, false), ridBytes(rid))
+		} else {
+			if _, err := ix.BTree.Insert(ix.Key(tup, rid, true), ridBytes(rid)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (db *DB) removeTuple(txn uint64, t *TableInfo, rid heap.RID, tup value.Tuple) error {
+	if err := t.Heap.Delete(txn, rid); err != nil {
+		return err
+	}
+	for _, ix := range t.Indexes {
+		if ix.Hash != nil {
+			ix.Hash.Delete(ix.Key(tup, rid, false), ridBytes(rid))
+		} else {
+			if _, err := ix.BTree.Delete(ix.Key(tup, rid, true)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// matchingRows evaluates where against the rows of t (through an index
+// access path when one applies), calling fn with the rid and decoded
+// tuple of each match. fn must not mutate the heap; callers collect rids
+// first when they need to.
+func (db *DB) matchingRows(t *TableInfo, where Expr, fn func(rid heap.RID, tup value.Tuple) error) error {
+	it, err := db.accessPath(t, t.Name, conjuncts(where), nil)
+	if err != nil {
+		return err
+	}
+	src, ok := it.(ridSource)
+	if !ok {
+		return fmt.Errorf("sql: internal: access path is not rid-aware")
+	}
+	schema := it.Schema()
+	for {
+		tup, more, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+		if where != nil {
+			v, err := Eval(where, Row{Schema: schema, Values: tup})
+			if err != nil {
+				return err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		if err := fn(src.CurrentRID(), tup); err != nil {
+			return err
+		}
+	}
+}
+
+func (db *DB) deleteRows(txn uint64, s *Delete) (Result, error) {
+	t, err := db.cat.table(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	type victim struct {
+		rid heap.RID
+		tup value.Tuple
+	}
+	var victims []victim
+	if err := db.matchingRows(t, s.Where, func(rid heap.RID, tup value.Tuple) error {
+		victims = append(victims, victim{rid, tup})
+		return nil
+	}); err != nil {
+		return Result{}, err
+	}
+	for _, v := range victims {
+		if err := db.removeTuple(txn, t, v.rid, v.tup); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{RowsAffected: len(victims)}, nil
+}
+
+func (db *DB) updateRows(txn uint64, s *Update) (Result, error) {
+	t, err := db.cat.table(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	setPos := make([]int, len(s.Set))
+	for i, a := range s.Set {
+		pos := t.ColIndex(a.Column)
+		if pos < 0 {
+			return Result{}, fmt.Errorf("sql: no column %q in %q", a.Column, s.Table)
+		}
+		setPos[i] = pos
+	}
+	schema := t.Schema(t.Name)
+	type change struct {
+		rid      heap.RID
+		old, new value.Tuple
+	}
+	var changes []change
+	if err := db.matchingRows(t, s.Where, func(rid heap.RID, tup value.Tuple) error {
+		newTup := tup.Clone()
+		for i, a := range s.Set {
+			v, err := Eval(a.Expr, Row{Schema: schema, Values: tup})
+			if err != nil {
+				return err
+			}
+			cv, err := coerce(v, t.Columns[setPos[i]].Type)
+			if err != nil {
+				return fmt.Errorf("sql: column %q: %w", a.Column, err)
+			}
+			newTup[setPos[i]] = cv
+		}
+		changes = append(changes, change{rid, tup, newTup})
+		return nil
+	}); err != nil {
+		return Result{}, err
+	}
+	for _, c := range changes {
+		newRid, err := t.Heap.Update(txn, c.rid, c.new.Encode(nil))
+		if err != nil {
+			return Result{}, err
+		}
+		for _, ix := range t.Indexes {
+			if ix.Hash != nil {
+				ix.Hash.Delete(ix.Key(c.old, c.rid, false), ridBytes(c.rid))
+				ix.Hash.Insert(ix.Key(c.new, newRid, false), ridBytes(newRid))
+			} else {
+				if _, err := ix.BTree.Delete(ix.Key(c.old, c.rid, true)); err != nil {
+					return Result{}, err
+				}
+				if _, err := ix.BTree.Insert(ix.Key(c.new, newRid, true), ridBytes(newRid)); err != nil {
+					return Result{}, err
+				}
+			}
+		}
+	}
+	return Result{RowsAffected: len(changes)}, nil
+}
+
+// coerce converts v to the column kind, allowing the numeric/text
+// conversions biological flat files need. NULL passes through.
+func coerce(v value.Value, want value.Kind) (value.Value, error) {
+	if v.IsNull() || v.Kind() == want {
+		return v, nil
+	}
+	switch want {
+	case value.KindInt:
+		if f, ok := v.AsNumeric(); ok && f == float64(int64(f)) {
+			return value.NewInt(int64(f)), nil
+		}
+	case value.KindFloat:
+		if f, ok := v.AsNumeric(); ok {
+			return value.NewFloat(f), nil
+		}
+	case value.KindText:
+		return value.NewText(asText(v)), nil
+	case value.KindBool:
+		if v.Kind() == value.KindInt {
+			return value.NewBool(v.Int() != 0), nil
+		}
+	}
+	return value.Null, fmt.Errorf("cannot store %s as %s", v.Kind(), want)
+}

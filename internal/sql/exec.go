@@ -1,0 +1,660 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"xomatiq/internal/storage/heap"
+	"xomatiq/internal/value"
+)
+
+// rowIter is the executor interface: a pull-based stream of tuples with a
+// fixed schema.
+type rowIter interface {
+	Schema() *Schema
+	Next() (value.Tuple, bool, error)
+}
+
+// runSelect plans and executes a SELECT under db.mu (read-held).
+func (db *DB) runSelect(sel *Select) (*Rows, error) {
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("sql: SELECT requires FROM")
+	}
+	it, residual, err := db.buildFrom(sel, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range residual {
+		it = &filterIter{in: it, pred: c}
+	}
+	if hasAggregates(sel) {
+		return db.runAggregate(sel, it)
+	}
+	return db.project(sel, it)
+}
+
+// buildFrom constructs the join tree for the FROM clause: an access path
+// for the first table, then one join per subsequent table. WHERE
+// conjuncts that reference a single binding are pushed down to that
+// binding's scan or join build, so intermediate results stay small; the
+// outer filter re-checks the full predicate for correctness.
+func (db *DB) buildFrom(sel *Select, trace *[]string) (rowIter, []Expr, error) {
+	conjs := conjuncts(sel.Where)
+	entries := make([]fromEntry, len(sel.From))
+	for i, ref := range sel.From {
+		t, err := db.cat.table(ref.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		entries[i] = fromEntry{ref, t}
+	}
+	// Reject ambiguous column references against the FULL schema before
+	// any pushdown: a bare name unique within one binding but present in
+	// several would otherwise silently bind to whichever table joins
+	// first.
+	full := &Schema{}
+	for _, e := range entries {
+		full = full.Concat(e.t.Schema(e.ref.Binding()))
+	}
+	checkRefs := func(e Expr) error {
+		var ferr error
+		var walk func(Expr)
+		walk = func(e Expr) {
+			if ferr != nil {
+				return
+			}
+			switch e := e.(type) {
+			case *ColumnRef:
+				if _, err := full.Find(e); err != nil {
+					ferr = err
+				}
+			case *BinaryExpr:
+				walk(e.Left)
+				walk(e.Right)
+			case *UnaryExpr:
+				walk(e.Expr)
+			case *LikeExpr:
+				walk(e.Expr)
+				walk(e.Pattern)
+			case *InExpr:
+				walk(e.Expr)
+				for _, x := range e.List {
+					walk(x)
+				}
+			case *BetweenExpr:
+				walk(e.Expr)
+				walk(e.Lo)
+				walk(e.Hi)
+			case *IsNullExpr:
+				walk(e.Expr)
+			case *FuncCall:
+				for _, a := range e.Args {
+					walk(a)
+				}
+			}
+		}
+		walk(e)
+		return ferr
+	}
+	for _, c := range conjs {
+		if err := checkRefs(c); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, e := range entries {
+		if e.ref.On != nil {
+			if err := checkRefs(e.ref.On); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// Classify conjuncts by the single binding they constrain (if any);
+	// those are enforced exactly at the binding's scan, so only the
+	// multi-binding residue needs the outer filter.
+	pushdown := map[string][]Expr{}
+	var residual []Expr
+	for _, c := range conjs {
+		owner := db.soleBinding(c, entries)
+		if owner != "" {
+			pushdown[owner] = append(pushdown[owner], c)
+		} else {
+			residual = append(residual, c)
+		}
+	}
+
+	first := entries[0]
+	it, err := db.accessPath(first.t, first.ref.Binding(), conjs, trace)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, c := range pushdown[strings.ToLower(first.ref.Binding())] {
+		it = &filterIter{in: it, pred: c}
+		tracef(trace, "  filter %s", ExprString(c))
+	}
+	// Residual conjuncts apply as soon as every column they reference is
+	// in scope, so selective cross-binding predicates (join conditions,
+	// structural tests) prune intermediate results early.
+	pending := residual
+	applyReady := func(it rowIter) rowIter {
+		kept := pending[:0]
+		for _, c := range pending {
+			if resolvesIn(c, it.Schema()) {
+				it = &filterIter{in: it, pred: c}
+			} else {
+				kept = append(kept, c)
+			}
+		}
+		pending = kept
+		return it
+	}
+	it = applyReady(it)
+	for _, e := range entries[1:] {
+		it, err = db.buildJoin(it, e.t, e.ref, conjs,
+			pushdown[strings.ToLower(e.ref.Binding())], trace)
+		if err != nil {
+			return nil, nil, err
+		}
+		it = applyReady(it)
+	}
+	for _, c := range pending {
+		tracef(trace, "residual filter %s", ExprString(c))
+	}
+	return it, pending, nil
+}
+
+// tracef appends a plan line when tracing is enabled.
+func tracef(trace *[]string, format string, args ...any) {
+	if trace != nil {
+		*trace = append(*trace, fmt.Sprintf(format, args...))
+	}
+}
+
+// Explain plans a SELECT and renders the chosen access paths and join
+// strategies without returning rows (the "meticulous analysis of the
+// query plans" workflow of paper §3.2).
+func (db *DB) Explain(src string) (string, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := stmt.(*Select)
+	if !ok {
+		return "", fmt.Errorf("sql: Explain requires a SELECT, got %T", stmt)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var trace []string
+	if _, _, err := db.buildFrom(sel, &trace); err != nil {
+		return "", err
+	}
+	return strings.Join(trace, "\n"), nil
+}
+
+// resolvesIn reports whether every column reference in e resolves
+// unambiguously in the schema.
+func resolvesIn(e Expr, schema *Schema) bool {
+	ok := true
+	var walk func(Expr)
+	walk = func(e Expr) {
+		if !ok {
+			return
+		}
+		switch e := e.(type) {
+		case *Literal:
+		case *ColumnRef:
+			if _, err := schema.Find(e); err != nil {
+				ok = false
+			}
+		case *BinaryExpr:
+			walk(e.Left)
+			walk(e.Right)
+		case *UnaryExpr:
+			walk(e.Expr)
+		case *LikeExpr:
+			walk(e.Expr)
+			walk(e.Pattern)
+		case *InExpr:
+			walk(e.Expr)
+			for _, x := range e.List {
+				walk(x)
+			}
+		case *BetweenExpr:
+			walk(e.Expr)
+			walk(e.Lo)
+			walk(e.Hi)
+		case *IsNullExpr:
+			walk(e.Expr)
+		case *FuncCall:
+			for _, a := range e.Args {
+				walk(a)
+			}
+		default:
+			ok = false
+		}
+	}
+	walk(e)
+	return ok
+}
+
+// fromEntry pairs a FROM-clause reference with its resolved table.
+type fromEntry struct {
+	ref TableRef
+	t   *TableInfo
+}
+
+// soleBinding returns the binding name (lowercased) that every column
+// reference in e resolves to, or "" when the expression spans bindings,
+// is ambiguous, or references nothing.
+func (db *DB) soleBinding(e Expr, entries []fromEntry) string {
+	owner := ""
+	ok := true
+	var walkExpr func(Expr)
+	resolve := func(c *ColumnRef) {
+		var hits []string
+		for _, en := range entries {
+			if refersTo(c, en.ref.Binding(), en.t) {
+				hits = append(hits, strings.ToLower(en.ref.Binding()))
+			}
+		}
+		if len(hits) != 1 {
+			ok = false
+			return
+		}
+		if owner == "" {
+			owner = hits[0]
+		} else if owner != hits[0] {
+			ok = false
+		}
+	}
+	walkExpr = func(e Expr) {
+		if !ok {
+			return
+		}
+		switch e := e.(type) {
+		case *Literal:
+		case *ColumnRef:
+			resolve(e)
+		case *BinaryExpr:
+			walkExpr(e.Left)
+			walkExpr(e.Right)
+		case *UnaryExpr:
+			walkExpr(e.Expr)
+		case *LikeExpr:
+			walkExpr(e.Expr)
+			walkExpr(e.Pattern)
+		case *InExpr:
+			walkExpr(e.Expr)
+			for _, x := range e.List {
+				walkExpr(x)
+			}
+		case *BetweenExpr:
+			walkExpr(e.Expr)
+			walkExpr(e.Lo)
+			walkExpr(e.Hi)
+		case *IsNullExpr:
+			walkExpr(e.Expr)
+		case *FuncCall:
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		default:
+			ok = false
+		}
+	}
+	walkExpr(e)
+	if !ok || owner == "" {
+		return ""
+	}
+	return owner
+}
+
+// conjuncts flattens an AND tree into its conjuncts.
+func conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*BinaryExpr); ok && b.Op == OpAnd {
+		return append(conjuncts(b.Left), conjuncts(b.Right)...)
+	}
+	return []Expr{e}
+}
+
+// colLiteral matches a conjunct of the form col op literal (either side),
+// returning the column, comparison op (normalised so the column is on the
+// left) and the literal value.
+func colLiteral(e Expr) (*ColumnRef, string, value.Value, bool) {
+	b, ok := e.(*BinaryExpr)
+	if !ok || !isCompOp(b.Op) {
+		return nil, "", value.Null, false
+	}
+	if c, ok := b.Left.(*ColumnRef); ok {
+		if l, ok := b.Right.(*Literal); ok {
+			return c, b.Op, l.Val, true
+		}
+	}
+	if c, ok := b.Right.(*ColumnRef); ok {
+		if l, ok := b.Left.(*Literal); ok {
+			return c, flipOp(b.Op), l.Val, true
+		}
+	}
+	return nil, "", value.Null, false
+}
+
+func flipOp(op string) string {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	}
+	return op
+}
+
+// refersTo reports whether the column reference can bind to the given
+// table binding.
+func refersTo(c *ColumnRef, binding string, t *TableInfo) bool {
+	if c.Table != "" && !strings.EqualFold(c.Table, binding) {
+		return false
+	}
+	return t.ColIndex(c.Column) >= 0
+}
+
+// accessPath chooses between a sequential scan and an index scan for one
+// table, based on the WHERE conjuncts. The full predicate is re-checked
+// by the surrounding filter, so index selection is purely an access-path
+// optimisation.
+func (db *DB) accessPath(t *TableInfo, binding string, conjs []Expr, trace *[]string) (rowIter, error) {
+	schema := t.Schema(binding)
+	bounds := map[int]*bound{} // column position -> constraints
+	boundFor := func(pos int) *bound {
+		b := bounds[pos]
+		if b == nil {
+			b = &bound{}
+			bounds[pos] = b
+		}
+		return b
+	}
+	for _, c := range conjs {
+		// IN over literals at an index's leading column becomes a union
+		// of point lookups.
+		if in, ok := c.(*InExpr); ok && !in.Not && allLiterals(in.List) {
+			if col, ok := in.Expr.(*ColumnRef); ok && refersTo(col, binding, t) {
+				b := boundFor(t.ColIndex(col.Column))
+				for _, le := range in.List {
+					b.in = append(b.in, le.(*Literal).Val)
+				}
+			}
+			continue
+		}
+		col, op, lit, ok := colLiteral(c)
+		if !ok || !refersTo(col, binding, t) {
+			continue
+		}
+		b := boundFor(t.ColIndex(col.Column))
+		v := lit
+		switch op {
+		case OpEq:
+			b.eq = &v
+		case OpGt:
+			b.lo, b.loStrict = &v, true
+		case OpGe:
+			b.lo = &v
+		case OpLt:
+			b.hi, b.hiStrict = &v, true
+		case OpLe:
+			b.hi = &v
+		}
+	}
+	// Choose the index matching the most leading equality (or small IN)
+	// columns, with a trailing range as a tiebreaker. Hash indexes need
+	// every column bound. IN lists expand to a union of point lookups,
+	// capped so a huge list degrades to a scan instead of exploding.
+	const maxPrefixProduct = 512
+	var best *IndexInfo
+	bestScore := 0
+	var bestPrefix [][]value.Value
+	var bestRange *bound
+	for _, ix := range t.Indexes {
+		var prefix [][]value.Value
+		var rng *bound
+		score := 0
+		product := 1
+		for _, pos := range ix.ColPos {
+			b := bounds[pos]
+			if b == nil {
+				break
+			}
+			// Exact equality scores above IN expansion: a point lookup
+			// returns exactly the matching entries, while an IN fans out
+			// into one lookup per candidate value.
+			if b.eq != nil {
+				prefix = append(prefix, []value.Value{*b.eq})
+				score += 3
+				continue
+			}
+			if len(b.in) > 0 && product*len(b.in) <= maxPrefixProduct {
+				prefix = append(prefix, b.in)
+				product *= len(b.in)
+				score += 2
+				continue
+			}
+			if (b.lo != nil || b.hi != nil) && !ix.UsingHash {
+				rng = b
+				score++
+			}
+			break
+		}
+		if ix.UsingHash && len(prefix) != len(ix.ColPos) {
+			continue
+		}
+		if score > bestScore {
+			best, bestScore, bestPrefix, bestRange = ix, score, prefix, rng
+		}
+	}
+	if best == nil {
+		tracef(trace, "scan %s as %s: sequential", t.Name, binding)
+		return &seqScanIter{t: t, schema: schema}, nil
+	}
+	how := "prefix lookup"
+	if bestRange != nil {
+		how = "prefix+range scan"
+	}
+	tracef(trace, "scan %s as %s: index %s (%s, %d leading cols)",
+		t.Name, binding, best.Name, how, len(bestPrefix))
+	if best.UsingHash {
+		return newHashScanIter(t, schema, best, bestPrefix)
+	}
+	return newBTreeScanIter(t, schema, best, bestPrefix, bestRange)
+}
+
+// prefixCombos enumerates the cartesian product of per-column candidate
+// values as encoded key prefixes.
+func prefixCombos(prefix [][]value.Value) [][]byte {
+	out := [][]byte{nil}
+	for _, vals := range prefix {
+		next := make([][]byte, 0, len(out)*len(vals))
+		for _, base := range out {
+			for _, v := range vals {
+				next = append(next, v.EncodeKey(append([]byte(nil), base...)))
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// ridSource is a single-table iterator that can report the record ID of
+// the row it just returned; DELETE and UPDATE need it.
+type ridSource interface {
+	rowIter
+	CurrentRID() heap.RID
+}
+
+// seqScanIter scans a heap, decoding each record.
+type seqScanIter struct {
+	t      *TableInfo
+	schema *Schema
+	rids   []heap.RID
+	tups   []value.Tuple
+	pos    int
+	loaded bool
+}
+
+func (s *seqScanIter) Schema() *Schema { return s.schema }
+
+// CurrentRID reports the record id of the last row returned by Next.
+func (s *seqScanIter) CurrentRID() heap.RID { return s.rids[s.pos-1] }
+
+func (s *seqScanIter) load() error {
+	var serr error
+	err := s.t.Heap.Scan(func(rid heap.RID, rec []byte) bool {
+		tup, derr := value.DecodeTuple(rec)
+		if derr != nil {
+			serr = derr
+			return false
+		}
+		s.rids = append(s.rids, rid)
+		s.tups = append(s.tups, tup)
+		return true
+	})
+	s.loaded = true
+	if err != nil {
+		return err
+	}
+	return serr
+}
+
+func (s *seqScanIter) Next() (value.Tuple, bool, error) {
+	if !s.loaded {
+		if err := s.load(); err != nil {
+			return nil, false, err
+		}
+	}
+	if s.pos >= len(s.tups) {
+		return nil, false, nil
+	}
+	t := s.tups[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+// ridListIter yields the tuples behind a pre-computed RID list (index
+// scans resolve to this).
+type ridListIter struct {
+	t      *TableInfo
+	schema *Schema
+	rids   []heap.RID
+	pos    int
+}
+
+func (r *ridListIter) Schema() *Schema { return r.schema }
+
+// CurrentRID reports the record id of the last row returned by Next.
+func (r *ridListIter) CurrentRID() heap.RID { return r.rids[r.pos-1] }
+
+func (r *ridListIter) Next() (value.Tuple, bool, error) {
+	if r.pos >= len(r.rids) {
+		return nil, false, nil
+	}
+	rec, err := r.t.Heap.Get(r.rids[r.pos])
+	if err != nil {
+		return nil, false, err
+	}
+	r.pos++
+	tup, err := value.DecodeTuple(rec)
+	if err != nil {
+		return nil, false, err
+	}
+	return tup, true, nil
+}
+
+func newHashScanIter(t *TableInfo, schema *Schema, ix *IndexInfo, prefix [][]value.Value) (rowIter, error) {
+	var rids []heap.RID
+	for _, key := range prefixCombos(prefix) {
+		ix.Hash.Lookup(key, func(p []byte) bool {
+			rids = append(rids, ridFromBytes(p))
+			return true
+		})
+	}
+	return &ridListIter{t: t, schema: schema, rids: rids}, nil
+}
+
+// bound collects the constraints WHERE places on one column.
+type bound struct {
+	eq       *value.Value
+	in       []value.Value // literal IN list
+	lo, hi   *value.Value
+	loStrict bool
+	hiStrict bool
+}
+
+// newBTreeScanIter scans the index for keys matching the equality/IN
+// prefix combinations and optional trailing range, collecting RIDs.
+func newBTreeScanIter(t *TableInfo, schema *Schema, ix *IndexInfo, prefixVals [][]value.Value, rng *bound) (rowIter, error) {
+	var rids []heap.RID
+	collect := func(key, val []byte) bool {
+		rids = append(rids, ridFromBytes(val))
+		return true
+	}
+	for _, prefix := range prefixCombos(prefixVals) {
+		var err error
+		switch {
+		case rng == nil:
+			err = ix.BTree.ScanPrefix(prefix, collect)
+		default:
+			// Range on the column after the prefix. Strictness is
+			// re-checked by the filter, so the scan may be slightly loose
+			// at the lower bound.
+			from := append([]byte(nil), prefix...)
+			if rng.lo != nil {
+				from = (*rng.lo).EncodeKey(from)
+			}
+			var to []byte
+			if rng.hi != nil {
+				to = (*rng.hi).EncodeKey(append([]byte(nil), prefix...))
+				// Include keys equal to hi (plus RID suffix) by extending
+				// the bound past any suffix bytes.
+				to = append(to, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
+			}
+			err = ix.BTree.ScanRange(from, to, func(key, val []byte) bool {
+				if len(prefix) > 0 && !strings.HasPrefix(string(key), string(prefix)) {
+					return false
+				}
+				return collect(key, val)
+			})
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &ridListIter{t: t, schema: schema, rids: rids}, nil
+}
+
+// filterIter drops rows for which pred is not true.
+type filterIter struct {
+	in   rowIter
+	pred Expr
+}
+
+func (f *filterIter) Schema() *Schema { return f.in.Schema() }
+
+func (f *filterIter) Next() (value.Tuple, bool, error) {
+	for {
+		tup, ok, err := f.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		v, err := Eval(f.pred, Row{Schema: f.in.Schema(), Values: tup})
+		if err != nil {
+			return nil, false, err
+		}
+		if truthy(v) {
+			return tup, true, nil
+		}
+	}
+}

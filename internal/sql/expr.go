@@ -1,0 +1,488 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"xomatiq/internal/index/inverted"
+	"xomatiq/internal/value"
+)
+
+// Row pairs a tuple with the schema describing its columns.
+type Row struct {
+	Schema *Schema
+	Values value.Tuple
+}
+
+// Schema names the columns of a row stream. Columns carry an optional
+// table qualifier so joins can disambiguate.
+type Schema struct {
+	Cols []SchemaCol
+}
+
+// SchemaCol is one column of a schema.
+type SchemaCol struct {
+	Table string // binding name (alias or table), may be empty
+	Name  string
+	Type  value.Kind
+}
+
+// Find resolves a column reference to its position. Ambiguous or missing
+// references return an error.
+func (s *Schema) Find(ref *ColumnRef) (int, error) {
+	found := -1
+	for i, c := range s.Cols {
+		if !strings.EqualFold(c.Name, ref.Column) {
+			continue
+		}
+		if ref.Table != "" && !strings.EqualFold(c.Table, ref.Table) {
+			continue
+		}
+		if found != -1 {
+			return 0, fmt.Errorf("sql: ambiguous column %q", ref.String())
+		}
+		found = i
+	}
+	if found == -1 {
+		return 0, fmt.Errorf("sql: unknown column %q", ref.String())
+	}
+	return found, nil
+}
+
+// Concat returns a schema with s's columns followed by o's.
+func (s *Schema) Concat(o *Schema) *Schema {
+	out := &Schema{Cols: make([]SchemaCol, 0, len(s.Cols)+len(o.Cols))}
+	out.Cols = append(out.Cols, s.Cols...)
+	out.Cols = append(out.Cols, o.Cols...)
+	return out
+}
+
+// Eval evaluates e against row. Comparison and logical operators use SQL
+// three-valued logic collapsed to two values: any comparison with NULL is
+// false, NOT NULL-result is false.
+func Eval(e Expr, row Row) (value.Value, error) {
+	switch e := e.(type) {
+	case *Literal:
+		return e.Val, nil
+	case *ColumnRef:
+		if e.cachedSchema == row.Schema {
+			return row.Values[e.cachedIdx], nil
+		}
+		i, err := row.Schema.Find(e)
+		if err != nil {
+			return value.Null, err
+		}
+		e.cachedSchema, e.cachedIdx = row.Schema, i
+		return row.Values[i], nil
+	case *BinaryExpr:
+		return evalBinary(e, row)
+	case *UnaryExpr:
+		v, err := Eval(e.Expr, row)
+		if err != nil {
+			return value.Null, err
+		}
+		switch e.Op {
+		case "NOT":
+			return value.NewBool(!truthy(v)), nil
+		case "-":
+			switch v.Kind() {
+			case value.KindInt:
+				return value.NewInt(-v.Int()), nil
+			case value.KindFloat:
+				return value.NewFloat(-v.Float()), nil
+			case value.KindNull:
+				return value.Null, nil
+			}
+			return value.Null, fmt.Errorf("sql: cannot negate %s", v.Kind())
+		}
+		return value.Null, fmt.Errorf("sql: unknown unary op %q", e.Op)
+	case *LikeExpr:
+		v, err := Eval(e.Expr, row)
+		if err != nil {
+			return value.Null, err
+		}
+		pat, err := Eval(e.Pattern, row)
+		if err != nil {
+			return value.Null, err
+		}
+		if v.IsNull() || pat.IsNull() {
+			return value.NewBool(false), nil
+		}
+		m := likeMatch(asText(v), asText(pat))
+		if e.Not {
+			m = !m
+		}
+		return value.NewBool(m), nil
+	case *InExpr:
+		v, err := Eval(e.Expr, row)
+		if err != nil {
+			return value.Null, err
+		}
+		if e.litSet == nil && allLiterals(e.List) {
+			e.litSet = make(map[string]bool, len(e.List))
+			for _, le := range e.List {
+				lv := le.(*Literal).Val
+				if !lv.IsNull() {
+					e.litSet[string(lv.EncodeKey(nil))] = true
+				}
+			}
+		}
+		found := false
+		if e.litSet != nil {
+			if !v.IsNull() {
+				found = e.litSet[string(v.EncodeKey(nil))]
+			}
+		} else {
+			for _, le := range e.List {
+				lv, err := Eval(le, row)
+				if err != nil {
+					return value.Null, err
+				}
+				if !v.IsNull() && !lv.IsNull() && value.Compare(v, lv) == 0 {
+					found = true
+					break
+				}
+			}
+		}
+		if e.Not {
+			found = !found
+		}
+		return value.NewBool(found), nil
+	case *BetweenExpr:
+		v, err := Eval(e.Expr, row)
+		if err != nil {
+			return value.Null, err
+		}
+		lo, err := Eval(e.Lo, row)
+		if err != nil {
+			return value.Null, err
+		}
+		hi, err := Eval(e.Hi, row)
+		if err != nil {
+			return value.Null, err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return value.NewBool(false), nil
+		}
+		in := value.Compare(v, lo) >= 0 && value.Compare(v, hi) <= 0
+		if e.Not {
+			in = !in
+		}
+		return value.NewBool(in), nil
+	case *IsNullExpr:
+		v, err := Eval(e.Expr, row)
+		if err != nil {
+			return value.Null, err
+		}
+		isNull := v.IsNull()
+		if e.Not {
+			isNull = !isNull
+		}
+		return value.NewBool(isNull), nil
+	case *FuncCall:
+		if e.IsAggregate() {
+			return value.Null, fmt.Errorf("sql: aggregate %s outside aggregation context", e.Name)
+		}
+		return evalScalarFunc(e, row)
+	}
+	return value.Null, fmt.Errorf("sql: cannot evaluate %T", e)
+}
+
+func evalBinary(e *BinaryExpr, row Row) (value.Value, error) {
+	// Short-circuit logical operators.
+	switch e.Op {
+	case OpAnd:
+		l, err := Eval(e.Left, row)
+		if err != nil {
+			return value.Null, err
+		}
+		if !truthy(l) {
+			return value.NewBool(false), nil
+		}
+		r, err := Eval(e.Right, row)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewBool(truthy(r)), nil
+	case OpOr:
+		l, err := Eval(e.Left, row)
+		if err != nil {
+			return value.Null, err
+		}
+		if truthy(l) {
+			return value.NewBool(true), nil
+		}
+		r, err := Eval(e.Right, row)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewBool(truthy(r)), nil
+	}
+	l, err := Eval(e.Left, row)
+	if err != nil {
+		return value.Null, err
+	}
+	r, err := Eval(e.Right, row)
+	if err != nil {
+		return value.Null, err
+	}
+	switch e.Op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		if l.IsNull() || r.IsNull() {
+			return value.NewBool(false), nil
+		}
+		c := compareMixed(l, r)
+		var out bool
+		switch e.Op {
+		case OpEq:
+			out = c == 0
+		case OpNe:
+			out = c != 0
+		case OpLt:
+			out = c < 0
+		case OpLe:
+			out = c <= 0
+		case OpGt:
+			out = c > 0
+		case OpGe:
+			out = c >= 0
+		}
+		return value.NewBool(out), nil
+	case OpAdd, OpSub, OpMul, OpDiv:
+		return evalArith(e.Op, l, r)
+	case OpCat:
+		if l.IsNull() || r.IsNull() {
+			return value.Null, nil
+		}
+		return value.NewText(asText(l) + asText(r)), nil
+	}
+	return value.Null, fmt.Errorf("sql: unknown operator %q", e.Op)
+}
+
+// compareMixed compares values, coercing text to number when compared
+// against a numeric (the paper's shredded values arrive as strings but
+// "common queries often require to compare these numeric types").
+func compareMixed(l, r value.Value) int {
+	ln := l.Kind() == value.KindInt || l.Kind() == value.KindFloat
+	rn := r.Kind() == value.KindInt || r.Kind() == value.KindFloat
+	if ln && r.Kind() == value.KindText {
+		if f, ok := r.AsNumeric(); ok {
+			return value.Compare(l, value.NewFloat(f))
+		}
+	}
+	if rn && l.Kind() == value.KindText {
+		if f, ok := l.AsNumeric(); ok {
+			return value.Compare(value.NewFloat(f), r)
+		}
+	}
+	return value.Compare(l, r)
+}
+
+func evalArith(op string, l, r value.Value) (value.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return value.Null, nil
+	}
+	lf, lok := l.AsNumeric()
+	rf, rok := r.AsNumeric()
+	if !lok || !rok {
+		return value.Null, fmt.Errorf("sql: %s %s %s: non-numeric operand", l.Kind(), op, r.Kind())
+	}
+	bothInt := l.Kind() == value.KindInt && r.Kind() == value.KindInt
+	switch op {
+	case OpAdd:
+		if bothInt {
+			return value.NewInt(l.Int() + r.Int()), nil
+		}
+		return value.NewFloat(lf + rf), nil
+	case OpSub:
+		if bothInt {
+			return value.NewInt(l.Int() - r.Int()), nil
+		}
+		return value.NewFloat(lf - rf), nil
+	case OpMul:
+		if bothInt {
+			return value.NewInt(l.Int() * r.Int()), nil
+		}
+		return value.NewFloat(lf * rf), nil
+	case OpDiv:
+		if rf == 0 {
+			return value.Null, fmt.Errorf("sql: division by zero")
+		}
+		if bothInt && l.Int()%r.Int() == 0 {
+			return value.NewInt(l.Int() / r.Int()), nil
+		}
+		return value.NewFloat(lf / rf), nil
+	}
+	return value.Null, fmt.Errorf("sql: unknown arithmetic op %q", op)
+}
+
+func evalScalarFunc(e *FuncCall, row Row) (value.Value, error) {
+	args := make([]value.Value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := Eval(a, row)
+		if err != nil {
+			return value.Null, err
+		}
+		args[i] = v
+	}
+	switch e.Name {
+	case "LENGTH":
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		return value.NewInt(int64(len(asText(args[0])))), nil
+	case "LOWER":
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		return value.NewText(strings.ToLower(asText(args[0]))), nil
+	case "UPPER":
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		return value.NewText(strings.ToUpper(asText(args[0]))), nil
+	case "ABS":
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		switch args[0].Kind() {
+		case value.KindInt:
+			n := args[0].Int()
+			if n < 0 {
+				n = -n
+			}
+			return value.NewInt(n), nil
+		default:
+			f, ok := args[0].AsNumeric()
+			if !ok {
+				return value.Null, fmt.Errorf("sql: ABS of %s", args[0].Kind())
+			}
+			if f < 0 {
+				f = -f
+			}
+			return value.NewFloat(f), nil
+		}
+	case "SUBSTR":
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		s := asText(args[0])
+		start64, ok := args[1].AsNumeric()
+		if !ok {
+			return value.Null, fmt.Errorf("sql: SUBSTR start not numeric")
+		}
+		start := int(start64) - 1 // SQL is 1-based
+		if start < 0 {
+			start = 0
+		}
+		if start > len(s) {
+			return value.NewText(""), nil
+		}
+		end := len(s)
+		if len(args) == 3 {
+			n64, ok := args[2].AsNumeric()
+			if !ok {
+				return value.Null, fmt.Errorf("sql: SUBSTR length not numeric")
+			}
+			if e := start + int(n64); e < end {
+				end = e
+			}
+		}
+		if end < start {
+			end = start
+		}
+		return value.NewText(s[start:end]), nil
+	case "CONTAINS":
+		// Substring containment (case-insensitive).
+		if args[0].IsNull() || args[1].IsNull() {
+			return value.NewBool(false), nil
+		}
+		hay := strings.ToLower(asText(args[0]))
+		needle := strings.ToLower(asText(args[1]))
+		return value.NewBool(strings.Contains(hay, needle)), nil
+	case "KWCONTAINS":
+		// Keyword containment with the warehouse tokenizer: every token
+		// of the keyword must occur as a token of the text. This is the
+		// SQL realisation of the XomatiQ contains() extension, and it is
+		// exactly the predicate the inverted keyword index accelerates.
+		if args[0].IsNull() || args[1].IsNull() {
+			return value.NewBool(false), nil
+		}
+		have := map[string]bool{}
+		for _, tok := range inverted.Tokenize(asText(args[0])) {
+			have[tok] = true
+		}
+		want := inverted.Tokenize(asText(args[1]))
+		if len(want) == 0 {
+			return value.NewBool(false), nil
+		}
+		for _, tok := range want {
+			if !have[tok] {
+				return value.NewBool(false), nil
+			}
+		}
+		return value.NewBool(true), nil
+	}
+	return value.Null, fmt.Errorf("sql: unknown function %q", e.Name)
+}
+
+// allLiterals reports whether every expression is a literal constant.
+func allLiterals(list []Expr) bool {
+	for _, e := range list {
+		if _, ok := e.(*Literal); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// truthy collapses SQL booleans: TRUE is true, everything else (FALSE,
+// NULL, non-boolean) is false except nonzero numerics.
+func truthy(v value.Value) bool {
+	switch v.Kind() {
+	case value.KindBool:
+		return v.Bool()
+	case value.KindInt:
+		return v.Int() != 0
+	case value.KindFloat:
+		return v.Float() != 0
+	}
+	return false
+}
+
+// asText renders any non-null value as a string for text operations.
+func asText(v value.Value) string {
+	if v.Kind() == value.KindText {
+		return v.Text()
+	}
+	return v.String()
+}
+
+// likeMatch implements SQL LIKE: % matches any run, _ any single byte.
+func likeMatch(s, pat string) bool {
+	// Dynamic programming over positions, iterative two-pointer with
+	// backtracking on the last %.
+	si, pi := 0, 0
+	star, sBack := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			star = pi
+			sBack = si
+			pi++
+		case star != -1:
+			sBack++
+			si = sBack
+			pi = star + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}

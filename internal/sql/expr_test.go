@@ -1,0 +1,210 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xomatiq/internal/value"
+)
+
+// evalConst evaluates an expression with no column references.
+func evalConst(t *testing.T, src string) value.Value {
+	t.Helper()
+	stmt, err := Parse("SELECT " + src + " FROM dual")
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	e := stmt.(*Select).Items[0].Expr
+	v, err := Eval(e, Row{Schema: &Schema{}})
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want value.Value
+	}{
+		{"1 + 2", value.NewInt(3)},
+		{"5 - 7", value.NewInt(-2)},
+		{"3 * 4", value.NewInt(12)},
+		{"10 / 2", value.NewInt(5)},
+		{"7 / 2", value.NewFloat(3.5)},
+		{"1.5 + 2", value.NewFloat(3.5)},
+		{"2 * 3 + 4", value.NewInt(10)},
+		{"2 + 3 * 4", value.NewInt(14)},
+		{"(2 + 3) * 4", value.NewInt(20)},
+		{"-(3)", value.NewInt(-3)},
+		{"1 + NULL", value.Null},
+		{"'a' || 'b' || 'c'", value.NewText("abc")},
+	}
+	for _, c := range cases {
+		got := evalConst(t, c.src)
+		if value.Compare(got, c.want) != 0 || got.Kind() != c.want.Kind() {
+			t.Errorf("%s = %v (%v), want %v (%v)", c.src, got, got.Kind(), c.want, c.want.Kind())
+		}
+	}
+}
+
+func TestEvalDivisionByZero(t *testing.T) {
+	stmt, _ := Parse("SELECT 1 / 0 FROM dual")
+	_, err := Eval(stmt.(*Select).Items[0].Expr, Row{Schema: &Schema{}})
+	if err == nil {
+		t.Error("division by zero should error")
+	}
+}
+
+func TestEvalComparisons(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"1 = 1", true}, {"1 = 2", false},
+		{"1 != 2", true}, {"1 <> 1", false},
+		{"1 < 2", true}, {"2 <= 2", true},
+		{"3 > 2", true}, {"2 >= 3", false},
+		{"'abc' < 'abd'", true},
+		{"'2' = 2", true},  // text/number coercion
+		{"'10' > 9", true}, // numeric, not lexicographic
+		{"1.5 BETWEEN 1 AND 2", true},
+		{"3 NOT BETWEEN 1 AND 2", true},
+		{"2 IN (1, 2, 3)", true},
+		{"5 NOT IN (1, 2, 3)", true},
+		{"NULL IS NULL", true},
+		{"1 IS NOT NULL", true},
+		{"NOT FALSE", true},
+		{"TRUE AND TRUE", true},
+		{"TRUE AND FALSE", false},
+		{"FALSE OR TRUE", true},
+		{"NULL = NULL", false}, // SQL semantics: NULL compares false
+		{"NULL = 1", false},
+	}
+	for _, c := range cases {
+		got := evalConst(t, c.src)
+		if got.Kind() != value.KindBool || got.Bool() != c.want {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalLike(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"ketone", "ket%", true},
+		{"ketone", "%one", true},
+		{"ketone", "%eto%", true},
+		{"ketone", "k_tone", true},
+		{"ketone", "ketone", true},
+		{"ketone", "keto", false},
+		{"ketone", "%x%", false},
+		{"", "%", true},
+		{"", "_", false},
+		{"abc", "%%", true},
+		{"a%b", "a%b", true}, // % in subject matched by literal path too
+		{"peptidylglycine monooxygenase", "%glycine%genase", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.pat); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.pat, got, c.want)
+		}
+	}
+}
+
+func TestQuickLikeAgainstReference(t *testing.T) {
+	// Property: pattern with no wildcards matches iff equal; '%' alone
+	// matches everything; pattern 'prefix%' matches iff HasPrefix.
+	f := func(s, prefix string) bool {
+		if strings.ContainsAny(s, "%_") || strings.ContainsAny(prefix, "%_") {
+			return true
+		}
+		if likeMatch(s, s) != true {
+			return false
+		}
+		if likeMatch(s, "%") != true {
+			return false
+		}
+		return likeMatch(s, prefix+"%") == strings.HasPrefix(s, prefix)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalScalarFunctions(t *testing.T) {
+	cases := []struct {
+		src  string
+		want value.Value
+	}{
+		{"LENGTH('enzyme')", value.NewInt(6)},
+		{"LOWER('KetONE')", value.NewText("ketone")},
+		{"UPPER('cdc6')", value.NewText("CDC6")},
+		{"ABS(-4)", value.NewInt(4)},
+		{"ABS(-2.5)", value.NewFloat(2.5)},
+		{"SUBSTR('peptidyl', 1, 4)", value.NewText("pept")},
+		{"SUBSTR('peptidyl', 5)", value.NewText("idyl")},
+		{"SUBSTR('abc', 10, 2)", value.NewText("")},
+		{"CONTAINS('Catalytic KETONE activity', 'ketone')", value.NewBool(true)},
+		{"CONTAINS('abc', 'xyz')", value.NewBool(false)},
+		{"LENGTH(NULL)", value.Null},
+	}
+	for _, c := range cases {
+		got := evalConst(t, c.src)
+		if value.Compare(got, c.want) != 0 {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalColumnResolution(t *testing.T) {
+	schema := &Schema{Cols: []SchemaCol{
+		{Table: "a", Name: "id", Type: value.KindInt},
+		{Table: "b", Name: "id", Type: value.KindInt},
+		{Table: "b", Name: "name", Type: value.KindText},
+	}}
+	row := Row{Schema: schema, Values: value.Tuple{value.NewInt(1), value.NewInt(2), value.NewText("x")}}
+
+	v, err := Eval(&ColumnRef{Table: "b", Column: "id"}, row)
+	if err != nil || v.Int() != 2 {
+		t.Errorf("qualified ref = %v, %v", v, err)
+	}
+	if _, err := Eval(&ColumnRef{Column: "id"}, row); err == nil {
+		t.Error("ambiguous unqualified ref should fail")
+	}
+	v, err = Eval(&ColumnRef{Column: "name"}, row)
+	if err != nil || v.Text() != "x" {
+		t.Errorf("unambiguous unqualified ref = %v, %v", v, err)
+	}
+	if _, err := Eval(&ColumnRef{Column: "missing"}, row); err == nil {
+		t.Error("missing column should fail")
+	}
+	// Case-insensitive resolution.
+	v, err = Eval(&ColumnRef{Table: "B", Column: "NAME"}, row)
+	if err != nil || v.Text() != "x" {
+		t.Errorf("case-insensitive ref = %v, %v", v, err)
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	cases := []struct {
+		v    value.Value
+		want bool
+	}{
+		{value.NewBool(true), true},
+		{value.NewBool(false), false},
+		{value.NewInt(1), true},
+		{value.NewInt(0), false},
+		{value.NewFloat(0.5), true},
+		{value.Null, false},
+		{value.NewText("x"), false},
+	}
+	for _, c := range cases {
+		if truthy(c.v) != c.want {
+			t.Errorf("truthy(%v) = %v", c.v, !c.want)
+		}
+	}
+}

@@ -1,0 +1,452 @@
+package sql
+
+import (
+	"xomatiq/internal/storage/heap"
+	"xomatiq/internal/value"
+)
+
+// equiPair is one left-expr = right-column equality usable as a join key.
+type equiPair struct {
+	left     Expr // evaluated against the left schema
+	rightCol int  // column position in the right table
+}
+
+// buildJoin adds one table to the join tree. It prefers, in order: index
+// nested-loop join (right table has an index whose leading column is a
+// join key), hash join (any equi keys), and nested-loop join (everything
+// else). The ON residual is applied at the join; WHERE conjuncts are
+// re-checked by the outer filter.
+func (db *DB) buildJoin(left rowIter, rt *TableInfo, ref TableRef, whereConjs []Expr, rightFilter []Expr, trace *[]string) (rowIter, error) {
+	binding := ref.Binding()
+	rightSchema := rt.Schema(binding)
+	outSchema := left.Schema().Concat(rightSchema)
+
+	// Candidate equality conjuncts: the ON clause plus WHERE conjuncts
+	// linking the right table to the left stream.
+	cands := conjuncts(ref.On)
+	cands = append(cands, whereConjs...)
+	var pairs []equiPair
+	var residual []Expr
+	for i, c := range cands {
+		fromOn := i < len(conjuncts(ref.On))
+		if p, ok := db.asEquiPair(c, left.Schema(), binding, rt); ok {
+			pairs = append(pairs, p)
+			continue
+		}
+		if fromOn {
+			residual = append(residual, c)
+		}
+	}
+
+	// The right side materialises through its own access path (which may
+	// use an index for pushed-down equality/range conjuncts) with the
+	// remaining single-binding filters applied inline.
+	rightSrc := func() (rowIter, error) {
+		it, err := db.accessPath(rt, binding, whereConjs, trace)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range rightFilter {
+			it = &filterIter{in: it, pred: f}
+		}
+		return it, nil
+	}
+	var join rowIter
+	if len(pairs) > 0 {
+		if ix := pickJoinIndex(rt, pairs); ix != nil {
+			tracef(trace, "join %s as %s: index nested loop via %s (%d keys)",
+				rt.Name, binding, ix.Name, len(pairs))
+			join = newIndexJoinIter(left, rt, rightSchema, outSchema, ix, pairs, rightFilter)
+		} else {
+			tracef(trace, "join %s as %s: hash join (%d keys)", rt.Name, binding, len(pairs))
+			join = newHashJoinIter(left, rightSchema, outSchema, pairs, rightSrc)
+		}
+	} else {
+		tracef(trace, "join %s as %s: nested loop (cross)", rt.Name, binding)
+		join = newNestedLoopIter(left, outSchema, rightSrc)
+	}
+	for _, r := range residual {
+		join = &filterIter{in: join, pred: r}
+	}
+	return join, nil
+}
+
+// asEquiPair matches expr as leftExpr = right.col (either orientation)
+// where leftExpr resolves against the left schema and right.col belongs
+// to the right binding.
+func (db *DB) asEquiPair(e Expr, leftSchema *Schema, binding string, rt *TableInfo) (equiPair, bool) {
+	b, ok := e.(*BinaryExpr)
+	if !ok || b.Op != OpEq {
+		return equiPair{}, false
+	}
+	try := func(l, r Expr) (equiPair, bool) {
+		rc, ok := r.(*ColumnRef)
+		if !ok || !refersTo(rc, binding, rt) {
+			return equiPair{}, false
+		}
+		// An unqualified reference that also resolves on the left is
+		// ambiguous; require explicit qualification in that case.
+		if rc.Table == "" {
+			if _, err := leftSchema.Find(rc); err == nil {
+				return equiPair{}, false
+			}
+		}
+		lc, ok := l.(*ColumnRef)
+		if ok {
+			if _, err := leftSchema.Find(lc); err != nil {
+				return equiPair{}, false
+			}
+		} else if _, isLit := l.(*Literal); !isLit {
+			// Allow arbitrary left expressions only when they reference
+			// the left schema exclusively; keep it simple: columns and
+			// literals.
+			return equiPair{}, false
+		}
+		return equiPair{left: l, rightCol: rt.ColIndex(rc.Column)}, true
+	}
+	if p, ok := try(b.Left, b.Right); ok {
+		return p, true
+	}
+	if p, ok := try(b.Right, b.Left); ok {
+		return p, true
+	}
+	return equiPair{}, false
+}
+
+// pickJoinIndex returns an index on rt whose columns are all join keys
+// and whose probe key actually depends on the left row (at least one
+// non-literal pair). A probe built purely from literal equalities would
+// fetch the same rows for every left tuple — a degenerate nested loop —
+// where a hash join with an indexed build is strictly better.
+func pickJoinIndex(rt *TableInfo, pairs []equiPair) *IndexInfo {
+	for _, ix := range rt.Indexes {
+		if len(ix.ColPos) > len(pairs) {
+			continue
+		}
+		ok := true
+		leftDependent := false
+		for _, pos := range ix.ColPos {
+			found := false
+			for _, p := range pairs {
+				if p.rightCol == pos {
+					found = true
+					if _, lit := p.left.(*Literal); !lit {
+						leftDependent = true
+					}
+					break
+				}
+			}
+			if !found {
+				ok = false
+				break
+			}
+		}
+		if ok && leftDependent {
+			return ix
+		}
+	}
+	return nil
+}
+
+// joinKey evaluates the pair left expressions against a left row and
+// encodes them in the order of cols (right column positions).
+func joinKey(pairs []equiPair, cols []int, schema *Schema, tup value.Tuple) ([]byte, error) {
+	var key []byte
+	for _, pos := range cols {
+		for _, p := range pairs {
+			if p.rightCol == pos {
+				v, err := Eval(p.left, Row{Schema: schema, Values: tup})
+				if err != nil {
+					return nil, err
+				}
+				key = v.EncodeKey(key)
+				break
+			}
+		}
+	}
+	return key, nil
+}
+
+// pairCols extracts the distinct right column positions of the pairs, in
+// first-appearance order.
+func pairCols(pairs []equiPair) []int {
+	var cols []int
+	for _, p := range pairs {
+		dup := false
+		for _, c := range cols {
+			if c == p.rightCol {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cols = append(cols, p.rightCol)
+		}
+	}
+	return cols
+}
+
+// hashJoinIter builds a hash table over the right source keyed by the
+// join columns, then streams the left side probing it.
+type hashJoinIter struct {
+	left      rowIter
+	outSchema *Schema
+	pairs     []equiPair
+	cols      []int
+	rightSrc  func() (rowIter, error)
+
+	built   bool
+	table   map[string][]value.Tuple
+	current value.Tuple // left row being expanded
+	matches []value.Tuple
+	mpos    int
+}
+
+func newHashJoinIter(left rowIter, rightSchema, outSchema *Schema, pairs []equiPair, rightSrc func() (rowIter, error)) rowIter {
+	return &hashJoinIter{
+		left: left, outSchema: outSchema,
+		pairs: pairs, cols: pairCols(pairs), rightSrc: rightSrc,
+	}
+}
+
+func (h *hashJoinIter) Schema() *Schema { return h.outSchema }
+
+func (h *hashJoinIter) build() error {
+	h.table = make(map[string][]value.Tuple)
+	h.built = true
+	src, err := h.rightSrc()
+	if err != nil {
+		return err
+	}
+	for {
+		tup, ok, err := src.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		var key []byte
+		for _, pos := range h.cols {
+			key = tup[pos].EncodeKey(key)
+		}
+		h.table[string(key)] = append(h.table[string(key)], tup)
+	}
+}
+
+func (h *hashJoinIter) Next() (value.Tuple, bool, error) {
+	if !h.built {
+		if err := h.build(); err != nil {
+			return nil, false, err
+		}
+	}
+	for {
+		if h.mpos < len(h.matches) {
+			rt := h.matches[h.mpos]
+			h.mpos++
+			out := make(value.Tuple, 0, len(h.current)+len(rt))
+			out = append(out, h.current...)
+			out = append(out, rt...)
+			return out, true, nil
+		}
+		ltup, ok, err := h.left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		key, err := joinKey(h.pairs, h.cols, h.left.Schema(), ltup)
+		if err != nil {
+			return nil, false, err
+		}
+		h.current = ltup
+		h.matches = h.table[string(key)]
+		h.mpos = 0
+	}
+}
+
+// indexJoinIter probes a right-table index for each left row.
+type indexJoinIter struct {
+	left        rowIter
+	rt          *TableInfo
+	rightSchema *Schema
+	outSchema   *Schema
+	ix          *IndexInfo
+	pairs       []equiPair
+	rightFilter []Expr
+
+	current value.Tuple
+	matches []value.Tuple
+	mpos    int
+}
+
+func newIndexJoinIter(left rowIter, rt *TableInfo, rightSchema, outSchema *Schema, ix *IndexInfo, pairs []equiPair, rightFilter []Expr) rowIter {
+	return &indexJoinIter{
+		left: left, rt: rt, rightSchema: rightSchema, outSchema: outSchema,
+		ix: ix, pairs: pairs, rightFilter: rightFilter,
+	}
+}
+
+func (j *indexJoinIter) Schema() *Schema { return j.outSchema }
+
+func (j *indexJoinIter) probe(ltup value.Tuple) error {
+	key, err := joinKey(j.pairs, j.ix.ColPos, j.left.Schema(), ltup)
+	if err != nil {
+		return err
+	}
+	j.matches = j.matches[:0]
+	var rids []heap.RID
+	if j.ix.Hash != nil {
+		j.ix.Hash.Lookup(key, func(p []byte) bool {
+			rids = append(rids, ridFromBytes(p))
+			return true
+		})
+	} else {
+		if err := j.ix.BTree.ScanPrefix(key, func(_, v []byte) bool {
+			rids = append(rids, ridFromBytes(v))
+			return true
+		}); err != nil {
+			return err
+		}
+	}
+	for _, rid := range rids {
+		rec, err := j.rt.Heap.Get(rid)
+		if err != nil {
+			return err
+		}
+		tup, err := value.DecodeTuple(rec)
+		if err != nil {
+			return err
+		}
+		if keep, err := passes(j.rightFilter, j.rightSchema, tup); err != nil {
+			return err
+		} else if !keep {
+			continue
+		}
+		// The index may cover fewer columns than the equality set; the
+		// residual pairs are verified here.
+		match := true
+		for _, p := range j.pairs {
+			covered := false
+			for _, pos := range j.ix.ColPos {
+				if pos == p.rightCol {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				continue
+			}
+			lv, err := Eval(p.left, Row{Schema: j.left.Schema(), Values: ltup})
+			if err != nil {
+				return err
+			}
+			if lv.IsNull() || tup[p.rightCol].IsNull() || value.Compare(lv, tup[p.rightCol]) != 0 {
+				match = false
+				break
+			}
+		}
+		if match {
+			j.matches = append(j.matches, tup)
+		}
+	}
+	j.mpos = 0
+	return nil
+}
+
+func (j *indexJoinIter) Next() (value.Tuple, bool, error) {
+	for {
+		if j.mpos < len(j.matches) {
+			rt := j.matches[j.mpos]
+			j.mpos++
+			out := make(value.Tuple, 0, len(j.current)+len(rt))
+			out = append(out, j.current...)
+			out = append(out, rt...)
+			return out, true, nil
+		}
+		ltup, ok, err := j.left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.current = ltup
+		if err := j.probe(ltup); err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+// nestedLoopIter is the fallback cross join; predicates are applied by
+// the caller's filters.
+type nestedLoopIter struct {
+	left      rowIter
+	outSchema *Schema
+	rightSrc  func() (rowIter, error)
+
+	right   []value.Tuple
+	built   bool
+	current value.Tuple
+	rpos    int
+	haveRow bool
+}
+
+func newNestedLoopIter(left rowIter, outSchema *Schema, rightSrc func() (rowIter, error)) rowIter {
+	return &nestedLoopIter{left: left, outSchema: outSchema, rightSrc: rightSrc}
+}
+
+func (n *nestedLoopIter) Schema() *Schema { return n.outSchema }
+
+func (n *nestedLoopIter) build() error {
+	n.built = true
+	src, err := n.rightSrc()
+	if err != nil {
+		return err
+	}
+	for {
+		tup, ok, err := src.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		n.right = append(n.right, tup)
+	}
+}
+
+func (n *nestedLoopIter) Next() (value.Tuple, bool, error) {
+	if !n.built {
+		if err := n.build(); err != nil {
+			return nil, false, err
+		}
+	}
+	for {
+		if n.haveRow && n.rpos < len(n.right) {
+			rt := n.right[n.rpos]
+			n.rpos++
+			out := make(value.Tuple, 0, len(n.current)+len(rt))
+			out = append(out, n.current...)
+			out = append(out, rt...)
+			return out, true, nil
+		}
+		ltup, ok, err := n.left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		n.current = ltup
+		n.rpos = 0
+		n.haveRow = true
+	}
+}
+
+// passes evaluates pushed-down single-binding conjuncts against a right
+// tuple during join builds and probes.
+func passes(filters []Expr, schema *Schema, tup value.Tuple) (bool, error) {
+	for _, f := range filters {
+		v, err := Eval(f, Row{Schema: schema, Values: tup})
+		if err != nil {
+			return false, err
+		}
+		if !truthy(v) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,228 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"xomatiq/internal/value"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lex("SELECT a, 'it''s' FROM t -- comment\nWHERE x >= 1.5e2;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		if tk.kind == tokEOF {
+			break
+		}
+		texts = append(texts, tk.text)
+	}
+	want := []string{"SELECT", "a", ",", "it's", "FROM", "t", "WHERE", "x", ">=", "1.5e2", ";"}
+	if strings.Join(texts, "|") != strings.Join(want, "|") {
+		t.Errorf("lex = %v, want %v", texts, want)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "\"unterminated", "SELECT 1e", "a ? b"} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st := mustParse(t, `CREATE TABLE nodes (doc_id INT, name TEXT, score FLOAT, ok BOOL, blob BYTES)`).(*CreateTable)
+	if st.Name != "nodes" || len(st.Columns) != 5 {
+		t.Fatalf("bad parse: %+v", st)
+	}
+	wantKinds := []value.Kind{value.KindInt, value.KindText, value.KindFloat, value.KindBool, value.KindBytes}
+	for i, k := range wantKinds {
+		if st.Columns[i].Type != k {
+			t.Errorf("column %d type = %v, want %v", i, st.Columns[i].Type, k)
+		}
+	}
+	st2 := mustParse(t, `CREATE TABLE IF NOT EXISTS t (a INT)`).(*CreateTable)
+	if !st2.IfNotExists {
+		t.Error("IF NOT EXISTS not parsed")
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	st := mustParse(t, `CREATE INDEX idx_val ON values_str (path_id, val)`).(*CreateIndex)
+	if st.Name != "idx_val" || st.Table != "values_str" || len(st.Columns) != 2 || st.UsingHash {
+		t.Fatalf("bad parse: %+v", st)
+	}
+	st2 := mustParse(t, `CREATE INDEX h ON t (a) USING HASH`).(*CreateIndex)
+	if !st2.UsingHash {
+		t.Error("USING HASH not parsed")
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st := mustParse(t, `INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)`).(*Insert)
+	if st.Table != "t" || len(st.Columns) != 2 || len(st.Rows) != 2 {
+		t.Fatalf("bad parse: %+v", st)
+	}
+	if len(st.Rows[0]) != 2 {
+		t.Error("row arity wrong")
+	}
+	st2 := mustParse(t, `INSERT INTO t VALUES (1)`).(*Insert)
+	if st2.Columns != nil {
+		t.Error("implicit columns should be nil")
+	}
+}
+
+func TestParseSelectFull(t *testing.T) {
+	src := `SELECT DISTINCT a.x AS col, COUNT(*) FROM t1 a JOIN t2 b ON a.id = b.id
+	        WHERE a.x > 3 AND b.y LIKE 'ket%' GROUP BY a.x HAVING COUNT(*) > 1
+	        ORDER BY col DESC, a.x LIMIT 10 OFFSET 5`
+	st := mustParse(t, src).(*Select)
+	if !st.Distinct || len(st.Items) != 2 || len(st.From) != 2 {
+		t.Fatalf("bad parse: %+v", st)
+	}
+	if st.From[1].On == nil || st.From[1].Binding() != "b" {
+		t.Error("join not parsed")
+	}
+	if st.Where == nil || len(st.GroupBy) != 1 || st.Having == nil {
+		t.Error("where/group/having not parsed")
+	}
+	if len(st.OrderBy) != 2 || !st.OrderBy[0].Desc || st.OrderBy[1].Desc {
+		t.Error("order by not parsed")
+	}
+	if st.Limit != 10 || st.Offset != 5 {
+		t.Error("limit/offset not parsed")
+	}
+}
+
+func TestParseCommaJoin(t *testing.T) {
+	st := mustParse(t, `SELECT * FROM a, b WHERE a.x = b.y`).(*Select)
+	if len(st.From) != 2 || st.From[1].On != nil {
+		t.Fatalf("comma join parse: %+v", st.From)
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	st := mustParse(t, `SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3`).(*Select)
+	or, ok := st.Where.(*BinaryExpr)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top op = %v, want OR", st.Where)
+	}
+	and, ok := or.Right.(*BinaryExpr)
+	if !ok || and.Op != OpAnd {
+		t.Error("AND should bind tighter than OR")
+	}
+	// Arithmetic precedence: 1 + 2 * 3
+	st2 := mustParse(t, `SELECT 1 + 2 * 3 FROM t`).(*Select)
+	add := st2.Items[0].Expr.(*BinaryExpr)
+	if add.Op != OpAdd {
+		t.Fatalf("top arith op = %s", add.Op)
+	}
+	if mul, ok := add.Right.(*BinaryExpr); !ok || mul.Op != OpMul {
+		t.Error("* should bind tighter than +")
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	st := mustParse(t, `SELECT * FROM t WHERE a NOT LIKE 'x%' AND b IN (1,2,3) AND c BETWEEN 1 AND 5 AND d IS NOT NULL AND NOT e = 1`).(*Select)
+	conjs := conjuncts(st.Where)
+	if len(conjs) != 5 {
+		t.Fatalf("got %d conjuncts", len(conjs))
+	}
+	if l, ok := conjs[0].(*LikeExpr); !ok || !l.Not {
+		t.Error("NOT LIKE not parsed")
+	}
+	if in, ok := conjs[1].(*InExpr); !ok || len(in.List) != 3 {
+		t.Error("IN not parsed")
+	}
+	if _, ok := conjs[2].(*BetweenExpr); !ok {
+		t.Error("BETWEEN not parsed")
+	}
+	if n, ok := conjs[3].(*IsNullExpr); !ok || !n.Not {
+		t.Error("IS NOT NULL not parsed")
+	}
+	if _, ok := conjs[4].(*UnaryExpr); !ok {
+		t.Error("NOT not parsed")
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	st := mustParse(t, `SELECT -5, -2.5 FROM t`).(*Select)
+	if v := st.Items[0].Expr.(*Literal).Val; v.Int() != -5 {
+		t.Errorf("got %v", v)
+	}
+	if v := st.Items[1].Expr.(*Literal).Val; v.Float() != -2.5 {
+		t.Errorf("got %v", v)
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	up := mustParse(t, `UPDATE t SET a = a + 1, b = 'x' WHERE id = 3`).(*Update)
+	if up.Table != "t" || len(up.Set) != 2 || up.Where == nil {
+		t.Fatalf("bad update: %+v", up)
+	}
+	del := mustParse(t, `DELETE FROM t`).(*Delete)
+	if del.Where != nil {
+		t.Error("delete without where should have nil Where")
+	}
+}
+
+func TestParseDrop(t *testing.T) {
+	dt := mustParse(t, `DROP TABLE IF EXISTS t`).(*DropTable)
+	if !dt.IfExists || dt.Name != "t" {
+		t.Errorf("bad drop table: %+v", dt)
+	}
+	di := mustParse(t, `DROP INDEX i`).(*DropIndex)
+	if di.IfExists || di.Name != "i" {
+		t.Errorf("bad drop index: %+v", di)
+	}
+}
+
+func TestParseQuotedIdent(t *testing.T) {
+	st := mustParse(t, `SELECT * FROM "hlx enzyme.DEFAULT"`).(*Select)
+	if st.From[0].Table != "hlx enzyme.DEFAULT" {
+		t.Errorf("quoted table = %q", st.From[0].Table)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"INSERT t VALUES (1)",
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (a BLOB)",
+		"SELECT * FROM t GROUP",
+		"SELECT * FROM t LIMIT x",
+		"SELECT UNKNOWN_FUNC(a) FROM t",
+		"SELECT * FROM t; SELECT * FROM t",
+		"SELECT a NOT 5 FROM t",
+		"SELECT SUM(*) FROM t",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	st := mustParse(t, `SELECT * FROM t WHERE a = 'it''s' AND b IN (1,2) AND c IS NULL`).(*Select)
+	s := ExprString(st.Where)
+	if !strings.Contains(s, "'it''s'") || !strings.Contains(s, "IN (1, 2)") || !strings.Contains(s, "IS NULL") {
+		t.Errorf("ExprString = %q", s)
+	}
+}

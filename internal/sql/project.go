@@ -1,0 +1,486 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xomatiq/internal/value"
+)
+
+// hasAggregates reports whether the SELECT needs grouping.
+func hasAggregates(sel *Select) bool {
+	if len(sel.GroupBy) > 0 || sel.Having != nil {
+		return true
+	}
+	for _, it := range sel.Items {
+		if it.Expr != nil && containsAggregate(it.Expr) {
+			return true
+		}
+	}
+	for _, o := range sel.OrderBy {
+		if containsAggregate(o.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAggregate(e Expr) bool {
+	switch e := e.(type) {
+	case *FuncCall:
+		if e.IsAggregate() {
+			return true
+		}
+		for _, a := range e.Args {
+			if containsAggregate(a) {
+				return true
+			}
+		}
+	case *BinaryExpr:
+		return containsAggregate(e.Left) || containsAggregate(e.Right)
+	case *UnaryExpr:
+		return containsAggregate(e.Expr)
+	case *LikeExpr:
+		return containsAggregate(e.Expr) || containsAggregate(e.Pattern)
+	case *InExpr:
+		if containsAggregate(e.Expr) {
+			return true
+		}
+		for _, x := range e.List {
+			if containsAggregate(x) {
+				return true
+			}
+		}
+	case *BetweenExpr:
+		return containsAggregate(e.Expr) || containsAggregate(e.Lo) || containsAggregate(e.Hi)
+	case *IsNullExpr:
+		return containsAggregate(e.Expr)
+	}
+	return false
+}
+
+// expandItems resolves SELECT items against the input schema, expanding *
+// into all input columns. Returns the output expressions and names.
+func expandItems(sel *Select, in *Schema) (exprs []Expr, names []string) {
+	for _, item := range sel.Items {
+		if item.Star {
+			for _, c := range in.Cols {
+				exprs = append(exprs, &ColumnRef{Table: c.Table, Column: c.Name})
+				names = append(names, c.Name)
+			}
+			continue
+		}
+		exprs = append(exprs, item.Expr)
+		if item.Alias != "" {
+			names = append(names, item.Alias)
+		} else {
+			names = append(names, ExprString(item.Expr))
+		}
+	}
+	return exprs, names
+}
+
+// orderSpec computes order keys for output rows. A bare column reference
+// that names an output alias (or an expression textually equal to an
+// output item) sorts by that output column; anything else is evaluated
+// against the input schema. This makes both ORDER BY alias and
+// ORDER BY input_col work, preferring the output when names collide.
+type orderSpec struct {
+	exprs  []Expr
+	desc   []bool
+	outPos []int // >= 0: sort by this output column; -1: evaluate expr
+	in     *Schema
+}
+
+func newOrderSpec(sel *Select, in *Schema, names []string) *orderSpec {
+	if len(sel.OrderBy) == 0 {
+		return nil
+	}
+	spec := &orderSpec{in: in}
+	for _, o := range sel.OrderBy {
+		pos := -1
+		target := ""
+		if c, ok := o.Expr.(*ColumnRef); ok && c.Table == "" {
+			target = c.Column
+		} else {
+			target = ExprString(o.Expr)
+		}
+		for i, n := range names {
+			if strings.EqualFold(n, target) {
+				pos = i
+				break
+			}
+		}
+		spec.exprs = append(spec.exprs, o.Expr)
+		spec.desc = append(spec.desc, o.Desc)
+		spec.outPos = append(spec.outPos, pos)
+	}
+	return spec
+}
+
+// keysFor evaluates the order keys for one row given its input values and
+// computed output values. rewrite, when non-nil, substitutes aggregate
+// results before evaluation.
+func (o *orderSpec) keysFor(inVals, outVals value.Tuple, rewrite map[*FuncCall]value.Value) (value.Tuple, error) {
+	keys := make(value.Tuple, len(o.exprs))
+	for i, e := range o.exprs {
+		if p := o.outPos[i]; p >= 0 {
+			keys[i] = outVals[p]
+			continue
+		}
+		if rewrite != nil {
+			e = rewriteAggs(e, rewrite)
+		}
+		v, err := Eval(e, Row{Schema: o.in, Values: inVals})
+		if err != nil {
+			return nil, fmt.Errorf("sql: ORDER BY: %w", err)
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+// outRow pairs an output tuple with its sort keys.
+type outRow struct {
+	vals value.Tuple
+	keys value.Tuple
+}
+
+// finish applies DISTINCT, ORDER BY, OFFSET and LIMIT, producing Rows.
+func finish(sel *Select, names []string, rows []outRow, spec *orderSpec) *Rows {
+	if sel.Distinct {
+		seen := map[string]bool{}
+		kept := rows[:0]
+		for _, r := range rows {
+			k := string(r.vals.Encode(nil))
+			if !seen[k] {
+				seen[k] = true
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+	if spec != nil {
+		sort.SliceStable(rows, func(i, j int) bool {
+			for k := range spec.exprs {
+				c := value.Compare(rows[i].keys[k], rows[j].keys[k])
+				if spec.desc[k] {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	if sel.Offset > 0 {
+		if sel.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[sel.Offset:]
+		}
+	}
+	if sel.Limit >= 0 && sel.Limit < len(rows) {
+		rows = rows[:sel.Limit]
+	}
+	out := &Rows{Columns: names}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, r.vals)
+	}
+	return out
+}
+
+// project evaluates the SELECT items over a non-aggregated stream.
+func (db *DB) project(sel *Select, it rowIter) (*Rows, error) {
+	in := it.Schema()
+	exprs, names := expandItems(sel, in)
+	spec := newOrderSpec(sel, in, names)
+	var rows []outRow
+	for {
+		tup, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		row := Row{Schema: in, Values: tup}
+		vals := make(value.Tuple, len(exprs))
+		for i, e := range exprs {
+			v, err := Eval(e, row)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		or := outRow{vals: vals}
+		if spec != nil {
+			or.keys, err = spec.keysFor(tup, vals, nil)
+			if err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, or)
+		if spec == nil && !sel.Distinct && sel.Limit >= 0 && len(rows) >= sel.Offset+sel.Limit {
+			break // early-out when no sort or dedup can change the prefix
+		}
+	}
+	return finish(sel, names, rows, spec), nil
+}
+
+// aggState accumulates one aggregate function over one group.
+type aggState struct {
+	fn      *FuncCall
+	count   int64
+	sumF    float64
+	sumI    int64
+	allInt  bool
+	started bool
+	minV    value.Value
+	maxV    value.Value
+}
+
+func newAggState(fn *FuncCall) *aggState {
+	return &aggState{fn: fn, allInt: true, minV: value.Null, maxV: value.Null}
+}
+
+func (a *aggState) add(row Row) error {
+	if a.fn.Star { // COUNT(*)
+		a.count++
+		return nil
+	}
+	v, err := Eval(a.fn.Args[0], row)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	a.count++
+	switch a.fn.Name {
+	case "SUM", "AVG":
+		f, ok := v.AsNumeric()
+		if !ok {
+			return fmt.Errorf("sql: %s of non-numeric %s", a.fn.Name, v.Kind())
+		}
+		a.sumF += f
+		if v.Kind() == value.KindInt {
+			a.sumI += v.Int()
+		} else {
+			a.allInt = false
+		}
+	case "MIN":
+		if !a.started || value.Compare(v, a.minV) < 0 {
+			a.minV = v
+		}
+	case "MAX":
+		if !a.started || value.Compare(v, a.maxV) > 0 {
+			a.maxV = v
+		}
+	}
+	a.started = true
+	return nil
+}
+
+func (a *aggState) result() value.Value {
+	switch a.fn.Name {
+	case "COUNT":
+		return value.NewInt(a.count)
+	case "SUM":
+		if a.count == 0 {
+			return value.Null
+		}
+		if a.allInt {
+			return value.NewInt(a.sumI)
+		}
+		return value.NewFloat(a.sumF)
+	case "AVG":
+		if a.count == 0 {
+			return value.Null
+		}
+		return value.NewFloat(a.sumF / float64(a.count))
+	case "MIN":
+		return a.minV
+	case "MAX":
+		return a.maxV
+	}
+	return value.Null
+}
+
+// rewriteAggs clones e with aggregate calls replaced by their computed
+// literals.
+func rewriteAggs(e Expr, vals map[*FuncCall]value.Value) Expr {
+	switch e := e.(type) {
+	case *FuncCall:
+		if v, ok := vals[e]; ok {
+			return &Literal{Val: v}
+		}
+		ne := &FuncCall{Name: e.Name, Star: e.Star}
+		for _, a := range e.Args {
+			ne.Args = append(ne.Args, rewriteAggs(a, vals))
+		}
+		return ne
+	case *BinaryExpr:
+		return &BinaryExpr{Op: e.Op, Left: rewriteAggs(e.Left, vals), Right: rewriteAggs(e.Right, vals)}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: e.Op, Expr: rewriteAggs(e.Expr, vals)}
+	case *LikeExpr:
+		return &LikeExpr{Expr: rewriteAggs(e.Expr, vals), Pattern: rewriteAggs(e.Pattern, vals), Not: e.Not}
+	case *InExpr:
+		ne := &InExpr{Expr: rewriteAggs(e.Expr, vals), Not: e.Not}
+		for _, x := range e.List {
+			ne.List = append(ne.List, rewriteAggs(x, vals))
+		}
+		return ne
+	case *BetweenExpr:
+		return &BetweenExpr{Expr: rewriteAggs(e.Expr, vals), Lo: rewriteAggs(e.Lo, vals), Hi: rewriteAggs(e.Hi, vals), Not: e.Not}
+	case *IsNullExpr:
+		return &IsNullExpr{Expr: rewriteAggs(e.Expr, vals), Not: e.Not}
+	}
+	return e
+}
+
+// collectAggs gathers the aggregate calls appearing in the SELECT.
+func collectAggs(sel *Select, exprs []Expr) []*FuncCall {
+	var aggs []*FuncCall
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch e := e.(type) {
+		case *FuncCall:
+			if e.IsAggregate() {
+				aggs = append(aggs, e)
+				return
+			}
+			for _, a := range e.Args {
+				walk(a)
+			}
+		case *BinaryExpr:
+			walk(e.Left)
+			walk(e.Right)
+		case *UnaryExpr:
+			walk(e.Expr)
+		case *LikeExpr:
+			walk(e.Expr)
+			walk(e.Pattern)
+		case *InExpr:
+			walk(e.Expr)
+			for _, x := range e.List {
+				walk(x)
+			}
+		case *BetweenExpr:
+			walk(e.Expr)
+			walk(e.Lo)
+			walk(e.Hi)
+		case *IsNullExpr:
+			walk(e.Expr)
+		}
+	}
+	for _, e := range exprs {
+		walk(e)
+	}
+	if sel.Having != nil {
+		walk(sel.Having)
+	}
+	for _, o := range sel.OrderBy {
+		walk(o.Expr)
+	}
+	return aggs
+}
+
+// group is the accumulated state for one GROUP BY bucket.
+type group struct {
+	repr value.Tuple // first input row, used for group-by column output
+	aggs []*aggState
+}
+
+// runAggregate executes grouped/aggregated SELECTs.
+func (db *DB) runAggregate(sel *Select, it rowIter) (*Rows, error) {
+	in := it.Schema()
+	exprs, names := expandItems(sel, in)
+	aggCalls := collectAggs(sel, exprs)
+
+	groups := map[string]*group{}
+	var order []string // group output order = first appearance
+	for {
+		tup, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		row := Row{Schema: in, Values: tup}
+		var key []byte
+		for _, ge := range sel.GroupBy {
+			v, err := Eval(ge, row)
+			if err != nil {
+				return nil, err
+			}
+			key = v.Encode(key)
+		}
+		g := groups[string(key)]
+		if g == nil {
+			g = &group{repr: tup}
+			for _, fc := range aggCalls {
+				g.aggs = append(g.aggs, newAggState(fc))
+			}
+			groups[string(key)] = g
+			order = append(order, string(key))
+		}
+		for _, a := range g.aggs {
+			if err := a.add(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// A query with aggregates but no GROUP BY yields one row even over
+	// empty input.
+	if len(groups) == 0 && len(sel.GroupBy) == 0 {
+		g := &group{repr: make(value.Tuple, len(in.Cols))}
+		for _, fc := range aggCalls {
+			g.aggs = append(g.aggs, newAggState(fc))
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	spec := newOrderSpec(sel, in, names)
+	var rows []outRow
+	for _, k := range order {
+		g := groups[k]
+		vals := map[*FuncCall]value.Value{}
+		for i, fc := range aggCalls {
+			vals[fc] = g.aggs[i].result()
+		}
+		row := Row{Schema: in, Values: g.repr}
+		if sel.Having != nil {
+			hv, err := Eval(rewriteAggs(sel.Having, vals), row)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(hv) {
+				continue
+			}
+		}
+		outVals := make(value.Tuple, len(exprs))
+		for i, e := range exprs {
+			v, err := Eval(rewriteAggs(e, vals), row)
+			if err != nil {
+				return nil, err
+			}
+			outVals[i] = v
+		}
+		or := outRow{vals: outVals}
+		if spec != nil {
+			keys, err := spec.keysFor(g.repr, outVals, vals)
+			if err != nil {
+				return nil, err
+			}
+			or.keys = keys
+		}
+		rows = append(rows, or)
+	}
+	return finish(sel, names, rows, spec), nil
+}

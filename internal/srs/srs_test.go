@@ -1,0 +1,171 @@
+package srs
+
+import (
+	"testing"
+
+	"xomatiq/internal/bio"
+)
+
+// buildSystem indexes a generated ENZYME + Swiss-Prot pair with a link
+// from ENZYME's swissprot references to the Swiss-Prot bank.
+func buildSystem(t *testing.T) (*System, []*bio.EnzymeEntry, []*bio.SProtEntry) {
+	t.Helper()
+	opts := bio.GenOptions{Seed: 17, Cdc6Rate: 0.3}
+	enz := bio.GenEnzymes(30, opts)
+	sprot := bio.GenSProt(30, opts)
+
+	sys := New()
+	enzAny := make([]any, len(enz))
+	for i, e := range enz {
+		enzAny[i] = e
+	}
+	sys.AddDatabank("enzyme", enzAny, []FieldIndex{
+		{Name: "id", Extract: func(e any) []string { return []string{e.(*bio.EnzymeEntry).ID} }},
+		{Name: "cofactor", Extract: func(e any) []string { return e.(*bio.EnzymeEntry).Cofactors }},
+		{Name: "sprot", Extract: func(e any) []string {
+			var out []string
+			for _, r := range e.(*bio.EnzymeEntry).SwissProt {
+				out = append(out, r.Accession)
+			}
+			return out
+		}},
+	}, map[string]string{"sprot": "sprot"})
+
+	spAny := make([]any, len(sprot))
+	for i, e := range sprot {
+		spAny[i] = e
+	}
+	sys.AddDatabank("sprot", spAny, []FieldIndex{
+		{Name: "id", Extract: func(e any) []string { return []string{e.(*bio.SProtEntry).Accession} }},
+		{Name: "gene", Extract: func(e any) []string { return e.(*bio.SProtEntry).GeneNames }},
+	}, nil)
+	return sys, enz, sprot
+}
+
+func TestLookup(t *testing.T) {
+	sys, enz, _ := buildSystem(t)
+	hits, err := sys.Lookup("enzyme", "id", enz[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].(*bio.EnzymeEntry).ID != enz[0].ID {
+		t.Errorf("id lookup = %v", hits)
+	}
+	// Case-insensitive exact match.
+	hits, err = sys.Lookup("enzyme", "cofactor", "copper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, e := range enz {
+		for _, c := range e.Cofactors {
+			if c == "Copper" {
+				want++
+				break
+			}
+		}
+	}
+	if len(hits) != want {
+		t.Errorf("cofactor lookup = %d, want %d", len(hits), want)
+	}
+	if hits, _ := sys.Lookup("enzyme", "id", "no.such.id"); len(hits) != 0 {
+		t.Errorf("miss returned %v", hits)
+	}
+}
+
+func TestUnindexedFieldRejected(t *testing.T) {
+	sys, _, _ := buildSystem(t)
+	if _, err := sys.Lookup("enzyme", "catalytic_activity", "ketone"); err == nil {
+		t.Error("unindexed field should be rejected (the paper's Icarus critique)")
+	}
+	if _, err := sys.Lookup("nope", "id", "x"); err == nil {
+		t.Error("unknown databank should be rejected")
+	}
+}
+
+func TestFollowLink(t *testing.T) {
+	// A hand-built pair of databanks with a guaranteed resolvable link.
+	enz := &bio.EnzymeEntry{
+		ID: "1.1.1.1", Description: []string{"Test."},
+		SwissProt: []bio.EnzymeRef{{Accession: "P00001", Name: "TEST_YEAST"}},
+	}
+	prot := &bio.SProtEntry{ID: "TEST_YEAST", Accession: "P00001"}
+	other := &bio.SProtEntry{ID: "OTHER_HUMAN", Accession: "P99999"}
+
+	sys := New()
+	sys.AddDatabank("enzyme", []any{enz}, srsFields(), map[string]string{"sprot": "sprot"})
+	sys.AddDatabank("sprot", []any{prot, other}, []FieldIndex{
+		{Name: "id", Extract: func(e any) []string { return []string{e.(*bio.SProtEntry).Accession} }},
+	}, nil)
+
+	linked, err := sys.Follow("enzyme", "id", "1.1.1.1", "sprot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(linked) != 1 || linked[0].(*bio.SProtEntry).Accession != "P00001" {
+		t.Errorf("Follow = %v", linked)
+	}
+	// A lookup with no hits follows to nothing.
+	linked, err = sys.Follow("enzyme", "id", "9.9.9.9", "sprot")
+	if err != nil || len(linked) != 0 {
+		t.Errorf("Follow of miss = %v, %v", linked, err)
+	}
+	// Ad-hoc links and unknown banks are rejected.
+	if _, err := sys.Follow("enzyme", "id", "1.1.1.1", "cofactor"); err == nil {
+		t.Error("undeclared link should be rejected")
+	}
+	if _, err := sys.Follow("nope", "id", "x", "sprot"); err == nil {
+		t.Error("unknown bank should be rejected")
+	}
+	if _, err := sys.Follow("enzyme", "bogusfield", "x", "sprot"); err == nil {
+		t.Error("unindexed source field should be rejected")
+	}
+}
+
+// srsFields builds the standard enzyme field set for link tests.
+func srsFields() []FieldIndex {
+	return []FieldIndex{
+		{Name: "id", Extract: func(e any) []string { return []string{e.(*bio.EnzymeEntry).ID} }},
+		{Name: "sprot", Extract: func(e any) []string {
+			var out []string
+			for _, r := range e.(*bio.EnzymeEntry).SwissProt {
+				out = append(out, r.Accession)
+			}
+			return out
+		}},
+	}
+}
+
+func TestFields(t *testing.T) {
+	sys, _, _ := buildSystem(t)
+	f := sys.Fields("enzyme")
+	if len(f) != 3 || f[0] != "id" {
+		t.Errorf("Fields = %v", f)
+	}
+	if sys.Fields("nope") != nil {
+		t.Error("unknown bank fields should be nil")
+	}
+}
+
+func TestCanAnswerMatrix(t *testing.T) {
+	sys, _, _ := buildSystem(t)
+	cases := []struct {
+		name                                  string
+		fieldIndexed, anyLevel, adHocJoin, th bool
+		want                                  bool
+	}{
+		{"indexed field lookup", true, false, false, false, true},
+		{"unindexed field", false, false, false, false, false},
+		{"any-level element access", true, true, false, false, false},
+		{"ad-hoc join", true, false, true, false, false},
+		{"theta comparison", true, false, false, true, false},
+	}
+	for _, c := range cases {
+		if got := sys.CanAnswer("enzyme", c.fieldIndexed, c.anyLevel, c.adHocJoin, c.th); got != c.want {
+			t.Errorf("%s: CanAnswer = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if sys.CanAnswer("nope", true, false, false, false) {
+		t.Error("unknown bank should not answer")
+	}
+}

@@ -1,0 +1,223 @@
+// Package bufpool provides an LRU buffer pool over a disk.Manager. Pages
+// are pinned while in use; unpinned pages are eviction candidates. Dirty
+// pages are written back on eviction and on Flush.
+package bufpool
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"xomatiq/internal/storage/disk"
+	"xomatiq/internal/storage/page"
+)
+
+// ErrNoCleanFrames is returned in no-steal mode when every unpinned frame
+// is dirty; the caller must checkpoint (flush) and retry.
+var ErrNoCleanFrames = errors.New("bufpool: no clean frames to evict (checkpoint needed)")
+
+// Pool caches pages of one database file.
+type Pool struct {
+	mgr      *disk.Manager
+	capacity int
+
+	mu      sync.Mutex
+	frames  map[disk.PageID]*Frame
+	lru     *list.List // of *Frame; front = most recently used
+	noSteal bool
+}
+
+// Frame is a cached page. Callers access the page through Page() and must
+// hold a pin while doing so.
+type Frame struct {
+	id      disk.PageID
+	buf     []byte
+	pg      *page.Page
+	pins    int
+	dirty   bool
+	lruElem *list.Element
+}
+
+// ID reports the page id the frame holds.
+func (f *Frame) ID() disk.PageID { return f.id }
+
+// Page returns the slotted-page view of the frame.
+func (f *Frame) Page() *page.Page { return f.pg }
+
+// MarkDirty records that the frame was modified and must be written back.
+func (f *Frame) MarkDirty() { f.dirty = true }
+
+// New creates a pool holding at most capacity pages.
+func New(mgr *disk.Manager, capacity int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{
+		mgr:      mgr,
+		capacity: capacity,
+		frames:   make(map[disk.PageID]*Frame),
+		lru:      list.New(),
+	}
+}
+
+// Fetch pins the page with the given id, reading it from disk on a miss.
+// Callers must Unpin the frame when done.
+func (p *Pool) Fetch(id disk.PageID) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[id]; ok {
+		f.pins++
+		p.lru.MoveToFront(f.lruElem)
+		return f, nil
+	}
+	f, err := p.newFrameLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.mgr.ReadPage(id, f.buf); err != nil {
+		p.dropFrameLocked(f)
+		return nil, err
+	}
+	return f, nil
+}
+
+// Allocate allocates a fresh page on disk, initialises it to the given
+// kind and returns it pinned.
+func (p *Pool) Allocate(kind page.Kind) (*Frame, error) {
+	id, err := p.mgr.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, err := p.newFrameLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	f.pg.Init(kind)
+	f.dirty = true
+	return f, nil
+}
+
+// newFrameLocked makes room (evicting if needed), registers and pins a
+// fresh frame for id. Caller holds p.mu.
+func (p *Pool) newFrameLocked(id disk.PageID) (*Frame, error) {
+	if len(p.frames) >= p.capacity {
+		if err := p.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	f := &Frame{id: id, buf: make([]byte, page.Size), pins: 1}
+	f.pg = page.Wrap(f.buf)
+	f.lruElem = p.lru.PushFront(f)
+	p.frames[id] = f
+	return f, nil
+}
+
+func (p *Pool) dropFrameLocked(f *Frame) {
+	p.lru.Remove(f.lruElem)
+	delete(p.frames, f.id)
+}
+
+// evictLocked removes the least recently used evictable frame. In the
+// default (steal) mode dirty frames are written back before eviction; in
+// no-steal mode dirty frames are never evicted, preserving the WAL
+// invariant that the data file holds exactly the last checkpoint state.
+// Caller holds p.mu.
+func (p *Pool) evictLocked() error {
+	sawDirty := false
+	for e := p.lru.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*Frame)
+		if f.pins > 0 {
+			continue
+		}
+		if f.dirty {
+			if p.noSteal {
+				sawDirty = true
+				continue
+			}
+			if err := p.mgr.WritePage(f.id, f.buf); err != nil {
+				return err
+			}
+		}
+		p.dropFrameLocked(f)
+		return nil
+	}
+	if sawDirty {
+		return ErrNoCleanFrames
+	}
+	return fmt.Errorf("bufpool: all %d frames pinned", p.capacity)
+}
+
+// SetNoSteal switches the eviction policy. The engine enables no-steal
+// whenever a WAL governs the file.
+func (p *Pool) SetNoSteal(v bool) {
+	p.mu.Lock()
+	p.noSteal = v
+	p.mu.Unlock()
+}
+
+// DirtyCount reports the number of dirty frames (checkpoint policy input).
+func (p *Pool) DirtyCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, f := range p.frames {
+		if f.dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// Unpin releases one pin on the frame; dirty marks it modified.
+func (p *Pool) Unpin(f *Frame, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if dirty {
+		f.dirty = true
+	}
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("bufpool: unpin of unpinned page %d", f.id))
+	}
+	f.pins--
+}
+
+// Flush writes every dirty frame back to disk and syncs the file.
+func (p *Pool) Flush() error {
+	p.mu.Lock()
+	for _, f := range p.frames {
+		if f.dirty {
+			if err := p.mgr.WritePage(f.id, f.buf); err != nil {
+				p.mu.Unlock()
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	p.mu.Unlock()
+	return p.mgr.Sync()
+}
+
+// Len reports the number of cached frames (for tests and stats).
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
+
+// FreePage drops the page from the cache and returns it to the disk free
+// list. The page must not be pinned.
+func (p *Pool) FreePage(id disk.PageID) error {
+	p.mu.Lock()
+	if f, ok := p.frames[id]; ok {
+		if f.pins > 0 {
+			p.mu.Unlock()
+			return fmt.Errorf("bufpool: free pinned page %d", id)
+		}
+		p.dropFrameLocked(f)
+	}
+	p.mu.Unlock()
+	return p.mgr.Free(id)
+}

@@ -1,0 +1,199 @@
+// Package disk manages a page-addressed database file: fixed-size pages
+// identified by PageID, with allocation, free-listing, read, write and
+// sync. It is the lowest layer of the XomatiQ storage engine; the buffer
+// pool sits on top.
+package disk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"xomatiq/internal/storage/page"
+)
+
+// PageID identifies a page within a Manager's file. Page 0 is the file
+// header and is never handed out.
+type PageID uint32
+
+// InvalidPage is the zero PageID; it never refers to an allocated page.
+const InvalidPage PageID = 0
+
+// header layout in page 0:
+//
+//	0..8   magic "XOMATIQ\x01"
+//	8..12  numPages (uint32, includes the header page)
+//	12..16 freeListHead (uint32 PageID, 0 = empty)
+var magic = [8]byte{'X', 'O', 'M', 'A', 'T', 'I', 'Q', 1}
+
+// Manager owns one database file and serialises page allocation. Reads
+// and writes of distinct pages may proceed concurrently.
+type Manager struct {
+	mu       sync.Mutex
+	f        *os.File
+	numPages uint32
+	freeHead PageID
+}
+
+// Open opens (or creates) the database file at path.
+func Open(path string) (*Manager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("disk: open %s: %w", path, err)
+	}
+	m := &Manager{f: f}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disk: stat %s: %w", path, err)
+	}
+	if st.Size() == 0 {
+		m.numPages = 1
+		if err := m.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return m, nil
+	}
+	var hdr [page.Size]byte
+	if _, err := f.ReadAt(hdr[:16], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disk: read header: %w", err)
+	}
+	if [8]byte(hdr[:8]) != magic {
+		f.Close()
+		return nil, fmt.Errorf("disk: %s is not a xomatiq database file", path)
+	}
+	m.numPages = binary.LittleEndian.Uint32(hdr[8:])
+	m.freeHead = PageID(binary.LittleEndian.Uint32(hdr[12:]))
+	return m, nil
+}
+
+func (m *Manager) writeHeader() error {
+	var hdr [16]byte
+	copy(hdr[:8], magic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], m.numPages)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(m.freeHead))
+	if _, err := m.f.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("disk: write header: %w", err)
+	}
+	return nil
+}
+
+// NumPages reports the file size in pages, including the header page.
+func (m *Manager) NumPages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int(m.numPages)
+}
+
+// Allocate returns a fresh page ID, reusing a freed page when available.
+// The page contents are undefined; callers must initialise before use.
+func (m *Manager) Allocate() (PageID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.freeHead != InvalidPage {
+		id := m.freeHead
+		// The first 4 bytes of a free page store the next free page.
+		var next [4]byte
+		if _, err := m.f.ReadAt(next[:], int64(id)*page.Size); err != nil {
+			return InvalidPage, fmt.Errorf("disk: read free list: %w", err)
+		}
+		m.freeHead = PageID(binary.LittleEndian.Uint32(next[:]))
+		return id, m.writeHeader()
+	}
+	id := PageID(m.numPages)
+	m.numPages++
+	// Extend the file so later ReadPage of this id succeeds.
+	var zero [page.Size]byte
+	if _, err := m.f.WriteAt(zero[:], int64(id)*page.Size); err != nil {
+		return InvalidPage, fmt.Errorf("disk: extend file: %w", err)
+	}
+	return id, m.writeHeader()
+}
+
+// EnsureAllocated extends the file so that page id exists. WAL replay
+// uses it: a crash can lose the header update for pages that were
+// allocated and logged but whose header write never reached disk.
+func (m *Manager) EnsureAllocated(id PageID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if uint32(id) < m.numPages {
+		return nil
+	}
+	var zero [page.Size]byte
+	for uint32(id) >= m.numPages {
+		if _, err := m.f.WriteAt(zero[:], int64(m.numPages)*page.Size); err != nil {
+			return fmt.Errorf("disk: extend file: %w", err)
+		}
+		m.numPages++
+	}
+	return m.writeHeader()
+}
+
+// Free returns a page to the free list.
+func (m *Manager) Free(id PageID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id == InvalidPage || uint32(id) >= m.numPages {
+		return fmt.Errorf("disk: free invalid page %d", id)
+	}
+	var next [4]byte
+	binary.LittleEndian.PutUint32(next[:], uint32(m.freeHead))
+	if _, err := m.f.WriteAt(next[:], int64(id)*page.Size); err != nil {
+		return fmt.Errorf("disk: write free link: %w", err)
+	}
+	m.freeHead = id
+	return m.writeHeader()
+}
+
+// ReadPage fills buf (page.Size bytes) with the page contents.
+func (m *Manager) ReadPage(id PageID, buf []byte) error {
+	if len(buf) != page.Size {
+		return fmt.Errorf("disk: ReadPage buffer of %d bytes", len(buf))
+	}
+	if id == InvalidPage {
+		return fmt.Errorf("disk: read invalid page 0")
+	}
+	_, err := m.f.ReadAt(buf, int64(id)*page.Size)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("disk: page %d beyond end of file", id)
+	}
+	if err != nil {
+		return fmt.Errorf("disk: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+// WritePage writes buf (page.Size bytes) as the page contents.
+func (m *Manager) WritePage(id PageID, buf []byte) error {
+	if len(buf) != page.Size {
+		return fmt.Errorf("disk: WritePage buffer of %d bytes", len(buf))
+	}
+	if id == InvalidPage {
+		return fmt.Errorf("disk: write invalid page 0")
+	}
+	if _, err := m.f.WriteAt(buf, int64(id)*page.Size); err != nil {
+		return fmt.Errorf("disk: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// Sync flushes the file to stable storage.
+func (m *Manager) Sync() error {
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("disk: sync: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the file.
+func (m *Manager) Close() error {
+	if err := m.Sync(); err != nil {
+		m.f.Close()
+		return err
+	}
+	return m.f.Close()
+}

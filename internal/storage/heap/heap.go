@@ -1,0 +1,262 @@
+// Package heap implements heap files: unordered collections of
+// variable-length records stored in chained slotted pages, addressed by
+// stable record IDs. Table rows in the XomatiQ relational engine live in
+// heap files; every mutation is logged to the write-ahead log before the
+// page is touched.
+package heap
+
+import (
+	"errors"
+	"fmt"
+
+	"xomatiq/internal/storage/bufpool"
+	"xomatiq/internal/storage/disk"
+	"xomatiq/internal/storage/page"
+	"xomatiq/internal/storage/wal"
+)
+
+// RID is a stable record identifier: the page holding the record and its
+// slot within the page.
+type RID struct {
+	Page disk.PageID
+	Slot uint16
+}
+
+// String renders the RID as "page:slot".
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// ErrTooLarge is returned for records that exceed the single-page limit.
+var ErrTooLarge = errors.New("heap: record exceeds page capacity")
+
+// maxRecord leaves room for the page header and one slot.
+const maxRecord = page.Size - 64
+
+// Heap is one heap file: a chain of pages linked through the page aux
+// field. It is not safe for concurrent use; the engine layer serialises
+// access.
+type Heap struct {
+	pool  *bufpool.Pool
+	log   *wal.Log
+	first disk.PageID
+	last  disk.PageID
+	count int
+}
+
+// Create allocates a new heap file and returns it. The first page ID is
+// the heap's persistent identity; callers store it in the catalog.
+func Create(pool *bufpool.Pool, log *wal.Log, txn uint64) (*Heap, error) {
+	f, err := pool.Allocate(page.KindHeap)
+	if err != nil {
+		return nil, fmt.Errorf("heap: create: %w", err)
+	}
+	id := f.ID()
+	pool.Unpin(f, true)
+	if log != nil {
+		if err := log.Append(wal.Record{Txn: txn, Op: wal.OpInitPage, Page: uint32(id), Kind: uint8(page.KindHeap)}); err != nil {
+			return nil, err
+		}
+	}
+	return &Heap{pool: pool, log: log, first: id, last: id}, nil
+}
+
+// Open attaches to an existing heap file by its first page, walking the
+// chain to find the append target and record count.
+func Open(pool *bufpool.Pool, log *wal.Log, first disk.PageID) (*Heap, error) {
+	h := &Heap{pool: pool, log: log, first: first, last: first}
+	id := first
+	for id != disk.InvalidPage {
+		f, err := pool.Fetch(id)
+		if err != nil {
+			return nil, fmt.Errorf("heap: open: %w", err)
+		}
+		h.count += f.Page().LiveCount()
+		next := disk.PageID(f.Page().Aux())
+		pool.Unpin(f, false)
+		h.last = id
+		id = next
+	}
+	return h, nil
+}
+
+// FirstPage returns the heap's persistent identity.
+func (h *Heap) FirstPage() disk.PageID { return h.first }
+
+// Count reports the number of live records.
+func (h *Heap) Count() int { return h.count }
+
+func (h *Heap) appendLog(r wal.Record) error {
+	if h.log == nil {
+		return nil
+	}
+	return h.log.Append(r)
+}
+
+// Insert appends a record and returns its RID.
+func (h *Heap) Insert(txn uint64, rec []byte) (RID, error) {
+	if len(rec) > maxRecord {
+		return RID{}, fmt.Errorf("heap: %d-byte record: %w", len(rec), ErrTooLarge)
+	}
+	f, err := h.pool.Fetch(h.last)
+	if err != nil {
+		return RID{}, err
+	}
+	slot, err := f.Page().Insert(rec)
+	if err == nil {
+		rid := RID{Page: f.ID(), Slot: uint16(slot)}
+		h.pool.Unpin(f, true)
+		h.count++
+		return rid, h.appendLog(wal.Record{Txn: txn, Op: wal.OpInsertAt, Page: uint32(rid.Page), Slot: rid.Slot, Data: rec})
+	}
+	if !errors.Is(err, page.ErrPageFull) {
+		h.pool.Unpin(f, false)
+		return RID{}, err
+	}
+	// Grow the chain.
+	nf, err := h.pool.Allocate(page.KindHeap)
+	if err != nil {
+		h.pool.Unpin(f, false)
+		return RID{}, err
+	}
+	f.Page().SetAux(uint32(nf.ID()))
+	h.pool.Unpin(f, true)
+	if err := h.appendLog(wal.Record{Txn: txn, Op: wal.OpInitPage, Page: uint32(nf.ID()), Kind: uint8(page.KindHeap)}); err != nil {
+		h.pool.Unpin(nf, true)
+		return RID{}, err
+	}
+	if err := h.appendLog(wal.Record{Txn: txn, Op: wal.OpSetAux, Page: uint32(h.last), Aux: uint32(nf.ID())}); err != nil {
+		h.pool.Unpin(nf, true)
+		return RID{}, err
+	}
+	h.last = nf.ID()
+	slot, err = nf.Page().Insert(rec)
+	if err != nil {
+		h.pool.Unpin(nf, true)
+		return RID{}, fmt.Errorf("heap: insert into fresh page: %w", err)
+	}
+	rid := RID{Page: nf.ID(), Slot: uint16(slot)}
+	h.pool.Unpin(nf, true)
+	h.count++
+	return rid, h.appendLog(wal.Record{Txn: txn, Op: wal.OpInsertAt, Page: uint32(rid.Page), Slot: rid.Slot, Data: rec})
+}
+
+// Get returns a copy of the record at rid.
+func (h *Heap) Get(rid RID) ([]byte, error) {
+	f, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := f.Page().Get(int(rid.Slot))
+	if err != nil {
+		h.pool.Unpin(f, false)
+		return nil, err
+	}
+	out := append([]byte(nil), rec...)
+	h.pool.Unpin(f, false)
+	return out, nil
+}
+
+// Delete removes the record at rid.
+func (h *Heap) Delete(txn uint64, rid RID) error {
+	f, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	if err := f.Page().Delete(int(rid.Slot)); err != nil {
+		h.pool.Unpin(f, false)
+		return err
+	}
+	h.pool.Unpin(f, true)
+	h.count--
+	return h.appendLog(wal.Record{Txn: txn, Op: wal.OpDelete, Page: uint32(rid.Page), Slot: rid.Slot})
+}
+
+// Update replaces the record at rid. When the new payload no longer fits
+// in its page the record moves; the returned RID is the current location.
+func (h *Heap) Update(txn uint64, rid RID, rec []byte) (RID, error) {
+	if len(rec) > maxRecord {
+		return rid, fmt.Errorf("heap: %d-byte record: %w", len(rec), ErrTooLarge)
+	}
+	f, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return rid, err
+	}
+	err = f.Page().Update(int(rid.Slot), rec)
+	if err == nil {
+		h.pool.Unpin(f, true)
+		return rid, h.appendLog(wal.Record{Txn: txn, Op: wal.OpUpdate, Page: uint32(rid.Page), Slot: rid.Slot, Data: rec})
+	}
+	h.pool.Unpin(f, false)
+	if !errors.Is(err, page.ErrPageFull) {
+		return rid, err
+	}
+	if err := h.Delete(txn, rid); err != nil {
+		return rid, err
+	}
+	return h.Insert(txn, rec)
+}
+
+// Scan calls fn for every live record in chain order. The rec slice passed
+// to fn is only valid for the duration of the call.
+func (h *Heap) Scan(fn func(rid RID, rec []byte) bool) error {
+	id := h.first
+	for id != disk.InvalidPage {
+		f, err := h.pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		stop := false
+		f.Page().Records(func(slot int, rec []byte) bool {
+			if !fn(RID{Page: id, Slot: uint16(slot)}, rec) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		next := disk.PageID(f.Page().Aux())
+		h.pool.Unpin(f, false)
+		if stop {
+			return nil
+		}
+		id = next
+	}
+	return nil
+}
+
+// Replay applies page-directed WAL operations (as returned by
+// wal.CommittedOps) onto the pool's pages. The data file must be in the
+// state of the last checkpoint, which the engine's NO-STEAL policy
+// guarantees.
+func Replay(pool *bufpool.Pool, ops []wal.Record) error {
+	for _, op := range ops {
+		if op.Op == wal.OpInitPage {
+			f, err := pool.Fetch(disk.PageID(op.Page))
+			if err != nil {
+				return fmt.Errorf("heap: replay init page %d: %w", op.Page, err)
+			}
+			f.Page().Init(page.Kind(op.Kind))
+			pool.Unpin(f, true)
+			continue
+		}
+		f, err := pool.Fetch(disk.PageID(op.Page))
+		if err != nil {
+			return fmt.Errorf("heap: replay page %d: %w", op.Page, err)
+		}
+		switch op.Op {
+		case wal.OpSetAux:
+			f.Page().SetAux(op.Aux)
+		case wal.OpInsertAt:
+			err = f.Page().InsertAt(int(op.Slot), op.Data)
+		case wal.OpDelete:
+			err = f.Page().Delete(int(op.Slot))
+		case wal.OpUpdate:
+			err = f.Page().Update(int(op.Slot), op.Data)
+		default:
+			err = fmt.Errorf("heap: replay unknown op %d", op.Op)
+		}
+		pool.Unpin(f, true)
+		if err != nil {
+			return fmt.Errorf("heap: replay op %d on page %d slot %d: %w", op.Op, op.Page, op.Slot, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+// Package wal implements the write-ahead log that gives the XomatiQ
+// warehouse the crash-recovery property the paper claims from its
+// commercial RDBMS ("we can exploit the concurrency access and crash
+// recovery features of an RDBMS").
+//
+// Design: redo-only logical logging over heap pages with a NO-STEAL
+// buffer policy. Heap mutations append page-directed records (init page,
+// set aux, insert-at, delete, update) tagged with a transaction id; a
+// commit record, followed by an fsync, makes the transaction durable.
+// Dirty data pages are only written back at a checkpoint, which flushes
+// the buffer pool and then truncates the log. Recovery therefore replays
+// the ops of committed transactions, in log order, onto a data file that
+// is exactly the state of the last checkpoint. Index pages are not
+// logged: indexes are rebuilt from heap contents when recovery replays
+// any record.
+//
+// Record framing: [4]length [4]crc32 payload. A torn tail (short frame or
+// bad checksum) ends recovery at the last intact record, so a crash
+// mid-append loses only the uncommitted tail.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Op identifies a log record type.
+type Op uint8
+
+// Log record types.
+const (
+	OpInitPage Op = iota + 1 // payload: pageID, kind
+	OpSetAux                 // payload: pageID, aux
+	OpInsertAt               // payload: pageID, slot, record bytes
+	OpDelete                 // payload: pageID, slot
+	OpUpdate                 // payload: pageID, slot, record bytes
+	OpCommit                 // no payload
+)
+
+// Record is one logical log record.
+type Record struct {
+	Txn  uint64
+	Op   Op
+	Page uint32
+	Slot uint16
+	Kind uint8  // for OpInitPage
+	Aux  uint32 // for OpSetAux
+	Data []byte // for OpInsertAt / OpUpdate
+}
+
+// Log is an append-only write-ahead log file.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	path string
+	size int64
+}
+
+// Open opens (creating if absent) the log at path, positioned to append.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: stat: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	return &Log{f: f, w: bufio.NewWriter(f), path: path, size: st.Size()}, nil
+}
+
+func (r *Record) encode() []byte {
+	buf := make([]byte, 0, 24+len(r.Data))
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], r.Txn)
+	buf = append(buf, tmp[:]...)
+	buf = append(buf, byte(r.Op))
+	binary.LittleEndian.PutUint32(tmp[:4], r.Page)
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint16(tmp[:2], r.Slot)
+	buf = append(buf, tmp[:2]...)
+	buf = append(buf, r.Kind)
+	binary.LittleEndian.PutUint32(tmp[:4], r.Aux)
+	buf = append(buf, tmp[:4]...)
+	return append(buf, r.Data...)
+}
+
+func decodeRecord(p []byte) (Record, error) {
+	if len(p) < 20 {
+		return Record{}, fmt.Errorf("wal: record of %d bytes too short", len(p))
+	}
+	r := Record{
+		Txn:  binary.LittleEndian.Uint64(p[0:]),
+		Op:   Op(p[8]),
+		Page: binary.LittleEndian.Uint32(p[9:]),
+		Slot: binary.LittleEndian.Uint16(p[13:]),
+		Kind: p[15],
+		Aux:  binary.LittleEndian.Uint32(p[16:]),
+	}
+	if len(p) > 20 {
+		r.Data = append([]byte(nil), p[20:]...)
+	}
+	return r, nil
+}
+
+// Append adds a record to the log buffer. It is not durable until Sync.
+func (l *Log) Append(r Record) error {
+	payload := r.encode()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(hdr) + len(payload))
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the log file. A transaction is
+// durable once its commit record has been Synced.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Size reports the current log length in bytes (including buffered data).
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Truncate empties the log; called after a checkpoint has made all logged
+// effects durable in the data file.
+func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: truncate flush: %w", err)
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: truncate seek: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: truncate sync: %w", err)
+	}
+	l.size = 0
+	l.w.Reset(l.f)
+	return nil
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// Scan reads the log from the start, calling fn for every intact record.
+// It stops silently at a torn tail (truncated frame or checksum mismatch),
+// which is the expected state after a crash mid-append.
+func Scan(path string, fn func(Record) error) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: scan open: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil // clean end or torn header
+		}
+		length := binary.LittleEndian.Uint32(hdr[:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		if length > 1<<24 {
+			return nil // corrupt length: treat as torn tail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil // torn record
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return nil
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// CommittedOps scans the log and returns, in log order, the operations of
+// every transaction that has a commit record. Operations of uncommitted
+// transactions (the crash-torn tail) are dropped.
+func CommittedOps(path string) ([]Record, error) {
+	var all []Record
+	committed := map[uint64]bool{}
+	if err := Scan(path, func(r Record) error {
+		if r.Op == OpCommit {
+			committed[r.Txn] = true
+			return nil
+		}
+		all = append(all, r)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	ops := all[:0]
+	for _, r := range all {
+		if committed[r.Txn] {
+			ops = append(ops, r)
+		}
+	}
+	return ops, nil
+}

@@ -1,0 +1,454 @@
+// Package value defines the typed scalar values that flow through the
+// XomatiQ relational engine: tuple fields, index keys, expression results.
+//
+// The paper's generic shredding schema distinguishes string and numeric
+// data ("several databases store annotations that are of numeric type such
+// as the length of a sequence"); Kind carries that distinction through the
+// whole stack.
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the scalar types supported by the engine.
+type Kind uint8
+
+// The supported kinds. Null sorts before every other value.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindText
+	KindBytes
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindText:
+		return "TEXT"
+	case KindBytes:
+		return "BYTES"
+	case KindBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single typed scalar. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64 // Int, Bool (0/1)
+	f    float64
+	s    string // Text
+	b    []byte // Bytes
+}
+
+// Null is the NULL value.
+var Null = Value{}
+
+// NewInt returns an INT value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat returns a FLOAT value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewText returns a TEXT value.
+func NewText(v string) Value { return Value{kind: KindText, s: v} }
+
+// NewBytes returns a BYTES value. The slice is retained, not copied.
+func NewBytes(v []byte) Value { return Value{kind: KindBytes, b: v} }
+
+// NewBool returns a BOOL value.
+func NewBool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the INT payload. It panics on other kinds.
+func (v Value) Int() int64 {
+	if v.kind != KindInt {
+		panic("value: Int() on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Float returns the FLOAT payload. INT values are widened.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	}
+	panic("value: Float() on " + v.kind.String())
+}
+
+// Text returns the TEXT payload. It panics on other kinds.
+func (v Value) Text() string {
+	if v.kind != KindText {
+		panic("value: Text() on " + v.kind.String())
+	}
+	return v.s
+}
+
+// Bytes returns the BYTES payload. It panics on other kinds.
+func (v Value) Bytes() []byte {
+	if v.kind != KindBytes {
+		panic("value: Bytes() on " + v.kind.String())
+	}
+	return v.b
+}
+
+// Bool returns the BOOL payload. It panics on other kinds.
+func (v Value) Bool() bool {
+	if v.kind != KindBool {
+		panic("value: Bool() on " + v.kind.String())
+	}
+	return v.i != 0
+}
+
+// String renders the value for display. NULL renders as "NULL".
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindText:
+		return v.s
+	case KindBytes:
+		return fmt.Sprintf("x'%x'", v.b)
+	case KindBool:
+		if v.i != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	}
+	return "?"
+}
+
+// numericKinds reports whether both kinds are numeric (INT or FLOAT).
+func numericKinds(a, b Kind) bool {
+	num := func(k Kind) bool { return k == KindInt || k == KindFloat }
+	return num(a) && num(b)
+}
+
+// Compare orders two values. NULL sorts first; values of different,
+// non-numeric kinds order by kind. Numeric kinds compare by magnitude.
+// The result is -1, 0 or +1.
+func Compare(a, b Value) int {
+	if a.kind == KindNull || b.kind == KindNull {
+		switch {
+		case a.kind == b.kind:
+			return 0
+		case a.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.kind != b.kind {
+		if numericKinds(a.kind, b.kind) {
+			return cmpFloat(a.Float(), b.Float())
+		}
+		if a.kind < b.kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case KindInt:
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		}
+		return 0
+	case KindFloat:
+		return cmpFloat(a.f, b.f)
+	case KindText:
+		return strings.Compare(a.s, b.s)
+	case KindBytes:
+		return cmpBytes(a.b, b.b)
+	case KindBool:
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpBytes(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// Equal reports whether two values compare equal.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// AsNumeric attempts to view the value as FLOAT: numeric kinds convert
+// directly and TEXT is parsed. ok is false when no numeric view exists.
+func (v Value) AsNumeric() (f float64, ok bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	case KindText:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	}
+	return 0, false
+}
+
+// Encode appends a self-delimiting binary encoding of v to dst.
+// Layout: 1 kind byte, then a kind-specific payload.
+func (v Value) Encode(dst []byte) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindInt, KindBool:
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], uint64(v.i))
+		dst = append(dst, buf[:]...)
+	case KindFloat:
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v.f))
+		dst = append(dst, buf[:]...)
+	case KindText:
+		dst = appendUvarintBytes(dst, []byte(v.s))
+	case KindBytes:
+		dst = appendUvarintBytes(dst, v.b)
+	}
+	return dst
+}
+
+func appendUvarintBytes(dst, p []byte) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(p)))
+	dst = append(dst, buf[:n]...)
+	return append(dst, p...)
+}
+
+// Decode reads one encoded value from p, returning the value and the
+// number of bytes consumed.
+func Decode(p []byte) (Value, int, error) {
+	if len(p) == 0 {
+		return Null, 0, fmt.Errorf("value: decode: empty input")
+	}
+	k := Kind(p[0])
+	rest := p[1:]
+	switch k {
+	case KindNull:
+		return Null, 1, nil
+	case KindInt, KindBool:
+		if len(rest) < 8 {
+			return Null, 0, fmt.Errorf("value: decode %s: short input", k)
+		}
+		i := int64(binary.BigEndian.Uint64(rest[:8]))
+		return Value{kind: k, i: i}, 9, nil
+	case KindFloat:
+		if len(rest) < 8 {
+			return Null, 0, fmt.Errorf("value: decode FLOAT: short input")
+		}
+		f := math.Float64frombits(binary.BigEndian.Uint64(rest[:8]))
+		return NewFloat(f), 9, nil
+	case KindText, KindBytes:
+		n, sz := binary.Uvarint(rest)
+		if sz <= 0 || uint64(len(rest)-sz) < n {
+			return Null, 0, fmt.Errorf("value: decode %s: corrupt length", k)
+		}
+		payload := rest[sz : sz+int(n)]
+		consumed := 1 + sz + int(n)
+		if k == KindText {
+			return NewText(string(payload)), consumed, nil
+		}
+		b := make([]byte, len(payload))
+		copy(b, payload)
+		return NewBytes(b), consumed, nil
+	default:
+		return Null, 0, fmt.Errorf("value: decode: unknown kind %d", p[0])
+	}
+}
+
+// EncodeKey appends an order-preserving binary encoding of v to dst:
+// bytes.Compare on two encoded keys matches Compare on the values
+// (for values of the same kind, and NULL-first across kinds). Numeric
+// kinds share a common prefix tag so INT and FLOAT interleave correctly.
+func (v Value) EncodeKey(dst []byte) []byte {
+	const (
+		tagNull    = 0x00
+		tagNumeric = 0x10
+		tagText    = 0x20
+		tagBytes   = 0x30
+		tagBool    = 0x40
+	)
+	switch v.kind {
+	case KindNull:
+		return append(dst, tagNull)
+	case KindInt, KindFloat:
+		dst = append(dst, tagNumeric)
+		bits := math.Float64bits(v.Float())
+		// Flip so that the byte order matches numeric order.
+		if bits&(1<<63) != 0 {
+			bits = ^bits
+		} else {
+			bits |= 1 << 63
+		}
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], bits)
+		return append(dst, buf[:]...)
+	case KindText:
+		dst = append(dst, tagText)
+		return appendEscaped(dst, []byte(v.s))
+	case KindBytes:
+		dst = append(dst, tagBytes)
+		return appendEscaped(dst, v.b)
+	case KindBool:
+		return append(dst, tagBool, byte(v.i))
+	}
+	return dst
+}
+
+// appendEscaped writes p with 0x00 escaped as 0x00 0xFF and terminated by
+// 0x00 0x00, preserving lexicographic order for variable-length keys.
+func appendEscaped(dst, p []byte) []byte {
+	for _, c := range p {
+		if c == 0x00 {
+			dst = append(dst, 0x00, 0xFF)
+		} else {
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, 0x00, 0x00)
+}
+
+// Tuple is an ordered list of values: one table row or index entry.
+type Tuple []Value
+
+// Encode appends the binary encoding of the tuple (field count, then each
+// value) to dst.
+func (t Tuple) Encode(dst []byte) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(t)))
+	dst = append(dst, buf[:n]...)
+	for _, v := range t {
+		dst = v.Encode(dst)
+	}
+	return dst
+}
+
+// DecodeTuple decodes a tuple produced by Tuple.Encode.
+func DecodeTuple(p []byte) (Tuple, error) {
+	n, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		return nil, fmt.Errorf("value: decode tuple: corrupt count")
+	}
+	p = p[sz:]
+	t := make(Tuple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, used, err := Decode(p)
+		if err != nil {
+			return nil, fmt.Errorf("value: decode tuple field %d: %w", i, err)
+		}
+		t = append(t, v)
+		p = p[used:]
+	}
+	return t, nil
+}
+
+// Clone returns a deep copy of the tuple (BYTES payloads are copied).
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	for i, v := range t {
+		if v.kind == KindBytes {
+			b := make([]byte, len(v.b))
+			copy(b, v.b)
+			out[i] = NewBytes(b)
+		} else {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// CompareTuples orders tuples field by field; shorter prefixes sort first.
+func CompareTuples(a, b Tuple) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}

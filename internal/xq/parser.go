@@ -1,0 +1,548 @@
+package xq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses one XomatiQ query.
+func Parse(src string) (*Query, error) {
+	p := &qparser{src: src}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse parses or panics (tests and fixtures).
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type qparser struct {
+	src string
+	pos int
+}
+
+func (p *qparser) errf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:p.pos], "\n")
+	return fmt.Errorf("xq: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *qparser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// keyword consumes kw case-insensitively when it appears as a whole word.
+func (p *qparser) keyword(kw string) bool {
+	p.skipSpace()
+	if len(p.src)-p.pos < len(kw) {
+		return false
+	}
+	if !strings.EqualFold(p.src[p.pos:p.pos+len(kw)], kw) {
+		return false
+	}
+	end := p.pos + len(kw)
+	if end < len(p.src) && isWordByte(p.src[end]) {
+		return false
+	}
+	p.pos = end
+	return true
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func (p *qparser) symbol(s string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *qparser) peekByte() byte {
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+// name lexes an XML-ish name (letters, digits, _, -, .).
+func (p *qparser) name() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if c == '_' || c == '-' || c == '.' || unicode.IsLetter(c) || unicode.IsDigit(c) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errf("expected name")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *qparser) variable() (string, error) {
+	p.skipSpace()
+	if p.peekByte() != '$' {
+		return "", p.errf("expected variable")
+	}
+	p.pos++
+	return p.name()
+}
+
+func (p *qparser) stringLit() (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
+		return "", p.errf("expected string literal")
+	}
+	q := p.src[p.pos]
+	p.pos++
+	end := strings.IndexByte(p.src[p.pos:], q)
+	if end < 0 {
+		return "", p.errf("unterminated string literal")
+	}
+	s := p.src[p.pos : p.pos+end]
+	p.pos += end + 1
+	return s, nil
+}
+
+func (p *qparser) query() (*Query, error) {
+	q := &Query{}
+	if !p.keyword("FOR") {
+		return nil, p.errf("query must begin with FOR")
+	}
+	for {
+		b, err := p.binding(" IN ")
+		if err != nil {
+			return nil, err
+		}
+		q.For = append(q.For, b)
+		if !p.symbol(",") {
+			break
+		}
+		// A LET/WHERE/RETURN may follow a trailing comma misuse; the
+		// binding parser will report it.
+	}
+	for p.keyword("LET") {
+		b, err := p.binding(" := ")
+		if err != nil {
+			return nil, err
+		}
+		q.Let = append(q.Let, b)
+		for p.symbol(",") {
+			b, err := p.binding(" := ")
+			if err != nil {
+				return nil, err
+			}
+			q.Let = append(q.Let, b)
+		}
+	}
+	if p.keyword("WHERE") {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if !p.keyword("RETURN") {
+		return nil, p.errf("expected RETURN")
+	}
+	for {
+		item, err := p.returnItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Return = append(q.Return, item)
+		if !p.symbol(",") {
+			break
+		}
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return nil, p.errf("unexpected trailing content %q", snippet(p.src[p.pos:]))
+	}
+	return q, nil
+}
+
+func snippet(s string) string {
+	if len(s) > 20 {
+		return s[:20] + "..."
+	}
+	return s
+}
+
+func (p *qparser) binding(sep string) (Binding, error) {
+	v, err := p.variable()
+	if err != nil {
+		return Binding{}, err
+	}
+	switch strings.TrimSpace(sep) {
+	case "IN":
+		if !p.keyword("IN") {
+			return Binding{}, p.errf("expected IN after $%s", v)
+		}
+	case ":=":
+		if !p.symbol(":=") {
+			return Binding{}, p.errf("expected := after $%s", v)
+		}
+	}
+	path, err := p.pathExpr()
+	if err != nil {
+		return Binding{}, err
+	}
+	return Binding{Var: v, Path: path}, nil
+}
+
+func (p *qparser) returnItem() (ReturnItem, error) {
+	// "$Alias = path" or bare path.
+	save := p.pos
+	if p.peekByte() == '$' {
+		v, err := p.variable()
+		if err != nil {
+			return ReturnItem{}, err
+		}
+		if p.symbol("=") {
+			path, err := p.pathExpr()
+			if err != nil {
+				return ReturnItem{}, err
+			}
+			return ReturnItem{Alias: v, Path: path}, nil
+		}
+		p.pos = save
+	}
+	path, err := p.pathExpr()
+	if err != nil {
+		return ReturnItem{}, err
+	}
+	return ReturnItem{Path: path}, nil
+}
+
+// pathExpr parses document("db")steps, $var steps, or a relative path
+// (inside predicates).
+func (p *qparser) pathExpr() (*PathExpr, error) {
+	pe := &PathExpr{}
+	p.skipSpace()
+	switch {
+	case p.keyword("document"):
+		if !p.symbol("(") {
+			return nil, p.errf(`expected ( after document`)
+		}
+		db, err := p.stringLit()
+		if err != nil {
+			return nil, err
+		}
+		if !p.symbol(")") {
+			return nil, p.errf("expected ) after document name")
+		}
+		pe.Doc = normalizeDocName(db)
+	case p.peekByte() == '$':
+		v, err := p.variable()
+		if err != nil {
+			return nil, err
+		}
+		pe.Var = v
+	case p.peekByte() == '/':
+		// Rootless absolute-style path (predicate context): steps only.
+	default:
+		// Relative path beginning with a name or @attribute.
+		return p.relativeSteps(pe)
+	}
+	return p.steps(pe)
+}
+
+// relativeSteps parses "name/name/@attr" (predicate-relative form).
+func (p *qparser) relativeSteps(pe *PathExpr) (*PathExpr, error) {
+	for {
+		step := Step{Axis: Child}
+		if p.peekByte() == '@' {
+			p.pos++
+			step.IsAttr = true
+		}
+		n, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		step.Name = normalizeName(n)
+		pe.Steps = append(pe.Steps, step)
+		if step.IsAttr {
+			return pe, nil
+		}
+		if !p.symbol("/") {
+			return pe, nil
+		}
+	}
+}
+
+func (p *qparser) steps(pe *PathExpr) (*PathExpr, error) {
+	for {
+		var axis Axis
+		switch {
+		case p.symbol("//"):
+			axis = Descendant
+		case p.symbol("/"):
+			axis = Child
+		default:
+			if len(pe.Steps) == 0 && pe.Doc == "" && pe.Var == "" {
+				return nil, p.errf("expected path expression")
+			}
+			return pe, nil
+		}
+		step := Step{Axis: axis}
+		if p.peekByte() == '@' {
+			p.pos++
+			step.IsAttr = true
+		}
+		n, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		step.Name = normalizeName(n)
+		// Predicates.
+		for p.symbol("[") {
+			pred, err := p.predicate()
+			if err != nil {
+				return nil, err
+			}
+			step.Preds = append(step.Preds, pred)
+			if !p.symbol("]") {
+				return nil, p.errf("expected ] after predicate")
+			}
+		}
+		pe.Steps = append(pe.Steps, step)
+		if step.IsAttr {
+			return pe, nil // attributes are leaves
+		}
+	}
+}
+
+func (p *qparser) predicate() (Pred, error) {
+	path, err := p.pathExpr()
+	if err != nil {
+		return Pred{}, err
+	}
+	if path.Doc != "" || path.Var != "" {
+		return Pred{}, p.errf("predicate paths must be relative")
+	}
+	op, err := p.compOp()
+	if err != nil {
+		return Pred{}, err
+	}
+	lit, isNum, err := p.literal()
+	if err != nil {
+		return Pred{}, err
+	}
+	return Pred{Path: path, Op: op, Lit: lit, IsNum: isNum}, nil
+}
+
+func (p *qparser) compOp() (string, error) {
+	p.skipSpace()
+	for _, op := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+		if strings.HasPrefix(p.src[p.pos:], op) {
+			p.pos += len(op)
+			return op, nil
+		}
+	}
+	return "", p.errf("expected comparison operator")
+}
+
+// literal parses a string or numeric literal; isNum reports the latter.
+func (p *qparser) literal() (string, bool, error) {
+	p.skipSpace()
+	if p.pos < len(p.src) && (p.src[p.pos] == '"' || p.src[p.pos] == '\'') {
+		s, err := p.stringLit()
+		return s, false, err
+	}
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' ||
+			c == 'e' || c == 'E' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", false, p.errf("expected literal")
+	}
+	lit := p.src[start:p.pos]
+	if _, err := strconv.ParseFloat(lit, 64); err != nil {
+		return "", false, p.errf("bad numeric literal %q", lit)
+	}
+	return lit, true, nil
+}
+
+// orExpr := andExpr { OR andExpr }
+func (p *qparser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *qparser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *qparser) notExpr() (Expr, error) {
+	if p.keyword("NOT") {
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{E: e}, nil
+	}
+	return p.condition()
+}
+
+func (p *qparser) condition() (Expr, error) {
+	p.skipSpace()
+	if p.symbol("(") {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.symbol(")") {
+			return nil, p.errf("expected )")
+		}
+		return e, nil
+	}
+	if p.keyword("seqcontains") {
+		if !p.symbol("(") {
+			return nil, p.errf("expected ( after seqcontains")
+		}
+		target, err := p.pathExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.symbol(",") {
+			return nil, p.errf("expected , in seqcontains()")
+		}
+		motif, err := p.stringLit()
+		if err != nil {
+			return nil, err
+		}
+		if !p.symbol(")") {
+			return nil, p.errf("expected ) after seqcontains()")
+		}
+		return &SeqContains{Target: target, Motif: motif}, nil
+	}
+	if p.keyword("contains") {
+		if !p.symbol("(") {
+			return nil, p.errf("expected ( after contains")
+		}
+		target, err := p.pathExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.symbol(",") {
+			return nil, p.errf("expected , in contains()")
+		}
+		kw, err := p.stringLit()
+		if err != nil {
+			return nil, err
+		}
+		anyFlag := false
+		if p.symbol(",") {
+			if !p.keyword("any") {
+				return nil, p.errf(`expected "any" as third contains() argument`)
+			}
+			anyFlag = true
+		}
+		if !p.symbol(")") {
+			return nil, p.errf("expected ) after contains()")
+		}
+		// A bare variable target is implicitly "anywhere in the subtree".
+		if len(target.Steps) == 0 {
+			anyFlag = true
+		}
+		return &Contains{Target: target, Keyword: kw, Any: anyFlag}, nil
+	}
+	// Path comparison: path op (literal | path) or path BEFORE/AFTER path.
+	left, err := p.pathExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.keyword("BEFORE") {
+		right, err := p.pathExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Order{Left: left, Before: true, Right: right}, nil
+	}
+	if p.keyword("AFTER") {
+		right, err := p.pathExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Order{Left: left, Before: false, Right: right}, nil
+	}
+	op, err := p.compOp()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) && (p.src[p.pos] == '$' || strings.HasPrefix(strings.ToLower(p.src[p.pos:]), "document")) {
+		right, err := p.pathExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Cmp{Left: left, Op: op, Right: right}, nil
+	}
+	lit, isNum, err := p.literal()
+	if err != nil {
+		return nil, err
+	}
+	return &Cmp{Left: left, Op: op, Lit: lit, IsNum: isNum}, nil
+}
+
+// normalizeDocName maps the paper's spaced names ("hlx embl.inv") to the
+// underscore form the warehouse registers.
+func normalizeDocName(s string) string { return strings.ReplaceAll(s, " ", "_") }
+
+// normalizeName likewise normalises element names typed with spaces.
+func normalizeName(s string) string { return strings.ReplaceAll(s, " ", "_") }

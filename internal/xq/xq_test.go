@@ -1,0 +1,311 @@
+package xq
+
+import (
+	"strings"
+	"testing"
+)
+
+// The paper's three figure queries, normalised to underscore names.
+const (
+	figure8 = `FOR $a IN document("hlx_embl.inv")/hlx_n_sequence,
+    $b IN document("hlx_sprot.all")/hlx_n_sequence
+WHERE contains($a, "cdc6", any)
+AND contains($b, "cdc6", any)
+RETURN $b//sprot_accession_number, $a//embl_accession_number`
+
+	figure9 = `FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//catalytic_activity, "ketone")
+RETURN $a//enzyme_id, $a//enzyme_description`
+
+	figure11 = `FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a//qualifier[@qualifier_type = "EC number"] = $b/enzyme_id
+RETURN $Accession_Number = $a//embl_accession_number,
+       $Accession_Description = $a//description`
+)
+
+func TestParseFigure8(t *testing.T) {
+	q, err := Parse(figure8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.For) != 2 {
+		t.Fatalf("bindings = %d", len(q.For))
+	}
+	if q.For[0].Var != "a" || q.For[0].Path.Doc != "hlx_embl.inv" {
+		t.Errorf("binding a = %+v", q.For[0])
+	}
+	if q.For[1].Path.Doc != "hlx_sprot.all" {
+		t.Errorf("binding b = %+v", q.For[1])
+	}
+	and, ok := q.Where.(*And)
+	if !ok {
+		t.Fatalf("where = %T", q.Where)
+	}
+	l, ok := and.L.(*Contains)
+	if !ok || l.Keyword != "cdc6" || !l.Any || l.Target.Var != "a" {
+		t.Errorf("left contains = %+v", and.L)
+	}
+	if len(q.Return) != 2 {
+		t.Fatalf("return = %d", len(q.Return))
+	}
+	r0 := q.Return[0]
+	if r0.Path.Var != "b" || len(r0.Path.Steps) != 1 ||
+		r0.Path.Steps[0].Axis != Descendant || r0.Path.Steps[0].Name != "sprot_accession_number" {
+		t.Errorf("return[0] = %+v", r0.Path)
+	}
+	if r0.Name() != "sprot_accession_number" {
+		t.Errorf("return[0] name = %q", r0.Name())
+	}
+}
+
+func TestParseFigure9(t *testing.T) {
+	q, err := Parse(figure9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := q.Where.(*Contains)
+	if !ok {
+		t.Fatalf("where = %T", q.Where)
+	}
+	if c.Any {
+		t.Error("subtree contains should not be any")
+	}
+	if c.Target.Var != "a" || c.Target.Steps[0].Name != "catalytic_activity" {
+		t.Errorf("target = %+v", c.Target)
+	}
+}
+
+func TestParseFigure11(t *testing.T) {
+	q, err := Parse(figure11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, ok := q.Where.(*Cmp)
+	if !ok {
+		t.Fatalf("where = %T", q.Where)
+	}
+	if cmp.Op != "=" || cmp.Right == nil || cmp.Right.Var != "b" {
+		t.Errorf("cmp = %+v", cmp)
+	}
+	qualStep := cmp.Left.Steps[0]
+	if qualStep.Name != "qualifier" || len(qualStep.Preds) != 1 {
+		t.Fatalf("qualifier step = %+v", qualStep)
+	}
+	pred := qualStep.Preds[0]
+	if !pred.Path.Steps[0].IsAttr || pred.Path.Steps[0].Name != "qualifier_type" ||
+		pred.Op != "=" || pred.Lit != "EC number" {
+		t.Errorf("pred = %+v", pred)
+	}
+	if q.Return[0].Alias != "Accession_Number" {
+		t.Errorf("alias = %q", q.Return[0].Alias)
+	}
+}
+
+func TestSpacedNamesNormalised(t *testing.T) {
+	// The paper prints "hlx embl.inv" and "hlx n sequence" with spaces.
+	q, err := Parse(`FOR $a IN document("hlx embl.inv")/hlx_n_sequence RETURN $a//embl_accession_number`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.For[0].Path.Doc != "hlx_embl.inv" {
+		t.Errorf("doc = %q", q.For[0].Path.Doc)
+	}
+}
+
+func TestRoundTripThroughString(t *testing.T) {
+	for _, src := range []string{figure8, figure9, figure11} {
+		q := MustParse(src)
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("reparse: %v\n%s", err, q.String())
+		}
+		if q2.String() != q.String() {
+			t.Errorf("unstable rendering:\n%s\nvs\n%s", q.String(), q2.String())
+		}
+	}
+}
+
+func TestParseLet(t *testing.T) {
+	q, err := Parse(`FOR $a IN document("db")/root
+LET $entry := $a/db_entry
+WHERE $entry/enzyme_id = "1.1.1.1"
+RETURN $entry/enzyme_description`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Let) != 1 || q.Let[0].Var != "entry" {
+		t.Fatalf("let = %+v", q.Let)
+	}
+	resolved, err := q.ResolveLets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := resolved.Where.(*Cmp)
+	if cmp.Left.Var != "a" || len(cmp.Left.Steps) != 2 {
+		t.Errorf("resolved where path = %s", cmp.Left.String())
+	}
+	if resolved.Return[0].Path.Var != "a" || len(resolved.Return[0].Path.Steps) != 2 {
+		t.Errorf("resolved return path = %s", resolved.Return[0].Path.String())
+	}
+	if len(resolved.Let) != 0 {
+		t.Error("lets should be gone after resolution")
+	}
+}
+
+func TestParseOrderOps(t *testing.T) {
+	q, err := Parse(`FOR $a IN document("db")/r
+WHERE $a//x BEFORE $a//y AND $a//z AFTER $a//x
+RETURN $a//x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := q.Where.(*And)
+	before := and.L.(*Order)
+	if !before.Before || before.Left.Steps[0].Name != "x" {
+		t.Errorf("before = %+v", before)
+	}
+	after := and.R.(*Order)
+	if after.Before {
+		t.Error("AFTER parsed as BEFORE")
+	}
+}
+
+func TestParseNumericComparison(t *testing.T) {
+	q, err := Parse(`FOR $a IN document("db")/r WHERE $a//length > 400 RETURN $a//name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := q.Where.(*Cmp)
+	if !cmp.IsNum || cmp.Lit != "400" || cmp.Op != ">" {
+		t.Errorf("cmp = %+v", cmp)
+	}
+}
+
+func TestParseOrNotParens(t *testing.T) {
+	q, err := Parse(`FOR $a IN document("db")/r
+WHERE (contains($a//x, "k1") OR contains($a//x, "k2")) AND NOT $a//y = "bad"
+RETURN $a//x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := q.Where.(*And)
+	if _, ok := and.L.(*Or); !ok {
+		t.Errorf("left = %T", and.L)
+	}
+	if _, ok := and.R.(*Not); !ok {
+		t.Errorf("right = %T", and.R)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []string{
+		// undefined variable in where
+		`FOR $a IN document("d")/r WHERE $b//x = "1" RETURN $a//x`,
+		// undefined variable in return
+		`FOR $a IN document("d")/r RETURN $zz//x`,
+		// duplicate binding
+		`FOR $a IN document("d")/r, $a IN document("d")/r RETURN $a//x`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseSyntaxErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`RETURN $a`,
+		`FOR a IN document("d")/r RETURN $a//x`,
+		`FOR $a document("d")/r RETURN $a//x`,
+		`FOR $a IN document(d)/r RETURN $a//x`,
+		`FOR $a IN document("d")/r WHERE RETURN $a//x`,
+		`FOR $a IN document("d")/r WHERE contains($a//x) RETURN $a//x`,
+		`FOR $a IN document("d")/r WHERE contains($a//x, "k", sometimes) RETURN $a//x`,
+		`FOR $a IN document("d")/r WHERE $a//x = RETURN $a//x`,
+		`FOR $a IN document("d")/r RETURN $a//x extra`,
+		`FOR $a IN document("d")/r[@t = ] RETURN $a//x`,
+		`FOR $a IN document("d")/r WHERE $a//x[document("q")/y = "1"] = "2" RETURN $a//x`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestAttrLeaf(t *testing.T) {
+	q := MustParse(`FOR $a IN document("d")/r RETURN $a//reference/@swissprot_accession_number`)
+	steps := q.Return[0].Path.Steps
+	last := steps[len(steps)-1]
+	if !last.IsAttr || last.Name != "swissprot_accession_number" {
+		t.Errorf("attr step = %+v", last)
+	}
+	if q.Return[0].Name() != "swissprot_accession_number" {
+		t.Errorf("name = %q", q.Return[0].Name())
+	}
+}
+
+func TestExprString(t *testing.T) {
+	q := MustParse(figure11)
+	s := ExprString(q.Where)
+	if !strings.Contains(s, `[@qualifier_type = "EC number"]`) {
+		t.Errorf("ExprString = %q", s)
+	}
+	q8 := MustParse(figure8)
+	if !strings.Contains(ExprString(q8.Where), `, any)`) {
+		t.Errorf("ExprString = %q", ExprString(q8.Where))
+	}
+}
+
+func TestParseSeqContains(t *testing.T) {
+	q, err := Parse(`FOR $a IN document("hlx_embl.inv")/hlx_n_sequence
+WHERE seqcontains($a//sequence_data, "ACGTACGT")
+RETURN $a//embl_accession_number`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, ok := q.Where.(*SeqContains)
+	if !ok {
+		t.Fatalf("where = %T", q.Where)
+	}
+	if sc.Motif != "ACGTACGT" || sc.Target.Steps[0].Name != "sequence_data" {
+		t.Errorf("seqcontains = %+v", sc)
+	}
+	// Round trips through the canonical rendering.
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, q.String())
+	}
+	if q2.String() != q.String() {
+		t.Error("unstable rendering")
+	}
+	// Works through LET substitution.
+	q3 := MustParse(`FOR $a IN document("d")/r
+LET $s := $a//sequence_data
+WHERE seqcontains($s, "acgt")
+RETURN $a//id`)
+	resolved, err := q3.ResolveLets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsc := resolved.Where.(*SeqContains)
+	if rsc.Target.Var != "a" || len(rsc.Target.Steps) != 1 {
+		t.Errorf("resolved target = %s", rsc.Target.String())
+	}
+}
+
+func TestParseSeqContainsErrors(t *testing.T) {
+	bad := []string{
+		`FOR $a IN document("d")/r WHERE seqcontains($a//s) RETURN $a//x`,
+		`FOR $a IN document("d")/r WHERE seqcontains($a//s, ) RETURN $a//x`,
+		`FOR $a IN document("d")/r WHERE seqcontains($b//s, "x") RETURN $a//x`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}

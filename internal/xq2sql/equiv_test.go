@@ -1,0 +1,196 @@
+package xq2sql
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"xomatiq/internal/nativexml"
+	"xomatiq/internal/xmldoc"
+	"xomatiq/internal/xq"
+)
+
+// TestRandomQueryEquivalence generates random queries over a random
+// document corpus and checks that the XQ2SQL translation (with and
+// without the keyword index) and the native evaluator produce identical
+// results. Queries outside the translatable subset are skipped (the
+// engine layer falls back for those).
+func TestRandomQueryEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomised equivalence suite")
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			fx := newFixture(t)
+			docs := randomCorpus(rng, 20)
+			fx.loadDocs(t, "rnd", nil, docs)
+
+			tried, ran := 0, 0
+			for q := 0; q < 60; q++ {
+				src := randomQuery(rng)
+				query, err := xq.Parse(src)
+				if err != nil {
+					t.Fatalf("generated query does not parse: %v\n%s", err, src)
+				}
+				tried++
+				tr, err := Translate(fx.store, query, Options{UseKeywordIndex: rng.Intn(2) == 0})
+				if errors.Is(err, ErrUnsupported) {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("translate: %v\n%s", err, src)
+				}
+				ran++
+				res, err := fx.store.DB.Query(tr.SQL)
+				if err != nil {
+					t.Fatalf("execute: %v\nquery: %s\nSQL: %s", err, src, tr.SQL)
+				}
+				var sqlRows []string
+				for _, row := range res.Rows {
+					parts := make([]string, len(row))
+					for i, v := range row {
+						parts[i] = v.String()
+					}
+					sqlRows = append(sqlRows, strings.Join(parts, "|"))
+				}
+				nres, err := nativexml.Eval(fx.corpus, query)
+				if err != nil {
+					t.Fatalf("native: %v\n%s", err, src)
+				}
+				var natRows []string
+				for _, row := range nres.Rows {
+					natRows = append(natRows, strings.Join(row, "|"))
+				}
+				sort.Strings(sqlRows)
+				sort.Strings(natRows)
+				if strings.Join(sqlRows, ";") != strings.Join(natRows, ";") {
+					t.Fatalf("engines disagree\nquery:\n%s\nSQL: %s\nsql rows:    %v\nnative rows: %v",
+						src, tr.SQL, sqlRows, natRows)
+				}
+			}
+			if ran == 0 {
+				t.Fatalf("no generated query was translatable (%d tried)", tried)
+			}
+		})
+	}
+}
+
+// The random corpus uses a small fixed vocabulary so that queries
+// sometimes hit and sometimes miss.
+var (
+	rElems  = []string{"entry", "name", "ref", "score", "tag"}
+	rAttrs  = []string{"id", "kind"}
+	rTexts  = []string{"alpha", "beta", "gamma", "copper zinc", "42", "7", "900"}
+	rAttrVs = []string{"a1", "a2", "ec"}
+)
+
+func randomCorpus(rng *rand.Rand, n int) []*xmldoc.Document {
+	docs := make([]*xmldoc.Document, n)
+	for i := range docs {
+		root := xmldoc.NewElement("root")
+		var build func(parent *xmldoc.Node, depth int)
+		build = func(parent *xmldoc.Node, depth int) {
+			kids := 1 + rng.Intn(3)
+			for k := 0; k < kids; k++ {
+				el := xmldoc.NewElement(rElems[rng.Intn(len(rElems))])
+				if rng.Intn(2) == 0 {
+					el.SetAttr(rAttrs[rng.Intn(len(rAttrs))], rAttrVs[rng.Intn(len(rAttrVs))])
+				}
+				if depth > 0 && rng.Intn(3) == 0 {
+					build(el, depth-1)
+				} else {
+					el.AddText(rTexts[rng.Intn(len(rTexts))])
+				}
+				parent.AddChild(el)
+			}
+		}
+		build(root, 2)
+		docs[i] = &xmldoc.Document{Name: fmt.Sprintf("doc%03d", i), Root: root}
+	}
+	return docs
+}
+
+// randomQuery builds a query from a small grammar: one or two bindings
+// over //entry or the root, conditions from comparisons, contains and
+// order ops, one or two return items.
+func randomQuery(rng *rand.Rand) string {
+	var sb strings.Builder
+	twoVars := rng.Intn(4) == 0
+	sb.WriteString(`FOR $a IN document("rnd")/root`)
+	if twoVars {
+		sb.WriteString(`, $b IN document("rnd")/root`)
+	}
+	randPath := func(v string) string {
+		p := "$" + v
+		steps := 1 + rng.Intn(2)
+		for i := 0; i < steps; i++ {
+			if rng.Intn(2) == 0 {
+				p += "//"
+			} else {
+				p += "/"
+			}
+			p += rElems[rng.Intn(len(rElems))]
+		}
+		if rng.Intn(4) == 0 {
+			p += "/@" + rAttrs[rng.Intn(len(rAttrs))]
+		}
+		return p
+	}
+	cond := func(v string) string {
+		switch rng.Intn(4) {
+		case 0:
+			kw := strings.Fields(rTexts[rng.Intn(len(rTexts))])[0]
+			if rng.Intn(2) == 0 {
+				return fmt.Sprintf(`contains($%s, %q, any)`, v, kw)
+			}
+			return fmt.Sprintf(`contains(%s, %q)`, randPath(v), kw)
+		case 1:
+			ops := []string{"=", "!=", "<", "<=", ">", ">="}
+			return fmt.Sprintf(`%s %s %d`, randPath(v), ops[rng.Intn(len(ops))], 5+rng.Intn(100))
+		case 2:
+			return fmt.Sprintf(`%s = %q`, randPath(v), rTexts[rng.Intn(len(rTexts))])
+		default:
+			op := "BEFORE"
+			if rng.Intn(2) == 0 {
+				op = "AFTER"
+			}
+			return fmt.Sprintf(`%s %s %s`, randPath(v), op, randPath(v))
+		}
+	}
+	nConds := rng.Intn(3)
+	if nConds > 0 {
+		sb.WriteString("\nWHERE ")
+		for i := 0; i < nConds; i++ {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			v := "a"
+			if twoVars && rng.Intn(2) == 0 {
+				v = "b"
+			}
+			sb.WriteString(cond(v))
+		}
+		// Occasionally a cross-variable equality (join).
+		if twoVars && rng.Intn(2) == 0 {
+			if nConds > 0 {
+				sb.WriteString(" AND ")
+			}
+			sb.WriteString(randPath("a") + " = " + randPath("b"))
+		}
+	}
+	sb.WriteString("\nRETURN ")
+	sb.WriteString(randPath("a"))
+	if rng.Intn(2) == 0 {
+		v := "a"
+		if twoVars {
+			v = "b"
+		}
+		sb.WriteString(", " + randPath(v))
+	}
+	return sb.String()
+}

@@ -1,0 +1,108 @@
+// Package xomatiq is the public API of the XomatiQ reproduction: an
+// "all-XML" biological data management system that warehouses
+// heterogeneous biological databases as XML, shreds them into an
+// embedded relational engine, and answers XQuery-style FLWR queries by
+// translating them to SQL (Cruz, Laud, Bhowmick — "XomatiQ: Living With
+// Genomes, Proteomes, Relations and a Little Bit of XML", ICDE 2003).
+//
+// A minimal session:
+//
+//	eng, _ := xomatiq.Open(xomatiq.NewConfig("warehouse.db"))
+//	defer eng.Close()
+//	src := xomatiq.NewSimSource("expasy", enzymeFlatFileText)
+//	eng.RegisterSource("hlx_enzyme.DEFAULT", src, xomatiq.EnzymeTransformer{})
+//	eng.Harness("hlx_enzyme.DEFAULT")
+//	res, _ := eng.Query(`FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+//	WHERE contains($a//catalytic_activity, "ketone")
+//	RETURN $a//enzyme_id, $a//enzyme_description`)
+//	fmt.Print(res.Table())
+//
+// The package re-exports the pieces a downstream application needs: the
+// engine (internal/core), the Data Hounds sources and transformers
+// (internal/hounds), and the flat-file toolkit with synthetic
+// generators (internal/bio).
+package xomatiq
+
+import (
+	"xomatiq/internal/bio"
+	"xomatiq/internal/core"
+	"xomatiq/internal/hounds"
+)
+
+// Engine is a XomatiQ warehouse instance: Data Hounds lifecycle plus the
+// query pipeline.
+type Engine = core.Engine
+
+// Config tunes an Engine; use NewConfig for defaults.
+type Config = core.Config
+
+// Result is a materialised query result with XML and table renderers.
+type Result = core.Result
+
+// Mode reports which execution path answered a query.
+type Mode = core.Mode
+
+// Execution modes.
+const (
+	ModeSQL    = core.ModeSQL
+	ModeNative = core.ModeNative
+)
+
+// NewConfig returns the default configuration for a warehouse at path.
+func NewConfig(path string) Config { return core.NewConfig(path) }
+
+// Open opens (or creates) a warehouse.
+func Open(cfg Config) (*Engine, error) { return core.Open(cfg) }
+
+// Source is a remote database location the Data Hounds can fetch.
+type Source = hounds.Source
+
+// FileSource reads a flat file from disk.
+type FileSource = hounds.FileSource
+
+// SimSource is an in-process simulated remote with versioned publishes.
+type SimSource = hounds.SimSource
+
+// NewSimSource creates a simulated remote with initial content.
+func NewSimSource(name, content string) *SimSource { return hounds.NewSimSource(name, content) }
+
+// Transformer converts one source format into XML documents.
+type Transformer = hounds.Transformer
+
+// The built-in transformers for the paper's three databases.
+type (
+	// EnzymeTransformer maps the ENZYME flat file (Figures 2-4) to the
+	// Figure 5/6 XML.
+	EnzymeTransformer = hounds.EnzymeTransformer
+	// EMBLTransformer maps EMBL nucleotide entries to hlx_n_sequence.
+	EMBLTransformer = hounds.EMBLTransformer
+	// SProtTransformer maps Swiss-Prot protein entries to hlx_n_sequence.
+	SProtTransformer = hounds.SProtTransformer
+)
+
+// Trigger and ChangeSet describe warehouse updates delivered on the bus.
+type (
+	Trigger   = hounds.Trigger
+	ChangeSet = hounds.ChangeSet
+)
+
+// GenOptions controls the synthetic corpus generators.
+type GenOptions = bio.GenOptions
+
+// The flat-file entry types and their seeded generators/writers, used to
+// stand in for the 2003 FTP dumps (see DESIGN.md).
+type (
+	EnzymeEntry = bio.EnzymeEntry
+	EMBLEntry   = bio.EMBLEntry
+	SProtEntry  = bio.SProtEntry
+)
+
+// Generator and writer re-exports for building source files.
+var (
+	GenEnzymes  = bio.GenEnzymes
+	GenEMBL     = bio.GenEMBL
+	GenSProt    = bio.GenSProt
+	WriteEnzyme = bio.WriteEnzyme
+	WriteEMBL   = bio.WriteEMBL
+	WriteSProt  = bio.WriteSProt
+)
