@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/sql/...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+check: vet build test race

@@ -608,3 +608,34 @@ RETURN $a//embl_accession_number`
 		}
 	})
 }
+
+// ---------------------------------------------------------------------
+// E16 (API redesign): the plan cache. The hit arm answers a repeated
+// query from the cached translation (no XQ parse, no XQ2SQL, no SQL
+// parse); the miss arm disables the cache so every iteration pays the
+// full front half of the pipeline.
+func BenchmarkQueryCached(b *testing.B) {
+	f := flats(b, 10, 500, 500)
+	q := benchutil.Figure9Query
+	b.Run("cache-hit", func(b *testing.B) {
+		eng := warehouse(b, f, nil)
+		runQuery(b, eng, q) // populate the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runQuery(b, eng, q)
+		}
+		b.StopTimer()
+		st := eng.PlanCacheStats()
+		if st.Hits == 0 {
+			b.Fatalf("no cache hits recorded: %+v", st)
+		}
+	})
+	b.Run("cache-disabled", func(b *testing.B) {
+		eng := warehouse(b, f, func(c *core.Config) { c.PlanCacheSize = -1 })
+		runQuery(b, eng, q)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runQuery(b, eng, q)
+		}
+	})
+}

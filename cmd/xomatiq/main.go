@@ -21,18 +21,24 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"xomatiq/internal/core"
 )
 
+// queryTimeout bounds each query's execution; 0 means no limit.
+var queryTimeout time.Duration
+
 func main() {
 	dbPath := flag.String("db", "warehouse.db", "warehouse database file")
+	flag.DurationVar(&queryTimeout, "timeout", 0, "per-query timeout (e.g. 5s; 0 = none)")
 	flag.Parse()
 
 	eng, err := core.Open(core.NewConfig(*dbPath))
@@ -137,6 +143,9 @@ func command(eng *core.Engine, out io.Writer, line string, mode *string) bool {
 			fmt.Fprintf(out, "  table %-12s %8d rows  indexes: %s\n",
 				t.Name, t.Rows, strings.Join(t.Indexes, ", "))
 		}
+		pc := eng.PlanCacheStats()
+		fmt.Fprintf(out, "plan cache: %d entries, %d hits, %d misses, %d invalidations\n",
+			pc.Entries, pc.Hits, pc.Misses, pc.Invalidations)
 	case "\\plan":
 		query := strings.TrimSpace(strings.TrimPrefix(line, "\\plan"))
 		if query == "" {
@@ -219,7 +228,13 @@ func runQuery(eng *core.Engine, out io.Writer, query, mode string) {
 	if strings.TrimSpace(query) == "" {
 		return
 	}
-	res, err := eng.Query(query)
+	ctx := context.Background()
+	if queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, queryTimeout)
+		defer cancel()
+	}
+	res, err := eng.QueryContext(ctx, query)
 	if err != nil {
 		fmt.Fprintln(out, "error:", err)
 		return

@@ -59,6 +59,7 @@ func main() {
 	run("E12", "incremental update vs full re-harness", e12)
 	run("E13", "numeric values table vs coerced string scan", e13)
 	run("E15", "sequence/non-sequence split: motif search", e15)
+	run("E16", "plan cache: hot-query latency and invalidation", e16)
 }
 
 // med runs fn iters times and returns the median duration.
@@ -342,6 +343,23 @@ RETURN $a//embl_accession_number`
 	})
 	fmt.Printf("%-40s %12v %6d rows\n", "motif via seq_data (seqcontains)", dm.Round(time.Microsecond), rows)
 	fmt.Printf("%-40s %12v  (no-split counterfactual)\n", "motif over all text", da.Round(time.Microsecond))
+}
+
+func e16() {
+	f := mustFlats(10, 500, 500)
+	engCached, cleanupC := mustWarehouse(f, nil)
+	defer cleanupC()
+	engCold, cleanupN := mustWarehouse(f, func(c *core.Config) { c.PlanCacheSize = -1 })
+	defer cleanupN()
+	q := benchutil.Figure9Query
+	mustQuery(engCached, q) // warm the cache
+	dh := med(9, func() { mustQuery(engCached, q) })
+	dm := med(9, func() { mustQuery(engCold, q) })
+	fmt.Printf("%-34s %12v\n", "Fig. 9 query, plan cache hit", dh.Round(time.Microsecond))
+	fmt.Printf("%-34s %12v\n", "Fig. 9 query, cache disabled", dm.Round(time.Microsecond))
+	pc := engCached.PlanCacheStats()
+	fmt.Printf("cache: %d entries, %d hits, %d misses, %d invalidations\n",
+		pc.Entries, pc.Hits, pc.Misses, pc.Invalidations)
 }
 
 func e12() {

@@ -35,7 +35,7 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	eng, err := xomatiq.Open(xomatiq.NewConfig(filepath.Join(dir, "warehouse.db")))
+	eng, err := xomatiq.Open(filepath.Join(dir, "warehouse.db"))
 	if err != nil {
 		log.Fatal(err)
 	}

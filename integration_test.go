@@ -14,7 +14,7 @@ import (
 
 func publicEngine(t *testing.T) *xomatiq.Engine {
 	t.Helper()
-	eng, err := xomatiq.Open(xomatiq.NewConfig(filepath.Join(t.TempDir(), "pub.db")))
+	eng, err := xomatiq.Open(filepath.Join(t.TempDir(), "pub.db"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,10 +159,8 @@ func TestPublicAPIUpdateCycle(t *testing.T) {
 // TestPublicAPINoIndexConfig verifies correctness is preserved with all
 // secondary indexes disabled (the E8 ablation configuration).
 func TestPublicAPINoIndexConfig(t *testing.T) {
-	cfg := xomatiq.NewConfig(filepath.Join(t.TempDir(), "noidx.db"))
-	cfg.WithIndexes = false
-	cfg.UseKeywordIndex = false
-	eng, err := xomatiq.Open(cfg)
+	eng, err := xomatiq.Open(filepath.Join(t.TempDir(), "noidx.db"),
+		xomatiq.WithoutIndexes(), xomatiq.WithoutKeywordIndex())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -37,6 +38,9 @@ type Config struct {
 	UseKeywordIndex bool
 	// Async skips the WAL fsync on commit (bulk benchmark loads).
 	Async bool
+	// PlanCacheSize is the entry capacity of the query plan cache:
+	// 0 means DefaultPlanCacheSize, negative disables caching.
+	PlanCacheSize int
 }
 
 // NewConfig returns the default configuration for a warehouse at path.
@@ -50,6 +54,7 @@ type Engine struct {
 	db    *sql.DB
 	store *shred.Store
 	bus   *hounds.Bus
+	plans *planCache
 
 	mu      sync.Mutex
 	sources map[string]*sourceReg
@@ -85,6 +90,7 @@ func Open(cfg Config) (*Engine, error) {
 		db:      db,
 		store:   store,
 		bus:     hounds.NewBus(),
+		plans:   newPlanCache(cfg.PlanCacheSize),
 		sources: map[string]*sourceReg{},
 		corpus:  map[string][]*xmldoc.Document{},
 	}, nil
@@ -111,7 +117,7 @@ func (e *Engine) RegisterSource(dbName string, src hounds.Source, tr hounds.Tran
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, dup := e.sources[dbName]; dup {
-		return fmt.Errorf("core: source for %q already registered", dbName)
+		return fmt.Errorf("%w: %q", ErrDuplicateSource, dbName)
 	}
 	if err := e.store.RegisterDB(dbName, tr.SequencePaths(), dtdText(tr)); err != nil {
 		return err
@@ -126,11 +132,18 @@ func dtdText(tr hounds.Transformer) string { return tr.DTD().String() }
 // validate against the DTD, shred into the warehouse (one batch), and
 // fire a trigger. Returns the number of documents loaded.
 func (e *Engine) Harness(dbName string) (int, error) {
+	return e.HarnessContext(context.Background(), dbName)
+}
+
+// HarnessContext is Harness with cooperative cancellation: the load is
+// checked between crash-atomic chunks, so a cancelled harness leaves a
+// committed prefix that the next harness replaces wholesale.
+func (e *Engine) HarnessContext(ctx context.Context, dbName string) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	reg, ok := e.sources[dbName]
 	if !ok {
-		return 0, fmt.Errorf("core: no source registered for %q", dbName)
+		return 0, fmt.Errorf("%w for %q", ErrNoSource, dbName)
 	}
 	rc, version, err := reg.source.Fetch()
 	if err != nil {
@@ -150,13 +163,13 @@ func (e *Engine) Harness(dbName string) (int, error) {
 		return 0, err
 	}
 	if err := e.store.ClearDatabase(dbName); err != nil {
-		e.db.Commit()
+		e.db.Rollback()
 		return 0, err
 	}
 	if err := e.db.Commit(); err != nil {
 		return 0, err
 	}
-	if err := e.loadChunked(dbName, docs); err != nil {
+	if err := e.loadChunked(ctx, dbName, docs); err != nil {
 		return 0, err
 	}
 	reg.lastVersion = version
@@ -172,9 +185,15 @@ func transformAll(tr hounds.Transformer, r io.Reader) ([]*xmldoc.Document, error
 }
 
 // loadChunked shreds documents in crash-atomic batches of loadChunkSize.
-func (e *Engine) loadChunked(dbName string, docs []*xmldoc.Document) error {
+// Cancellation is honoured at chunk boundaries, never mid-batch, so an
+// aborted load is always a committed prefix. A failed chunk is rolled
+// back rather than committed partially.
+func (e *Engine) loadChunked(ctx context.Context, dbName string, docs []*xmldoc.Document) error {
 	const loadChunkSize = 200
 	for start := 0; start < len(docs); start += loadChunkSize {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		end := start + loadChunkSize
 		if end > len(docs) {
 			end = len(docs)
@@ -184,7 +203,7 @@ func (e *Engine) loadChunked(dbName string, docs []*xmldoc.Document) error {
 		}
 		for _, d := range docs[start:end] {
 			if _, err := e.store.LoadDocument(dbName, d); err != nil {
-				e.db.Commit()
+				e.db.Rollback()
 				return err
 			}
 		}
@@ -208,11 +227,17 @@ func docNamesOf(docs []*xmldoc.Document) []string {
 // latest updates to any database without any information being left out
 // or added twice"). A trigger describing the change set is published.
 func (e *Engine) Update(dbName string) (hounds.ChangeSet, error) {
+	return e.UpdateContext(context.Background(), dbName)
+}
+
+// UpdateContext is Update with cooperative cancellation; like
+// HarnessContext, the delta load aborts only at chunk boundaries.
+func (e *Engine) UpdateContext(ctx context.Context, dbName string) (hounds.ChangeSet, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	reg, ok := e.sources[dbName]
 	if !ok {
-		return hounds.ChangeSet{}, fmt.Errorf("core: no source registered for %q", dbName)
+		return hounds.ChangeSet{}, fmt.Errorf("%w for %q", ErrNoSource, dbName)
 	}
 	rc, version, err := reg.source.Fetch()
 	if err != nil {
@@ -243,7 +268,7 @@ func (e *Engine) Update(dbName string) (hounds.ChangeSet, error) {
 	}
 	for _, name := range append(append([]string{}, cs.Removed...), cs.Modified...) {
 		if err := e.store.DeleteDocument(dbName, name); err != nil {
-			e.db.Commit()
+			e.db.Rollback()
 			return cs, err
 		}
 	}
@@ -254,7 +279,7 @@ func (e *Engine) Update(dbName string) (hounds.ChangeSet, error) {
 	for _, name := range append(append([]string{}, cs.Modified...), cs.Added...) {
 		loads = append(loads, byName[name])
 	}
-	if err := e.loadChunked(dbName, loads); err != nil {
+	if err := e.loadChunked(ctx, dbName, loads); err != nil {
 		return cs, err
 	}
 	reg.lastVersion = version
@@ -289,7 +314,7 @@ func (e *Engine) DocCount(dbName string) (int, error) { return e.store.DocCount(
 func (e *Engine) DTDTree(dbName string) (string, error) {
 	text, ok := e.store.DTD(dbName)
 	if !ok {
-		return "", fmt.Errorf("core: unknown database %q", dbName)
+		return "", fmt.Errorf("%w: %q", ErrUnknownDatabase, dbName)
 	}
 	if strings.TrimSpace(text) == "" {
 		return "(no DTD registered)", nil
@@ -332,24 +357,118 @@ type Result struct {
 // query shapes outside the translatable subset fall back to native
 // evaluation over reconstructed documents.
 func (e *Engine) Query(src string) (*Result, error) {
-	q, err := xq.Parse(src)
+	return e.QueryContext(context.Background(), src)
+}
+
+// QueryContext runs a query under a context: cancelling the context
+// aborts row production in the relational executor (or the native
+// fallback) and returns ctx.Err(). Repeated queries hit the plan cache,
+// skipping the XQ parse, the XQ2SQL translation and the SQL parse while
+// the catalog epochs of every referenced database are unchanged.
+func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
+	entry, err := e.plan(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.QueryParsed(q)
+	return e.execPlan(ctx, entry)
 }
 
 // QueryParsed runs an already-parsed query.
 func (e *Engine) QueryParsed(q *xq.Query) (*Result, error) {
+	return e.QueryParsedContext(context.Background(), q)
+}
+
+// QueryParsedContext runs an already-parsed query under a context. The
+// plan cache is keyed on query text, so this path always translates.
+func (e *Engine) QueryParsedContext(ctx context.Context, q *xq.Query) (*Result, error) {
+	entry, err := e.translate(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.execPlan(ctx, entry)
+}
+
+// plan returns a usable plan entry for a query text, consulting the
+// cache first. A cached entry is served only while every catalog epoch
+// it captured still matches; otherwise it is dropped and rebuilt.
+func (e *Engine) plan(src string) (*planEntry, error) {
+	key := normalizeQuery(src)
+	if entry, ok := e.plans.get(key); ok {
+		if e.planFresh(entry) {
+			return entry, nil
+		}
+		e.plans.invalidate(key)
+	}
+	q, err := xq.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	entry, err := e.translate(q)
+	if err != nil {
+		return nil, err
+	}
+	e.plans.put(key, entry)
+	return entry, nil
+}
+
+// planFresh reports whether every epoch the entry captured is current.
+func (e *Engine) planFresh(entry *planEntry) bool {
+	for db, ep := range entry.epochs {
+		if e.store.Epoch(db) != ep {
+			return false
+		}
+	}
+	return true
+}
+
+// translate builds a plan entry for a parsed query. Epochs are captured
+// BEFORE translation: if a concurrent load mutates a referenced database
+// mid-translation, the entry fails its next freshness check instead of
+// serving a half-new plan.
+func (e *Engine) translate(q *xq.Query) (*planEntry, error) {
+	entry := &planEntry{q: q, epochs: map[string]uint64{}}
+	for _, b := range q.For {
+		if b.Path.Doc != "" {
+			entry.epochs[b.Path.Doc] = e.store.Epoch(b.Path.Doc)
+		}
+	}
+	for _, b := range q.Let {
+		if b.Path.Doc != "" {
+			entry.epochs[b.Path.Doc] = e.store.Epoch(b.Path.Doc)
+		}
+	}
 	tr, err := xq2sql.Translate(e.store, q, xq2sql.Options{
 		UseKeywordIndex: e.cfg.UseKeywordIndex,
 	})
 	if err == nil {
-		rows, qerr := e.db.Query(tr.SQL)
+		stmt, perr := sql.Parse(tr.SQL)
+		if perr != nil {
+			return nil, fmt.Errorf("core: parsing translated SQL: %w", perr)
+		}
+		sel, ok := stmt.(*sql.Select)
+		if !ok {
+			return nil, fmt.Errorf("core: translated SQL is not a SELECT")
+		}
+		entry.tr = tr
+		entry.stmt = sel
+		return entry, nil
+	}
+	if errors.Is(err, xq2sql.ErrUnsupported) {
+		entry.unsupported = true
+		return entry, nil
+	}
+	return nil, err
+}
+
+// execPlan runs a plan entry: the translated statement over the
+// relational engine, or the native fallback for unsupported shapes.
+func (e *Engine) execPlan(ctx context.Context, entry *planEntry) (*Result, error) {
+	if !entry.unsupported {
+		rows, qerr := e.db.QueryStmtContext(ctx, entry.stmt)
 		if qerr != nil {
 			return nil, fmt.Errorf("core: executing translated SQL: %w", qerr)
 		}
-		res := &Result{Columns: tr.Columns, Mode: ModeSQL, SQL: tr.SQL}
+		res := &Result{Columns: entry.tr.Columns, Mode: ModeSQL, SQL: entry.tr.SQL}
 		for _, tup := range rows.Rows {
 			row := make([]string, len(tup))
 			for i, v := range tup {
@@ -359,20 +478,20 @@ func (e *Engine) QueryParsed(q *xq.Query) (*Result, error) {
 		}
 		return res, nil
 	}
-	if !errors.Is(err, xq2sql.ErrUnsupported) {
-		return nil, err
-	}
 	// Native fallback over reconstructed documents.
-	corpus, cerr := e.corpusFor(q)
+	corpus, cerr := e.corpusFor(entry.q)
 	if cerr != nil {
 		return nil, cerr
 	}
-	nres, nerr := nativexml.Eval(corpus, q)
+	nres, nerr := nativexml.EvalContext(ctx, corpus, entry.q)
 	if nerr != nil {
 		return nil, nerr
 	}
 	return &Result{Columns: nres.Columns, Rows: nres.Rows, Mode: ModeNative}, nil
 }
+
+// PlanCacheStats snapshots the plan cache's effectiveness counters.
+func (e *Engine) PlanCacheStats() PlanCacheStats { return e.plans.stats() }
 
 // corpusFor reconstructs (and caches) the documents of every database a
 // query references.

@@ -1,0 +1,19 @@
+package core
+
+import "errors"
+
+// Sentinel errors of the engine API. Callers match them with errors.Is;
+// the wrapped form carries the database name.
+var (
+	// ErrUnknownDatabase reports a reference to a database that is not
+	// registered in the warehouse.
+	ErrUnknownDatabase = errors.New("core: unknown database")
+
+	// ErrNoSource reports a harness or update of a database that has no
+	// registered source.
+	ErrNoSource = errors.New("core: no source registered")
+
+	// ErrDuplicateSource reports a second RegisterSource under the same
+	// database name.
+	ErrDuplicateSource = errors.New("core: source already registered")
+)

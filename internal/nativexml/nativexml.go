@@ -6,6 +6,7 @@
 package nativexml
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -36,15 +37,41 @@ type binding struct {
 type evaluator struct {
 	corpus Corpus
 	orders map[*xmldoc.Document]map[*xmldoc.Node]xmldoc.Dewey
+	ctx    context.Context
+	polls  int
+}
+
+// cancelEvery bounds how many candidate combinations are examined
+// between context checks.
+const cancelEvery = 256
+
+// poll checks for cancellation every cancelEvery calls.
+func (ev *evaluator) poll() error {
+	ev.polls++
+	if ev.polls%cancelEvery != 0 || ev.ctx == nil {
+		return nil
+	}
+	return ev.ctx.Err()
 }
 
 // Eval runs a query over the corpus.
 func Eval(corpus Corpus, q *xq.Query) (*Result, error) {
+	return EvalContext(context.Background(), corpus, q)
+}
+
+// EvalContext runs a query over the corpus, aborting with ctx.Err() if
+// the context is cancelled while the candidate cross product is being
+// enumerated.
+func EvalContext(ctx context.Context, corpus Corpus, q *xq.Query) (*Result, error) {
 	q, err := q.ResolveLets()
 	if err != nil {
 		return nil, err
 	}
-	ev := &evaluator{corpus: corpus, orders: map[*xmldoc.Document]map[*xmldoc.Node]xmldoc.Dewey{}}
+	ev := &evaluator{
+		corpus: corpus,
+		orders: map[*xmldoc.Document]map[*xmldoc.Node]xmldoc.Dewey{},
+		ctx:    ctx,
+	}
 
 	// Candidates per FOR variable.
 	cands := make([][]binding, len(q.For))
@@ -70,6 +97,9 @@ func Eval(corpus Corpus, q *xq.Query) (*Result, error) {
 			i := varIdx[vs[0]]
 			kept := cands[i][:0]
 			for _, cand := range cands[i] {
+				if err := ev.poll(); err != nil {
+					return nil, err
+				}
 				env := map[string]binding{vs[0]: cand}
 				ok, err := ev.evalExpr(c, env)
 				if err != nil {
@@ -94,6 +124,9 @@ func Eval(corpus Corpus, q *xq.Query) (*Result, error) {
 	// Iterate the cross product of candidates.
 	idx := make([]int, len(cands))
 	for {
+		if err := ev.poll(); err != nil {
+			return nil, err
+		}
 		env := map[string]binding{}
 		for i, v := range vars {
 			if len(cands[i]) == 0 {

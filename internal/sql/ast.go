@@ -7,6 +7,7 @@ package sql
 
 import (
 	"strings"
+	"sync/atomic"
 
 	"xomatiq/internal/value"
 )
@@ -138,16 +139,20 @@ type ColumnRef struct {
 	Table  string // may be empty
 	Column string
 
-	// cachedSchema/cachedIdx memoise resolution against the last schema
-	// this reference was evaluated under. Query execution is
-	// single-threaded per statement, and each statement parses its own
-	// AST, so the cache needs no synchronisation.
-	cachedSchema *Schema
-	cachedIdx    int
+	// resolved memoises resolution against the last schema this
+	// reference was evaluated under. Parsed statements may be shared
+	// across concurrent executions (the engine's plan cache), so the
+	// schema/index pair is published as one atomic pointer.
+	resolved atomic.Pointer[colResolution]
+}
+
+type colResolution struct {
+	schema *Schema
+	idx    int
 }
 
 // String renders the reference as [table.]column.
-func (c ColumnRef) String() string {
+func (c *ColumnRef) String() string {
 	if c.Table == "" {
 		return c.Column
 	}

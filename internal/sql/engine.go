@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -43,6 +44,7 @@ func (o *Options) fill() {
 // It is safe for concurrent use; writes are serialised.
 type DB struct {
 	mu   sync.RWMutex
+	path string
 	mgr  *disk.Manager
 	pool *bufpool.Pool
 	log  *wal.Log
@@ -97,6 +99,7 @@ func open(path string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{
+		path: path,
 		mgr:  mgr,
 		pool: bufpool.New(mgr, opts.PoolPages),
 		log:  log,
@@ -135,7 +138,7 @@ func open(path string, opts Options) (*DB, error) {
 		db.recovered = len(ops) > 0
 	}
 
-	if err := db.loadCatalog(); err != nil {
+	if err := db.loadCatalog(db.recovered); err != nil {
 		db.closeFiles()
 		return nil, err
 	}
@@ -152,8 +155,11 @@ func (db *DB) closeFiles() {
 func (db *DB) Recovered() bool { return db.recovered }
 
 // loadCatalog opens (or initialises) the catalog heap at page 1 and
-// materialises table and index state.
-func (db *DB) loadCatalog() error {
+// materialises table and index state. With rebuild set, B-tree indexes
+// are reconstructed from heap contents instead of reopened from their
+// persisted anchors — required after WAL replay (recovery or rollback),
+// because index pages are not logged.
+func (db *DB) loadCatalog(rebuild bool) error {
 	const catalogFirstPage = disk.PageID(1)
 	if db.mgr.NumPages() <= 1 {
 		// Fresh database: create the catalog heap and checkpoint so the
@@ -236,7 +242,7 @@ func (db *DB) loadCatalog() error {
 			if err := db.rebuildHash(t, ix); err != nil {
 				return err
 			}
-		} else if db.recovered || anchor < 0 {
+		} else if rebuild || anchor < 0 {
 			if err := db.rebuildBTree(t, ix); err != nil {
 				return err
 			}
@@ -253,7 +259,7 @@ func (db *DB) loadCatalog() error {
 		t.Indexes = append(t.Indexes, ix)
 		db.cat.indexes[strings.ToLower(name)] = ix
 	}
-	if db.recovered {
+	if rebuild {
 		// Persist rebuilt anchors and start from a clean checkpoint.
 		if err := db.log.Append(wal.Record{Txn: 0, Op: wal.OpCommit}); err != nil {
 			return err
@@ -400,6 +406,49 @@ func (db *DB) Commit() error {
 	return db.maybeCheckpointLocked()
 }
 
+// Rollback abandons the open batch: every change since the last commit
+// is discarded and the database returns to its last committed state.
+//
+// In the no-steal/redo-only design nothing of an uncommitted
+// transaction reaches the data file, so abort is: drop the dirty
+// frames, then replay the committed WAL suffix onto the checkpointed
+// file — exactly the path crash recovery takes — and rebuild the
+// catalog and in-memory indexes from the result. Pages allocated by the
+// aborted batch leak until the next Compact, like dropped tables.
+func (db *DB) Rollback() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.inBatch {
+		return errors.New("sql: no open batch")
+	}
+	db.inBatch = false
+	// Push buffered records (committed and aborted alike) to the log
+	// file so the committed-ops scan sees everything appended so far.
+	if err := db.log.Flush(); err != nil {
+		return err
+	}
+	ops, err := wal.CommittedOps(db.path + ".wal")
+	if err != nil {
+		return fmt.Errorf("sql: rollback scan: %w", err)
+	}
+	if err := db.pool.DiscardDirty(); err != nil {
+		return err
+	}
+	for _, op := range ops {
+		if err := db.mgr.EnsureAllocated(disk.PageID(op.Page)); err != nil {
+			return fmt.Errorf("sql: rollback extend: %w", err)
+		}
+	}
+	if err := heap.Replay(db.pool, ops); err != nil {
+		return fmt.Errorf("sql: rollback replay: %w", err)
+	}
+	if err := db.checkpointLocked(); err != nil {
+		return err
+	}
+	db.cat = newCatalog()
+	return db.loadCatalog(true)
+}
+
 func (db *DB) maybeCheckpointLocked() error {
 	if db.inBatch {
 		return nil
@@ -478,6 +527,14 @@ func (db *DB) ExecStmt(stmt Statement) (Result, error) {
 
 // Query parses and runs a SELECT, returning materialised rows.
 func (db *DB) Query(src string) (*Rows, error) {
+	return db.QueryContext(context.Background(), src)
+}
+
+// QueryContext parses and runs a SELECT under ctx. Executor scan and
+// join loops poll the context periodically, so a cancel or deadline
+// aborts a long scan promptly with ctx's error instead of after
+// materialising the full result.
+func (db *DB) QueryContext(ctx context.Context, src string) (*Rows, error) {
 	stmt, err := Parse(src)
 	if err != nil {
 		return nil, err
@@ -486,14 +543,19 @@ func (db *DB) Query(src string) (*Rows, error) {
 	if !ok {
 		return nil, fmt.Errorf("sql: Query requires a SELECT, got %T", stmt)
 	}
-	return db.QueryStmt(sel)
+	return db.QueryStmtContext(ctx, sel)
 }
 
 // QueryStmt runs a parsed SELECT.
 func (db *DB) QueryStmt(sel *Select) (*Rows, error) {
+	return db.QueryStmtContext(context.Background(), sel)
+}
+
+// QueryStmtContext runs a parsed SELECT under ctx.
+func (db *DB) QueryStmtContext(ctx context.Context, sel *Select) (*Rows, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.runSelect(sel)
+	return db.runSelect(ctx, sel)
 }
 
 // Table exposes table metadata (column defs and row count).
@@ -764,7 +826,7 @@ func (db *DB) removeTuple(txn uint64, t *TableInfo, rid heap.RID, tup value.Tupl
 // tuple of each match. fn must not mutate the heap; callers collect rids
 // first when they need to.
 func (db *DB) matchingRows(t *TableInfo, where Expr, fn func(rid heap.RID, tup value.Tuple) error) error {
-	it, err := db.accessPath(t, t.Name, conjuncts(where), nil)
+	it, err := db.accessPath(nil, t, t.Name, conjuncts(where), nil)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -15,12 +16,38 @@ type rowIter interface {
 	Next() (value.Tuple, bool, error)
 }
 
+// cancelEvery is how many rows an executor loop processes between
+// context polls: small enough that a cancelled scan over a large table
+// stops promptly, large enough that the poll is noise per row.
+const cancelEvery = 256
+
+// execState is shared by every iterator of one query execution, so the
+// poll counter accumulates across the whole plan: many small index
+// probes cancel as promptly as one big scan. A nil state (Explain, the
+// DML row-collection path) never cancels.
+type execState struct {
+	ctx   context.Context
+	polls int
+}
+
+// poll returns ctx.Err() on every cancelEvery-th call.
+func (es *execState) poll() error {
+	if es == nil {
+		return nil
+	}
+	es.polls++
+	if es.polls%cancelEvery != 0 || es.ctx == nil {
+		return nil
+	}
+	return es.ctx.Err()
+}
+
 // runSelect plans and executes a SELECT under db.mu (read-held).
-func (db *DB) runSelect(sel *Select) (*Rows, error) {
+func (db *DB) runSelect(ctx context.Context, sel *Select) (*Rows, error) {
 	if len(sel.From) == 0 {
 		return nil, fmt.Errorf("sql: SELECT requires FROM")
 	}
-	it, residual, err := db.buildFrom(sel, nil)
+	it, residual, err := db.buildFrom(&execState{ctx: ctx}, sel, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -38,7 +65,7 @@ func (db *DB) runSelect(sel *Select) (*Rows, error) {
 // conjuncts that reference a single binding are pushed down to that
 // binding's scan or join build, so intermediate results stay small; the
 // outer filter re-checks the full predicate for correctness.
-func (db *DB) buildFrom(sel *Select, trace *[]string) (rowIter, []Expr, error) {
+func (db *DB) buildFrom(es *execState, sel *Select, trace *[]string) (rowIter, []Expr, error) {
 	conjs := conjuncts(sel.Where)
 	entries := make([]fromEntry, len(sel.From))
 	for i, ref := range sel.From {
@@ -124,7 +151,7 @@ func (db *DB) buildFrom(sel *Select, trace *[]string) (rowIter, []Expr, error) {
 	}
 
 	first := entries[0]
-	it, err := db.accessPath(first.t, first.ref.Binding(), conjs, trace)
+	it, err := db.accessPath(es, first.t, first.ref.Binding(), conjs, trace)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -150,7 +177,7 @@ func (db *DB) buildFrom(sel *Select, trace *[]string) (rowIter, []Expr, error) {
 	}
 	it = applyReady(it)
 	for _, e := range entries[1:] {
-		it, err = db.buildJoin(it, e.t, e.ref, conjs,
+		it, err = db.buildJoin(es, it, e.t, e.ref, conjs,
 			pushdown[strings.ToLower(e.ref.Binding())], trace)
 		if err != nil {
 			return nil, nil, err
@@ -185,7 +212,7 @@ func (db *DB) Explain(src string) (string, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	var trace []string
-	if _, _, err := db.buildFrom(sel, &trace); err != nil {
+	if _, _, err := db.buildFrom(nil, sel, &trace); err != nil {
 		return "", err
 	}
 	return strings.Join(trace, "\n"), nil
@@ -368,7 +395,7 @@ func refersTo(c *ColumnRef, binding string, t *TableInfo) bool {
 // table, based on the WHERE conjuncts. The full predicate is re-checked
 // by the surrounding filter, so index selection is purely an access-path
 // optimisation.
-func (db *DB) accessPath(t *TableInfo, binding string, conjs []Expr, trace *[]string) (rowIter, error) {
+func (db *DB) accessPath(es *execState, t *TableInfo, binding string, conjs []Expr, trace *[]string) (rowIter, error) {
 	schema := t.Schema(binding)
 	bounds := map[int]*bound{} // column position -> constraints
 	boundFor := func(pos int) *bound {
@@ -458,7 +485,7 @@ func (db *DB) accessPath(t *TableInfo, binding string, conjs []Expr, trace *[]st
 	}
 	if best == nil {
 		tracef(trace, "scan %s as %s: sequential", t.Name, binding)
-		return &seqScanIter{t: t, schema: schema}, nil
+		return &seqScanIter{es: es, t: t, schema: schema}, nil
 	}
 	how := "prefix lookup"
 	if bestRange != nil {
@@ -467,9 +494,9 @@ func (db *DB) accessPath(t *TableInfo, binding string, conjs []Expr, trace *[]st
 	tracef(trace, "scan %s as %s: index %s (%s, %d leading cols)",
 		t.Name, binding, best.Name, how, len(bestPrefix))
 	if best.UsingHash {
-		return newHashScanIter(t, schema, best, bestPrefix)
+		return newHashScanIter(es, t, schema, best, bestPrefix)
 	}
-	return newBTreeScanIter(t, schema, best, bestPrefix, bestRange)
+	return newBTreeScanIter(es, t, schema, best, bestPrefix, bestRange)
 }
 
 // prefixCombos enumerates the cartesian product of per-column candidate
@@ -497,6 +524,7 @@ type ridSource interface {
 
 // seqScanIter scans a heap, decoding each record.
 type seqScanIter struct {
+	es     *execState
 	t      *TableInfo
 	schema *Schema
 	rids   []heap.RID
@@ -513,6 +541,10 @@ func (s *seqScanIter) CurrentRID() heap.RID { return s.rids[s.pos-1] }
 func (s *seqScanIter) load() error {
 	var serr error
 	err := s.t.Heap.Scan(func(rid heap.RID, rec []byte) bool {
+		if cerr := s.es.poll(); cerr != nil {
+			serr = cerr
+			return false
+		}
 		tup, derr := value.DecodeTuple(rec)
 		if derr != nil {
 			serr = derr
@@ -546,6 +578,7 @@ func (s *seqScanIter) Next() (value.Tuple, bool, error) {
 // ridListIter yields the tuples behind a pre-computed RID list (index
 // scans resolve to this).
 type ridListIter struct {
+	es     *execState
 	t      *TableInfo
 	schema *Schema
 	rids   []heap.RID
@@ -558,6 +591,9 @@ func (r *ridListIter) Schema() *Schema { return r.schema }
 func (r *ridListIter) CurrentRID() heap.RID { return r.rids[r.pos-1] }
 
 func (r *ridListIter) Next() (value.Tuple, bool, error) {
+	if err := r.es.poll(); err != nil {
+		return nil, false, err
+	}
 	if r.pos >= len(r.rids) {
 		return nil, false, nil
 	}
@@ -573,7 +609,7 @@ func (r *ridListIter) Next() (value.Tuple, bool, error) {
 	return tup, true, nil
 }
 
-func newHashScanIter(t *TableInfo, schema *Schema, ix *IndexInfo, prefix [][]value.Value) (rowIter, error) {
+func newHashScanIter(es *execState, t *TableInfo, schema *Schema, ix *IndexInfo, prefix [][]value.Value) (rowIter, error) {
 	var rids []heap.RID
 	for _, key := range prefixCombos(prefix) {
 		ix.Hash.Lookup(key, func(p []byte) bool {
@@ -581,7 +617,7 @@ func newHashScanIter(t *TableInfo, schema *Schema, ix *IndexInfo, prefix [][]val
 			return true
 		})
 	}
-	return &ridListIter{t: t, schema: schema, rids: rids}, nil
+	return &ridListIter{es: es, t: t, schema: schema, rids: rids}, nil
 }
 
 // bound collects the constraints WHERE places on one column.
@@ -595,9 +631,13 @@ type bound struct {
 
 // newBTreeScanIter scans the index for keys matching the equality/IN
 // prefix combinations and optional trailing range, collecting RIDs.
-func newBTreeScanIter(t *TableInfo, schema *Schema, ix *IndexInfo, prefixVals [][]value.Value, rng *bound) (rowIter, error) {
+func newBTreeScanIter(es *execState, t *TableInfo, schema *Schema, ix *IndexInfo, prefixVals [][]value.Value, rng *bound) (rowIter, error) {
 	var rids []heap.RID
+	var cerr error
 	collect := func(key, val []byte) bool {
+		if cerr = es.poll(); cerr != nil {
+			return false
+		}
 		rids = append(rids, ridFromBytes(val))
 		return true
 	}
@@ -631,8 +671,11 @@ func newBTreeScanIter(t *TableInfo, schema *Schema, ix *IndexInfo, prefixVals []
 		if err != nil {
 			return nil, err
 		}
+		if cerr != nil {
+			return nil, cerr
+		}
 	}
-	return &ridListIter{t: t, schema: schema, rids: rids}, nil
+	return &ridListIter{es: es, t: t, schema: schema, rids: rids}, nil
 }
 
 // filterIter drops rows for which pred is not true.

@@ -65,14 +65,14 @@ func Eval(e Expr, row Row) (value.Value, error) {
 	case *Literal:
 		return e.Val, nil
 	case *ColumnRef:
-		if e.cachedSchema == row.Schema {
-			return row.Values[e.cachedIdx], nil
+		if r := e.resolved.Load(); r != nil && r.schema == row.Schema {
+			return row.Values[r.idx], nil
 		}
 		i, err := row.Schema.Find(e)
 		if err != nil {
 			return value.Null, err
 		}
-		e.cachedSchema, e.cachedIdx = row.Schema, i
+		e.resolved.Store(&colResolution{schema: row.Schema, idx: i})
 		return row.Values[i], nil
 	case *BinaryExpr:
 		return evalBinary(e, row)

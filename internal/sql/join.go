@@ -16,7 +16,7 @@ type equiPair struct {
 // join key), hash join (any equi keys), and nested-loop join (everything
 // else). The ON residual is applied at the join; WHERE conjuncts are
 // re-checked by the outer filter.
-func (db *DB) buildJoin(left rowIter, rt *TableInfo, ref TableRef, whereConjs []Expr, rightFilter []Expr, trace *[]string) (rowIter, error) {
+func (db *DB) buildJoin(es *execState, left rowIter, rt *TableInfo, ref TableRef, whereConjs []Expr, rightFilter []Expr, trace *[]string) (rowIter, error) {
 	binding := ref.Binding()
 	rightSchema := rt.Schema(binding)
 	outSchema := left.Schema().Concat(rightSchema)
@@ -42,7 +42,7 @@ func (db *DB) buildJoin(left rowIter, rt *TableInfo, ref TableRef, whereConjs []
 	// use an index for pushed-down equality/range conjuncts) with the
 	// remaining single-binding filters applied inline.
 	rightSrc := func() (rowIter, error) {
-		it, err := db.accessPath(rt, binding, whereConjs, trace)
+		it, err := db.accessPath(es, rt, binding, whereConjs, trace)
 		if err != nil {
 			return nil, err
 		}
@@ -56,14 +56,14 @@ func (db *DB) buildJoin(left rowIter, rt *TableInfo, ref TableRef, whereConjs []
 		if ix := pickJoinIndex(rt, pairs); ix != nil {
 			tracef(trace, "join %s as %s: index nested loop via %s (%d keys)",
 				rt.Name, binding, ix.Name, len(pairs))
-			join = newIndexJoinIter(left, rt, rightSchema, outSchema, ix, pairs, rightFilter)
+			join = newIndexJoinIter(es, left, rt, rightSchema, outSchema, ix, pairs, rightFilter)
 		} else {
 			tracef(trace, "join %s as %s: hash join (%d keys)", rt.Name, binding, len(pairs))
-			join = newHashJoinIter(left, rightSchema, outSchema, pairs, rightSrc)
+			join = newHashJoinIter(es, left, rightSchema, outSchema, pairs, rightSrc)
 		}
 	} else {
 		tracef(trace, "join %s as %s: nested loop (cross)", rt.Name, binding)
-		join = newNestedLoopIter(left, outSchema, rightSrc)
+		join = newNestedLoopIter(es, left, outSchema, rightSrc)
 	}
 	for _, r := range residual {
 		join = &filterIter{in: join, pred: r}
@@ -189,6 +189,7 @@ func pairCols(pairs []equiPair) []int {
 // hashJoinIter builds a hash table over the right source keyed by the
 // join columns, then streams the left side probing it.
 type hashJoinIter struct {
+	es        *execState
 	left      rowIter
 	outSchema *Schema
 	pairs     []equiPair
@@ -202,9 +203,9 @@ type hashJoinIter struct {
 	mpos    int
 }
 
-func newHashJoinIter(left rowIter, rightSchema, outSchema *Schema, pairs []equiPair, rightSrc func() (rowIter, error)) rowIter {
+func newHashJoinIter(es *execState, left rowIter, rightSchema, outSchema *Schema, pairs []equiPair, rightSrc func() (rowIter, error)) rowIter {
 	return &hashJoinIter{
-		left: left, outSchema: outSchema,
+		es: es, left: left, outSchema: outSchema,
 		pairs: pairs, cols: pairCols(pairs), rightSrc: rightSrc,
 	}
 }
@@ -219,6 +220,9 @@ func (h *hashJoinIter) build() error {
 		return err
 	}
 	for {
+		if err := h.es.poll(); err != nil {
+			return err
+		}
 		tup, ok, err := src.Next()
 		if err != nil {
 			return err
@@ -265,6 +269,7 @@ func (h *hashJoinIter) Next() (value.Tuple, bool, error) {
 
 // indexJoinIter probes a right-table index for each left row.
 type indexJoinIter struct {
+	es          *execState
 	left        rowIter
 	rt          *TableInfo
 	rightSchema *Schema
@@ -278,9 +283,9 @@ type indexJoinIter struct {
 	mpos    int
 }
 
-func newIndexJoinIter(left rowIter, rt *TableInfo, rightSchema, outSchema *Schema, ix *IndexInfo, pairs []equiPair, rightFilter []Expr) rowIter {
+func newIndexJoinIter(es *execState, left rowIter, rt *TableInfo, rightSchema, outSchema *Schema, ix *IndexInfo, pairs []equiPair, rightFilter []Expr) rowIter {
 	return &indexJoinIter{
-		left: left, rt: rt, rightSchema: rightSchema, outSchema: outSchema,
+		es: es, left: left, rt: rt, rightSchema: rightSchema, outSchema: outSchema,
 		ix: ix, pairs: pairs, rightFilter: rightFilter,
 	}
 }
@@ -288,6 +293,9 @@ func newIndexJoinIter(left rowIter, rt *TableInfo, rightSchema, outSchema *Schem
 func (j *indexJoinIter) Schema() *Schema { return j.outSchema }
 
 func (j *indexJoinIter) probe(ltup value.Tuple) error {
+	if err := j.es.poll(); err != nil {
+		return err
+	}
 	key, err := joinKey(j.pairs, j.ix.ColPos, j.left.Schema(), ltup)
 	if err != nil {
 		return err
@@ -376,6 +384,7 @@ func (j *indexJoinIter) Next() (value.Tuple, bool, error) {
 // nestedLoopIter is the fallback cross join; predicates are applied by
 // the caller's filters.
 type nestedLoopIter struct {
+	es        *execState
 	left      rowIter
 	outSchema *Schema
 	rightSrc  func() (rowIter, error)
@@ -387,8 +396,8 @@ type nestedLoopIter struct {
 	haveRow bool
 }
 
-func newNestedLoopIter(left rowIter, outSchema *Schema, rightSrc func() (rowIter, error)) rowIter {
-	return &nestedLoopIter{left: left, outSchema: outSchema, rightSrc: rightSrc}
+func newNestedLoopIter(es *execState, left rowIter, outSchema *Schema, rightSrc func() (rowIter, error)) rowIter {
+	return &nestedLoopIter{es: es, left: left, outSchema: outSchema, rightSrc: rightSrc}
 }
 
 func (n *nestedLoopIter) Schema() *Schema { return n.outSchema }
@@ -418,6 +427,9 @@ func (n *nestedLoopIter) Next() (value.Tuple, bool, error) {
 		}
 	}
 	for {
+		if err := n.es.poll(); err != nil {
+			return nil, false, err
+		}
 		if n.haveRow && n.rpos < len(n.right) {
 			rt := n.right[n.rpos]
 			n.rpos++

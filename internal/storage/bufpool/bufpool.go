@@ -184,6 +184,29 @@ func (p *Pool) Unpin(f *Frame, dirty bool) {
 	f.pins--
 }
 
+// DiscardDirty drops every dirty frame without writing it back, so the
+// next Fetch of those pages rereads the last checkpointed state from
+// disk. This is the abort path of the no-steal/redo-only design: an
+// uncommitted transaction lives only in dirty frames (and the WAL tail),
+// so forgetting the frames forgets the transaction. It fails if any
+// dirty frame is still pinned.
+func (p *Pool) DiscardDirty() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.dirty && f.pins > 0 {
+			return fmt.Errorf("bufpool: discard of pinned dirty page %d", f.id)
+		}
+	}
+	for id, f := range p.frames {
+		if f.dirty {
+			p.lru.Remove(f.lruElem)
+			delete(p.frames, id)
+		}
+	}
+	return nil
+}
+
 // Flush writes every dirty frame back to disk and syncs the file.
 func (p *Pool) Flush() error {
 	p.mu.Lock()

@@ -132,6 +132,19 @@ func (l *Log) Append(r Record) error {
 	return nil
 }
 
+// Flush writes buffered records through to the log file without
+// fsyncing. After Flush, a reader of the file (Scan, CommittedOps) sees
+// every record appended so far; rollback uses this to re-derive the
+// committed state without forcing durability.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	return nil
+}
+
 // Sync flushes buffered records and fsyncs the log file. A transaction is
 // durable once its commit record has been Synced.
 func (l *Log) Sync() error {

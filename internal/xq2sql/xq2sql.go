@@ -20,6 +20,12 @@
 // shapes have no single-SELECT equivalent — top-level NOT and
 // disjunctions across different paths; Translate returns ErrUnsupported
 // for those and the engine falls back to the native evaluator.
+//
+// A Translation is only valid for the catalog state it was produced
+// from: the SQL embeds path-dictionary ids and keyword-prefilter doc-id
+// lists. Callers that cache translations (the engine's plan cache) must
+// key validity on the referenced databases' catalog epochs
+// (shred.Store.Epoch) and re-translate when an epoch moves.
 package xq2sql
 
 import (

@@ -7,15 +7,23 @@
 //
 // A minimal session:
 //
-//	eng, _ := xomatiq.Open(xomatiq.NewConfig("warehouse.db"))
+//	eng, _ := xomatiq.Open("warehouse.db")
 //	defer eng.Close()
 //	src := xomatiq.NewSimSource("expasy", enzymeFlatFileText)
 //	eng.RegisterSource("hlx_enzyme.DEFAULT", src, xomatiq.EnzymeTransformer{})
 //	eng.Harness("hlx_enzyme.DEFAULT")
-//	res, _ := eng.Query(`FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+//	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+//	defer cancel()
+//	res, _ := eng.QueryContext(ctx, `FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
 //	WHERE contains($a//catalytic_activity, "ketone")
 //	RETURN $a//enzyme_id, $a//enzyme_description`)
 //	fmt.Print(res.Table())
+//
+// Every lifecycle and query method has a Context variant
+// (QueryContext, HarnessContext, UpdateContext); the plain forms run
+// with context.Background(). Repeated queries are answered from an LRU
+// plan cache that is invalidated automatically when a referenced
+// database changes.
 //
 // The package re-exports the pieces a downstream application needs: the
 // engine (internal/core), the Data Hounds sources and transformers
@@ -27,6 +35,7 @@ import (
 	"xomatiq/internal/bio"
 	"xomatiq/internal/core"
 	"xomatiq/internal/hounds"
+	"xomatiq/internal/xq2sql"
 )
 
 // Engine is a XomatiQ warehouse instance: Data Hounds lifecycle plus the
@@ -48,11 +57,58 @@ const (
 	ModeNative = core.ModeNative
 )
 
+// PlanCacheStats snapshots the plan cache's effectiveness counters.
+type PlanCacheStats = core.PlanCacheStats
+
+// Sentinel errors; match with errors.Is.
+var (
+	// ErrUnknownDatabase reports a reference to an unregistered database.
+	ErrUnknownDatabase = core.ErrUnknownDatabase
+	// ErrNoSource reports a harness/update with no registered source.
+	ErrNoSource = core.ErrNoSource
+	// ErrDuplicateSource reports a repeated RegisterSource.
+	ErrDuplicateSource = core.ErrDuplicateSource
+	// ErrUnsupported marks query shapes outside the XQ2SQL-translatable
+	// subset (the engine answers them natively; Explain reports it).
+	ErrUnsupported = xq2sql.ErrUnsupported
+)
+
 // NewConfig returns the default configuration for a warehouse at path.
 func NewConfig(path string) Config { return core.NewConfig(path) }
 
-// Open opens (or creates) a warehouse.
-func Open(cfg Config) (*Engine, error) { return core.Open(cfg) }
+// Option adjusts the configuration Open starts from.
+type Option func(*Config)
+
+// WithPoolPages sets the buffer pool capacity in pages.
+func WithPoolPages(n int) Option { return func(c *Config) { c.PoolPages = n } }
+
+// WithAsync skips the WAL fsync on commit (bulk loads; trades the
+// durability of the last commits for load throughput).
+func WithAsync() Option { return func(c *Config) { c.Async = true } }
+
+// WithoutIndexes skips the shredding schema's secondary indexes.
+func WithoutIndexes() Option { return func(c *Config) { c.WithIndexes = false } }
+
+// WithoutKeywordIndex disables inverted-index prefilters for contains().
+func WithoutKeywordIndex() Option { return func(c *Config) { c.UseKeywordIndex = false } }
+
+// WithPlanCacheSize sets the query plan cache capacity in entries;
+// negative disables caching.
+func WithPlanCacheSize(n int) Option { return func(c *Config) { c.PlanCacheSize = n } }
+
+// Open opens (or creates) a warehouse at path with default settings,
+// adjusted by options.
+func Open(path string, opts ...Option) (*Engine, error) {
+	cfg := core.NewConfig(path)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return core.Open(cfg)
+}
+
+// OpenConfig opens a warehouse from an explicit Config, for callers that
+// build configuration programmatically.
+func OpenConfig(cfg Config) (*Engine, error) { return core.Open(cfg) }
 
 // Source is a remote database location the Data Hounds can fetch.
 type Source = hounds.Source
