@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race bench check fuzz crash
+
+# Seconds of fuzzing per parser target.
+FUZZTIME ?= 30s
 
 all: check
 
@@ -20,3 +23,16 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
 check: vet build test race
+
+# Fuzz each parser target for $(FUZZTIME); crashers persist under the
+# package's testdata/fuzz/ directory and become regression seeds.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/xq/
+	$(GO) test -run xxx -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/sql/
+	$(GO) test -run xxx -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/dtd/
+	$(GO) test -run xxx -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/xmldoc/
+
+# Crash-point enumeration and fault-injection sweeps: every counted disk
+# op is a crash or fault site; recovery must land on a committed boundary.
+crash:
+	$(GO) test -v -run 'Crash|FaultSweep' ./internal/sql/ ./internal/core/

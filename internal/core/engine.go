@@ -19,6 +19,7 @@ import (
 	"xomatiq/internal/nativexml"
 	"xomatiq/internal/shred"
 	"xomatiq/internal/sql"
+	"xomatiq/internal/storage/disk"
 	"xomatiq/internal/xmldoc"
 	"xomatiq/internal/xq"
 	"xomatiq/internal/xq2sql"
@@ -41,6 +42,9 @@ type Config struct {
 	// PlanCacheSize is the entry capacity of the query plan cache:
 	// 0 means DefaultPlanCacheSize, negative disables caching.
 	PlanCacheSize int
+	// FS is the filesystem the warehouse lives on; nil means the real
+	// disk. Fault-injection tests substitute a faultfs.FS.
+	FS disk.FS
 }
 
 // NewConfig returns the default configuration for a warehouse at path.
@@ -69,7 +73,7 @@ type sourceReg struct {
 
 // Open opens (or creates) a warehouse.
 func Open(cfg Config) (*Engine, error) {
-	opts := sql.Options{PoolPages: cfg.PoolPages}
+	opts := sql.Options{PoolPages: cfg.PoolPages, FS: cfg.FS}
 	var db *sql.DB
 	var err error
 	if cfg.Async {
@@ -163,8 +167,7 @@ func (e *Engine) HarnessContext(ctx context.Context, dbName string) (int, error)
 		return 0, err
 	}
 	if err := e.store.ClearDatabase(dbName); err != nil {
-		e.db.Rollback()
-		return 0, err
+		return 0, errors.Join(err, e.db.Rollback())
 	}
 	if err := e.db.Commit(); err != nil {
 		return 0, err
@@ -203,8 +206,7 @@ func (e *Engine) loadChunked(ctx context.Context, dbName string, docs []*xmldoc.
 		}
 		for _, d := range docs[start:end] {
 			if _, err := e.store.LoadDocument(dbName, d); err != nil {
-				e.db.Rollback()
-				return err
+				return errors.Join(err, e.db.Rollback())
 			}
 		}
 		if err := e.db.Commit(); err != nil {
@@ -268,8 +270,7 @@ func (e *Engine) UpdateContext(ctx context.Context, dbName string) (hounds.Chang
 	}
 	for _, name := range append(append([]string{}, cs.Removed...), cs.Modified...) {
 		if err := e.store.DeleteDocument(dbName, name); err != nil {
-			e.db.Rollback()
-			return cs, err
+			return cs, errors.Join(err, e.db.Rollback())
 		}
 	}
 	if err := e.db.Commit(); err != nil {

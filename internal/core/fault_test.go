@@ -1,0 +1,239 @@
+package core
+
+// Engine-level fault tests: I/O errors and power cuts injected while the
+// warehouse is harnessed or incrementally updated. The engine's contract
+// under a mid-load fault is the chunked-commit one: the warehouse holds a
+// committed prefix, stays structurally consistent, and a subsequent
+// harness replaces it wholesale.
+
+import (
+	"errors"
+	"testing"
+
+	"xomatiq/internal/bio"
+	"xomatiq/internal/faultfs"
+	"xomatiq/internal/hounds"
+)
+
+const faultWH = "hlx_enzyme.DEFAULT"
+
+func faultEngine(t testing.TB, fs *faultfs.FS) *Engine {
+	t.Helper()
+	cfg := NewConfig("wh.db")
+	cfg.FS = fs
+	cfg.PoolPages = 256
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func registerEnzyme(t testing.TB, e *Engine, flat string) {
+	t.Helper()
+	src := hounds.NewSimSource("enzyme", flat)
+	if err := e.RegisterSource(faultWH, src, hounds.EnzymeTransformer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHarnessFaultSweep injects one I/O error at sampled op offsets
+// inside Harness. Whatever the offset, the warehouse must stay
+// consistent (a committed prefix of chunks), and the next harness must
+// replace it with the full harvest.
+func TestHarnessFaultSweep(t *testing.T) {
+	flat := enzymeFlat(t, bio.GenEnzymes(3, bio.GenOptions{Seed: 5}))
+
+	// Fault-free run: learn the op span of a harness and the doc count.
+	fs := faultfs.New(77)
+	e := faultEngine(t, fs)
+	registerEnzyme(t, e, flat)
+	start := fs.Ops()
+	wantDocs, err := e.Harness(faultWH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	harnessOps := fs.Ops() - start
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if harnessOps < 10 {
+		t.Fatalf("harness consumed %d ops; sweep would be vacuous", harnessOps)
+	}
+
+	stride := harnessOps/25 + 1
+	for k := int64(0); k < harnessOps; k += stride {
+		fs := faultfs.New(77)
+		e := faultEngine(t, fs)
+		registerEnzyme(t, e, flat)
+		fs.FailAt(fs.Ops()+k, faultfs.FaultErr)
+
+		if _, herr := e.Harness(faultWH); herr != nil && !errors.Is(herr, faultfs.ErrInjected) {
+			t.Fatalf("op +%d: harness err = %v, want ErrInjected in chain", k, herr)
+		}
+		if cerr := e.DB().CheckConsistency(); cerr != nil {
+			t.Fatalf("op +%d: inconsistent after harness fault: %v", k, cerr)
+		}
+		// Recovery contract: harness again, wholesale.
+		n, rerr := e.Harness(faultWH)
+		if rerr != nil {
+			t.Fatalf("op +%d: re-harness after fault: %v", k, rerr)
+		}
+		if n != wantDocs {
+			t.Fatalf("op +%d: re-harness loaded %d docs, want %d", k, n, wantDocs)
+		}
+		got, derr := e.DocCount(faultWH)
+		if derr != nil || got != wantDocs {
+			t.Fatalf("op +%d: DocCount = %d, %v; want %d", k, got, derr, wantDocs)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatalf("op +%d: close: %v", k, err)
+		}
+	}
+}
+
+// TestUpdateFaultSweep injects one I/O error at sampled op offsets
+// inside an incremental Update. A failed update may leave a committed
+// sub-delta (the deletions commit before the loads), so the assertions
+// are consistency plus the documented recovery path: a full harness.
+func TestUpdateFaultSweep(t *testing.T) {
+	entries := bio.GenEnzymes(4, bio.GenOptions{Seed: 8})
+	flat := enzymeFlat(t, entries)
+	mod := make([]*bio.EnzymeEntry, len(entries))
+	copy(mod, entries)
+	mod = append(mod[:1], mod[2:]...) // drop one entry
+	changed := *mod[1]                // revise another
+	changed.Comments = append([]string{"Revised note."}, changed.Comments...)
+	mod[1] = &changed
+	flat2 := enzymeFlat(t, mod)
+
+	setup := func(fs *faultfs.FS) (*Engine, *hounds.SimSource) {
+		e := faultEngine(t, fs)
+		src := hounds.NewSimSource("enzyme", flat)
+		if err := e.RegisterSource(faultWH, src, hounds.EnzymeTransformer{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Harness(faultWH); err != nil {
+			t.Fatal(err)
+		}
+		src.Publish(flat2)
+		return e, src
+	}
+
+	fs := faultfs.New(99)
+	e, _ := setup(fs)
+	start := fs.Ops()
+	cs, err := e.Update(faultWH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Empty() {
+		t.Fatal("reference update applied no delta; test is vacuous")
+	}
+	updateOps := fs.Ops() - start
+	wantDocs, err := e.DocCount(faultWH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if updateOps < 5 {
+		t.Fatalf("update consumed %d ops; sweep would be vacuous", updateOps)
+	}
+
+	stride := updateOps/25 + 1
+	for k := int64(0); k < updateOps; k += stride {
+		fs := faultfs.New(99)
+		e, _ := setup(fs)
+		fs.FailAt(fs.Ops()+k, faultfs.FaultErr)
+
+		_, uerr := e.Update(faultWH)
+		if uerr != nil && !errors.Is(uerr, faultfs.ErrInjected) {
+			t.Fatalf("op +%d: update err = %v, want ErrInjected in chain", k, uerr)
+		}
+		if cerr := e.DB().CheckConsistency(); cerr != nil {
+			t.Fatalf("op +%d: inconsistent after update fault: %v", k, cerr)
+		}
+		if uerr == nil {
+			// The fault was never reached (Update's op usage can shrink
+			// when the faulted run diverges) or absorbed; the update must
+			// then have fully applied.
+			if got, derr := e.DocCount(faultWH); derr != nil || got != wantDocs {
+				t.Fatalf("op +%d: clean update DocCount = %d, %v; want %d", k, got, derr, wantDocs)
+			}
+		} else {
+			// Documented recovery from a half-applied delta: re-harness.
+			if _, rerr := e.Harness(faultWH); rerr != nil {
+				t.Fatalf("op +%d: harness after failed update: %v", k, rerr)
+			}
+			if got, derr := e.DocCount(faultWH); derr != nil || got != wantDocs {
+				t.Fatalf("op +%d: recovered DocCount = %d, %v; want %d", k, got, derr, wantDocs)
+			}
+			cs, uerr2 := e.Update(faultWH)
+			if uerr2 != nil || !cs.Empty() {
+				t.Fatalf("op +%d: update after recovery = %+v, %v; want empty delta", k, cs, uerr2)
+			}
+		}
+		if err := e.Close(); err != nil {
+			t.Fatalf("op +%d: close: %v", k, err)
+		}
+	}
+}
+
+// TestHarnessCrashReopen cuts power mid-harness, reboots, and reopens
+// the warehouse: recovery must land on a consistent committed prefix,
+// and a fresh harness must complete the load.
+func TestHarnessCrashReopen(t *testing.T) {
+	flat := enzymeFlat(t, bio.GenEnzymes(3, bio.GenOptions{Seed: 5}))
+
+	fs := faultfs.New(13)
+	e := faultEngine(t, fs)
+	registerEnzyme(t, e, flat)
+	start := fs.Ops()
+	wantDocs, err := e.Harness(faultWH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	harnessOps := fs.Ops() - start
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs = faultfs.New(13)
+	e = faultEngine(t, fs)
+	registerEnzyme(t, e, flat)
+	fs.CrashAt(fs.Ops() + harnessOps/2)
+	if _, herr := e.Harness(faultWH); !errors.Is(herr, faultfs.ErrCrashed) {
+		t.Fatalf("harness through the cut err = %v, want ErrCrashed in chain", herr)
+	}
+	// The process is dead; abandon the engine and reboot the disk.
+	e2 := faultEngine(t, fs.Reboot())
+	defer e2.Close()
+	if cerr := e2.DB().CheckConsistency(); cerr != nil {
+		t.Fatalf("inconsistent after crash reopen: %v", cerr)
+	}
+	got, derr := e2.DocCount(faultWH)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if got < 0 || got > wantDocs {
+		t.Fatalf("recovered DocCount = %d, want a committed prefix of %d", got, wantDocs)
+	}
+	registerEnzyme(t, e2, flat)
+	n, rerr := e2.Harness(faultWH)
+	if rerr != nil {
+		t.Fatalf("harness after crash recovery: %v", rerr)
+	}
+	if n != wantDocs {
+		t.Fatalf("post-crash harness loaded %d docs, want %d", n, wantDocs)
+	}
+	res, qerr := e2.Query(`FOR $e IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+RETURN $e/enzyme_id`)
+	if qerr != nil {
+		t.Fatalf("query after crash recovery: %v", qerr)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("query after crash recovery returned no rows")
+	}
+}

@@ -1,0 +1,35 @@
+package dtd
+
+import "testing"
+
+// FuzzParse feeds arbitrary text to the DTD parser. Accepted DTDs must
+// render (String) back into text the parser accepts: the shred store
+// persists DTDs as text and re-parses them for the GUI structure tree.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`<!ELEMENT r (a, b*)> <!ELEMENT a (#PCDATA)> <!ELEMENT b (#PCDATA)>`,
+		`<!ELEMENT hlx_enzyme (db_entry+)>
+<!ELEMENT db_entry (enzyme_id, enzyme_description?, catalytic_activity*)>
+<!ELEMENT enzyme_id (#PCDATA)>
+<!ELEMENT enzyme_description (#PCDATA)>
+<!ELEMENT catalytic_activity (#PCDATA)>
+<!ATTLIST db_entry status CDATA #IMPLIED>`,
+		`<!ELEMENT r (a | b)+> <!ELEMENT a EMPTY> <!ELEMENT b ANY>`,
+		`<!ELEMENT x ((a, b) | (c?, d*))>`,
+		``,
+		`<!ELEMENT`,
+		`<!ATTLIST e a ID #REQUIRED>`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := d.String()
+		if _, rerr := Parse(rendered); rerr != nil {
+			t.Fatalf("accepted %q but its rendering %q fails to parse: %v", src, rendered, rerr)
+		}
+	})
+}

@@ -307,7 +307,7 @@ func (p *dparser) attlistDecl(d *DTD) error {
 		case strings.HasPrefix(p.src[p.pos:], "ID"):
 			p.pos += 2
 			a.Type = AttrID
-		case p.src[p.pos] == '(':
+		case p.pos < len(p.src) && p.src[p.pos] == '(':
 			p.pos++
 			a.Type = AttrEnum
 			for {

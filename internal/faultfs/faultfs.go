@@ -1,0 +1,383 @@
+// Package faultfs implements disk.FS over in-memory files with
+// deterministic, seed-driven fault injection. It exists to prove the
+// storage engine's crash-recovery claims: the WAL + no-steal design must
+// survive I/O errors, short (torn) writes, sync failures and power cuts
+// at ANY operation boundary, and the crashtest harness sweeps exactly
+// those boundaries.
+//
+// # Durability model
+//
+// Each file keeps two images: the synced image (stable storage) and the
+// live image (what reads observe). Writes and truncations apply to the
+// live image immediately and are journalled as pending; Sync promotes
+// the live image to the synced image and clears the journal.
+//
+// A power cut (CrashAt) freezes the filesystem: the op that hits the
+// crash index and every later op fail with ErrCrashed and have no
+// effect. Reboot materialises the post-crash images: each file restarts
+// from its synced image, and every pending (unsynced) op independently
+// survives in full, is lost, or — for writes — survives as a torn
+// prefix, chosen by a hash of the seed and the op's global index. Torn
+// prefixes respect an atomicity rule: writes of at most SectorSize
+// bytes and aligned whole-page writes (multiples of AtomicWriteSize at
+// aligned offsets) are all-or-nothing; everything else may tear at an
+// arbitrary byte. The rule mirrors real disks (atomic sectors) plus the
+// engine's documented assumption that page-sized page-aligned writes do
+// not tear — the WAL's CRC framing is what detects torn log appends.
+//
+// All behaviour is a pure function of (seed, op index), so a failing
+// crash point replays exactly.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"xomatiq/internal/storage/disk"
+)
+
+// Injected fault sentinels.
+var (
+	// ErrInjected is returned by an operation that an injected fault
+	// failed. The operation had no effect (except a short write, which
+	// applied the reported prefix).
+	ErrInjected = errors.New("faultfs: injected I/O error")
+	// ErrCrashed is returned by every operation at or after the power
+	// cut.
+	ErrCrashed = errors.New("faultfs: power cut")
+)
+
+// Atomicity parameters of the simulated disk.
+const (
+	// SectorSize is the largest write the disk applies atomically
+	// regardless of alignment.
+	SectorSize = 512
+	// AtomicWriteSize is the unit of aligned writes that never tear —
+	// the engine's page size. Aligned writes that are a multiple of it
+	// tear only at unit boundaries.
+	AtomicWriteSize = 8192
+)
+
+// FaultKind selects what an injected fault does.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultErr fails the op with ErrInjected; no bytes are transferred.
+	FaultErr FaultKind = iota
+	// FaultShortWrite applies a seed-chosen strict prefix of a write,
+	// then fails with ErrInjected. Non-write ops treat it as FaultErr.
+	FaultShortWrite
+)
+
+// FS is a deterministic in-memory filesystem implementing disk.FS.
+// The zero value is not usable; call New.
+type FS struct {
+	mu      sync.Mutex
+	seed    int64
+	files   map[string]*file
+	ops     int64 // global operation counter
+	faults  map[int64]FaultKind
+	crashAt int64 // -1: never
+	crashed bool
+	trace   []opRecord
+}
+
+type opRecord struct {
+	name string
+	what string
+	off  int64
+	n    int
+}
+
+// file is the shared state behind every handle of one path.
+type file struct {
+	synced  []byte
+	live    []byte
+	pending []pendingOp
+}
+
+// pendingOp is one unsynced mutation: a write (data != nil) or a
+// truncation. seq is the global op index that produced it, the input to
+// the seeded survival decision at a crash.
+type pendingOp struct {
+	seq  int64
+	off  int64
+	data []byte
+	size int64 // truncation target when data == nil
+}
+
+// New creates an empty filesystem whose fault decisions derive from seed.
+func New(seed int64) *FS {
+	return &FS{
+		seed:    seed,
+		files:   map[string]*file{},
+		faults:  map[int64]FaultKind{},
+		crashAt: -1,
+	}
+}
+
+// FailAt schedules an injected fault at the given global op index
+// (0-based: the op that would be the index-th counted operation fails).
+func (fs *FS) FailAt(op int64, kind FaultKind) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.faults[op] = kind
+}
+
+// CrashAt schedules a power cut: the op at the given index and all later
+// ops fail with ErrCrashed.
+func (fs *FS) CrashAt(op int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashAt = op
+}
+
+// Ops reports the number of counted operations so far (reads, writes,
+// syncs, truncations across all files).
+func (fs *FS) Ops() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.ops
+}
+
+// Crashed reports whether the power cut has fired.
+func (fs *FS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// DescribeOp renders a recent operation for sweep failure messages.
+func (fs *FS) DescribeOp(i int64) string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if i < 0 || i >= int64(len(fs.trace)) {
+		return fmt.Sprintf("op %d (untraced)", i)
+	}
+	r := fs.trace[i]
+	return fmt.Sprintf("op %d: %s %s off=%d len=%d", i, r.what, r.name, r.off, r.n)
+}
+
+// Reboot returns a fresh fault-free filesystem holding the post-crash
+// file images: synced data plus the seeded survival outcome of every
+// pending op. Without a crash it returns the live images unchanged (a
+// clean shutdown).
+func (fs *FS) Reboot() *FS {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := New(fs.seed)
+	for name, f := range fs.files {
+		var img []byte
+		if fs.crashed {
+			img = fs.materializeLocked(f)
+		} else {
+			img = append([]byte(nil), f.live...)
+		}
+		out.files[name] = &file{synced: img, live: append([]byte(nil), img...)}
+	}
+	return out
+}
+
+// materializeLocked computes one file's post-crash image.
+func (fs *FS) materializeLocked(f *file) []byte {
+	img := append([]byte(nil), f.synced...)
+	for _, op := range f.pending {
+		h := mix(fs.seed, op.seq)
+		if op.data == nil { // truncation: survives or not
+			if h%2 == 0 {
+				img = applyTrunc(img, op.size)
+			}
+			continue
+		}
+		keep := survivingPrefix(h, len(op.data), op.off)
+		if keep > 0 {
+			img = applyWrite(img, op.off, op.data[:keep])
+		}
+	}
+	return img
+}
+
+// survivingPrefix decides how much of one unsynced write outlives the
+// power cut: all of it (1/2 of outcomes), none (1/4), or a torn prefix
+// (1/4) quantized by the atomicity rules.
+func survivingPrefix(h uint64, n int, off int64) int {
+	switch h % 4 {
+	case 0, 1:
+		return n
+	case 2:
+		return 0
+	}
+	// Torn. Atomic writes cannot tear: keep or drop on a second hash bit.
+	if n <= SectorSize {
+		if h&4 == 0 {
+			return n
+		}
+		return 0
+	}
+	cut := int((h >> 3) % uint64(n))
+	if off%AtomicWriteSize == 0 && n%AtomicWriteSize == 0 {
+		// Aligned whole-page write: tear only at page boundaries.
+		return cut / AtomicWriteSize * AtomicWriteSize
+	}
+	return cut
+}
+
+func applyWrite(img []byte, off int64, data []byte) []byte {
+	if need := off + int64(len(data)); need > int64(len(img)) {
+		img = append(img, make([]byte, need-int64(len(img)))...)
+	}
+	copy(img[off:], data)
+	return img
+}
+
+func applyTrunc(img []byte, size int64) []byte {
+	if size <= int64(len(img)) {
+		return img[:size]
+	}
+	return append(img, make([]byte, size-int64(len(img)))...)
+}
+
+// mix is splitmix64 over seed and the op index: the deterministic source
+// of every fault decision.
+func mix(seed, seq int64) uint64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(seq)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// OpenFile opens path, creating it when absent. Opening is not a counted
+// operation; multiple handles share the file state.
+func (fs *FS) OpenFile(path string) (disk.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		f = &file{}
+		fs.files[path] = f
+	}
+	return &handle{fs: fs, f: f, name: path}, nil
+}
+
+// Image returns a copy of a file's current live contents (test helper).
+func (fs *FS) Image(path string) []byte {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), f.live...)
+}
+
+// handle implements disk.File over one shared file.
+type handle struct {
+	fs   *FS
+	f    *file
+	name string
+}
+
+// step counts one operation and resolves its fate. Caller holds fs.mu.
+func (fs *FS) stepLocked(name, what string, off int64, n int) (FaultKind, bool, error) {
+	seq := fs.ops
+	fs.ops++
+	fs.trace = append(fs.trace, opRecord{name: name, what: what, off: off, n: n})
+	if fs.crashed || (fs.crashAt >= 0 && seq >= fs.crashAt) {
+		fs.crashed = true
+		return 0, false, fmt.Errorf("faultfs: %s %s at op %d: %w", what, name, seq, ErrCrashed)
+	}
+	if kind, ok := fs.faults[seq]; ok {
+		return kind, true, nil
+	}
+	return 0, false, nil
+}
+
+func (h *handle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	kind, faulted, err := h.fs.stepLocked(h.name, "read", off, len(p))
+	if err != nil {
+		return 0, err
+	}
+	if faulted && kind != FaultShortWrite {
+		return 0, fmt.Errorf("faultfs: read %s: %w", h.name, ErrInjected)
+	}
+	if off >= int64(len(h.f.live)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.live[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *handle) WriteAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	kind, faulted, err := h.fs.stepLocked(h.name, "write", off, len(p))
+	if err != nil {
+		return 0, err
+	}
+	apply := p
+	var ferr error
+	if faulted {
+		if kind != FaultShortWrite || len(p) == 0 {
+			return 0, fmt.Errorf("faultfs: write %s: %w", h.name, ErrInjected)
+		}
+		// Short write: a seed-chosen strict prefix lands.
+		apply = p[:int(mix(h.fs.seed, h.fs.ops-1)%uint64(len(p)))]
+		ferr = fmt.Errorf("faultfs: short write %s (%d of %d bytes): %w",
+			h.name, len(apply), len(p), ErrInjected)
+	}
+	if len(apply) > 0 {
+		h.f.live = applyWrite(h.f.live, off, apply)
+		h.f.pending = append(h.f.pending, pendingOp{
+			seq: h.fs.ops - 1, off: off, data: append([]byte(nil), apply...),
+		})
+	}
+	return len(apply), ferr
+}
+
+func (h *handle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	_, faulted, err := h.fs.stepLocked(h.name, "truncate", size, 0)
+	if err != nil {
+		return err
+	}
+	if faulted {
+		return fmt.Errorf("faultfs: truncate %s: %w", h.name, ErrInjected)
+	}
+	h.f.live = applyTrunc(h.f.live, size)
+	h.f.pending = append(h.f.pending, pendingOp{seq: h.fs.ops - 1, size: size})
+	return nil
+}
+
+func (h *handle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	_, faulted, err := h.fs.stepLocked(h.name, "sync", 0, 0)
+	if err != nil {
+		return err
+	}
+	if faulted {
+		return fmt.Errorf("faultfs: sync %s: %w", h.name, ErrInjected)
+	}
+	h.f.synced = append(h.f.synced[:0], h.f.live...)
+	h.f.pending = h.f.pending[:0]
+	return nil
+}
+
+func (h *handle) Size() (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	return int64(len(h.f.live)), nil
+}
+
+// Close releases the handle. It is never a fault point and implies no
+// sync, matching the File contract.
+func (h *handle) Close() error { return nil }

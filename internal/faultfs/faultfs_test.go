@@ -1,0 +1,234 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"xomatiq/internal/storage/page"
+)
+
+func TestAtomicUnitMatchesPageSize(t *testing.T) {
+	if AtomicWriteSize != page.Size {
+		t.Fatalf("AtomicWriteSize %d != page.Size %d: the page-atomic model no longer holds", AtomicWriteSize, page.Size)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	fs := New(1)
+	f, err := fs.OpenFile("a.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 3); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte("\x00\x00\x00hello")) {
+		t.Fatalf("read back %q", buf)
+	}
+	if n, err := f.ReadAt(make([]byte, 4), 6); n != 2 || err != io.EOF {
+		t.Fatalf("short read = (%d, %v), want (2, EOF)", n, err)
+	}
+	if sz, _ := f.Size(); sz != 8 {
+		t.Fatalf("size = %d", sz)
+	}
+	// A second handle shares state.
+	g, _ := fs.OpenFile("a.db")
+	if sz, _ := g.Size(); sz != 8 {
+		t.Fatalf("second handle size = %d", sz)
+	}
+}
+
+func TestInjectedErrors(t *testing.T) {
+	fs := New(2)
+	f, _ := fs.OpenFile("a")
+	fs.FailAt(1, FaultErr)  // second op
+	fs.FailAt(2, FaultErr)  // third op (a sync)
+	if _, err := f.WriteAt([]byte("ok"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("xx"), 2); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected sync error, got %v", err)
+	}
+	// The failed write had no effect.
+	if img := fs.Image("a"); !bytes.Equal(img, []byte("ok")) {
+		t.Fatalf("image after failed write = %q", img)
+	}
+	// Later ops succeed: faults are one-shot.
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortWrite(t *testing.T) {
+	fs := New(3)
+	f, _ := fs.OpenFile("a")
+	fs.FailAt(0, FaultShortWrite)
+	data := bytes.Repeat([]byte("z"), 100)
+	n, err := f.WriteAt(data, 0)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if n >= len(data) {
+		t.Fatalf("short write applied %d of %d bytes", n, len(data))
+	}
+	if img := fs.Image("a"); len(img) != n {
+		t.Fatalf("image length %d != reported %d", len(img), n)
+	}
+}
+
+func TestCrashFreezesEverything(t *testing.T) {
+	fs := New(4)
+	f, _ := fs.OpenFile("a")
+	if _, err := f.WriteAt([]byte("stable"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs.CrashAt(fs.Ops() + 1) // the write after next survives as pending; the one after dies
+	if _, err := f.WriteAt([]byte("pending"), 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("dead"), 20); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want crash, got %v", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("Crashed() false after power cut")
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync = %v", err)
+	}
+
+	re := fs.Reboot()
+	g, _ := re.OpenFile("a")
+	sz, _ := g.Size()
+	img := re.Image("a")
+	if int64(len(img)) != sz {
+		t.Fatalf("size/image mismatch")
+	}
+	// Synced prefix always survives.
+	if !bytes.HasPrefix(img, []byte("stable")) {
+		t.Fatalf("synced data lost: %q", img)
+	}
+	// The pending small write is atomic: all or nothing, never torn.
+	switch {
+	case len(img) == 6: // dropped
+	case bytes.Equal(img, []byte("stablepending")): // kept
+	default:
+		t.Fatalf("pending write neither kept nor dropped: %q", img)
+	}
+	// The post-crash op is never present.
+	if bytes.Contains(img, []byte("dead")) {
+		t.Fatalf("post-crash write survived: %q", img)
+	}
+	// Reboot is deterministic.
+	img2 := fs.Reboot().Image("a")
+	if !bytes.Equal(img, img2) {
+		t.Fatalf("Reboot not deterministic: %q vs %q", img, img2)
+	}
+}
+
+// TestCrashOutcomeSpread drives many seeds through the same pending
+// write and checks all three outcomes (kept / dropped / torn) occur for
+// a large unaligned write, and that torn never occurs for an aligned
+// page-sized write.
+func TestCrashOutcomeSpread(t *testing.T) {
+	kept, dropped, torn := 0, 0, 0
+	alignedTorn := 0
+	big := bytes.Repeat([]byte("x"), 3*SectorSize)
+	pg := bytes.Repeat([]byte("y"), AtomicWriteSize)
+	for seed := int64(0); seed < 64; seed++ {
+		fs := New(seed)
+		f, _ := fs.OpenFile("wal")
+		p, _ := fs.OpenFile("db")
+		fs.CrashAt(2)
+		if _, err := f.WriteAt(big, 10); err != nil { // unaligned, > sector
+			t.Fatal(err)
+		}
+		if _, err := p.WriteAt(pg, 0); err != nil { // aligned page
+			t.Fatal(err)
+		}
+		_, _ = f.WriteAt([]byte("x"), 0) // trigger crash
+		re := fs.Reboot()
+		switch n := len(re.Image("wal")); {
+		case n == 0:
+			dropped++
+		case n == 10+len(big):
+			kept++
+		default:
+			torn++
+		}
+		if n := len(re.Image("db")); n != 0 && n != AtomicWriteSize {
+			alignedTorn++
+		}
+	}
+	if kept == 0 || dropped == 0 || torn == 0 {
+		t.Fatalf("outcomes not exercised: kept=%d dropped=%d torn=%d", kept, dropped, torn)
+	}
+	if alignedTorn != 0 {
+		t.Fatalf("aligned page write torn %d times", alignedTorn)
+	}
+}
+
+func TestSyncedDataSurvivesCrash(t *testing.T) {
+	fs := New(7)
+	f, _ := fs.OpenFile("a")
+	if _, err := f.WriteAt([]byte("abcdef"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs.CrashAt(fs.Ops())
+	if _, err := f.WriteAt([]byte("zzz"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatal("crash op should fail")
+	}
+	img := fs.Reboot().Image("a")
+	if !bytes.Equal(img, []byte("abcdef")) {
+		t.Fatalf("synced image = %q", img)
+	}
+}
+
+func TestTruncatePending(t *testing.T) {
+	fs := New(9)
+	f, _ := fs.OpenFile("a")
+	if _, err := f.WriteAt([]byte("0123456789"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(0); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := f.Size(); sz != 0 {
+		t.Fatalf("live size after truncate = %d", sz)
+	}
+	fs.CrashAt(fs.Ops())
+	_, _ = f.WriteAt([]byte("x"), 0)
+	img := fs.Reboot().Image("a")
+	if len(img) != 0 && !bytes.Equal(img, []byte("0123456789")) {
+		t.Fatalf("truncate neither survived nor dropped: %q", img)
+	}
+}
+
+func TestRebootWithoutCrashKeepsLiveImage(t *testing.T) {
+	fs := New(11)
+	f, _ := fs.OpenFile("a")
+	if _, err := f.WriteAt([]byte("live"), 0); err != nil {
+		t.Fatal(err)
+	}
+	img := fs.Reboot().Image("a")
+	if !bytes.Equal(img, []byte("live")) {
+		t.Fatalf("clean reboot image = %q", img)
+	}
+}

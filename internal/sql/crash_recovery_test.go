@@ -1,0 +1,260 @@
+package sql_test
+
+// Crash-recovery sweep over a realistic warehouse workload: ENZYME-style
+// documents are shredded, modified and deleted while the crashtest
+// harness cuts power at every sampled disk operation. After each cut the
+// database reopens fault-free and must (a) pass CheckConsistency —
+// catalog, heaps and indexes mutually consistent — and (b) recover
+// content equal to a committed transaction boundary, verified by
+// reconstructing every document and by running an xq2sql query battery
+// whose results must match the native evaluator over the reconstructed
+// corpus (the shadow in-memory model).
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"xomatiq/internal/bio"
+	"xomatiq/internal/hounds"
+	"xomatiq/internal/nativexml"
+	"xomatiq/internal/shred"
+	"xomatiq/internal/sql"
+	"xomatiq/internal/storage/crashtest"
+	"xomatiq/internal/xmldoc"
+	"xomatiq/internal/xq"
+	"xomatiq/internal/xq2sql"
+)
+
+const crashDBName = "hlx_enzyme.DEFAULT"
+
+// crashQueries is the battery run by every fingerprint: each query goes
+// through the xq2sql translation against the warehouse AND through
+// nativexml over the reconstructed corpus, and the two must agree.
+var crashQueries = []string{
+	`FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//catalytic_activity, "ketone")
+RETURN $a//enzyme_id, $a//enzyme_description`,
+	`FOR $e IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+RETURN $e/enzyme_id`,
+	`FOR $e IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE contains($e/enzyme_id, "1.")
+RETURN $e//enzyme_description`,
+}
+
+// enzymeDocs generates n ENZYME entries through the real flat-file
+// pipeline (generator -> transformer -> DTD validation).
+func enzymeDocs(t testing.TB, n int) []*xmldoc.Document {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := bio.WriteEnzyme(&buf, bio.GenEnzymes(n, bio.GenOptions{Seed: 7, Cdc6Rate: 0.2})); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := hounds.TransformAndValidate(hounds.EnzymeTransformer{}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) < n {
+		t.Fatalf("generated %d docs, want >= %d", len(docs), n)
+	}
+	return docs[:n]
+}
+
+// modifiedCopy deep-copies a document (serialize + reparse, so the
+// original is never mutated across harness reruns) and appends a marker
+// element, simulating an updated database entry.
+func modifiedCopy(t testing.TB, d *xmldoc.Document) *xmldoc.Document {
+	t.Helper()
+	cp, err := xmldoc.Parse(d.Serialize(xmldoc.SerializeOptions{NoDecl: true}), xmldoc.ParseOptions{})
+	if err != nil {
+		t.Fatalf("copy %q: %v", d.Name, err)
+	}
+	cp.Name = d.Name
+	mark := xmldoc.NewElement("revision_note")
+	mark.AddText("entry revised")
+	cp.Root.AddChild(mark)
+	return cp
+}
+
+// crashFingerprint reduces the warehouse to a comparable string:
+// the serialized reconstruction of every document plus the query
+// battery's results — after checking those results against the native
+// evaluator on the reconstructed corpus.
+func crashFingerprint(db *sql.DB) (string, error) {
+	s, err := shred.Open(db, false)
+	if err != nil {
+		return "", err
+	}
+	var names []string
+	if s.HasDB(crashDBName) {
+		rows, err := s.DB.Query(`SELECT name FROM docs WHERE db = ` + shred.Quote(crashDBName))
+		if err != nil {
+			return "", err
+		}
+		for _, r := range rows.Rows {
+			names = append(names, r[0].Text())
+		}
+		sort.Strings(names)
+	}
+	corpus := nativexml.Corpus{crashDBName: {}}
+	var b strings.Builder
+	for _, name := range names {
+		doc, err := s.ReconstructByName(crashDBName, name)
+		if err != nil {
+			return "", fmt.Errorf("reconstruct %q: %w", name, err)
+		}
+		corpus[crashDBName] = append(corpus[crashDBName], doc)
+		fmt.Fprintf(&b, "doc %s: %s\n", name, doc.Serialize(xmldoc.SerializeOptions{NoDecl: true}))
+	}
+	for i, src := range crashQueries {
+		q, err := xq.Parse(src)
+		if err != nil {
+			return "", err
+		}
+		var sqlRows []string
+		tr, err := xq2sql.Translate(s, q, xq2sql.Options{})
+		if err != nil {
+			return "", fmt.Errorf("translate q%d: %w", i, err)
+		}
+		res, err := s.DB.Query(tr.SQL)
+		if err != nil {
+			return "", fmt.Errorf("q%d: %w\nSQL: %s", i, err, tr.SQL)
+		}
+		for _, row := range res.Rows {
+			parts := make([]string, len(row))
+			for j, v := range row {
+				parts[j] = v.String()
+			}
+			sqlRows = append(sqlRows, strings.Join(parts, "|"))
+		}
+		nres, err := nativexml.Eval(corpus, q)
+		if err != nil {
+			return "", fmt.Errorf("native q%d: %w", i, err)
+		}
+		var nativeRows []string
+		for _, row := range nres.Rows {
+			nativeRows = append(nativeRows, strings.Join(row, "|"))
+		}
+		sort.Strings(sqlRows)
+		sort.Strings(nativeRows)
+		if strings.Join(sqlRows, ";") != strings.Join(nativeRows, ";") {
+			return "", fmt.Errorf("q%d: sql path and shadow model disagree\nsql:    %v\nnative: %v",
+				i, sqlRows, nativeRows)
+		}
+		fmt.Fprintf(&b, "q%d: %s\n", i, strings.Join(sqlRows, ";"))
+	}
+	return b.String(), nil
+}
+
+// crashWorkload builds the mixed shred/update/delete workload. Every
+// step is one Begin/Commit batch, the atomicity unit the sweep's
+// recovery invariant is stated over.
+func crashWorkload(t testing.TB, docs []*xmldoc.Document) crashtest.Workload {
+	var store *shred.Store
+	batch := func(name string, fn func(db *sql.DB) error) crashtest.Step {
+		return crashtest.Step{Name: name, Run: func(db *sql.DB) error {
+			if err := db.Begin(); err != nil {
+				return err
+			}
+			if err := fn(db); err != nil {
+				return err // batch abandoned; the harness stops here
+			}
+			return db.Commit()
+		}}
+	}
+	load := func(ds ...*xmldoc.Document) func(*sql.DB) error {
+		return func(*sql.DB) error {
+			for _, d := range ds {
+				if _, err := store.LoadDocument(crashDBName, d); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	return crashtest.Workload{
+		Setup: func(db *sql.DB) error {
+			s, err := shred.Open(db, true)
+			if err != nil {
+				return err
+			}
+			store = s
+			return store.RegisterDB(crashDBName, nil, "")
+		},
+		Steps: []crashtest.Step{
+			batch("load-1", load(docs[0], docs[1])),
+			batch("load-2", load(docs[2], docs[3])),
+			batch("delete", func(*sql.DB) error {
+				return store.DeleteDocument(crashDBName, docs[0].Name)
+			}),
+			batch("modify", func(*sql.DB) error {
+				// Incremental update of an entry: delete + reload the
+				// revised document in one transaction.
+				if err := store.DeleteDocument(crashDBName, docs[2].Name); err != nil {
+					return err
+				}
+				_, err := store.LoadDocument(crashDBName, modifiedCopy(t, docs[2]))
+				return err
+			}),
+			batch("load-3", load(docs[4], docs[5])),
+			batch("delete-2", func(*sql.DB) error {
+				return store.DeleteDocument(crashDBName, docs[3].Name)
+			}),
+		},
+		Fingerprint: crashFingerprint,
+		Verify:      func(db *sql.DB) error { return db.CheckConsistency() },
+	}
+}
+
+// TestCrashRecoverySweep is the headline crash test: ≥50 crash points
+// across the workload, every reopen consistent and equivalent to a
+// committed state. `make crash` runs it by name.
+func TestCrashRecoverySweep(t *testing.T) {
+	docs := enzymeDocs(t, 6)
+	maxPoints := 60
+	if testing.Short() {
+		maxPoints = 12
+	}
+	res, err := crashtest.Sweep(crashtest.Config{
+		Seed: 42,
+		// A small pool and a tiny WAL soft limit force checkpoints
+		// mid-workload, putting crash points inside the flush/truncate
+		// window where replay idempotency is what saves the file.
+		Opts:      sql.Options{PoolPages: 256, WALSoftLimit: 8 << 10},
+		MaxPoints: maxPoints,
+	}, crashWorkload(t, docs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if !testing.Short() && res.Points < 50 {
+		t.Fatalf("sweep exercised only %d crash points, want >= 50 (%v)", res.Points, res)
+	}
+	if res.AtCommitted == 0 {
+		t.Errorf("no crash point recovered to a committed boundary: %v", res)
+	}
+}
+
+// TestCrashSweepSeeds varies the fault seed so pending-write survival
+// outcomes (kept / dropped / torn) differ at the same crash points.
+func TestCrashSweepSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed matrix is the long form of TestCrashRecoverySweep")
+	}
+	docs := enzymeDocs(t, 6)
+	for _, seed := range []int64{1, 9, 1337} {
+		w := crashWorkload(t, docs)
+		w.Steps = w.Steps[:4] // shorter workload; the matrix is about fault outcomes
+		res, err := crashtest.Sweep(crashtest.Config{
+			Seed:      seed,
+			Opts:      sql.Options{PoolPages: 256, WALSoftLimit: 8 << 10},
+			MaxPoints: 15,
+		}, w)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		t.Logf("seed %d: %v", seed, res)
+	}
+}

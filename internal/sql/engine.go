@@ -29,6 +29,10 @@ type Options struct {
 	// it off trades durability of the most recent transactions for bulk
 	// load speed; the warehouse loader uses explicit batches instead.
 	SyncOnCommit bool
+	// FS supplies the file implementation backing the data file and the
+	// WAL. Nil means the real filesystem. Crash-recovery tests inject a
+	// faultfs.FS here to exercise I/O-error and power-cut paths.
+	FS disk.FS
 }
 
 func (o *Options) fill() {
@@ -37,6 +41,9 @@ func (o *Options) fill() {
 	}
 	if o.WALSoftLimit == 0 {
 		o.WALSoftLimit = 32 << 20
+	}
+	if o.FS == nil {
+		o.FS = disk.OS{}
 	}
 }
 
@@ -89,11 +96,11 @@ func OpenAsync(path string, opts Options) (*DB, error) {
 }
 
 func open(path string, opts Options) (*DB, error) {
-	mgr, err := disk.Open(path)
+	mgr, err := disk.OpenFS(opts.FS, path)
 	if err != nil {
 		return nil, err
 	}
-	log, err := wal.Open(path + ".wal")
+	log, err := wal.OpenFS(opts.FS, path+".wal")
 	if err != nil {
 		mgr.Close()
 		return nil, err
@@ -112,10 +119,22 @@ func open(path string, opts Options) (*DB, error) {
 	// data file, then checkpoint and start clean. Indexes are rebuilt
 	// below because index pages are not logged.
 	if log.Size() > 0 {
-		ops, err := wal.CommittedOps(path + ".wal")
+		ops, err := wal.CommittedOpsFS(opts.FS, path+".wal")
 		if err != nil {
 			db.closeFiles()
 			return nil, fmt.Errorf("sql: recovery scan: %w", err)
+		}
+		if len(ops) > 0 {
+			// Replay advances heaps past the on-disk index anchors, and
+			// anchors are only re-persisted by loadCatalog's rebuild
+			// checkpoint. Raise the stale flag first: if we die between
+			// truncating the WAL and that checkpoint, the next open must
+			// not trust the anchors. The flag write becomes durable in
+			// the pool flush below, before the WAL is truncated.
+			if err := mgr.SetIndexesStale(true); err != nil {
+				db.closeFiles()
+				return nil, err
+			}
 		}
 		for _, op := range ops {
 			if err := mgr.EnsureAllocated(disk.PageID(op.Page)); err != nil {
@@ -138,9 +157,19 @@ func open(path string, opts Options) (*DB, error) {
 		db.recovered = len(ops) > 0
 	}
 
-	if err := db.loadCatalog(db.recovered); err != nil {
+	rebuild := db.recovered || mgr.IndexesStale()
+	if err := db.loadCatalog(rebuild); err != nil {
 		db.closeFiles()
 		return nil, err
+	}
+	if mgr.IndexesStale() {
+		// The rebuild checkpoint inside loadCatalog made the fresh
+		// anchors durable; the flag can come down. Losing this write
+		// merely costs a redundant rebuild on the next open.
+		if err := mgr.SetIndexesStale(false); err != nil {
+			db.closeFiles()
+			return nil, err
+		}
 	}
 	return db, nil
 }
@@ -218,6 +247,7 @@ func (db *DB) loadCatalog(rebuild bool) error {
 	if err != nil {
 		return err
 	}
+	healed := false
 	for _, p := range pend {
 		name, tbl, anchor, usingHash, cols, derr := decodeIndexRow(p.tup)
 		if derr != nil {
@@ -250,16 +280,28 @@ func (db *DB) loadCatalog(rebuild bool) error {
 				return err
 			}
 		} else {
-			tr, err := btree.Open(db.pool, disk.PageID(anchor))
-			if err != nil {
-				return err
+			tr, terr := btree.Open(db.pool, disk.PageID(anchor))
+			if terr != nil {
+				// The anchor names a page that does not hold a tree —
+				// the signature of an interrupted rollback or recovery
+				// whose rebuilt anchors never reached disk. Indexes are
+				// derived data: rebuild from the heap instead of
+				// refusing to open the database.
+				if err := db.rebuildBTree(t, ix); err != nil {
+					return err
+				}
+				if err := db.rewriteIndexRow(ix); err != nil {
+					return err
+				}
+				healed = true
+			} else {
+				ix.BTree = tr
 			}
-			ix.BTree = tr
 		}
 		t.Indexes = append(t.Indexes, ix)
 		db.cat.indexes[strings.ToLower(name)] = ix
 	}
-	if rebuild {
+	if rebuild || healed {
 		// Persist rebuilt anchors and start from a clean checkpoint.
 		if err := db.log.Append(wal.Record{Txn: 0, Op: wal.OpCommit}); err != nil {
 			return err
@@ -387,7 +429,10 @@ func (db *DB) Begin() error {
 	return nil
 }
 
-// Commit makes the open batch durable.
+// Commit makes the open batch durable. When the commit record cannot be
+// appended or synced the batch is rolled back instead: leaving its
+// uncommitted effects in dirty frames would let a later checkpoint make
+// them durable without a commit record.
 func (db *DB) Commit() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -395,13 +440,15 @@ func (db *DB) Commit() error {
 		return errors.New("sql: no open batch")
 	}
 	db.inBatch = false
-	if err := db.log.Append(wal.Record{Txn: db.batchTxn, Op: wal.OpCommit}); err != nil {
-		return err
+	err := db.log.Append(wal.Record{Txn: db.batchTxn, Op: wal.OpCommit})
+	if err == nil && db.opts.SyncOnCommit {
+		err = db.log.Sync()
 	}
-	if db.opts.SyncOnCommit {
-		if err := db.log.Sync(); err != nil {
-			return err
+	if err != nil {
+		if rbErr := db.rollbackLocked(); rbErr != nil {
+			return errors.Join(err, fmt.Errorf("sql: commit abort: %w", rbErr))
 		}
+		return err
 	}
 	return db.maybeCheckpointLocked()
 }
@@ -422,16 +469,37 @@ func (db *DB) Rollback() error {
 		return errors.New("sql: no open batch")
 	}
 	db.inBatch = false
+	return db.rollbackLocked()
+}
+
+// rollbackLocked discards everything since the last commit and restores
+// the committed state, tolerating a WAL writer poisoned by an earlier
+// I/O fault. Caller holds db.mu.
+func (db *DB) rollbackLocked() error {
 	// Push buffered records (committed and aborted alike) to the log
-	// file so the committed-ops scan sees everything appended so far.
+	// file so the committed-ops scan sees everything appended so far. A
+	// flush failure (e.g. an injected disk fault) leaves at worst a torn
+	// uncommitted tail, which the scan ignores; drop the buffer so the
+	// writer sheds its sticky error and recover from what reached the
+	// file. (With SyncOnCommit off this can lose buffered commits — the
+	// documented trade of async mode.)
 	if err := db.log.Flush(); err != nil {
-		return err
+		db.log.DiscardBuffer()
 	}
-	ops, err := wal.CommittedOps(db.path + ".wal")
+	ops, err := wal.CommittedOpsFS(db.opts.FS, db.path+".wal")
 	if err != nil {
 		return fmt.Errorf("sql: rollback scan: %w", err)
 	}
 	if err := db.pool.DiscardDirty(); err != nil {
+		return err
+	}
+	// DiscardDirty dropped unflushed index pages while the catalog's
+	// anchors still name them, and the checkpoint below makes that
+	// mismatch durable. Raise the header flag (durable within the
+	// checkpoint's flush, before the WAL truncate) so a process death
+	// anywhere before loadCatalog re-persists fresh anchors leaves a
+	// file that rebuilds its indexes on the next open.
+	if err := db.mgr.SetIndexesStale(true); err != nil {
 		return err
 	}
 	for _, op := range ops {
@@ -446,7 +514,10 @@ func (db *DB) Rollback() error {
 		return err
 	}
 	db.cat = newCatalog()
-	return db.loadCatalog(true)
+	if err := db.loadCatalog(true); err != nil {
+		return err
+	}
+	return db.mgr.SetIndexesStale(false)
 }
 
 func (db *DB) maybeCheckpointLocked() error {
@@ -486,6 +557,7 @@ func (db *DB) ExecStmt(stmt Statement) (Result, error) {
 		db.nextTxn++
 		txn = db.nextTxn
 	}
+	preMut, preSize := db.pool.Mutations(), db.log.Size()
 	var res Result
 	var err error
 	switch s := stmt.(type) {
@@ -506,23 +578,48 @@ func (db *DB) ExecStmt(stmt Statement) (Result, error) {
 	default:
 		err = fmt.Errorf("sql: unsupported statement %T", stmt)
 	}
+	if err == nil && !db.inBatch {
+		err = db.commitAutoLocked(txn)
+	}
 	if err != nil {
+		if !db.inBatch {
+			err = db.stmtAbortLocked(err, preMut, preSize)
+		}
 		return Result{}, err
 	}
-	if !db.inBatch {
-		if err := db.log.Append(wal.Record{Txn: txn, Op: wal.OpCommit}); err != nil {
-			return Result{}, err
-		}
-		if db.opts.SyncOnCommit {
-			if err := db.log.Sync(); err != nil {
-				return Result{}, err
-			}
-		}
-		if err := db.maybeCheckpointLocked(); err != nil {
-			return Result{}, err
+	return res, nil
+}
+
+// commitAutoLocked commits a single auto-commit statement: append the
+// commit record, sync per policy, maybe checkpoint. Caller holds db.mu.
+func (db *DB) commitAutoLocked(txn uint64) error {
+	if err := db.log.Append(wal.Record{Txn: txn, Op: wal.OpCommit}); err != nil {
+		return err
+	}
+	if db.opts.SyncOnCommit {
+		if err := db.log.Sync(); err != nil {
+			return err
 		}
 	}
-	return res, nil
+	return db.maybeCheckpointLocked()
+}
+
+// stmtAbortLocked restores the last committed state after a failed
+// auto-commit statement. Without this, a partially applied mutation —
+// say a heap insert whose WAL append then failed — would sit in dirty
+// frames and be made durable, unlogged, by the next checkpoint. The
+// rollback runs only when the statement actually touched a page or the
+// log; errors before the first mutation (missing table, bad column)
+// return as-is. A commit whose record reached the file before the fault
+// is re-derived by the rollback replay, so its effects survive.
+func (db *DB) stmtAbortLocked(stmtErr error, preMut uint64, preSize int64) error {
+	if db.pool.Mutations() == preMut && db.log.Size() == preSize {
+		return stmtErr
+	}
+	if rbErr := db.rollbackLocked(); rbErr != nil {
+		return errors.Join(stmtErr, fmt.Errorf("sql: statement abort: %w", rbErr))
+	}
+	return stmtErr
 }
 
 // Query parses and runs a SELECT, returning materialised rows.
@@ -771,21 +868,15 @@ func (db *DB) InsertTuple(table string, tup value.Tuple) error {
 		db.nextTxn++
 		txn = db.nextTxn
 	}
-	if err := db.insertTuple(txn, t, tup); err != nil {
-		return err
+	preMut, preSize := db.pool.Mutations(), db.log.Size()
+	err = db.insertTuple(txn, t, tup)
+	if err == nil && !db.inBatch {
+		err = db.commitAutoLocked(txn)
 	}
-	if !db.inBatch {
-		if err := db.log.Append(wal.Record{Txn: txn, Op: wal.OpCommit}); err != nil {
-			return err
-		}
-		if db.opts.SyncOnCommit {
-			if err := db.log.Sync(); err != nil {
-				return err
-			}
-		}
-		return db.maybeCheckpointLocked()
+	if err != nil && !db.inBatch {
+		err = db.stmtAbortLocked(err, preMut, preSize)
 	}
-	return nil
+	return err
 }
 
 func (db *DB) insertTuple(txn uint64, t *TableInfo, tup value.Tuple) error {

@@ -1,0 +1,322 @@
+package sql_test
+
+// Fault-path tests: inject single I/O errors (hard failures and short
+// writes) at every operation offset inside a statement, a commit and a
+// rollback, and assert the engine's contract each time — the database
+// lands on a committed boundary, stays structurally consistent, remains
+// usable in-process, and survives a reopen. The crash sweep
+// (crash_recovery_test.go) covers power cuts; this file covers the op
+// that FAILS while the process keeps running.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"xomatiq/internal/faultfs"
+	"xomatiq/internal/sql"
+)
+
+const faultDBPath = "fault.db"
+
+func faultOpen(t testing.TB, fs *faultfs.FS) *sql.DB {
+	t.Helper()
+	db, err := sql.Open(faultDBPath, sql.Options{FS: fs, PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// setupKV creates one indexed table with a few committed rows — enough
+// structure that a botched mutation shows up in CheckConsistency.
+func setupKV(t testing.TB, db *sql.DB) {
+	t.Helper()
+	for _, stmt := range []string{
+		`CREATE TABLE kv (k INT, v TEXT)`,
+		`CREATE INDEX ix_kv_k ON kv (k)`,
+	} {
+		if _, err := db.Exec(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO kv VALUES (%d, 'seed-%d')`, i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// kvState reduces the table to a comparable string (order-insensitive).
+func kvState(t testing.TB, db *sql.DB) string {
+	t.Helper()
+	rows, err := db.Query(`SELECT k, v FROM kv`)
+	if err != nil {
+		t.Fatalf("kvState: %v", err)
+	}
+	out := make([]string, 0, len(rows.Rows))
+	for _, r := range rows.Rows {
+		out = append(out, fmt.Sprintf("%d=%s", r[0].Int(), r[1].Text()))
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+// TestStatementFaultSweep injects one fault at every op offset inside an
+// auto-commit INSERT. Whatever the offset, the statement must leave the
+// database on a committed boundary: the pre-statement state (the abort
+// rolled it back) or the post-statement state (the commit record reached
+// the file before the fault). Both fault kinds are swept.
+func TestStatementFaultSweep(t *testing.T) {
+	const probe = `INSERT INTO kv VALUES (100, 'probe')`
+
+	// Fault-free run: learn the op cost of the probe statement and the
+	// two acceptable states.
+	fs := faultfs.New(11)
+	db := faultOpen(t, fs)
+	setupKV(t, db)
+	before := kvState(t, db)
+	start := fs.Ops()
+	if _, err := db.Exec(probe); err != nil {
+		t.Fatal(err)
+	}
+	probeOps := fs.Ops() - start
+	after := kvState(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if probeOps < 2 {
+		t.Fatalf("probe consumed %d ops; sweep would be vacuous", probeOps)
+	}
+
+	for _, kind := range []faultfs.FaultKind{faultfs.FaultErr, faultfs.FaultShortWrite} {
+		for k := int64(0); k < probeOps; k++ {
+			fs := faultfs.New(11)
+			db := faultOpen(t, fs)
+			setupKV(t, db)
+			fs.FailAt(fs.Ops()+k, kind)
+
+			_, err := db.Exec(probe)
+			if err == nil {
+				t.Fatalf("kind %d op +%d: statement succeeded through an injected fault", kind, k)
+			}
+			if !errors.Is(err, faultfs.ErrInjected) {
+				t.Fatalf("kind %d op +%d: err = %v, want ErrInjected in chain", kind, k, err)
+			}
+			if cerr := db.CheckConsistency(); cerr != nil {
+				t.Fatalf("kind %d op +%d: inconsistent after fault: %v", kind, k, cerr)
+			}
+			if got := kvState(t, db); got != before && got != after {
+				t.Fatalf("kind %d op +%d: state %q is neither pre- nor post-statement", kind, k, got)
+			}
+
+			// The engine keeps working after the abort...
+			if _, err := db.Exec(`INSERT INTO kv VALUES (200, 'post-fault')`); err != nil {
+				t.Fatalf("kind %d op +%d: insert after fault: %v", kind, k, err)
+			}
+			if err := db.Close(); err != nil {
+				t.Fatalf("kind %d op +%d: close: %v", kind, k, err)
+			}
+			// ...and the file reopens clean.
+			db2 := faultOpen(t, fs.Reboot())
+			if cerr := db2.CheckConsistency(); cerr != nil {
+				t.Fatalf("kind %d op +%d: inconsistent after reopen: %v", kind, k, cerr)
+			}
+			if got := kvState(t, db2); !strings.Contains(got, "200=post-fault") {
+				t.Fatalf("kind %d op +%d: post-fault row lost across reopen: %q", kind, k, got)
+			}
+			if err := db2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// batchKV opens a batch and stages uncommitted work on top of setupKV.
+func batchKV(t testing.TB, db *sql.DB) {
+	t.Helper()
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO kv VALUES (%d, 'batch-%d')`, 50+i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Exec(`DELETE FROM kv WHERE k = 3`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommitFaultSweep injects one fault at every op offset inside
+// Commit. A failed commit must roll the batch back — or, when the
+// commit record reached the file before the fault, keep it whole;
+// half-applied batches are never acceptable.
+func TestCommitFaultSweep(t *testing.T) {
+	fs := faultfs.New(23)
+	db := faultOpen(t, fs)
+	setupKV(t, db)
+	before := kvState(t, db)
+	batchKV(t, db)
+	start := fs.Ops()
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	commitOps := fs.Ops() - start
+	after := kvState(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if commitOps < 1 {
+		t.Fatalf("commit consumed %d ops; sweep would be vacuous", commitOps)
+	}
+
+	for _, kind := range []faultfs.FaultKind{faultfs.FaultErr, faultfs.FaultShortWrite} {
+		for k := int64(0); k < commitOps; k++ {
+			fs := faultfs.New(23)
+			db := faultOpen(t, fs)
+			setupKV(t, db)
+			batchKV(t, db)
+			fs.FailAt(fs.Ops()+k, kind)
+
+			err := db.Commit()
+			if err != nil && !errors.Is(err, faultfs.ErrInjected) {
+				t.Fatalf("kind %d op +%d: err = %v, want ErrInjected in chain", kind, k, err)
+			}
+			if cerr := db.CheckConsistency(); cerr != nil {
+				t.Fatalf("kind %d op +%d: inconsistent after commit fault: %v", kind, k, cerr)
+			}
+			got := kvState(t, db)
+			if err != nil && got != before && got != after {
+				t.Fatalf("kind %d op +%d: state %q is neither pre- nor post-batch", kind, k, got)
+			}
+			if err == nil && got != after {
+				// The fault was absorbed (e.g. it hit a checkpoint retry
+				// window); a successful Commit must mean the batch applied.
+				t.Fatalf("kind %d op +%d: commit reported success but state is %q", kind, k, got)
+			}
+
+			if err := db.Close(); err != nil {
+				t.Fatalf("kind %d op +%d: close: %v", kind, k, err)
+			}
+			db2 := faultOpen(t, fs.Reboot())
+			if cerr := db2.CheckConsistency(); cerr != nil {
+				t.Fatalf("kind %d op +%d: inconsistent after reopen: %v", kind, k, cerr)
+			}
+			if got2 := kvState(t, db2); got2 != got {
+				t.Fatalf("kind %d op +%d: state changed across clean reopen: %q -> %q", kind, k, got, got2)
+			}
+			if err := db2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestRollbackFaultSweep injects one fault at every op offset inside
+// Rollback itself. Rollback may report the fault, but it must never
+// invent state: after a process exit and reopen, the database holds
+// exactly the committed pre-batch content.
+func TestRollbackFaultSweep(t *testing.T) {
+	fs := faultfs.New(37)
+	db := faultOpen(t, fs)
+	setupKV(t, db)
+	before := kvState(t, db)
+	batchKV(t, db)
+	start := fs.Ops()
+	if err := db.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	rollbackOps := fs.Ops() - start
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rollbackOps < 2 {
+		t.Fatalf("rollback consumed %d ops; sweep would be vacuous", rollbackOps)
+	}
+
+	for k := int64(0); k < rollbackOps; k++ {
+		fs := faultfs.New(37)
+		db := faultOpen(t, fs)
+		setupKV(t, db)
+		batchKV(t, db)
+		fs.FailAt(fs.Ops()+k, faultfs.FaultErr)
+
+		err := db.Rollback()
+		if err != nil && !errors.Is(err, faultfs.ErrInjected) {
+			t.Fatalf("op +%d: err = %v, want ErrInjected in chain", k, err)
+		}
+		if err == nil {
+			// The fault landed somewhere rollback tolerates (a WAL flush
+			// it can discard); the full contract holds immediately.
+			if cerr := db.CheckConsistency(); cerr != nil {
+				t.Fatalf("op +%d: inconsistent after tolerated fault: %v", k, cerr)
+			}
+			if got := kvState(t, db); got != before {
+				t.Fatalf("op +%d: rollback succeeded but state is %q, want pre-batch", k, got)
+			}
+		}
+		// Treat the process as dead either way — a failed rollback leaves
+		// in-memory state undefined — and require recovery to restore the
+		// committed boundary.
+		if cerr := db.Crash(); cerr != nil && !errors.Is(cerr, faultfs.ErrInjected) {
+			t.Fatalf("op +%d: crash close: %v", k, cerr)
+		}
+		db2 := faultOpen(t, fs.Reboot())
+		if cerr := db2.CheckConsistency(); cerr != nil {
+			t.Fatalf("op +%d: inconsistent after reopen: %v", k, cerr)
+		}
+		if got := kvState(t, db2); got != before {
+			t.Fatalf("op +%d: reopened state %q, want committed pre-batch %q", k, got, before)
+		}
+		if err := db2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCrashMidBatchReopen cuts power while a batch is half-staged: the
+// batch never committed, so recovery must land exactly on the pre-batch
+// state.
+func TestCrashMidBatchReopen(t *testing.T) {
+	fs := faultfs.New(5)
+	db := faultOpen(t, fs)
+	setupKV(t, db)
+	before := kvState(t, db)
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO kv VALUES (60, 'doomed')`); err != nil {
+		t.Fatal(err)
+	}
+	// Batch statements mutate cached pages and the buffered WAL, so the
+	// next counted disk op belongs to Commit (or a page fetch): cut there.
+	fs.CrashAt(fs.Ops())
+	var firstErr error
+	for i := 0; i < 40 && firstErr == nil; i++ {
+		_, firstErr = db.Exec(fmt.Sprintf(`INSERT INTO kv VALUES (%d, 'doomed')`, 61+i))
+	}
+	if firstErr == nil {
+		firstErr = db.Commit()
+	}
+	if !errors.Is(firstErr, faultfs.ErrCrashed) {
+		t.Fatalf("first error after the cut = %v, want ErrCrashed in chain", firstErr)
+	}
+
+	db2 := faultOpen(t, fs.Reboot())
+	defer db2.Close()
+	if err := db2.CheckConsistency(); err != nil {
+		t.Fatalf("inconsistent after crash reopen: %v", err)
+	}
+	if got := kvState(t, db2); got != before {
+		t.Fatalf("recovered state %q, want committed pre-batch %q", got, before)
+	}
+}

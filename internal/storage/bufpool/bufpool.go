@@ -22,10 +22,11 @@ type Pool struct {
 	mgr      *disk.Manager
 	capacity int
 
-	mu      sync.Mutex
-	frames  map[disk.PageID]*Frame
-	lru     *list.List // of *Frame; front = most recently used
-	noSteal bool
+	mu        sync.Mutex
+	frames    map[disk.PageID]*Frame
+	lru       *list.List // of *Frame; front = most recently used
+	noSteal   bool
+	mutations uint64
 }
 
 // Frame is a cached page. Callers access the page through Page() and must
@@ -97,6 +98,7 @@ func (p *Pool) Allocate(kind page.Kind) (*Frame, error) {
 	}
 	f.pg.Init(kind)
 	f.dirty = true
+	p.mutations++
 	return f, nil
 }
 
@@ -171,12 +173,23 @@ func (p *Pool) DirtyCount() int {
 	return n
 }
 
+// Mutations reports a monotonic count of page-dirtying events (Allocate
+// and dirty Unpin). Unlike DirtyCount it also moves when an
+// already-dirty page is modified again, so the engine can tell whether a
+// failed statement touched any page at all.
+func (p *Pool) Mutations() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mutations
+}
+
 // Unpin releases one pin on the frame; dirty marks it modified.
 func (p *Pool) Unpin(f *Frame, dirty bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if dirty {
 		f.dirty = true
+		p.mutations++
 	}
 	if f.pins <= 0 {
 		panic(fmt.Sprintf("bufpool: unpin of unpinned page %d", f.id))

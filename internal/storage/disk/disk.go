@@ -6,9 +6,9 @@ package disk
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
-	"os"
 	"sync"
 
 	"xomatiq/internal/storage/page"
@@ -26,60 +26,125 @@ const InvalidPage PageID = 0
 //	0..8   magic "XOMATIQ\x01"
 //	8..12  numPages (uint32, includes the header page)
 //	12..16 freeListHead (uint32 PageID, 0 = empty)
+//	16     flags (bit 0: index anchors stale, rebuild before trusting)
+//
+// Files written before the flags byte existed are 16 bytes short of it;
+// the missing byte reads as zero flags.
 var magic = [8]byte{'X', 'O', 'M', 'A', 'T', 'I', 'Q', 1}
+
+const flagIndexesStale = 1 << 0
 
 // Manager owns one database file and serialises page allocation. Reads
 // and writes of distinct pages may proceed concurrently.
 type Manager struct {
-	mu       sync.Mutex
-	f        *os.File
-	numPages uint32
-	freeHead PageID
+	mu           sync.Mutex
+	f            File
+	numPages     uint32
+	freeHead     PageID
+	indexesStale bool
 }
 
-// Open opens (or creates) the database file at path.
+// Open opens (or creates) the database file at path on the operating
+// system's filesystem.
 func Open(path string) (*Manager, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFS(OS{}, path)
+}
+
+// OpenFS opens (or creates) the database file at path within fs.
+func OpenFS(fs FS, path string) (*Manager, error) {
+	f, err := fs.OpenFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("disk: open %s: %w", path, err)
 	}
 	m := &Manager{f: f}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("disk: stat %s: %w", path, err)
+		return nil, errors.Join(fmt.Errorf("disk: stat %s: %w", path, err), f.Close())
 	}
-	if st.Size() == 0 {
+	if size == 0 {
 		m.numPages = 1
 		if err := m.writeHeader(); err != nil {
-			f.Close()
-			return nil, err
+			return nil, errors.Join(err, f.Close())
+		}
+		// Sync the newborn header before anything else touches the file:
+		// without the barrier a crash could persist later page writes
+		// while losing the header, leaving a file with content but no
+		// magic — indistinguishable from a foreign file.
+		if err := f.Sync(); err != nil {
+			return nil, errors.Join(fmt.Errorf("disk: sync header: %w", err), f.Close())
 		}
 		return m, nil
 	}
 	var hdr [page.Size]byte
-	if _, err := f.ReadAt(hdr[:16], 0); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("disk: read header: %w", err)
+	n, err := f.ReadAt(hdr[:17], 0)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return nil, errors.Join(fmt.Errorf("disk: read header: %w", err), f.Close())
+	}
+	if n < 16 {
+		return nil, errors.Join(fmt.Errorf("disk: %s header truncated at %d bytes", path, n), f.Close())
 	}
 	if [8]byte(hdr[:8]) != magic {
-		f.Close()
-		return nil, fmt.Errorf("disk: %s is not a xomatiq database file", path)
+		return nil, errors.Join(fmt.Errorf("disk: %s is not a xomatiq database file", path), f.Close())
 	}
 	m.numPages = binary.LittleEndian.Uint32(hdr[8:])
 	m.freeHead = PageID(binary.LittleEndian.Uint32(hdr[12:]))
+	if n >= 17 {
+		m.indexesStale = hdr[16]&flagIndexesStale != 0
+	}
+	// A crash can persist the header's page count while losing the file
+	// extension it describes (the header is a small atomic write, the
+	// extension a separate one; nothing orders them without a sync).
+	// Pages past the real end of file never held synced data, so their
+	// contents are either uncommitted (forgotten) or governed by the WAL,
+	// whose replay re-extends the file through EnsureAllocated. Trust the
+	// file, not the header.
+	if got := uint32(size / page.Size); got < m.numPages {
+		m.numPages = got
+		if m.numPages < 1 {
+			m.numPages = 1
+		}
+		if uint32(m.freeHead) >= m.numPages {
+			m.freeHead = InvalidPage
+		}
+	}
 	return m, nil
 }
 
 func (m *Manager) writeHeader() error {
-	var hdr [16]byte
+	var hdr [17]byte
 	copy(hdr[:8], magic[:])
 	binary.LittleEndian.PutUint32(hdr[8:], m.numPages)
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(m.freeHead))
+	if m.indexesStale {
+		hdr[16] |= flagIndexesStale
+	}
 	if _, err := m.f.WriteAt(hdr[:], 0); err != nil {
 		return fmt.Errorf("disk: write header: %w", err)
 	}
 	return nil
+}
+
+// IndexesStale reports the header flag that marks on-disk index anchors
+// as untrustworthy.
+func (m *Manager) IndexesStale() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.indexesStale
+}
+
+// SetIndexesStale records (or clears) the stale-indexes flag in the
+// header. The write becomes durable at the next Sync; callers that raise
+// the flag must sync before the writes the flag guards — in practice the
+// buffer pool's checkpoint flush, which ends in a sync, provides that
+// barrier before the WAL is ever truncated.
+func (m *Manager) SetIndexesStale(stale bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.indexesStale == stale {
+		return nil
+	}
+	m.indexesStale = stale
+	return m.writeHeader()
 }
 
 // NumPages reports the file size in pages, including the header page.
@@ -192,8 +257,7 @@ func (m *Manager) Sync() error {
 // Close syncs and closes the file.
 func (m *Manager) Close() error {
 	if err := m.Sync(); err != nil {
-		m.f.Close()
-		return err
+		return errors.Join(err, m.f.Close())
 	}
 	return m.f.Close()
 }

@@ -1,0 +1,59 @@
+package disk
+
+import (
+	"io"
+	"os"
+)
+
+// File is the storage engine's view of one on-disk file. *os.File backs
+// it in production (see OS); internal/faultfs substitutes deterministic
+// fault-injecting implementations so tests can prove the WAL and
+// recovery path survive torn writes, I/O errors and power cuts.
+//
+// Write durability contract: data passed to WriteAt is volatile until a
+// Sync returns nil. After a crash, volatile writes may be lost wholly or
+// in part; synced data is stable.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Truncate changes the file size. Like writes, a truncation is
+	// volatile until synced.
+	Truncate(size int64) error
+	// Sync makes all preceding writes and truncations stable.
+	Sync() error
+	// Close releases the handle without implying a sync.
+	Close() error
+	// Size reports the current file length in bytes.
+	Size() (int64, error)
+}
+
+// FS opens files for the storage engine. Implementations must allow the
+// same path to be opened more than once (recovery scans the WAL while
+// the log handle is open).
+type FS interface {
+	// OpenFile opens path read-write, creating it when absent.
+	OpenFile(path string) (File, error)
+}
+
+// OS is the production FS backed by the operating system.
+type OS struct{}
+
+// OpenFile opens path read-write, creating it when absent.
+func (OS) OpenFile(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// osFile adapts *os.File to File (Stat -> Size).
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

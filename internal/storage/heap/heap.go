@@ -223,9 +223,15 @@ func (h *Heap) Scan(fn func(rid RID, rec []byte) bool) error {
 }
 
 // Replay applies page-directed WAL operations (as returned by
-// wal.CommittedOps) onto the pool's pages. The data file must be in the
-// state of the last checkpoint, which the engine's NO-STEAL policy
-// guarantees.
+// wal.CommittedOps) onto the pool's pages.
+//
+// Replay is idempotent per page: a crash can interrupt a checkpoint
+// after some dirty pages reached the data file, so each page is either
+// in the state of the previous checkpoint or already reflects every
+// logged op. Re-applying the op sequence must therefore converge on the
+// same final page image: InsertAt and Update both place the record at
+// its exact slot, overwriting whatever is there, and Delete of an
+// already-deleted slot is a no-op rather than an error.
 func Replay(pool *bufpool.Pool, ops []wal.Record) error {
 	for _, op := range ops {
 		if op.Op == wal.OpInitPage {
@@ -244,12 +250,12 @@ func Replay(pool *bufpool.Pool, ops []wal.Record) error {
 		switch op.Op {
 		case wal.OpSetAux:
 			f.Page().SetAux(op.Aux)
-		case wal.OpInsertAt:
+		case wal.OpInsertAt, wal.OpUpdate:
 			err = f.Page().InsertAt(int(op.Slot), op.Data)
 		case wal.OpDelete:
-			err = f.Page().Delete(int(op.Slot))
-		case wal.OpUpdate:
-			err = f.Page().Update(int(op.Slot), op.Data)
+			if f.Page().Live(int(op.Slot)) {
+				err = f.Page().Delete(int(op.Slot))
+			}
 		default:
 			err = fmt.Errorf("heap: replay unknown op %d", op.Op)
 		}

@@ -191,6 +191,16 @@ func (p *Page) Delete(slot int) error {
 	return nil
 }
 
+// Live reports whether slot holds a record (false for deleted slots and
+// slots outside the directory).
+func (p *Page) Live(slot int) bool {
+	if slot < 0 || slot >= p.NumSlots() {
+		return false
+	}
+	off, _ := p.slot(slot)
+	return off != deletedSlot
+}
+
 // Update replaces the record in the given slot, moving it when the new
 // payload does not fit in place. Returns ErrPageFull when the page cannot
 // hold the new payload.

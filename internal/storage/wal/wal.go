@@ -22,11 +22,13 @@ package wal
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"sync"
+
+	"xomatiq/internal/storage/disk"
 )
 
 // Op identifies a log record type.
@@ -56,28 +58,44 @@ type Record struct {
 // Log is an append-only write-ahead log file.
 type Log struct {
 	mu   sync.Mutex
-	f    *os.File
+	f    disk.File
+	aw   *appendWriter
 	w    *bufio.Writer
 	path string
 	size int64
 }
 
+// appendWriter turns a positional disk.File into the sequential writer
+// the buffered appender needs, tracking the append offset explicitly so
+// the File interface does not have to expose Seek.
+type appendWriter struct {
+	f   disk.File
+	off int64
+}
+
+func (w *appendWriter) Write(p []byte) (int, error) {
+	n, err := w.f.WriteAt(p, w.off)
+	w.off += int64(n)
+	return n, err
+}
+
 // Open opens (creating if absent) the log at path, positioned to append.
 func Open(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFS(disk.OS{}, path)
+}
+
+// OpenFS opens (creating if absent) the log at path within fs.
+func OpenFS(fs disk.FS, path string) (*Log, error) {
+	f, err := fs.OpenFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("wal: stat: %w", err)
+		return nil, errors.Join(fmt.Errorf("wal: stat: %w", err), f.Close())
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("wal: seek: %w", err)
-	}
-	return &Log{f: f, w: bufio.NewWriter(f), path: path, size: st.Size()}, nil
+	aw := &appendWriter{f: f, off: size}
+	return &Log{f: f, aw: aw, w: bufio.NewWriter(aw), path: path, size: size}, nil
 }
 
 func (r *Record) encode() []byte {
@@ -159,6 +177,19 @@ func (l *Log) Sync() error {
 	return nil
 }
 
+// DiscardBuffer drops any buffered-but-unwritten records and clears the
+// writer's sticky error, re-anchoring the append position at the bytes
+// actually on disk. After a failed append or flush the bufio.Writer
+// refuses all further writes; rollback calls DiscardBuffer so the log
+// can keep serving later transactions. Records already written through
+// to the file are unaffected (an uncommitted tail is ignored by Scan).
+func (l *Log) DiscardBuffer() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Reset(l.aw)
+	l.size = l.aw.off
+}
+
 // Size reports the current log length in bytes (including buffered data).
 func (l *Log) Size() int64 {
 	l.mu.Lock()
@@ -177,14 +208,12 @@ func (l *Log) Truncate() error {
 	if err := l.f.Truncate(0); err != nil {
 		return fmt.Errorf("wal: truncate: %w", err)
 	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("wal: truncate seek: %w", err)
-	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: truncate sync: %w", err)
 	}
 	l.size = 0
-	l.w.Reset(l.f)
+	l.aw.off = 0
+	l.w.Reset(l.aw)
 	return nil
 }
 
@@ -193,8 +222,7 @@ func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.w.Flush(); err != nil {
-		l.f.Close()
-		return err
+		return errors.Join(err, l.f.Close())
 	}
 	return l.f.Close()
 }
@@ -203,19 +231,36 @@ func (l *Log) Close() error {
 // It stops silently at a torn tail (truncated frame or checksum mismatch),
 // which is the expected state after a crash mid-append.
 func Scan(path string, fn func(Record) error) error {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return nil
-	}
+	return ScanFS(disk.OS{}, path, fn)
+}
+
+// ScanFS is Scan within fs. A missing log reads as empty (OpenFile
+// creates it), which is the same recovery outcome.
+func ScanFS(fs disk.FS, path string, fn func(Record) error) (err error) {
+	f, err := fs.OpenFile(path)
 	if err != nil {
 		return fmt.Errorf("wal: scan open: %w", err)
 	}
-	defer f.Close()
-	r := bufio.NewReader(f)
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	size, err := f.Size()
+	if err != nil {
+		return fmt.Errorf("wal: scan stat: %w", err)
+	}
+	r := bufio.NewReader(io.NewSectionReader(f, 0, size))
 	for {
 		var hdr [8]byte
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return nil // clean end or torn header
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil // clean end or torn header
+			}
+			// A real I/O error is NOT a torn tail: treating it as one
+			// would silently report committed records as absent, and a
+			// recovery or rollback acting on that would destroy them.
+			return fmt.Errorf("wal: scan read: %w", err)
 		}
 		length := binary.LittleEndian.Uint32(hdr[:4])
 		sum := binary.LittleEndian.Uint32(hdr[4:])
@@ -224,7 +269,10 @@ func Scan(path string, fn func(Record) error) error {
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return nil // torn payload
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil // torn payload
+			}
+			return fmt.Errorf("wal: scan read: %w", err)
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
 			return nil // torn record
@@ -243,9 +291,14 @@ func Scan(path string, fn func(Record) error) error {
 // every transaction that has a commit record. Operations of uncommitted
 // transactions (the crash-torn tail) are dropped.
 func CommittedOps(path string) ([]Record, error) {
+	return CommittedOpsFS(disk.OS{}, path)
+}
+
+// CommittedOpsFS is CommittedOps within fs.
+func CommittedOpsFS(fs disk.FS, path string) ([]Record, error) {
 	var all []Record
 	committed := map[uint64]bool{}
-	if err := Scan(path, func(r Record) error {
+	if err := ScanFS(fs, path, func(r Record) error {
 		if r.Op == OpCommit {
 			committed[r.Txn] = true
 			return nil

@@ -1,0 +1,32 @@
+package xmldoc
+
+import "testing"
+
+// FuzzParse feeds arbitrary text to the XML parser. Accepted documents
+// must serialize back into text the parser accepts: reconstruction
+// (tagger) and the native evaluator both round-trip documents this way.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`<r><a>x</a><b k="v">y</b></r>`,
+		`<?xml version="1.0"?><doc><entry id="1.1.1.1"><name>Alcohol dehydrogenase</name></entry></doc>`,
+		`<a><b/><c/><b><d>t&amp;t</d></b></a>`,
+		`<e k="&lt;&gt;&quot;">text &#65; more</e>`,
+		`<r><!-- comment --><a/></r>`,
+		``,
+		`<`,
+		`<a><b></a></b>`,
+		`<a>unclosed`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := Parse(src, ParseOptions{})
+		if err != nil {
+			return
+		}
+		rendered := doc.Serialize(SerializeOptions{})
+		if _, rerr := Parse(rendered, ParseOptions{}); rerr != nil {
+			t.Fatalf("accepted %q but its serialization %q fails to parse: %v", src, rendered, rerr)
+		}
+	})
+}

@@ -1,0 +1,37 @@
+package xq
+
+import "testing"
+
+// FuzzParse feeds arbitrary text to the XomatiQ query parser. Accepted
+// queries must render (String) back into text the parser accepts again —
+// the plan cache and Explain both rely on renderings staying parseable.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`FOR $a IN document("db")/root RETURN $a`,
+		`FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//catalytic_activity, "ketone")
+RETURN $a//enzyme_id, $a//enzyme_description`,
+		`FOR $e IN document("db")/r/e, $x IN document("db2")/s
+WHERE $e/id = $x/ref AND contains($e/name, "kinase")
+RETURN $e/id, $x/val`,
+		`LET $s := document("db")/r/seq RETURN $s`,
+		`FOR $a IN document("db")/r WHERE seqcontains($a/seq, "ACGT") RETURN $a`,
+		`FOR $a IN document("db")/r WHERE NOT contains($a/x, "y") OR $a/n = "3" RETURN $a/x`,
+		`FOR $a IN document("db")/r[2]/e RETURN $a`,
+		``,
+		`FOR`,
+		`FOR $a IN document(`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		if _, rerr := Parse(rendered); rerr != nil {
+			t.Fatalf("accepted %q but its rendering %q fails to parse: %v", src, rendered, rerr)
+		}
+	})
+}

@@ -28,7 +28,7 @@ func TestRandomQueryEquivalence(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			fx := newFixture(t)
 			docs := randomCorpus(rng, 20)
-			fx.loadDocs(t, "rnd", nil, docs)
+			fx.loadDocs(t, "rnd", []string{"/root/seq"}, docs)
 
 			tried, ran := 0, 0
 			for q := 0; q < 60; q++ {
@@ -81,12 +81,18 @@ func TestRandomQueryEquivalence(t *testing.T) {
 }
 
 // The random corpus uses a small fixed vocabulary so that queries
-// sometimes hit and sometimes miss.
+// sometimes hit and sometimes miss. Sequence segments and motifs are
+// disjoint from the annotation vocabulary: residues must never collide
+// with contains() keywords, since the warehouse excludes sequence text
+// from values_str and the keyword index while the native evaluator
+// walks raw document text.
 var (
-	rElems  = []string{"entry", "name", "ref", "score", "tag"}
-	rAttrs  = []string{"id", "kind"}
-	rTexts  = []string{"alpha", "beta", "gamma", "copper zinc", "42", "7", "900"}
-	rAttrVs = []string{"a1", "a2", "ec"}
+	rElems   = []string{"entry", "name", "ref", "score", "tag"}
+	rAttrs   = []string{"id", "kind"}
+	rTexts   = []string{"alpha", "beta", "gamma", "copper zinc", "42", "7", "900"}
+	rAttrVs  = []string{"a1", "a2", "ec"}
+	rSeqSegs = []string{"acgt", "ggca", "ttaa", "cgcg", "tgca"}
+	rMotifs  = []string{"acgt", "ggca", "cgcg", "acgtacgt", "ttaattaa", "gggg"}
 )
 
 func randomCorpus(rng *rand.Rand, n int) []*xmldoc.Document {
@@ -110,20 +116,74 @@ func randomCorpus(rng *rand.Rand, n int) []*xmldoc.Document {
 			}
 		}
 		build(root, 2)
+		// Root-level sequence data: routed to seq_data by the registered
+		// "/root/seq" path, so seqcontains() has residues to search.
+		// Occasional upper-casing exercises case-insensitive matching on
+		// both sides.
+		if rng.Intn(4) > 0 {
+			seq := xmldoc.NewElement("seq")
+			var b strings.Builder
+			for s, n := 0, 1+rng.Intn(5); s < n; s++ {
+				b.WriteString(rSeqSegs[rng.Intn(len(rSeqSegs))])
+			}
+			text := b.String()
+			if rng.Intn(4) == 0 {
+				text = strings.ToUpper(text)
+			}
+			seq.AddText(text)
+			root.AddChild(seq)
+		}
 		docs[i] = &xmldoc.Document{Name: fmt.Sprintf("doc%03d", i), Root: root}
 	}
 	return docs
 }
 
-// randomQuery builds a query from a small grammar: one or two bindings
-// over //entry or the root, conditions from comparisons, contains and
-// order ops, one or two return items.
+// randomQuery builds a query from a small grammar: one or two FOR
+// bindings over the root, an optional LET alias, conditions from
+// comparisons, contains, seqcontains, same-path disjunctions and order
+// ops (occasionally negated), final-step predicates on paths, and one
+// or two return items. Shapes outside the translatable subset (NOT,
+// predicate placements the twig join cannot express) are generated on
+// purpose: they must skip cleanly via ErrUnsupported, never mistranslate.
 func randomQuery(rng *rand.Rand) string {
 	var sb strings.Builder
 	twoVars := rng.Intn(4) == 0
 	sb.WriteString(`FOR $a IN document("rnd")/root`)
 	if twoVars {
 		sb.WriteString(`, $b IN document("rnd")/root`)
+	}
+	// Optional LET alias over a subpath of $a. Both engines resolve LETs
+	// by substitution, so these exercise ResolveLets round-tripping.
+	hasLet := rng.Intn(4) == 0
+	if hasLet {
+		sb.WriteString("\nLET $l := $a")
+		for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+			sep := "/"
+			if rng.Intn(4) == 0 {
+				sep = "//"
+			}
+			sb.WriteString(sep + rElems[rng.Intn(len(rElems))])
+		}
+	}
+	pickVar := func() string {
+		if hasLet && rng.Intn(4) == 0 {
+			return "l"
+		}
+		if twoVars && rng.Intn(2) == 0 {
+			return "b"
+		}
+		return "a"
+	}
+	randPred := func() string {
+		switch rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf(`[@%s = %q]`, rAttrs[rng.Intn(len(rAttrs))], rAttrVs[rng.Intn(len(rAttrVs))])
+		case 1:
+			return fmt.Sprintf(`[%s = %q]`, rElems[rng.Intn(len(rElems))], rTexts[rng.Intn(len(rTexts))])
+		default:
+			ops := []string{"=", "!=", "<", ">"}
+			return fmt.Sprintf(`[%s %s %d]`, rElems[rng.Intn(len(rElems))], ops[rng.Intn(len(ops))], 5+rng.Intn(100))
+		}
 	}
 	randPath := func(v string) string {
 		p := "$" + v
@@ -138,11 +198,13 @@ func randomQuery(rng *rand.Rand) string {
 		}
 		if rng.Intn(4) == 0 {
 			p += "/@" + rAttrs[rng.Intn(len(rAttrs))]
+		} else if rng.Intn(5) == 0 {
+			p += randPred()
 		}
 		return p
 	}
 	cond := func(v string) string {
-		switch rng.Intn(4) {
+		switch rng.Intn(6) {
 		case 0:
 			kw := strings.Fields(rTexts[rng.Intn(len(rTexts))])[0]
 			if rng.Intn(2) == 0 {
@@ -154,6 +216,31 @@ func randomQuery(rng *rand.Rand) string {
 			return fmt.Sprintf(`%s %s %d`, randPath(v), ops[rng.Intn(len(ops))], 5+rng.Intn(100))
 		case 2:
 			return fmt.Sprintf(`%s = %q`, randPath(v), rTexts[rng.Intn(len(rTexts))])
+		case 3:
+			// Motif search; the target resolves to sequence residues
+			// only via the registered /root/seq path, so off-path
+			// targets must come back empty from both engines.
+			tgt := "$" + v
+			switch rng.Intn(3) {
+			case 0:
+			case 1:
+				tgt += "/seq"
+			default:
+				tgt += "//seq"
+			}
+			return fmt.Sprintf(`seqcontains(%s, %q)`, tgt, rMotifs[rng.Intn(len(rMotifs))])
+		case 4:
+			// Same-path disjunction (the translatable OR shape),
+			// parenthesized so AND chaining keeps the intended tree.
+			p := randPath(v)
+			branch := func() string {
+				if rng.Intn(2) == 0 {
+					kw := strings.Fields(rTexts[rng.Intn(len(rTexts))])[0]
+					return fmt.Sprintf(`contains(%s, %q)`, p, kw)
+				}
+				return fmt.Sprintf(`%s = %q`, p, rTexts[rng.Intn(len(rTexts))])
+			}
+			return "(" + branch() + " OR " + branch() + ")"
 		default:
 			op := "BEFORE"
 			if rng.Intn(2) == 0 {
@@ -169,11 +256,12 @@ func randomQuery(rng *rand.Rand) string {
 			if i > 0 {
 				sb.WriteString(" AND ")
 			}
-			v := "a"
-			if twoVars && rng.Intn(2) == 0 {
-				v = "b"
+			if rng.Intn(8) == 0 {
+				// Untranslatable on purpose: the engine layer falls back
+				// to the native evaluator for NOT.
+				sb.WriteString("NOT ")
 			}
-			sb.WriteString(cond(v))
+			sb.WriteString(cond(pickVar()))
 		}
 		// Occasionally a cross-variable equality (join).
 		if twoVars && rng.Intn(2) == 0 {
@@ -186,11 +274,7 @@ func randomQuery(rng *rand.Rand) string {
 	sb.WriteString("\nRETURN ")
 	sb.WriteString(randPath("a"))
 	if rng.Intn(2) == 0 {
-		v := "a"
-		if twoVars {
-			v = "b"
-		}
-		sb.WriteString(", " + randPath(v))
+		sb.WriteString(", " + randPath(pickVar()))
 	}
 	return sb.String()
 }
