@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check fuzz crash
+.PHONY: all build vet test race bench bench-json bench-compare check fuzz crash
 
 # Seconds of fuzzing per parser target.
 FUZZTIME ?= 30s
@@ -21,6 +21,27 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Machine-readable benchmark snapshot: run the E1-E16 suite with memory
+# stats and archive it as BENCH_<date>.json. BENCHTIME is fixed (not
+# time-based) so runs are comparable across commits.
+BENCHTIME ?= 3x
+BENCHOUT  ?= BENCH_$(shell date +%F).json
+
+bench-json:
+	$(GO) test -run xxx -bench . -benchtime $(BENCHTIME) -benchmem . \
+		| tee $(BENCHOUT).txt \
+		| $(GO) run ./cmd/benchjson > $(BENCHOUT)
+	@echo "wrote $(BENCHOUT) (raw text in $(BENCHOUT).txt)"
+
+# Compare two raw benchmark text files (the .txt twins bench-json
+# leaves next to the JSON) with benchstat, if installed.
+bench-compare:
+	@command -v benchstat >/dev/null 2>&1 || { \
+		echo "benchstat not installed; compare $(OLD) and $(NEW) by hand"; \
+		echo "(get it with: go install golang.org/x/perf/cmd/benchstat@latest)"; \
+		exit 1; }
+	benchstat $(OLD) $(NEW)
 
 check: vet build test race
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -106,19 +107,29 @@ func BenchmarkE2XMLTransform(b *testing.B) {
 
 // ---------------------------------------------------------------------
 // E3 (Fig. 1): the full Data Hounds pipeline, flat file to shredded
-// warehouse tuples (load throughput in entries/second).
+// warehouse tuples (load throughput in entries/second). workers=1 runs
+// the ingest pipeline sequentially (the reference the parallel path
+// must reproduce byte-for-byte); workers=N fans validation and
+// shredding across CPUs.
 func BenchmarkE3PipelineLoad(b *testing.B) {
-	for _, n := range []int{100, 500} {
+	workerCounts := []int{1}
+	if max := runtime.GOMAXPROCS(0); max > 1 {
+		workerCounts = append(workerCounts, max)
+	}
+	for _, n := range []int{100, 500, 1000} {
 		f := flats(b, n, 0, 0)
-		b.Run(fmt.Sprintf("entries=%d", n), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				eng, err := benchutil.Warehouse(b.TempDir(), &benchutil.Flats{Enzyme: f.Enzyme}, nil)
-				if err != nil {
-					b.Fatal(err)
+		for _, w := range workerCounts {
+			b.Run(fmt.Sprintf("entries=%d/workers=%d", n, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					eng, err := benchutil.Warehouse(b.TempDir(), &benchutil.Flats{Enzyme: f.Enzyme},
+						func(c *core.Config) { c.LoadWorkers = w })
+					if err != nil {
+						b.Fatal(err)
+					}
+					eng.Close()
 				}
-				eng.Close()
-			}
-		})
+			})
+		}
 	}
 }
 

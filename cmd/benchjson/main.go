@@ -1,0 +1,88 @@
+// Command benchjson converts `go test -bench -benchmem` text output
+// (read from stdin) into a JSON array of benchmark records, one per
+// result line:
+//
+//	go test -run xxx -bench . -benchmem . | benchjson > BENCH_$(date +%F).json
+//
+// Each record carries the benchmark name (including sub-benchmark
+// path), iterations, ns/op and — when -benchmem was set — B/op and
+// allocs/op. Lines that are not benchmark results (package headers,
+// PASS, ok) are skipped, so the raw `go test` stream pipes straight in.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// record is one benchmark result row.
+type record struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iters"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op,omitempty"`
+	AllocsOp int64   `json:"allocs_op,omitempty"`
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var recs []record
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			recs = append(recs, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(recs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine decodes one `go test -bench` result line, e.g.
+//
+//	BenchmarkE3PipelineLoad/entries=500/workers=1-8   8   181098273 ns/op   53167216 B/op   348595 allocs/op
+func parseLine(line string) (record, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return record{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	r := record{Name: f[0], Iters: iters}
+	// Remaining fields come in "<value> <unit>" pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return record{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsOp = v
+		case "B/op":
+			r.BOp = int64(v)
+		case "allocs/op":
+			r.AllocsOp = int64(v)
+		}
+	}
+	if r.NsOp == 0 {
+		return record{}, false
+	}
+	return r, true
+}

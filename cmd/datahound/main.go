@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 
 	"xomatiq/internal/core"
 	"xomatiq/internal/hounds"
@@ -21,6 +22,7 @@ func main() {
 	format := flag.String("format", "", "source format: enzyme | embl | sprot")
 	file := flag.String("file", "", "flat file to harness")
 	update := flag.Bool("update", false, "apply as incremental update instead of full load")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "shredding goroutines for the ingest pipeline")
 	flag.Parse()
 
 	if *name == "" || *format == "" || *file == "" {
@@ -30,7 +32,9 @@ func main() {
 	if !ok {
 		log.Fatalf("datahound: unknown format %q (want enzyme, embl or sprot)", *format)
 	}
-	eng, err := core.Open(core.NewConfig(*dbPath))
+	cfg := core.NewConfig(*dbPath)
+	cfg.LoadWorkers = *workers
+	eng, err := core.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,6 +57,7 @@ func main() {
 		}
 		fmt.Printf("update applied: added=%d modified=%d removed=%d\n",
 			len(cs.Added), len(cs.Modified), len(cs.Removed))
+		fmt.Println(eng.LastLoadStats().Summary())
 		return
 	}
 	n, err := eng.Harness(*name)
@@ -60,4 +65,5 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("harnessed %d entries into %s\n", n, *name)
+	fmt.Println(eng.LastLoadStats().Summary())
 }

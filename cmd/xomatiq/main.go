@@ -12,6 +12,7 @@
 //	\dtd <db>                show a database's DTD structure tree
 //	\doc <db> <entry>        reconstruct one entry as XML
 //	\kw <db> [db...] : <kw>  keyword search mode (Fig. 8)
+//	\harness <db> <format> <file>  bulk-load a flat file, print throughput
 //	\mode table|xml          result display mode
 //	\quit                    exit
 //
@@ -27,10 +28,12 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"xomatiq/internal/core"
+	"xomatiq/internal/hounds"
 )
 
 // queryTimeout bounds each query's execution; 0 means no limit.
@@ -39,9 +42,12 @@ var queryTimeout time.Duration
 func main() {
 	dbPath := flag.String("db", "warehouse.db", "warehouse database file")
 	flag.DurationVar(&queryTimeout, "timeout", 0, "per-query timeout (e.g. 5s; 0 = none)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "shredding goroutines for \\harness loads")
 	flag.Parse()
 
-	eng, err := core.Open(core.NewConfig(*dbPath))
+	cfg := core.NewConfig(*dbPath)
+	cfg.LoadWorkers = *workers
+	eng, err := core.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,6 +63,9 @@ func repl(eng *core.Engine, in io.Reader, out io.Writer) {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	mode := "table"
+	// registered tracks db -> flat file bound by \harness this session;
+	// core sources can't be rebound, so re-harnessing needs the same file.
+	registered := map[string]string{}
 	var queryBuf []string
 	prompt := func() {
 		if len(queryBuf) > 0 {
@@ -71,7 +80,7 @@ func repl(eng *core.Engine, in io.Reader, out io.Writer) {
 		trimmed := strings.TrimSpace(line)
 		switch {
 		case len(queryBuf) == 0 && strings.HasPrefix(trimmed, "\\"):
-			if !command(eng, out, trimmed, &mode) {
+			if !command(eng, out, trimmed, &mode, registered) {
 				return
 			}
 		case trimmed == ";":
@@ -94,7 +103,7 @@ func repl(eng *core.Engine, in io.Reader, out io.Writer) {
 }
 
 // command handles a backslash command; returns false to exit.
-func command(eng *core.Engine, out io.Writer, line string, mode *string) bool {
+func command(eng *core.Engine, out io.Writer, line string, mode *string, registered map[string]string) bool {
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case "\\quit", "\\q":
@@ -128,6 +137,8 @@ func command(eng *core.Engine, out io.Writer, line string, mode *string) bool {
 		fmt.Fprintln(out, xml)
 	case "\\kw":
 		runKeywordMode(eng, out, fields[1:], *mode)
+	case "\\harness":
+		runHarness(eng, out, fields[1:], registered)
 	case "\\stats":
 		phys, whs, err := eng.Stats()
 		if err != nil {
@@ -166,9 +177,45 @@ func command(eng *core.Engine, out io.Writer, line string, mode *string) bool {
 			fmt.Fprintln(out, "usage: \\mode table|xml")
 		}
 	default:
-		fmt.Fprintln(out, "unknown command; try \\dbs \\dtd \\doc \\kw \\stats \\plan \\mode \\quit")
+		fmt.Fprintln(out, "unknown command; try \\dbs \\dtd \\doc \\kw \\harness \\stats \\plan \\mode \\quit")
 	}
 	return true
+}
+
+// runHarness bulk-loads a flat file into a warehouse database through
+// the parallel ingest pipeline and prints the throughput of the load.
+func runHarness(eng *core.Engine, out io.Writer, args []string, registered map[string]string) {
+	if len(args) != 3 {
+		fmt.Fprintln(out, "usage: \\harness <db> <format> <file>   (formats: enzyme, embl, sprot)")
+		return
+	}
+	db, format, file := args[0], args[1], args[2]
+	tr, ok := hounds.Registry[format]
+	if !ok {
+		fmt.Fprintf(out, "unknown format %q (want enzyme, embl or sprot)\n", format)
+		return
+	}
+	if prev, dup := registered[db]; dup {
+		// The source is already bound; FileSource re-reads its path on
+		// every fetch, so the same file simply re-harnesses.
+		if prev != file {
+			fmt.Fprintf(out, "error: %s is bound to %s for this session; restart to load a different file\n", db, prev)
+			return
+		}
+	} else {
+		if err := eng.RegisterSource(db, hounds.FileSource{Path: file}, tr); err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return
+		}
+		registered[db] = file
+	}
+	n, err := eng.Harness(db)
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	fmt.Fprintf(out, "harnessed %d entries into %s\n", n, db)
+	fmt.Fprintln(out, eng.LastLoadStats().Summary())
 }
 
 // runKeywordMode builds the Fig. 8-style keyword query from "\kw db1 db2

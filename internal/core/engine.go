@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"xomatiq/internal/dtd"
 	"xomatiq/internal/hounds"
@@ -42,6 +43,11 @@ type Config struct {
 	// PlanCacheSize is the entry capacity of the query plan cache:
 	// 0 means DefaultPlanCacheSize, negative disables caching.
 	PlanCacheSize int
+	// LoadWorkers is the harness ingest parallelism: the number of
+	// goroutines validating and shredding documents concurrently.
+	// 0 means runtime.GOMAXPROCS(0). Any value produces byte-identical
+	// warehouse contents; only the wall clock changes.
+	LoadWorkers int
 	// FS is the filesystem the warehouse lives on; nil means the real
 	// disk. Fault-injection tests substitute a faultfs.FS.
 	FS disk.FS
@@ -63,6 +69,9 @@ type Engine struct {
 	mu      sync.Mutex
 	sources map[string]*sourceReg
 	corpus  map[string][]*xmldoc.Document // native-fallback cache
+
+	statsMu  sync.Mutex
+	lastLoad LoadStats
 }
 
 type sourceReg struct {
@@ -140,8 +149,17 @@ func (e *Engine) Harness(dbName string) (int, error) {
 }
 
 // HarnessContext is Harness with cooperative cancellation: the load is
-// checked between crash-atomic chunks, so a cancelled harness leaves a
-// committed prefix that the next harness replaces wholesale.
+// checked between documents and crash-atomic chunks, so a cancelled
+// harness leaves a committed prefix that the next harness replaces
+// wholesale.
+//
+// The load runs as a parallel pipeline: the transformer streams
+// entry-documents on a producer goroutine, a worker pool validates and
+// shreds them concurrently, and the collector commits reordered chunks
+// of bulk per-table inserts with index maintenance deferred (see
+// pipeline.go). The previous harvest is cleared only after the stream
+// yields its first document, so a source that fails to parse leaves the
+// warehouse untouched.
 func (e *Engine) HarnessContext(ctx context.Context, dbName string) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -153,28 +171,91 @@ func (e *Engine) HarnessContext(ctx context.Context, dbName string) (int, error)
 	if err != nil {
 		return 0, err
 	}
-	docs, err := transformAll(reg.transformer, rc)
-	rc.Close()
-	if err != nil {
-		return 0, err
+	defer rc.Close()
+	start := time.Now()
+	cr := &countingReader{r: rc}
+
+	// Stream the transform on its own goroutine; documents are not
+	// validated here (the pipeline workers do that in parallel).
+	rawCh := make(chan *xmldoc.Document, e.loadWorkers())
+	trErr := make(chan error, 1)
+	stopTr := make(chan struct{})
+	go func() {
+		err := hounds.TransformStream(reg.transformer, cr, func(d *xmldoc.Document) error {
+			select {
+			case rawCh <- d:
+				return nil
+			case <-stopTr:
+				return errLoadAborted
+			}
+		})
+		close(rawCh)
+		trErr <- err
+	}()
+	trDone := false // rawCh drained and trErr consumed
+	abortTransform := func() {
+		if trDone {
+			return
+		}
+		trDone = true
+		close(stopTr)
+		for range rawCh {
+		}
+		<-trErr
 	}
-	// Replace any previous harvest of this database, committing in
-	// chunks: each chunk is crash-atomic and the engine checkpoints
-	// between chunks, bounding the dirty working set under the buffer
-	// pool's no-steal policy. A crash mid-harvest leaves a consistent
-	// prefix, which the next harness replaces wholesale.
+
+	// Wait for the first document (or the transform's verdict) before
+	// destroying the previous harvest: a malformed flat file errors out
+	// here with the warehouse intact.
+	first, streaming := <-rawCh
+	if !streaming {
+		trDone = true
+		if err := <-trErr; err != nil {
+			return 0, err
+		}
+	}
 	if err := e.db.Begin(); err != nil {
+		abortTransform()
 		return 0, err
 	}
 	if err := e.store.ClearDatabase(dbName); err != nil {
+		abortTransform()
 		return 0, errors.Join(err, e.db.Rollback())
 	}
 	if err := e.db.Commit(); err != nil {
+		abortTransform()
 		return 0, err
 	}
-	if err := e.loadChunked(ctx, dbName, docs); err != nil {
+	produce := func(emit func(*xmldoc.Document) error) error {
+		perr := func() error {
+			if !streaming {
+				return nil
+			}
+			if err := emit(first); err != nil {
+				return err
+			}
+			for d := range rawCh {
+				if err := emit(d); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+		if perr != nil {
+			abortTransform()
+			return perr
+		}
+		trDone = true
+		return <-trErr
+	}
+	docs, tuples, err := e.runLoadPipeline(ctx, dbName, reg.transformer.DTD(), true, produce)
+	if err != nil {
 		return 0, err
 	}
+	e.setLoadStats(LoadStats{
+		Docs: len(docs), Tuples: tuples, Bytes: cr.n,
+		Elapsed: time.Since(start), Workers: e.loadWorkers(),
+	})
 	reg.lastVersion = version
 	e.corpus[dbName] = docs
 	e.bus.Publish(hounds.Trigger{Change: hounds.ChangeSet{
@@ -185,35 +266,6 @@ func (e *Engine) HarnessContext(ctx context.Context, dbName string) (int, error)
 
 func transformAll(tr hounds.Transformer, r io.Reader) ([]*xmldoc.Document, error) {
 	return hounds.TransformAndValidate(tr, r)
-}
-
-// loadChunked shreds documents in crash-atomic batches of loadChunkSize.
-// Cancellation is honoured at chunk boundaries, never mid-batch, so an
-// aborted load is always a committed prefix. A failed chunk is rolled
-// back rather than committed partially.
-func (e *Engine) loadChunked(ctx context.Context, dbName string, docs []*xmldoc.Document) error {
-	const loadChunkSize = 200
-	for start := 0; start < len(docs); start += loadChunkSize {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		end := start + loadChunkSize
-		if end > len(docs) {
-			end = len(docs)
-		}
-		if err := e.db.Begin(); err != nil {
-			return err
-		}
-		for _, d := range docs[start:end] {
-			if _, err := e.store.LoadDocument(dbName, d); err != nil {
-				return errors.Join(err, e.db.Rollback())
-			}
-		}
-		if err := e.db.Commit(); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 func docNamesOf(docs []*xmldoc.Document) []string {
@@ -233,7 +285,12 @@ func (e *Engine) Update(dbName string) (hounds.ChangeSet, error) {
 }
 
 // UpdateContext is Update with cooperative cancellation; like
-// HarnessContext, the delta load aborts only at chunk boundaries.
+// HarnessContext, the delta load aborts between documents and chunks.
+// The diff needs the full new harvest up front, so the transform is
+// materialised (and validated) here; the replacement loads still go
+// through the parallel shredding pipeline, with inline index
+// maintenance for small deltas and the deferred bulk path once the
+// delta reaches a full chunk.
 func (e *Engine) UpdateContext(ctx context.Context, dbName string) (hounds.ChangeSet, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -245,7 +302,9 @@ func (e *Engine) UpdateContext(ctx context.Context, dbName string) (hounds.Chang
 	if err != nil {
 		return hounds.ChangeSet{}, err
 	}
-	newDocs, err := transformAll(reg.transformer, rc)
+	start := time.Now()
+	cr := &countingReader{r: rc}
+	newDocs, err := transformAll(reg.transformer, cr)
 	rc.Close()
 	if err != nil {
 		return hounds.ChangeSet{}, err
@@ -280,9 +339,25 @@ func (e *Engine) UpdateContext(ctx context.Context, dbName string) (hounds.Chang
 	for _, name := range append(append([]string{}, cs.Modified...), cs.Added...) {
 		loads = append(loads, byName[name])
 	}
-	if err := e.loadChunked(ctx, dbName, loads); err != nil {
+	// Documents were validated by transformAll, so the pipeline skips
+	// DTD validation (nil DTD). Deferring index maintenance only pays
+	// for itself once the delta is bulk-sized.
+	produce := func(emit func(*xmldoc.Document) error) error {
+		for _, d := range loads {
+			if err := emit(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	docs, tuples, err := e.runLoadPipeline(ctx, dbName, nil, len(loads) >= loadChunkSize, produce)
+	if err != nil {
 		return cs, err
 	}
+	e.setLoadStats(LoadStats{
+		Docs: len(docs), Tuples: tuples, Bytes: cr.n,
+		Elapsed: time.Since(start), Workers: e.loadWorkers(),
+	})
 	reg.lastVersion = version
 	e.corpus[dbName] = newDocs
 	e.bus.Publish(hounds.Trigger{Change: cs})

@@ -1,0 +1,287 @@
+// pipeline.go implements the parallel bulk-load ingest pipeline behind
+// Harness and Update. Documents stream out of the transformer on a
+// producer goroutine, a worker pool fans DTD validation and shredding
+// across CPUs, and a single-threaded collector reorders the results by
+// pre-assigned document id and commits them in crash-atomic chunks of
+// bulk per-table inserts. Because ids are assigned in stream order and
+// the collector merges in that order, the warehouse contents are
+// byte-identical for any worker count — workers=1 is the sequential
+// reference. Secondary index maintenance is deferred for the duration
+// of a bulk load (the durable indexesStale flag covers crashes) and the
+// indexes are bulk-rebuilt from sorted runs afterwards.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"xomatiq/internal/dtd"
+	"xomatiq/internal/shred"
+	"xomatiq/internal/xmldoc"
+)
+
+// loadChunkSize is the number of documents committed per crash-atomic
+// chunk: a crash mid-load leaves a consistent committed prefix.
+const loadChunkSize = 200
+
+var errLoadAborted = errors.New("core: load aborted")
+
+// LoadStats summarises the most recent harness or update load.
+type LoadStats struct {
+	Docs    int           // documents shredded
+	Tuples  int           // relational tuples written (excluding path rows)
+	Bytes   int64         // raw source bytes fetched
+	Elapsed time.Duration // wall clock of the whole load
+	Workers int           // shredding goroutines used
+}
+
+// DocsPerSec reports document throughput.
+func (s LoadStats) DocsPerSec() float64 { return rate(float64(s.Docs), s.Elapsed) }
+
+// TuplesPerSec reports tuple throughput.
+func (s LoadStats) TuplesPerSec() float64 { return rate(float64(s.Tuples), s.Elapsed) }
+
+// MBPerSec reports raw source throughput in MiB/s.
+func (s LoadStats) MBPerSec() float64 { return rate(float64(s.Bytes)/(1<<20), s.Elapsed) }
+
+func rate(n float64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return n / d.Seconds()
+}
+
+// Summary renders the one-line throughput report printed after a load.
+func (s LoadStats) Summary() string {
+	return fmt.Sprintf("%d docs, %d tuples, %.2f MiB in %s (workers=%d): %.0f docs/s, %.0f tuples/s, %.2f MiB/s",
+		s.Docs, s.Tuples, float64(s.Bytes)/(1<<20), s.Elapsed.Round(time.Millisecond),
+		s.Workers, s.DocsPerSec(), s.TuplesPerSec(), s.MBPerSec())
+}
+
+// LastLoadStats reports throughput of the most recent load (the console
+// \harness command and datahound surface these numbers).
+func (e *Engine) LastLoadStats() LoadStats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.lastLoad
+}
+
+func (e *Engine) setLoadStats(s LoadStats) {
+	e.statsMu.Lock()
+	e.lastLoad = s
+	e.statsMu.Unlock()
+}
+
+// loadWorkers resolves the configured ingest parallelism.
+func (e *Engine) loadWorkers() int {
+	if e.cfg.LoadWorkers > 0 {
+		return e.cfg.LoadWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+type loadJob struct {
+	seq   int
+	docID int
+	doc   *xmldoc.Document
+}
+
+type loadResult struct {
+	seq   int
+	doc   *xmldoc.Document
+	batch *shred.DocBatch
+	err   error
+}
+
+// runLoadPipeline shreds every document produce emits into dbName and
+// returns the documents in emit order plus the tuple count written.
+// produce runs on its own goroutine; emit returns an error once the
+// pipeline aborts, which produce must propagate. When d is non-nil each
+// document is DTD-validated on a worker before shredding. deferIdx
+// elects the bulk index path: maintenance off during the load, bulk
+// rebuild from sorted runs at the end (small delta loads keep inline
+// maintenance instead, which is cheaper than a full rebuild).
+//
+// Error handling: a failed chunk is rolled back; whatever prefix
+// committed before the failure stays, is reindexed, and the error is
+// returned — the next harness replaces the harvest wholesale.
+// Cancellation is honoured between documents and chunks, never inside a
+// chunk commit.
+func (e *Engine) runLoadPipeline(ctx context.Context, dbName string, d *dtd.DTD, deferIdx bool, produce func(emit func(*xmldoc.Document) error) error) ([]*xmldoc.Document, int, error) {
+	sh, err := e.store.NewShredder(dbName)
+	if err != nil {
+		return nil, 0, err
+	}
+	if deferIdx {
+		if err := e.db.DeferIndexes(); err != nil {
+			return nil, 0, err
+		}
+	}
+	workers := e.loadWorkers()
+	jobCh := make(chan loadJob, workers)
+	resCh := make(chan loadResult, workers)
+	prodErr := make(chan error, 1)
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	stop := func() { abortOnce.Do(func() { close(abort) }) }
+	defer stop()
+
+	// Producer: number documents in stream order. ReserveDocID runs here
+	// and nowhere else during the load, so ids match a sequential pass.
+	go func() {
+		seq := 0
+		err := produce(func(doc *xmldoc.Document) error {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			job := loadJob{seq: seq, docID: e.store.ReserveDocID(dbName), doc: doc}
+			select {
+			case jobCh <- job:
+				seq++
+				return nil
+			case <-abort:
+				return errLoadAborted
+			}
+		})
+		close(jobCh)
+		prodErr <- err
+	}()
+
+	// Workers: DTD validation and shredding, pure CPU against the
+	// shredder's immutable path snapshot.
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobCh {
+				res := loadResult{seq: job.seq, doc: job.doc}
+				if d != nil {
+					if errs := d.Validate(job.doc); len(errs) > 0 {
+						res.err = fmt.Errorf("core: %s entry %q: %w", dbName, job.doc.Name, errs[0])
+					}
+				}
+				if res.err == nil {
+					res.batch = sh.Shred(job.docID, job.doc)
+				}
+				select {
+				case resCh <- res:
+				case <-abort:
+					return
+				}
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(resCh) }()
+
+	// Collector: reorder by sequence number (the out-of-order window is
+	// bounded by the worker count plus channel buffers) and commit
+	// crash-atomic chunks. All disk I/O happens on this goroutine, in
+	// deterministic order.
+	var (
+		docs    []*xmldoc.Document
+		tuples  int
+		chunk   []*shred.DocBatch
+		pending = map[int]loadResult{}
+		next    int
+		failErr error
+	)
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := e.db.Begin(); err != nil {
+			return err
+		}
+		if err := e.store.InsertChunk(dbName, chunk); err != nil {
+			return errors.Join(err, e.db.Rollback())
+		}
+		if err := e.db.Commit(); err != nil {
+			return err
+		}
+		// Keyword shards merge only after their chunk is durable, in
+		// document order, reproducing the sequential posting order.
+		for _, b := range chunk {
+			e.store.MergeKeywords(dbName, b)
+			tuples += b.Tuples()
+		}
+		chunk = chunk[:0]
+		return nil
+	}
+collect:
+	for res := range resCh {
+		pending[res.seq] = res
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if r.err != nil {
+				failErr = r.err
+				stop()
+				break collect
+			}
+			docs = append(docs, r.doc)
+			chunk = append(chunk, r.batch)
+			if len(chunk) >= loadChunkSize {
+				if err := flush(); err != nil {
+					failErr = err
+					stop()
+					break collect
+				}
+			}
+		}
+	}
+	if failErr != nil {
+		// Join the pipeline before touching the catalog: closing abort
+		// unblocks the producer and workers, and produce must finish
+		// (releasing its source reader) before the caller returns.
+		stop()
+		for range resCh {
+		}
+		<-prodErr
+	} else if perr := <-prodErr; perr != nil {
+		failErr = perr
+	} else {
+		failErr = flush()
+	}
+	// Rebuild the secondary indexes over whatever committed — the full
+	// load on success, the consistent prefix on failure. ResumeIndexes
+	// is a no-op when maintenance was inline (or a rollback already
+	// restored it), and falls back to a catalog rollback on rebuild
+	// errors.
+	if rerr := e.db.ResumeIndexes(); rerr != nil {
+		failErr = errors.Join(failErr, rerr)
+	}
+	// One epoch bump per load (not per document) invalidates cached
+	// plans exactly once, after the data they would read has changed.
+	e.store.BumpEpoch(dbName)
+	if failErr != nil {
+		return docs, tuples, failErr
+	}
+	return docs, tuples, nil
+}
+
+// countingReader counts raw source bytes for throughput reporting. The
+// count is read only after the transform goroutine has finished (the
+// channel receive orders the accesses), so no atomics are needed.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

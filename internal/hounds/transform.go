@@ -31,6 +31,38 @@ type Transformer interface {
 	SequencePaths() []string
 }
 
+// StreamTransformer is implemented by transformers that can yield
+// entry-documents one at a time instead of materialising the whole
+// corpus, so XML building overlaps downstream validation and shredding
+// in the parallel ingest pipeline.
+type StreamTransformer interface {
+	Transformer
+	// TransformStream parses r and calls emit for every entry-document
+	// in flat-file order. A non-nil error from emit aborts the stream
+	// and is returned.
+	TransformStream(r io.Reader, emit func(*xmldoc.Document) error) error
+}
+
+// TransformStream streams t's documents through emit, using the native
+// streaming path when t implements StreamTransformer and falling back
+// to a materialising Transform otherwise. Documents are NOT validated;
+// the pipeline fans DTD validation across its workers.
+func TransformStream(t Transformer, r io.Reader, emit func(*xmldoc.Document) error) error {
+	if st, ok := t.(StreamTransformer); ok {
+		return st.TransformStream(r, emit)
+	}
+	docs, err := t.Transform(r)
+	if err != nil {
+		return err
+	}
+	for _, d := range docs {
+		if err := emit(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Registry maps format names to transformers.
 var Registry = map[string]Transformer{
 	"enzyme": EnzymeTransformer{},
@@ -89,6 +121,20 @@ func (EnzymeTransformer) Transform(r io.Reader) ([]*xmldoc.Document, error) {
 		docs = append(docs, EnzymeEntryToXML(e))
 	}
 	return docs, nil
+}
+
+// TransformStream implements StreamTransformer.
+func (EnzymeTransformer) TransformStream(r io.Reader, emit func(*xmldoc.Document) error) error {
+	entries, err := bio.ParseEnzyme(r)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := emit(EnzymeEntryToXML(e)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // EnzymeEntryToXML builds the Figure 6 document for one entry.
@@ -200,6 +246,20 @@ func (EMBLTransformer) Transform(r io.Reader) ([]*xmldoc.Document, error) {
 	return docs, nil
 }
 
+// TransformStream implements StreamTransformer.
+func (EMBLTransformer) TransformStream(r io.Reader, emit func(*xmldoc.Document) error) error {
+	entries, err := bio.ParseEMBL(r)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := emit(EMBLEntryToXML(e)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // EMBLEntryToXML builds the hlx_n_sequence document for one EMBL entry.
 func EMBLEntryToXML(e *bio.EMBLEntry) *xmldoc.Document {
 	root := xmldoc.NewElement("hlx_n_sequence")
@@ -265,6 +325,20 @@ func (SProtTransformer) Transform(r io.Reader) ([]*xmldoc.Document, error) {
 		docs = append(docs, SProtEntryToXML(e))
 	}
 	return docs, nil
+}
+
+// TransformStream implements StreamTransformer.
+func (SProtTransformer) TransformStream(r io.Reader, emit func(*xmldoc.Document) error) error {
+	entries, err := bio.ParseSProt(r)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := emit(SProtEntryToXML(e)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // SProtEntryToXML builds the hlx_n_sequence document for one Swiss-Prot

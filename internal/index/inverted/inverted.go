@@ -81,17 +81,43 @@ func Tokenize(text string) []string {
 	return out
 }
 
-// AddText tokenizes text and indexes every token under (doc, node).
-// Repeated tokens within one call are indexed once.
-func (ix *Index) AddText(doc, node uint32, text string) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	seen := map[string]bool{}
-	for _, tok := range Tokenize(text) {
+// TokenizeDedup tokenizes text and drops repeats, preserving
+// first-occurrence order — exactly the token set AddText would index.
+// The parallel shredder calls this on worker goroutines so only the
+// cheap ordered merge happens under the index lock.
+func TokenizeDedup(text string) []string {
+	toks := Tokenize(text)
+	if len(toks) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(toks))
+	out := toks[:0]
+	for _, tok := range toks {
 		if seen[tok] {
 			continue
 		}
 		seen[tok] = true
+		out = append(out, tok)
+	}
+	return out
+}
+
+// AddText tokenizes text and indexes every token under (doc, node).
+// Repeated tokens within one call are indexed once.
+func (ix *Index) AddText(doc, node uint32, text string) {
+	ix.AddTokens(doc, node, TokenizeDedup(text))
+}
+
+// AddTokens indexes pre-deduplicated tokens under (doc, node). Postings
+// keep insertion order, so feeding per-document token shards in document
+// order reproduces the index a sequential AddText pass would build.
+func (ix *Index) AddTokens(doc, node uint32, toks []string) {
+	if len(toks) == 0 {
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, tok := range toks {
 		ix.postings[tok] = append(ix.postings[tok], Posting{Doc: doc, Node: node})
 		ix.byDoc[doc] = append(ix.byDoc[doc], tok)
 		ix.tokens++

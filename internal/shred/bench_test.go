@@ -1,0 +1,79 @@
+package shred
+
+import (
+	"path/filepath"
+	"testing"
+
+	"xomatiq/internal/bio"
+	"xomatiq/internal/hounds"
+	"xomatiq/internal/sql"
+)
+
+// BenchmarkLoadDocument measures the sequential single-document load
+// path (run with -benchmem: the shared Dewey prefix buffer removed the
+// O(depth) per-child label garbage).
+func BenchmarkLoadDocument(b *testing.B) {
+	db, err := sql.OpenAsync(filepath.Join(b.TempDir(), "wh.db"), sql.Options{PoolPages: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	s, err := Open(db, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.RegisterDB("hlx_enzyme.DEFAULT", nil, hounds.EnzymeDTD); err != nil {
+		b.Fatal(err)
+	}
+	doc := hounds.EnzymeEntryToXML(bio.SampleEnzymeEntry())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Begin(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.LoadDocument("hlx_enzyme.DEFAULT", doc); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShred measures the pure-CPU worker half of the parallel
+// pipeline: one document to an in-memory DocBatch, no storage I/O.
+func BenchmarkShred(b *testing.B) {
+	db, err := sql.OpenAsync(filepath.Join(b.TempDir(), "wh.db"), sql.Options{PoolPages: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	s, err := Open(db, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.RegisterDB("hlx_enzyme.DEFAULT", nil, hounds.EnzymeDTD); err != nil {
+		b.Fatal(err)
+	}
+	doc := hounds.EnzymeEntryToXML(bio.SampleEnzymeEntry())
+	// Warm the dictionary so the steady-state (snapshot-hit) path is
+	// what gets measured.
+	sh, err := s.NewShredder("hlx_enzyme.DEFAULT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := sh.Shred(s.ReserveDocID("hlx_enzyme.DEFAULT"), doc)
+	s.ResolveBatch("hlx_enzyme.DEFAULT", warm)
+	if sh, err = s.NewShredder("hlx_enzyme.DEFAULT"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := sh.Shred(1, doc)
+		if batch.Tuples() == 0 {
+			b.Fatal("empty batch")
+		}
+	}
+}

@@ -65,6 +65,22 @@ func (ix *IndexInfo) Key(tup value.Tuple, rid heap.RID, forTree bool) []byte {
 	return key
 }
 
+// KeyFromRecord appends the index key of an encoded heap record to dst,
+// straight from the wire bytes: no tuple decode, no string garbage. The
+// bulk index rebuilds key every record of a heap scan this way.
+func (ix *IndexInfo) KeyFromRecord(dst, rec []byte, rid heap.RID, forTree bool) ([]byte, error) {
+	var err error
+	for _, pos := range ix.ColPos {
+		if dst, err = value.AppendFieldKey(dst, rec, pos); err != nil {
+			return dst, err
+		}
+	}
+	if forTree {
+		dst = appendRID(dst, rid)
+	}
+	return dst, nil
+}
+
 // Prefix builds the key prefix for a lookup on the index's leading
 // columns (vals may be shorter than the column list).
 func (ix *IndexInfo) Prefix(vals []value.Value) []byte {
@@ -89,6 +105,9 @@ func ridFromBytes(p []byte) heap.RID {
 		Slot: uint16(p[4])<<8 | uint16(p[5]),
 	}
 }
+
+// ridLen is the encoded size of a RID (see appendRID).
+const ridLen = 6
 
 // ridBytes encodes a RID standalone.
 func ridBytes(rid heap.RID) []byte { return appendRID(nil, rid) }

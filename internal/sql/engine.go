@@ -1,9 +1,11 @@
 package sql
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -63,6 +65,13 @@ type DB struct {
 	inBatch   bool
 	batchTxn  uint64
 	recovered bool // true when Open replayed a WAL
+
+	// indexesDeferred suspends secondary-index maintenance during a bulk
+	// load: inserts touch only the heaps, queries fall back to sequential
+	// scans, and ResumeIndexes rebuilds every index from sorted runs. The
+	// durable mgr.IndexesStale flag is raised for the whole window so a
+	// crash mid-load rebuilds on the next open.
+	indexesDeferred bool
 }
 
 // Result reports the effect of a non-query statement.
@@ -311,40 +320,60 @@ func (db *DB) loadCatalog(rebuild bool) error {
 	return nil
 }
 
+// rebuildBTree reconstructs an index from its table's heap: one scan
+// collecting (key, rid) pairs, one sort, one bottom-up bulk build. Keys
+// are unique (the RID is appended), so the sorted run is strictly
+// ascending as BulkLoad requires. This is the index half of the bulk
+// write path and also what recovery and cold-start rebuilds go through.
 func (db *DB) rebuildBTree(t *TableInfo, ix *IndexInfo) error {
-	tr, err := btree.Create(db.pool)
-	if err != nil {
-		return err
-	}
-	ix.BTree = tr
+	// Keys are encoded straight from heap records into a shared arena;
+	// each item's Key is a subslice and its Val aliases the 6 RID bytes
+	// the tree key already ends with (BulkLoad copies both into pages,
+	// so the aliasing never escapes). Arena growth strands the old
+	// block, but earlier keys keep pointing into it safely.
+	var items []btree.Item
+	arena := make([]byte, 0, 1<<16)
 	var serr error
-	err = t.Heap.Scan(func(rid heap.RID, rec []byte) bool {
-		tup, derr := value.DecodeTuple(rec)
-		if derr != nil {
-			serr = derr
+	err := t.Heap.Scan(func(rid heap.RID, rec []byte) bool {
+		start := len(arena)
+		out, kerr := ix.KeyFromRecord(arena, rec, rid, true)
+		if kerr != nil {
+			serr = kerr
 			return false
 		}
-		if _, derr := tr.Insert(ix.Key(tup, rid, true), ridBytes(rid)); derr != nil {
-			serr = derr
-			return false
-		}
+		arena = out
+		key := arena[start:len(arena):len(arena)]
+		items = append(items, btree.Item{Key: key, Val: key[len(key)-ridLen:]})
 		return true
 	})
 	if err != nil {
 		return err
 	}
-	return serr
+	if serr != nil {
+		return serr
+	}
+	sort.Slice(items, func(i, j int) bool { return bytes.Compare(items[i].Key, items[j].Key) < 0 })
+	tr, err := btree.BulkLoad(db.pool, items)
+	if err != nil {
+		return err
+	}
+	ix.BTree = tr
+	return nil
 }
 
 func (db *DB) rebuildHash(t *TableInfo, ix *IndexInfo) error {
+	// Hash.Insert copies the key, so one reusable buffer serves the
+	// whole scan; the RID payload is sliced off the same buffer's tail.
+	var kbuf []byte
 	var serr error
 	err := t.Heap.Scan(func(rid heap.RID, rec []byte) bool {
-		tup, derr := value.DecodeTuple(rec)
-		if derr != nil {
-			serr = derr
+		out, kerr := ix.KeyFromRecord(kbuf[:0], rec, rid, true)
+		if kerr != nil {
+			serr = kerr
 			return false
 		}
-		ix.Hash.Insert(ix.Key(tup, rid, false), ridBytes(rid))
+		kbuf = out
+		ix.Hash.Insert(kbuf[:len(kbuf)-ridLen], kbuf[len(kbuf)-ridLen:])
 		return true
 	})
 	if err != nil {
@@ -514,6 +543,9 @@ func (db *DB) rollbackLocked() error {
 		return err
 	}
 	db.cat = newCatalog()
+	// loadCatalog rebuilds every index from the replayed heaps, so a
+	// rollback also ends any deferred-index window.
+	db.indexesDeferred = false
 	if err := db.loadCatalog(true); err != nil {
 		return err
 	}
@@ -879,11 +911,214 @@ func (db *DB) InsertTuple(table string, tup value.Tuple) error {
 	return err
 }
 
-func (db *DB) insertTuple(txn uint64, t *TableInfo, tup value.Tuple) error {
-	rid, err := t.Heap.Insert(txn, tup.Encode(nil))
+// InsertBatch bulk-appends pre-built tuples to a table, logging one WAL
+// page image per filled heap page instead of one record per tuple. The
+// shredder's parallel load path feeds whole chunks through here.
+func (db *DB) InsertBatch(table string, tuples []value.Tuple) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.cat.table(table)
 	if err != nil {
 		return err
 	}
+	// All records encode into one arena (the heap copies them into
+	// pages, so the subslices never escape the call).
+	recs := make([][]byte, len(tuples))
+	arena := make([]byte, 0, 1<<16)
+	for i, tup := range tuples {
+		if len(tup) != len(t.Columns) {
+			return fmt.Errorf("sql: tuple has %d values, table %q has %d columns", len(tup), table, len(t.Columns))
+		}
+		for j := range tup {
+			cv, err := coerce(tup[j], t.Columns[j].Type)
+			if err != nil {
+				return fmt.Errorf("sql: column %q: %w", t.Columns[j].Name, err)
+			}
+			tup[j] = cv
+		}
+		start := len(arena)
+		arena = tup.Encode(arena)
+		recs[i] = arena[start:len(arena):len(arena)]
+	}
+	txn := db.batchTxn
+	if !db.inBatch {
+		db.nextTxn++
+		txn = db.nextTxn
+	}
+	preMut, preSize := db.pool.Mutations(), db.log.Size()
+	rids, err := t.Heap.InsertBatch(txn, recs)
+	if err == nil && !db.indexesDeferred {
+		for i, rid := range rids {
+			if err = db.indexTuple(t, tuples[i], rid); err != nil {
+				break
+			}
+		}
+	}
+	if err == nil && !db.inBatch {
+		err = db.commitAutoLocked(txn)
+	}
+	if err != nil && !db.inBatch {
+		err = db.stmtAbortLocked(err, preMut, preSize)
+	}
+	return err
+}
+
+// DeferIndexes suspends secondary-index maintenance for a bulk load.
+// While deferred, inserts touch only the heaps, the planner refuses
+// index access paths (the indexes miss the new rows), and the durable
+// stale flag guarantees a crash anywhere in the window rebuilds indexes
+// on the next open. Pair with ResumeIndexes.
+func (db *DB) DeferIndexes() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.inBatch {
+		return errors.New("sql: cannot defer indexes inside an open batch")
+	}
+	if db.indexesDeferred {
+		return nil
+	}
+	if err := db.mgr.SetIndexesStale(true); err != nil {
+		return err
+	}
+	db.indexesDeferred = true
+	return nil
+}
+
+// ResumeIndexes ends a DeferIndexes window: every secondary index is
+// rebuilt from its heap in sorted runs, the fresh anchors are
+// checkpointed, and the durable stale flag comes down. On a rebuild
+// error it falls back to the rollback path, which restores the last
+// committed state with consistent indexes.
+func (db *DB) ResumeIndexes() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.indexesDeferred {
+		return nil
+	}
+	if db.inBatch {
+		return errors.New("sql: cannot resume indexes inside an open batch")
+	}
+	db.indexesDeferred = false
+	err := db.rebuildIndexesLocked()
+	if err == nil {
+		err = db.log.Append(wal.Record{Txn: 0, Op: wal.OpCommit})
+	}
+	if err == nil {
+		err = db.checkpointLocked()
+	}
+	if err != nil {
+		if rbErr := db.rollbackLocked(); rbErr != nil {
+			return errors.Join(err, fmt.Errorf("sql: resume indexes abort: %w", rbErr))
+		}
+		return err
+	}
+	return db.mgr.SetIndexesStale(false)
+}
+
+// IndexesDeferred reports whether a DeferIndexes window is open.
+func (db *DB) IndexesDeferred() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.indexesDeferred
+}
+
+// rebuildIndexesLocked reconstructs every index from heap contents, in
+// deterministic (sorted table name) order so fault-injection op counts
+// are reproducible.
+func (db *DB) rebuildIndexesLocked() error {
+	names := make([]string, 0, len(db.cat.tables))
+	for name := range db.cat.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := db.cat.tables[name]
+		if len(t.Indexes) == 0 {
+			continue
+		}
+		if err := db.rebuildTableIndexes(t); err != nil {
+			return err
+		}
+		for _, ix := range t.Indexes {
+			if ix.Hash == nil {
+				if err := db.rewriteIndexRow(ix); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// rebuildTableIndexes reconstructs every index of a table in a single
+// heap scan: each record is keyed once per index straight from its wire
+// bytes, hash entries insert immediately and tree runs are sorted and
+// bottom-up bulk-loaded afterwards.
+func (db *DB) rebuildTableIndexes(t *TableInfo) error {
+	type treeBuild struct {
+		ix    *IndexInfo
+		items []btree.Item
+	}
+	var trees []*treeBuild
+	var hashes []*IndexInfo
+	for _, ix := range t.Indexes {
+		if ix.Hash != nil {
+			ix.Hash = hash.New()
+			hashes = append(hashes, ix)
+		} else {
+			trees = append(trees, &treeBuild{ix: ix})
+		}
+	}
+	arena := make([]byte, 0, 1<<16)
+	var kbuf []byte
+	var serr error
+	err := t.Heap.Scan(func(rid heap.RID, rec []byte) bool {
+		for _, ix := range hashes {
+			out, kerr := ix.KeyFromRecord(kbuf[:0], rec, rid, true)
+			if kerr != nil {
+				serr = kerr
+				return false
+			}
+			kbuf = out
+			ix.Hash.Insert(kbuf[:len(kbuf)-ridLen], kbuf[len(kbuf)-ridLen:])
+		}
+		for _, tb := range trees {
+			start := len(arena)
+			out, kerr := tb.ix.KeyFromRecord(arena, rec, rid, true)
+			if kerr != nil {
+				serr = kerr
+				return false
+			}
+			arena = out
+			key := arena[start:len(arena):len(arena)]
+			tb.items = append(tb.items, btree.Item{Key: key, Val: key[len(key)-ridLen:]})
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if serr != nil {
+		return serr
+	}
+	for _, tb := range trees {
+		sort.Slice(tb.items, func(i, j int) bool {
+			return bytes.Compare(tb.items[i].Key, tb.items[j].Key) < 0
+		})
+		tr, err := btree.BulkLoad(db.pool, tb.items)
+		if err != nil {
+			return err
+		}
+		tb.ix.BTree = tr
+	}
+	return nil
+}
+
+// indexTuple adds one heap row to every index of its table.
+func (db *DB) indexTuple(t *TableInfo, tup value.Tuple, rid heap.RID) error {
 	for _, ix := range t.Indexes {
 		if ix.Hash != nil {
 			ix.Hash.Insert(ix.Key(tup, rid, false), ridBytes(rid))
@@ -896,9 +1131,23 @@ func (db *DB) insertTuple(txn uint64, t *TableInfo, tup value.Tuple) error {
 	return nil
 }
 
+func (db *DB) insertTuple(txn uint64, t *TableInfo, tup value.Tuple) error {
+	rid, err := t.Heap.Insert(txn, tup.Encode(nil))
+	if err != nil {
+		return err
+	}
+	if db.indexesDeferred {
+		return nil
+	}
+	return db.indexTuple(t, tup, rid)
+}
+
 func (db *DB) removeTuple(txn uint64, t *TableInfo, rid heap.RID, tup value.Tuple) error {
 	if err := t.Heap.Delete(txn, rid); err != nil {
 		return err
+	}
+	if db.indexesDeferred {
+		return nil
 	}
 	for _, ix := range t.Indexes {
 		if ix.Hash != nil {
@@ -1014,6 +1263,9 @@ func (db *DB) updateRows(txn uint64, s *Update) (Result, error) {
 		newRid, err := t.Heap.Update(txn, c.rid, c.new.Encode(nil))
 		if err != nil {
 			return Result{}, err
+		}
+		if db.indexesDeferred {
+			continue
 		}
 		for _, ix := range t.Indexes {
 			if ix.Hash != nil {

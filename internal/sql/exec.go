@@ -397,6 +397,13 @@ func refersTo(c *ColumnRef, binding string, t *TableInfo) bool {
 // optimisation.
 func (db *DB) accessPath(es *execState, t *TableInfo, binding string, conjs []Expr, trace *[]string) (rowIter, error) {
 	schema := t.Schema(binding)
+	if db.indexesDeferred {
+		// Bulk load in progress: the secondary indexes miss the freshly
+		// loaded rows until ResumeIndexes rebuilds them, so only the
+		// heaps are trustworthy.
+		tracef(trace, "scan %s as %s: sequential (index maintenance deferred)", t.Name, binding)
+		return &seqScanIter{es: es, t: t, schema: schema}, nil
+	}
 	bounds := map[int]*bound{} // column position -> constraints
 	boundFor := func(pos int) *bound {
 		b := bounds[pos]

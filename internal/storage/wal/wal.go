@@ -5,7 +5,8 @@
 //
 // Design: redo-only logical logging over heap pages with a NO-STEAL
 // buffer policy. Heap mutations append page-directed records (init page,
-// set aux, insert-at, delete, update) tagged with a transaction id; a
+// set aux, insert-at, delete, update — or, on the bulk-load path, one
+// whole-page image per filled page) tagged with a transaction id; a
 // commit record, followed by an fsync, makes the transaction durable.
 // Dirty data pages are only written back at a checkpoint, which flushes
 // the buffer pool and then truncates the log. Recovery therefore replays
@@ -42,6 +43,7 @@ const (
 	OpDelete                 // payload: pageID, slot
 	OpUpdate                 // payload: pageID, slot, record bytes
 	OpCommit                 // no payload
+	OpPageImage              // payload: pageID, kind, full page bytes
 )
 
 // Record is one logical log record.

@@ -332,18 +332,20 @@ func Decode(p []byte) (Value, int, error) {
 	}
 }
 
+// Key-encoding tags, shared by EncodeKey and AppendFieldKey.
+const (
+	tagNull    = 0x00
+	tagNumeric = 0x10
+	tagText    = 0x20
+	tagBytes   = 0x30
+	tagBool    = 0x40
+)
+
 // EncodeKey appends an order-preserving binary encoding of v to dst:
 // bytes.Compare on two encoded keys matches Compare on the values
 // (for values of the same kind, and NULL-first across kinds). Numeric
 // kinds share a common prefix tag so INT and FLOAT interleave correctly.
 func (v Value) EncodeKey(dst []byte) []byte {
-	const (
-		tagNull    = 0x00
-		tagNumeric = 0x10
-		tagText    = 0x20
-		tagBytes   = 0x30
-		tagBool    = 0x40
-	)
 	switch v.kind {
 	case KindNull:
 		return append(dst, tagNull)
@@ -369,6 +371,87 @@ func (v Value) EncodeKey(dst []byte) []byte {
 		return append(dst, tagBool, byte(v.i))
 	}
 	return dst
+}
+
+// AppendFieldKey appends the EncodeKey form of field col of an encoded
+// tuple directly from its wire bytes, without materialising a Value (no
+// string allocation for TEXT fields). Index rebuilds use it to key every
+// record of a heap scan with near-zero garbage.
+func AppendFieldKey(dst, rec []byte, col int) ([]byte, error) {
+	f, err := fieldAt(rec, col)
+	if err != nil {
+		return dst, err
+	}
+	switch Kind(f[0]) {
+	case KindNull:
+		return append(dst, tagNull), nil
+	case KindInt:
+		i := int64(binary.BigEndian.Uint64(f[1:9]))
+		return appendNumericKey(dst, math.Float64bits(float64(i))), nil
+	case KindFloat:
+		return appendNumericKey(dst, binary.BigEndian.Uint64(f[1:9])), nil
+	case KindBool:
+		return append(dst, tagBool, f[8]), nil
+	case KindText:
+		_, sz := binary.Uvarint(f[1:])
+		return appendEscaped(append(dst, tagText), f[1+sz:]), nil
+	case KindBytes:
+		_, sz := binary.Uvarint(f[1:])
+		return appendEscaped(append(dst, tagBytes), f[1+sz:]), nil
+	}
+	return dst, fmt.Errorf("value: field key: unknown kind %d", f[0])
+}
+
+// appendNumericKey appends the order-preserving form of float64 bits.
+func appendNumericKey(dst []byte, bits uint64) []byte {
+	if bits&(1<<63) != 0 {
+		bits = ^bits
+	} else {
+		bits |= 1 << 63
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], bits)
+	return append(append(dst, tagNumeric), buf[:]...)
+}
+
+// fieldAt returns the wire bytes of field col (kind byte included)
+// inside an encoded tuple, without decoding the other fields.
+func fieldAt(rec []byte, col int) ([]byte, error) {
+	n, sz := binary.Uvarint(rec)
+	if sz <= 0 {
+		return nil, fmt.Errorf("value: field at: corrupt count")
+	}
+	if uint64(col) >= n {
+		return nil, fmt.Errorf("value: field at: column %d of %d", col, n)
+	}
+	p := rec[sz:]
+	for i := 0; ; i++ {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("value: field at: truncated tuple")
+		}
+		var consumed int
+		switch Kind(p[0]) {
+		case KindNull:
+			consumed = 1
+		case KindInt, KindBool, KindFloat:
+			consumed = 9
+		case KindText, KindBytes:
+			m, msz := binary.Uvarint(p[1:])
+			if msz <= 0 || uint64(len(p)-1-msz) < m {
+				return nil, fmt.Errorf("value: field at: corrupt length")
+			}
+			consumed = 1 + msz + int(m)
+		default:
+			return nil, fmt.Errorf("value: field at: unknown kind %d", p[0])
+		}
+		if len(p) < consumed {
+			return nil, fmt.Errorf("value: field at: truncated field")
+		}
+		if i == col {
+			return p[:consumed], nil
+		}
+		p = p[consumed:]
+	}
 }
 
 // appendEscaped writes p with 0x00 escaped as 0x00 0xFF and terminated by

@@ -265,11 +265,39 @@ func (d Dewey) IsAncestorOf(o Dewey) bool {
 // component is zero-padded to 6 digits). This is how "order as a data
 // value" reaches the relational engine.
 func (d Dewey) SortKey() string {
-	parts := make([]string, len(d))
-	for i, c := range d {
-		parts[i] = fmt.Sprintf("%06d", c)
+	if len(d) == 0 {
+		return ""
 	}
-	return strings.Join(parts, ".")
+	return string(d.AppendSortKey(make([]byte, 0, len(d)*7-1)))
+}
+
+// AppendSortKey appends the SortKey rendering of d to dst and returns the
+// extended slice, without intermediate allocations. The shredder uses a
+// reused buffer here, so labelling a node costs no garbage beyond the
+// final string.
+func (d Dewey) AppendSortKey(dst []byte) []byte {
+	for i, c := range d {
+		if i > 0 {
+			dst = append(dst, '.')
+		}
+		dst = AppendSortKeyComponent(dst, c)
+	}
+	return dst
+}
+
+// AppendSortKeyComponent appends one zero-padded 6-digit component.
+// Components ≥ 10^6 fall back to full decimal rendering (longer strings
+// still compare after any 6-digit sibling, preserving order).
+func AppendSortKeyComponent(dst []byte, c int) []byte {
+	if c < 0 || c >= 1000000 {
+		return fmt.Appendf(dst, "%06d", c)
+	}
+	var tmp [6]byte
+	for i := 5; i >= 0; i-- {
+		tmp[i] = byte('0' + c%10)
+		c /= 10
+	}
+	return append(dst, tmp[:]...)
 }
 
 // ParseSortKey recovers a Dewey from its SortKey form.
