@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-compare check fuzz crash
+.PHONY: all build vet test race bench bench-json bench-compare profile check fuzz crash
 
 # Seconds of fuzzing per parser target.
 FUZZTIME ?= 30s
@@ -33,6 +33,17 @@ bench-json:
 		| tee $(BENCHOUT).txt \
 		| $(GO) run ./cmd/benchjson > $(BENCHOUT)
 	@echo "wrote $(BENCHOUT) (raw text in $(BENCHOUT).txt)"
+
+# Contention inspection: run the concurrent query benchmark with mutex,
+# block, and CPU profiling and drop the artifacts (plus the test binary
+# pprof needs) under profiles/. Inspect with:
+#   go tool pprof profiles/bench.test profiles/mutex.prof
+PROFILEBENCH ?= BenchmarkQueryConcurrent
+profile:
+	@mkdir -p profiles
+	$(GO) run ./cmd/benchjson -bench $(PROFILEBENCH) -benchtime $(BENCHTIME) \
+		-profiledir profiles > profiles/bench.json
+	@echo "profiles/ now holds mutex.prof block.prof cpu.prof bench.test bench.json"
 
 # Compare two raw benchmark text files (the .txt twins bench-json
 # leaves next to the JSON) with benchstat, if installed.

@@ -650,3 +650,78 @@ func BenchmarkQueryCached(b *testing.B) {
 		}
 	})
 }
+
+// ---------------------------------------------------------------------
+// E17 (read-path concurrency): N client goroutines issue a mix of the
+// paper's keyword, sub-tree, and join queries against one warehouse.
+// The clients dimension measures throughput under concurrent load on the
+// sharded buffer pool; the workers dimension toggles intra-query scan
+// parallelism (results are byte-identical either way, only QPS moves).
+func BenchmarkQueryConcurrent(b *testing.B) {
+	f := flats(b, 200, 300, 300)
+	indexed := []string{
+		benchutil.Figure8Query,  // keyword search across EMBL + Swiss-Prot
+		benchutil.Figure9Query,  // any-level sub-tree search on ENZYME
+		benchutil.Figure11Query, // EMBL x ENZYME join on EC number
+	}
+	// The scan mode disables indexes so every query drives a full
+	// sequential scan — the path the streaming iterator and sharded pool
+	// target. Queries come from the E8 ablation suite.
+	var scan []string
+	for _, q := range benchutil.QuerySuite {
+		if q.Name == "eq-lookup" || q.Name == "keyword-any" {
+			scan = append(scan, q.Query)
+		}
+	}
+	modes := []struct {
+		name  string
+		mixed []string
+		mod   func(*core.Config)
+	}{
+		{"indexed", indexed, nil},
+		{"scan", scan, func(c *core.Config) {
+			c.WithIndexes = false
+			c.UseKeywordIndex = false
+		}},
+	}
+	workerCounts := []int{1}
+	if max := runtime.GOMAXPROCS(0); max > 1 {
+		workerCounts = append(workerCounts, max)
+	}
+	for _, m := range modes {
+		for _, w := range workerCounts {
+			for _, clients := range []int{1, 4, 16} {
+				mixed := m.mixed
+				name := fmt.Sprintf("%s/clients=%d/workers=%d", m.name, clients, w)
+				b.Run(name, func(b *testing.B) {
+					eng := warehouse(b, f, func(c *core.Config) {
+						if m.mod != nil {
+							m.mod(c)
+						}
+						c.QueryWorkers = w
+					})
+					for _, q := range mixed {
+						runQuery(b, eng, q) // warm plan cache and buffer pool
+					}
+					b.SetParallelism((clients + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+					b.ResetTimer()
+					b.RunParallel(func(pb *testing.PB) {
+						i := 0
+						for pb.Next() {
+							q := mixed[i%len(mixed)]
+							i++
+							if _, err := eng.Query(q); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					})
+					b.StopTimer()
+					if secs := b.Elapsed().Seconds(); secs > 0 {
+						b.ReportMetric(float64(b.N)/secs, "qps")
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,20 +1,34 @@
 // Command benchjson converts `go test -bench -benchmem` text output
-// (read from stdin) into a JSON array of benchmark records, one per
-// result line:
+// into a JSON array of benchmark records, one per result line:
 //
 //	go test -run xxx -bench . -benchmem . | benchjson > BENCH_$(date +%F).json
 //
+// It can also drive the benchmark run itself, which is how profile
+// capture is wired in:
+//
+//	benchjson -bench BenchmarkQueryConcurrent -profiledir profiles > BENCH.json
+//
+// runs `go test -bench ... -benchmem` with mutex, block, and CPU
+// profiling enabled, writes the .prof artifacts (plus the test binary
+// pprof needs to read them) under -profiledir, and emits the same JSON
+// on stdout.
+//
 // Each record carries the benchmark name (including sub-benchmark
-// path), iterations, ns/op and — when -benchmem was set — B/op and
-// allocs/op. Lines that are not benchmark results (package headers,
+// path), iterations, ns/op, B/op and allocs/op when -benchmem was set,
+// and any custom b.ReportMetric units (qps, rows, wal-bytes, ...) in a
+// "metrics" map. Lines that are not benchmark results (package headers,
 // PASS, ok) are skipped, so the raw `go test` stream pipes straight in.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -26,10 +40,29 @@ type record struct {
 	NsOp     float64 `json:"ns_op"`
 	BOp      int64   `json:"b_op,omitempty"`
 	AllocsOp int64   `json:"allocs_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units (qps, rows, ...),
+	// keyed by unit name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
-	sc := bufio.NewScanner(os.Stdin)
+	bench := flag.String("bench", "", "run `go test -bench <regex>` instead of reading stdin")
+	benchtime := flag.String("benchtime", "3x", "benchtime for -bench runs (fixed counts compare across commits)")
+	pkg := flag.String("pkg", ".", "package to benchmark in -bench runs")
+	profileDir := flag.String("profiledir", "", "also capture mutex/block/cpu profiles into this directory (-bench runs only)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *bench != "" {
+		out, err := runBench(*bench, *benchtime, *pkg, *profileDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		in = strings.NewReader(out)
+	}
+
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var recs []record
 	for sc.Scan() {
@@ -42,7 +75,7 @@ func main() {
 		os.Exit(1)
 	}
 	if len(recs) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on input")
 		os.Exit(1)
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -51,6 +84,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// runBench executes the benchmark run, mirroring its raw text to stderr
+// so the usual console view survives the JSON pipe. When profileDir is
+// set, mutex/block/CPU profiles and the test binary land there.
+func runBench(pattern, benchtime, pkg, profileDir string) (string, error) {
+	args := []string{"test", "-run", "xxx", "-bench", pattern,
+		"-benchtime", benchtime, "-benchmem"}
+	if profileDir != "" {
+		if err := os.MkdirAll(profileDir, 0o755); err != nil {
+			return "", err
+		}
+		args = append(args,
+			"-mutexprofile", filepath.Join(profileDir, "mutex.prof"),
+			"-blockprofile", filepath.Join(profileDir, "block.prof"),
+			"-cpuprofile", filepath.Join(profileDir, "cpu.prof"),
+			"-o", filepath.Join(profileDir, "bench.test"),
+		)
+	}
+	args = append(args, pkg)
+	cmd := exec.Command("go", args...)
+	var buf strings.Builder
+	cmd.Stdout = io.MultiWriter(&buf, os.Stderr)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	return buf.String(), nil
 }
 
 // parseLine decodes one `go test -bench` result line, e.g.
@@ -79,6 +140,12 @@ func parseLine(line string) (record, bool) {
 			r.BOp = int64(v)
 		case "allocs/op":
 			r.AllocsOp = int64(v)
+		default:
+			// Custom b.ReportMetric units: qps, rows, wal-bytes, ...
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[f[i+1]] = v
 		}
 	}
 	if r.NsOp == 0 {

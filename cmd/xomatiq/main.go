@@ -43,10 +43,12 @@ func main() {
 	dbPath := flag.String("db", "warehouse.db", "warehouse database file")
 	flag.DurationVar(&queryTimeout, "timeout", 0, "per-query timeout (e.g. 5s; 0 = none)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "shredding goroutines for \\harness loads")
+	queryWorkers := flag.Int("query-workers", runtime.GOMAXPROCS(0), "goroutines per large sequential scan (1 = serial)")
 	flag.Parse()
 
 	cfg := core.NewConfig(*dbPath)
 	cfg.LoadWorkers = *workers
+	cfg.QueryWorkers = *queryWorkers
 	eng, err := core.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -147,6 +149,8 @@ func command(eng *core.Engine, out io.Writer, line string, mode *string, registe
 		}
 		fmt.Fprintf(out, "file: %d pages, wal: %d bytes, dirty: %d pages\n",
 			phys.FilePages, phys.WALBytes, phys.DirtyPages)
+		fmt.Fprintf(out, "buffer pool: %d shards, %d hits, %d misses\n",
+			phys.PoolShards, phys.PoolHits, phys.PoolMisses)
 		for _, w := range whs {
 			fmt.Fprintf(out, "  %-24s %6d docs %5d paths\n", w.DB, w.Docs, w.Paths)
 		}

@@ -48,6 +48,11 @@ type Config struct {
 	// 0 means runtime.GOMAXPROCS(0). Any value produces byte-identical
 	// warehouse contents; only the wall clock changes.
 	LoadWorkers int
+	// QueryWorkers caps intra-query scan parallelism: large sequential
+	// scans fan out across up to this many goroutines. 0 means
+	// runtime.GOMAXPROCS(0); 1 forces serial scans. Any value produces
+	// byte-identical query results; only the wall clock changes.
+	QueryWorkers int
 	// FS is the filesystem the warehouse lives on; nil means the real
 	// disk. Fault-injection tests substitute a faultfs.FS.
 	FS disk.FS
@@ -82,7 +87,7 @@ type sourceReg struct {
 
 // Open opens (or creates) a warehouse.
 func Open(cfg Config) (*Engine, error) {
-	opts := sql.Options{PoolPages: cfg.PoolPages, FS: cfg.FS}
+	opts := sql.Options{PoolPages: cfg.PoolPages, QueryWorkers: cfg.QueryWorkers, FS: cfg.FS}
 	var db *sql.DB
 	var err error
 	if cfg.Async {

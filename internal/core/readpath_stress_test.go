@@ -1,0 +1,141 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"xomatiq/internal/bio"
+	"xomatiq/internal/hounds"
+)
+
+// renderIDs flattens a query result to one comparable string.
+func renderIDs(r *Result) string {
+	var parts []string
+	for _, tup := range r.Rows {
+		parts = append(parts, strings.Join(tup, "|"))
+	}
+	return strings.Join(parts, ",")
+}
+
+// TestReadPathEpochConsistency is the issue's concurrency bar: readers
+// issue QueryContext calls while a writer flips the warehouse between
+// two source versions via HarnessContext/UpdateContext. Every query
+// must see exactly the pre- or post-load catalog epoch — a result that
+// matches neither version is a torn view — and the plan cache must keep
+// serving correct plans while epochs churn. Run with -race.
+func TestReadPathEpochConsistency(t *testing.T) {
+	e := openEngine(t)
+	const db = "hlx_enzyme.DEFAULT"
+	entriesA := bio.GenEnzymes(25, bio.GenOptions{Seed: 11})
+	entriesB := append(append([]*bio.EnzymeEntry{}, entriesA...),
+		&bio.EnzymeEntry{ID: "9.9.9.1", Description: []string{"Epoch enzyme one."}},
+		&bio.EnzymeEntry{ID: "9.9.9.2", Description: []string{"Epoch enzyme two."}})
+	flatA, flatB := enzymeFlat(t, entriesA), enzymeFlat(t, entriesB)
+	src := hounds.NewSimSource("enzyme", flatA)
+	if err := e.RegisterSource(db, src, hounds.EnzymeTransformer{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Harness(db); err != nil {
+		t.Fatal(err)
+	}
+
+	const query = `FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+RETURN $a//enzyme_id`
+	mustRender := func() string {
+		t.Helper()
+		r, err := e.Query(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderIDs(r)
+	}
+	wantA := mustRender()
+	src.Publish(flatB)
+	if _, err := e.Update(db); err != nil {
+		t.Fatal(err)
+	}
+	wantB := mustRender()
+	if wantA == wantB {
+		t.Fatal("versions A and B render identically; test cannot detect torn views")
+	}
+	src.Publish(flatA)
+	if _, err := e.Update(db); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustRender(); got != wantA {
+		t.Fatalf("round-trip back to A diverged:\n got %s\nwant %s", got, wantA)
+	}
+
+	const readers = 6
+	const iterations = 15
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, readers*iterations+iterations)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				res, err := e.QueryContext(ctx, query)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+				if got := renderIDs(res); got != wantA && got != wantB {
+					errs <- fmt.Errorf("reader %d: torn view, result matches neither epoch:\n got %s", r, got)
+					return
+				}
+			}
+		}(r)
+	}
+	// Writer: full re-harness on one parity, incremental update on the
+	// other, so both load paths race the readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iterations; i++ {
+			if i%2 == 0 {
+				src.Publish(flatB)
+			} else {
+				src.Publish(flatA)
+			}
+			var err error
+			if i%4 < 2 {
+				_, err = e.UpdateContext(ctx, db)
+			} else {
+				_, err = e.HarnessContext(ctx, db)
+			}
+			if err != nil {
+				errs <- fmt.Errorf("writer step %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Plan-cache correctness after the churn: the final state serves a
+	// cached plan whose result still matches a fresh translation.
+	final := mustRender()
+	pcBefore := e.PlanCacheStats()
+	again := mustRender()
+	pcAfter := e.PlanCacheStats()
+	if final != again {
+		t.Errorf("stable warehouse returned differing results:\n%s\nvs\n%s", final, again)
+	}
+	if final != wantA && final != wantB {
+		t.Errorf("final state matches neither version:\n%s", final)
+	}
+	if pcAfter.Hits <= pcBefore.Hits {
+		t.Errorf("no plan-cache hit on a repeated query over a quiet catalog: %+v -> %+v", pcBefore, pcAfter)
+	}
+	if pcBefore.Invalidations == 0 {
+		t.Errorf("epoch churn produced no plan-cache invalidations: %+v", pcBefore)
+	}
+}

@@ -14,6 +14,11 @@ type Stats struct {
 	FilePages  int // pages in the data file, including the header
 	WALBytes   int64
 	DirtyPages int
+	// Buffer-pool shard layout and cumulative cache effectiveness since
+	// open; concurrent readers bump the counters without the pool lock.
+	PoolShards int
+	PoolHits   uint64
+	PoolMisses uint64
 	Tables     []TableStats
 }
 
@@ -28,10 +33,14 @@ type TableStats struct {
 func (db *DB) Stats() Stats {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	ps := db.pool.Stats()
 	s := Stats{
 		FilePages:  db.mgr.NumPages(),
 		WALBytes:   db.log.Size(),
 		DirtyPages: db.pool.DirtyCount(),
+		PoolShards: ps.Shards,
+		PoolHits:   ps.Hits,
+		PoolMisses: ps.Misses,
 	}
 	for _, t := range db.cat.tables {
 		ts := TableStats{Name: t.Name, Rows: t.Heap.Count()}

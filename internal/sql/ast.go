@@ -202,9 +202,12 @@ type InExpr struct {
 	Not  bool
 
 	// litSet memoises an all-literal list as encoded keys for O(1)
-	// membership tests. Built lazily on first evaluation; queries are
-	// evaluated single-threaded so no synchronisation is needed.
-	litSet map[string]bool
+	// membership tests. Built lazily on first evaluation. The pointer is
+	// atomic because cached plans share AST nodes across concurrent
+	// queries and parallel-scan workers evaluate filters from several
+	// goroutines; racing builders construct identical sets, so whichever
+	// store wins is correct.
+	litSet atomic.Pointer[map[string]bool]
 }
 
 // BetweenExpr is e BETWEEN lo AND hi.

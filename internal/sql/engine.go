@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -35,6 +36,11 @@ type Options struct {
 	// WAL. Nil means the real filesystem. Crash-recovery tests inject a
 	// faultfs.FS here to exercise I/O-error and power-cut paths.
 	FS disk.FS
+	// QueryWorkers caps intra-query parallelism: sequential scans over
+	// large heaps fan out across up to this many goroutines (default
+	// GOMAXPROCS). 1 forces every scan serial; results are byte-identical
+	// either way.
+	QueryWorkers int
 }
 
 func (o *Options) fill() {
@@ -46,6 +52,9 @@ func (o *Options) fill() {
 	}
 	if o.FS == nil {
 		o.FS = disk.OS{}
+	}
+	if o.QueryWorkers == 0 {
+		o.QueryWorkers = runtime.GOMAXPROCS(0)
 	}
 }
 

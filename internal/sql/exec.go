@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"xomatiq/internal/storage/disk"
 	"xomatiq/internal/storage/heap"
 	"xomatiq/internal/value"
 )
@@ -23,11 +24,31 @@ const cancelEvery = 256
 
 // execState is shared by every iterator of one query execution, so the
 // poll counter accumulates across the whole plan: many small index
-// probes cancel as promptly as one big scan. A nil state (Explain, the
-// DML row-collection path) never cancels.
+// probes cancel as promptly as one big scan. A nil state (the DML
+// row-collection path) never cancels and never parallelises.
 type execState struct {
 	ctx   context.Context
 	polls int
+	// workers is the intra-query parallelism budget for scan operators
+	// (Options.QueryWorkers); 0 or 1 keeps every scan serial.
+	workers int
+	// done is closed when the query finishes (success, error or early
+	// LIMIT cut). Parallel scan workers select on it when handing off
+	// page batches, so an abandoned iterator never strands goroutines.
+	done chan struct{}
+}
+
+// newExecState prepares the shared state for one query execution. The
+// caller must invoke finish (normally via defer) once the query is done.
+func newExecState(ctx context.Context, workers int) *execState {
+	return &execState{ctx: ctx, workers: workers, done: make(chan struct{})}
+}
+
+// finish releases every goroutine still working for the query.
+func (es *execState) finish() {
+	if es != nil && es.done != nil {
+		close(es.done)
+	}
 }
 
 // poll returns ctx.Err() on every cancelEvery-th call.
@@ -47,7 +68,9 @@ func (db *DB) runSelect(ctx context.Context, sel *Select) (*Rows, error) {
 	if len(sel.From) == 0 {
 		return nil, fmt.Errorf("sql: SELECT requires FROM")
 	}
-	it, residual, err := db.buildFrom(&execState{ctx: ctx}, sel, nil)
+	es := newExecState(ctx, db.opts.QueryWorkers)
+	defer es.finish()
+	it, residual, err := db.buildFrom(es, sel, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -155,9 +178,17 @@ func (db *DB) buildFrom(es *execState, sel *Select, trace *[]string) (rowIter, [
 	if err != nil {
 		return nil, nil, err
 	}
-	for _, c := range pushdown[strings.ToLower(first.ref.Binding())] {
-		it = &filterIter{in: it, pred: c}
-		tracef(trace, "  filter %s", ExprString(c))
+	firstFilters := pushdown[strings.ToLower(first.ref.Binding())]
+	if pit, ok := parallelizeScan(es, it, firstFilters, trace); ok {
+		it = pit
+		for _, c := range firstFilters {
+			tracef(trace, "  filter %s", ExprString(c))
+		}
+	} else {
+		for _, c := range firstFilters {
+			it = &filterIter{in: it, pred: c}
+			tracef(trace, "  filter %s", ExprString(c))
+		}
 	}
 	// Residual conjuncts apply as soon as every column they reference is
 	// in scope, so selective cross-binding predicates (join conditions,
@@ -212,7 +243,10 @@ func (db *DB) Explain(src string) (string, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	var trace []string
-	if _, _, err := db.buildFrom(nil, sel, &trace); err != nil {
+	// A plan-only execState (never executed, so no done channel) lets the
+	// trace report the parallel-scan decision the real run would make.
+	es := &execState{workers: db.opts.QueryWorkers}
+	if _, _, err := db.buildFrom(es, sel, &trace); err != nil {
 		return "", err
 	}
 	return strings.Join(trace, "\n"), nil
@@ -529,15 +563,19 @@ type ridSource interface {
 	CurrentRID() heap.RID
 }
 
-// seqScanIter scans a heap, decoding each record.
+// seqScanIter scans a heap page at a time: each Next serves decoded rows
+// of the current page, and page pins are held only inside ScanPage, so a
+// full-table scan keeps O(page) rows in memory instead of the whole heap
+// and a context cancel fires between pages of a long scan.
 type seqScanIter struct {
-	es     *execState
-	t      *TableInfo
-	schema *Schema
-	rids   []heap.RID
-	tups   []value.Tuple
-	pos    int
-	loaded bool
+	es      *execState
+	t       *TableInfo
+	schema  *Schema
+	started bool
+	cur     disk.PageID // next page to load
+	rids    []heap.RID  // rows of the page most recently loaded
+	tups    []value.Tuple
+	pos     int
 }
 
 func (s *seqScanIter) Schema() *Schema { return s.schema }
@@ -545,9 +583,12 @@ func (s *seqScanIter) Schema() *Schema { return s.schema }
 // CurrentRID reports the record id of the last row returned by Next.
 func (s *seqScanIter) CurrentRID() heap.RID { return s.rids[s.pos-1] }
 
-func (s *seqScanIter) load() error {
+// loadPage decodes the rows of s.cur into the iterator's reused buffers
+// and advances s.cur along the chain.
+func (s *seqScanIter) loadPage() error {
+	s.rids, s.tups, s.pos = s.rids[:0], s.tups[:0], 0
 	var serr error
-	err := s.t.Heap.Scan(func(rid heap.RID, rec []byte) bool {
+	next, _, err := s.t.Heap.ScanPage(s.cur, func(rid heap.RID, rec []byte) bool {
 		if cerr := s.es.poll(); cerr != nil {
 			serr = cerr
 			return false
@@ -561,25 +602,34 @@ func (s *seqScanIter) load() error {
 		s.tups = append(s.tups, tup)
 		return true
 	})
-	s.loaded = true
 	if err != nil {
 		return err
 	}
-	return serr
+	if serr != nil {
+		return serr
+	}
+	s.cur = next
+	return nil
 }
 
 func (s *seqScanIter) Next() (value.Tuple, bool, error) {
-	if !s.loaded {
-		if err := s.load(); err != nil {
+	for {
+		if s.pos < len(s.tups) {
+			t := s.tups[s.pos]
+			s.pos++
+			return t, true, nil
+		}
+		if !s.started {
+			s.started = true
+			s.cur = s.t.Heap.FirstPage()
+		}
+		if s.cur == disk.InvalidPage {
+			return nil, false, nil
+		}
+		if err := s.loadPage(); err != nil {
 			return nil, false, err
 		}
 	}
-	if s.pos >= len(s.tups) {
-		return nil, false, nil
-	}
-	t := s.tups[s.pos]
-	s.pos++
-	return t, true, nil
 }
 
 // ridListIter yields the tuples behind a pre-computed RID list (index

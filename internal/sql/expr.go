@@ -118,19 +118,22 @@ func Eval(e Expr, row Row) (value.Value, error) {
 		if err != nil {
 			return value.Null, err
 		}
-		if e.litSet == nil && allLiterals(e.List) {
-			e.litSet = make(map[string]bool, len(e.List))
+		litSet := e.litSet.Load()
+		if litSet == nil && allLiterals(e.List) {
+			set := make(map[string]bool, len(e.List))
 			for _, le := range e.List {
 				lv := le.(*Literal).Val
 				if !lv.IsNull() {
-					e.litSet[string(lv.EncodeKey(nil))] = true
+					set[string(lv.EncodeKey(nil))] = true
 				}
 			}
+			e.litSet.Store(&set)
+			litSet = &set
 		}
 		found := false
-		if e.litSet != nil {
+		if litSet != nil {
 			if !v.IsNull() {
-				found = e.litSet[string(v.EncodeKey(nil))]
+				found = (*litSet)[string(v.EncodeKey(nil))]
 			}
 		} else {
 			for _, le := range e.List {

@@ -40,11 +40,16 @@ func (db *DB) buildJoin(es *execState, left rowIter, rt *TableInfo, ref TableRef
 
 	// The right side materialises through its own access path (which may
 	// use an index for pushed-down equality/range conjuncts) with the
-	// remaining single-binding filters applied inline.
+	// remaining single-binding filters applied inline. A large sequential
+	// right side parallelises just like a driving scan, so hash-join and
+	// nested-loop builds also scale with QueryWorkers.
 	rightSrc := func() (rowIter, error) {
 		it, err := db.accessPath(es, rt, binding, whereConjs, trace)
 		if err != nil {
 			return nil, err
+		}
+		if pit, ok := parallelizeScan(es, it, rightFilter, trace); ok {
+			return pit, nil
 		}
 		for _, f := range rightFilter {
 			it = &filterIter{in: it, pred: f}

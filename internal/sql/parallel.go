@@ -1,0 +1,195 @@
+package sql
+
+import (
+	"sync/atomic"
+
+	"xomatiq/internal/storage/disk"
+	"xomatiq/internal/storage/heap"
+	"xomatiq/internal/value"
+)
+
+// parallelScanMinPages is the planner threshold: sequential scans over
+// heaps with fewer pages stay serial, because the fan-out and merge cost
+// would exceed the scan itself. Var, not const, so tests can lower it.
+var parallelScanMinPages = 8
+
+// parallelizeScan swaps a sequential scan for the parallel scan-filter
+// operator when the query runs with more than one worker and the driving
+// heap spans at least parallelScanMinPages pages. The binding-local
+// filters move inside the operator — workers apply them page-locally —
+// so the caller must NOT wrap them again when ok is true. Output order
+// is byte-identical to the serial plan for any worker count: batches
+// carry their chain position and the merger emits them in heap order.
+func parallelizeScan(es *execState, it rowIter, filters []Expr, trace *[]string) (rowIter, bool) {
+	ss, ok := it.(*seqScanIter)
+	if !ok || es == nil || es.workers <= 1 {
+		return it, false
+	}
+	pages := ss.t.Heap.PageIDs()
+	if len(pages) < parallelScanMinPages {
+		return it, false
+	}
+	workers := es.workers
+	if workers > len(pages) {
+		workers = len(pages)
+	}
+	tracef(trace, "  parallel scan (%d workers, %d pages)", workers, len(pages))
+	return &parallelScanIter{
+		es: es, t: ss.t, schema: ss.schema,
+		filters: filters, pages: pages, workers: workers,
+	}, true
+}
+
+// pageBatch is the unit of hand-off between scan workers and the merger:
+// the filtered, decoded rows of one heap page plus its chain position.
+type pageBatch struct {
+	idx  int
+	tups []value.Tuple
+	err  error
+}
+
+// parallelScanIter partitions a heap's page chain across a pool of
+// goroutines that fetch, decode and filter pages concurrently against the
+// sharded buffer pool, then merges the per-page batches back in chain
+// order. Workers claim pages from an atomic cursor, so a skewed page
+// (many matching rows) never stalls the others. The operator is an
+// ordinary rowIter; workers start lazily on the first Next.
+type parallelScanIter struct {
+	es      *execState
+	t       *TableInfo
+	schema  *Schema
+	filters []Expr
+	pages   []disk.PageID
+	workers int
+
+	started bool
+	out     chan pageBatch
+	stop    chan struct{} // closed by the merger on error: workers quit early
+	stopped bool
+	pending map[int]pageBatch // reorder buffer, keyed by page index
+	next    int               // next page index the merger owes the caller
+	cur     []value.Tuple
+	pos     int
+	err     error
+}
+
+func (p *parallelScanIter) Schema() *Schema { return p.schema }
+
+func (p *parallelScanIter) start() {
+	p.started = true
+	p.out = make(chan pageBatch, p.workers*2)
+	p.stop = make(chan struct{})
+	p.pending = make(map[int]pageBatch, p.workers)
+	var cursor atomic.Int64
+	for w := 0; w < p.workers; w++ {
+		go p.worker(&cursor)
+	}
+}
+
+// worker claims page indexes until the chain is exhausted, an error is
+// handed off, or the query ends. Every claimed page produces exactly one
+// batch (possibly carrying an error), which the merger relies on: a page
+// it waits for either arrives or the whole scan has failed.
+func (p *parallelScanIter) worker(cursor *atomic.Int64) {
+	for {
+		i := int(cursor.Add(1)) - 1
+		if i >= len(p.pages) {
+			return
+		}
+		b := p.scanPage(i)
+		select {
+		case p.out <- b:
+		case <-p.stop:
+			return
+		case <-p.es.done:
+			return
+		}
+		if b.err != nil {
+			return
+		}
+	}
+}
+
+// scanPage decodes and filters one page. Cancellation is polled once per
+// page — the per-row counter of execState is not shared across workers,
+// so each worker checks the context directly at page granularity.
+func (p *parallelScanIter) scanPage(i int) pageBatch {
+	b := pageBatch{idx: i}
+	if p.es.ctx != nil {
+		if err := p.es.ctx.Err(); err != nil {
+			b.err = err
+			return b
+		}
+	}
+	row := Row{Schema: p.schema}
+	_, _, err := p.t.Heap.ScanPage(p.pages[i], func(_ heap.RID, rec []byte) bool {
+		tup, derr := value.DecodeTuple(rec)
+		if derr != nil {
+			b.err = derr
+			return false
+		}
+		row.Values = tup
+		for _, f := range p.filters {
+			v, ferr := Eval(f, row)
+			if ferr != nil {
+				b.err = ferr
+				return false
+			}
+			if !truthy(v) {
+				return true
+			}
+		}
+		b.tups = append(b.tups, tup)
+		return true
+	})
+	if err != nil && b.err == nil {
+		b.err = err
+	}
+	return b
+}
+
+// fail records the scan's verdict and releases the workers.
+func (p *parallelScanIter) fail(err error) error {
+	p.err = err
+	if !p.stopped {
+		p.stopped = true
+		close(p.stop)
+	}
+	return err
+}
+
+func (p *parallelScanIter) Next() (value.Tuple, bool, error) {
+	if p.err != nil {
+		return nil, false, p.err
+	}
+	if !p.started {
+		p.start()
+	}
+	for {
+		if p.pos < len(p.cur) {
+			t := p.cur[p.pos]
+			p.pos++
+			return t, true, nil
+		}
+		if p.next >= len(p.pages) {
+			return nil, false, nil
+		}
+		// Pull batches until the next page in chain order is available.
+		// Any error fails the scan immediately: a worker that errored has
+		// stopped claiming pages, so waiting for in-order delivery could
+		// wait forever.
+		for {
+			if b, ok := p.pending[p.next]; ok {
+				delete(p.pending, p.next)
+				p.next++
+				p.cur, p.pos = b.tups, 0
+				break
+			}
+			b := <-p.out
+			if b.err != nil {
+				return nil, false, p.fail(b.err)
+			}
+			p.pending[b.idx] = b
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package bufpool
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"xomatiq/internal/storage/disk"
+	"xomatiq/internal/storage/page"
+)
+
+// TestShardCountBounds pins the shard-layout policy: tiny pools collapse
+// to one shard so their exact eviction semantics survive sharding, large
+// pools split, and the count is always a power of two.
+func TestShardCountBounds(t *testing.T) {
+	cases := []struct{ capacity, maxShards int }{
+		{2, 1}, {64, 1}, {127, 1}, {512, 16}, {4096, 16},
+	}
+	for _, c := range cases {
+		p, _ := newPool(t, c.capacity)
+		n := p.ShardCount()
+		if n < 1 || n > c.maxShards {
+			t.Errorf("capacity %d: %d shards, want 1..%d", c.capacity, n, c.maxShards)
+		}
+		if n&(n-1) != 0 {
+			t.Errorf("capacity %d: shard count %d not a power of two", c.capacity, n)
+		}
+		if c.capacity < 2*minShardCapacity && n != 1 {
+			t.Errorf("capacity %d: small pool split into %d shards", c.capacity, n)
+		}
+	}
+}
+
+// TestConcurrentFetchSharedPage hammers one hot page from many
+// goroutines: the shared frame latch must let every reader through and
+// pin counts must return to zero.
+func TestConcurrentFetchSharedPage(t *testing.T) {
+	p, _ := newPool(t, 256)
+	f, err := p.Allocate(page.KindHeap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Page().Insert([]byte("hot")); err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID()
+	p.Unpin(f, true)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				fr, err := p.Fetch(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rec, err := fr.Page().Get(0); err != nil || string(rec) != "hot" {
+					errs <- fmt.Errorf("read %q, %v", rec, err)
+					p.Unpin(fr, false)
+					return
+				}
+				p.Unpin(fr, false)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.Hits == 0 {
+		t.Error("no cache hits recorded for a hot page")
+	}
+}
+
+// TestConcurrentFetchManyPages mixes cold misses, evictions, and repeat
+// hits across goroutines on a pool smaller than the working set, then
+// verifies every page's contents.
+func TestConcurrentFetchManyPages(t *testing.T) {
+	p, mgr := newPool(t, 256)
+	const numPages = 600
+	ids := make([]disk.PageID, numPages)
+	for i := range ids {
+		f, err := p.Allocate(page.KindHeap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Page().Insert([]byte(fmt.Sprintf("page-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = f.ID()
+		p.Unpin(f, true)
+		if i%128 == 127 {
+			if err := p.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < numPages; i++ {
+				idx := (i*7 + g*13) % numPages
+				fr, err := p.Fetch(ids[idx])
+				if err != nil {
+					errs <- fmt.Errorf("fetch %d: %v", ids[idx], err)
+					return
+				}
+				want := fmt.Sprintf("page-%04d", idx)
+				if rec, err := fr.Page().Get(0); err != nil || string(rec) != want {
+					errs <- fmt.Errorf("page %d: read %q, %v (want %q)", ids[idx], rec, err, want)
+					p.Unpin(fr, false)
+					return
+				}
+				p.Unpin(fr, false)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if p.Len() > 256 {
+		t.Errorf("pool holds %d frames, capacity 256", p.Len())
+	}
+	if s := p.Stats(); s.Misses == 0 {
+		t.Error("no misses recorded on a working set larger than the pool")
+	}
+	_ = mgr
+}

@@ -40,6 +40,7 @@ type Heap struct {
 	first disk.PageID
 	last  disk.PageID
 	count int
+	pages []disk.PageID // chain order; parallel scans partition this
 }
 
 // Create allocates a new heap file and returns it. The first page ID is
@@ -56,7 +57,7 @@ func Create(pool *bufpool.Pool, log *wal.Log, txn uint64) (*Heap, error) {
 			return nil, err
 		}
 	}
-	return &Heap{pool: pool, log: log, first: id, last: id}, nil
+	return &Heap{pool: pool, log: log, first: id, last: id, pages: []disk.PageID{id}}, nil
 }
 
 // Open attaches to an existing heap file by its first page, walking the
@@ -72,6 +73,7 @@ func Open(pool *bufpool.Pool, log *wal.Log, first disk.PageID) (*Heap, error) {
 		h.count += f.Page().LiveCount()
 		next := disk.PageID(f.Page().Aux())
 		pool.Unpin(f, false)
+		h.pages = append(h.pages, id)
 		h.last = id
 		id = next
 	}
@@ -128,6 +130,7 @@ func (h *Heap) Insert(txn uint64, rec []byte) (RID, error) {
 		return RID{}, err
 	}
 	h.last = nf.ID()
+	h.pages = append(h.pages, nf.ID())
 	slot, err = nf.Page().Insert(rec)
 	if err != nil {
 		h.pool.Unpin(nf, true)
@@ -198,6 +201,7 @@ func (h *Heap) InsertBatch(txn uint64, recs [][]byte) ([]RID, error) {
 			}
 			h.pool.Unpin(f, true)
 			h.last = nf.ID()
+			h.pages = append(h.pages, nf.ID())
 			f = nf
 			touched = false
 			slot, err = f.Page().Insert(rec)
@@ -279,26 +283,48 @@ func (h *Heap) Update(txn uint64, rid RID, rec []byte) (RID, error) {
 	return h.Insert(txn, rec)
 }
 
+// NumPages reports the length of the heap's page chain.
+func (h *Heap) NumPages() int { return len(h.pages) }
+
+// PageIDs returns the heap's page chain in order. The slice is shared
+// with the heap: callers must not mutate it, and a reader's view is only
+// stable while the engine layer holds writers off (db.mu). Parallel scans
+// partition this list across workers.
+func (h *Heap) PageIDs() []disk.PageID { return h.pages }
+
+// ScanPage calls fn for every live record of one page, holding the page's
+// pin only for the duration of the call, and returns the next page of the
+// chain (InvalidPage at the end). stopped reports that fn returned false.
+// The rec slice passed to fn is only valid for the duration of the call.
+// Streaming iterators and parallel scan workers are built on this: memory
+// stays O(page) and pages of one heap may be scanned concurrently.
+func (h *Heap) ScanPage(id disk.PageID, fn func(rid RID, rec []byte) bool) (next disk.PageID, stopped bool, err error) {
+	f, err := h.pool.Fetch(id)
+	if err != nil {
+		return disk.InvalidPage, false, err
+	}
+	f.Page().Records(func(slot int, rec []byte) bool {
+		if !fn(RID{Page: id, Slot: uint16(slot)}, rec) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	next = disk.PageID(f.Page().Aux())
+	h.pool.Unpin(f, false)
+	return next, stopped, nil
+}
+
 // Scan calls fn for every live record in chain order. The rec slice passed
 // to fn is only valid for the duration of the call.
 func (h *Heap) Scan(fn func(rid RID, rec []byte) bool) error {
 	id := h.first
 	for id != disk.InvalidPage {
-		f, err := h.pool.Fetch(id)
+		next, stopped, err := h.ScanPage(id, fn)
 		if err != nil {
 			return err
 		}
-		stop := false
-		f.Page().Records(func(slot int, rec []byte) bool {
-			if !fn(RID{Page: id, Slot: uint16(slot)}, rec) {
-				stop = true
-				return false
-			}
-			return true
-		})
-		next := disk.PageID(f.Page().Aux())
-		h.pool.Unpin(f, false)
-		if stop {
+		if stopped {
 			return nil
 		}
 		id = next

@@ -1,0 +1,71 @@
+package xomatiq_test
+
+import (
+	"strings"
+	"testing"
+
+	"xomatiq/internal/benchutil"
+	"xomatiq/internal/core"
+)
+
+// TestQuerySuiteWorkerDeterminism runs the E-series query suite with
+// QueryWorkers=1 and QueryWorkers=4 and requires the full result sets
+// to be byte-identical. The no-index mode forces every query through
+// the sequential-scan path, where the parallel scan-filter operator
+// actually engages at workers=4.
+func TestQuerySuiteWorkerDeterminism(t *testing.T) {
+	f, err := benchutil.BuildFlats(120, 150, 150, benchOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := []struct {
+		name string
+		mod  func(*core.Config)
+	}{
+		{"indexed", func(c *core.Config) {}},
+		{"no-indexes", func(c *core.Config) {
+			c.WithIndexes = false
+			c.UseKeywordIndex = false
+		}},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			open := func(workers int) *core.Engine {
+				eng, err := benchutil.Warehouse(t.TempDir(), f, func(c *core.Config) {
+					m.mod(c)
+					c.QueryWorkers = workers
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { eng.Close() })
+				return eng
+			}
+			serial, parallel := open(1), open(4)
+			for _, q := range benchutil.QuerySuite {
+				want := renderResult(t, serial, q.Query)
+				got := renderResult(t, parallel, q.Query)
+				if want != got {
+					t.Errorf("%s: workers=4 diverges from workers=1\nserial:\n%s\nparallel:\n%s",
+						q.Name, want, got)
+				}
+			}
+		})
+	}
+}
+
+func renderResult(t *testing.T, eng *core.Engine, query string) string {
+	t.Helper()
+	res, err := eng.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString(strings.Join(res.Columns, "|"))
+	sb.WriteByte('\n')
+	for _, row := range res.Rows {
+		sb.WriteString(strings.Join(row, "|"))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -82,6 +82,10 @@ type Option func(*Config)
 // WithPoolPages sets the buffer pool capacity in pages.
 func WithPoolPages(n int) Option { return func(c *Config) { c.PoolPages = n } }
 
+// WithQueryWorkers caps intra-query scan parallelism (0 = GOMAXPROCS,
+// 1 = serial). Results are byte-identical for any setting.
+func WithQueryWorkers(n int) Option { return func(c *Config) { c.QueryWorkers = n } }
+
 // WithAsync skips the WAL fsync on commit (bulk loads; trades the
 // durability of the last commits for load throughput).
 func WithAsync() Option { return func(c *Config) { c.Async = true } }
