@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-compare profile check fuzz crash
+.PHONY: all build vet test race bench bench-json bench-compare bench-guard profile check fuzz crash
 
 # Seconds of fuzzing per parser target.
 FUZZTIME ?= 30s
@@ -44,6 +44,17 @@ profile:
 	$(GO) run ./cmd/benchjson -bench $(PROFILEBENCH) -benchtime $(BENCHTIME) \
 		-profiledir profiles > profiles/bench.json
 	@echo "profiles/ now holds mutex.prof block.prof cpu.prof bench.test bench.json"
+
+# Regression gate: rerun the guarded benchmark and fail if ns/op
+# regressed more than GUARDTOL against the committed baseline text.
+# The $$ doubles survive Make so the regex anchors reach go test.
+GUARDBENCH ?= BenchmarkQueryConcurrent/scan$$/clients=16$$/workers=1$$
+GUARDBASE  ?= BENCH_E17_after.txt
+GUARDTOL   ?= 0.10
+
+bench-guard:
+	$(GO) run ./cmd/benchjson -bench '$(GUARDBENCH)' -benchtime $(BENCHTIME) \
+		-guard $(GUARDBASE) -tolerance $(GUARDTOL) > /dev/null
 
 # Compare two raw benchmark text files (the .txt twins bench-json
 # leaves next to the JSON) with benchstat, if installed.

@@ -720,6 +720,14 @@ func BenchmarkQueryConcurrent(b *testing.B) {
 					if secs := b.Elapsed().Seconds(); secs > 0 {
 						b.ReportMetric(float64(b.N)/secs, "qps")
 					}
+					// Per-op engine work from the unified snapshot;
+					// benchjson picks these up as custom metric columns.
+					if snap, err := eng.Snapshot(); err == nil {
+						m := snap.Metrics()
+						for _, k := range []string{"pool.hits", "heap.pages_scanned", "plancache.hits"} {
+							b.ReportMetric(m[k]/float64(b.N), k+"/op")
+						}
+					}
 				})
 			}
 		}

@@ -18,6 +18,12 @@
 // and any custom b.ReportMetric units (qps, rows, wal-bytes, ...) in a
 // "metrics" map. Lines that are not benchmark results (package headers,
 // PASS, ok) are skipped, so the raw `go test` stream pipes straight in.
+//
+// With -guard <baseline.txt> the run doubles as a regression gate: each
+// result is compared by name (GOMAXPROCS suffix stripped) against the
+// baseline's ns/op, and any benchmark slower by more than -tolerance
+// (default 0.10 = 10%) fails the run with exit status 1. `make
+// bench-guard` wires this against the committed baseline.
 package main
 
 import (
@@ -50,6 +56,8 @@ func main() {
 	benchtime := flag.String("benchtime", "3x", "benchtime for -bench runs (fixed counts compare across commits)")
 	pkg := flag.String("pkg", ".", "package to benchmark in -bench runs")
 	profileDir := flag.String("profiledir", "", "also capture mutex/block/cpu profiles into this directory (-bench runs only)")
+	guard := flag.String("guard", "", "baseline `go test -bench` text file; fail on ns/op regressions against it")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/op regression for -guard (0.10 = 10%)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -84,6 +92,77 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *guard != "" {
+		if err := guardAgainst(*guard, recs, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// guardAgainst compares the run's ns/op against a committed baseline
+// (raw `go test -bench` text). Names are matched with the trailing
+// -GOMAXPROCS suffix stripped, so baselines captured on a different
+// core count still compare. Benchmarks absent from the baseline are
+// ignored; any present benchmark slower by more than tolerance fails.
+func guardAgainst(path string, recs []record, tolerance float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	base := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			base[stripProcs(r.Name)] = r.NsOp
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("guard baseline %s has no benchmark lines", path)
+	}
+	failed := 0
+	for _, r := range recs {
+		want, ok := base[stripProcs(r.Name)]
+		if !ok || want <= 0 {
+			continue
+		}
+		delta := (r.NsOp - want) / want
+		status := "ok"
+		if delta > tolerance {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(os.Stderr, "guard %s: %s %.0f ns/op vs baseline %.0f (%+.1f%%, tolerance %.0f%%)\n",
+			status, stripProcs(r.Name), r.NsOp, want, delta*100, tolerance*100)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s", failed, tolerance*100, path)
+	}
+	return nil
+}
+
+// stripProcs removes the trailing -<GOMAXPROCS> go test appends to
+// benchmark names (BenchmarkFoo/case=1-8 -> BenchmarkFoo/case=1).
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	suffix := name[i+1:]
+	if suffix == "" {
+		return name
+	}
+	for _, c := range suffix {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
 }
 
 // runBench executes the benchmark run, mirroring its raw text to stderr

@@ -57,7 +57,9 @@ func main() {
 		}
 		fmt.Printf("update applied: added=%d modified=%d removed=%d\n",
 			len(cs.Added), len(cs.Modified), len(cs.Removed))
-		fmt.Println(eng.LastLoadStats().Summary())
+		if snap, err := eng.Snapshot(); err == nil {
+			fmt.Println(snap.LastLoad.Summary())
+		}
 		return
 	}
 	n, err := eng.Harness(*name)
@@ -65,5 +67,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("harnessed %d entries into %s\n", n, *name)
-	fmt.Println(eng.LastLoadStats().Summary())
+	if snap, err := eng.Snapshot(); err == nil {
+		fmt.Println(snap.LastLoad.Summary())
+	}
 }

@@ -13,11 +13,14 @@
 //	\doc <db> <entry>        reconstruct one entry as XML
 //	\kw <db> [db...] : <kw>  keyword search mode (Fig. 8)
 //	\harness <db> <format> <file>  bulk-load a flat file, print throughput
+//	\stats                   physical and warehouse statistics
+//	\metrics                 flat dump of every engine counter
 //	\mode table|xml          result display mode
 //	\quit                    exit
 //
 // Anything else is a XomatiQ FLWR query; end it with a line containing
-// only ";".
+// only ";". A query prefixed with EXPLAIN ANALYZE is executed and its
+// operator tree printed with actual row counts and timings.
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 
 	"xomatiq/internal/core"
 	"xomatiq/internal/hounds"
+	"xomatiq/internal/obs"
 )
 
 // queryTimeout bounds each query's execution; 0 means no limit.
@@ -142,25 +146,33 @@ func command(eng *core.Engine, out io.Writer, line string, mode *string, registe
 	case "\\harness":
 		runHarness(eng, out, fields[1:], registered)
 	case "\\stats":
-		phys, whs, err := eng.Stats()
+		snap, err := eng.Snapshot()
 		if err != nil {
 			fmt.Fprintln(out, "error:", err)
 			break
 		}
+		phys := snap.DB
 		fmt.Fprintf(out, "file: %d pages, wal: %d bytes, dirty: %d pages\n",
 			phys.FilePages, phys.WALBytes, phys.DirtyPages)
 		fmt.Fprintf(out, "buffer pool: %d shards, %d hits, %d misses\n",
-			phys.PoolShards, phys.PoolHits, phys.PoolMisses)
-		for _, w := range whs {
+			snap.Pool.Shards, snap.Pool.Hits, snap.Pool.Misses)
+		for _, w := range snap.Warehouses {
 			fmt.Fprintf(out, "  %-24s %6d docs %5d paths\n", w.DB, w.Docs, w.Paths)
 		}
 		for _, t := range phys.Tables {
 			fmt.Fprintf(out, "  table %-12s %8d rows  indexes: %s\n",
 				t.Name, t.Rows, strings.Join(t.Indexes, ", "))
 		}
-		pc := eng.PlanCacheStats()
+		pc := snap.PlanCache
 		fmt.Fprintf(out, "plan cache: %d entries, %d hits, %d misses, %d invalidations\n",
 			pc.Entries, pc.Hits, pc.Misses, pc.Invalidations)
+	case "\\metrics":
+		snap, err := eng.Snapshot()
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		fmt.Fprint(out, obs.FormatMetrics(snap.Metrics()))
 	case "\\plan":
 		query := strings.TrimSpace(strings.TrimPrefix(line, "\\plan"))
 		if query == "" {
@@ -181,7 +193,7 @@ func command(eng *core.Engine, out io.Writer, line string, mode *string, registe
 			fmt.Fprintln(out, "usage: \\mode table|xml")
 		}
 	default:
-		fmt.Fprintln(out, "unknown command; try \\dbs \\dtd \\doc \\kw \\harness \\stats \\plan \\mode \\quit")
+		fmt.Fprintln(out, "unknown command; try \\dbs \\dtd \\doc \\kw \\harness \\stats \\metrics \\plan \\mode \\quit")
 	}
 	return true
 }
@@ -219,7 +231,9 @@ func runHarness(eng *core.Engine, out io.Writer, args []string, registered map[s
 		return
 	}
 	fmt.Fprintf(out, "harnessed %d entries into %s\n", n, db)
-	fmt.Fprintln(out, eng.LastLoadStats().Summary())
+	if snap, err := eng.Snapshot(); err == nil {
+		fmt.Fprintln(out, snap.LastLoad.Summary())
+	}
 }
 
 // runKeywordMode builds the Fig. 8-style keyword query from "\kw db1 db2
@@ -265,6 +279,19 @@ func runKeywordMode(eng *core.Engine, out io.Writer, args []string, mode string)
 	runQuery(eng, out, sb.String(), mode)
 }
 
+// explainAnalyzePrefix strips a leading case-insensitive "EXPLAIN
+// ANALYZE" from a query, reporting whether it was present.
+func explainAnalyzePrefix(query string) (string, bool) {
+	trimmed := strings.TrimSpace(query)
+	fields := strings.Fields(trimmed)
+	if len(fields) < 2 || !strings.EqualFold(fields[0], "EXPLAIN") || !strings.EqualFold(fields[1], "ANALYZE") {
+		return query, false
+	}
+	rest := strings.TrimSpace(trimmed[len(fields[0]):])
+	rest = strings.TrimSpace(rest[len(fields[1]):])
+	return rest, true
+}
+
 // rootOf guesses the root element of a database from its DTD tree.
 func rootOf(eng *core.Engine, db string) string {
 	tree, err := eng.DTDTree(db)
@@ -284,6 +311,15 @@ func runQuery(eng *core.Engine, out io.Writer, query, mode string) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, queryTimeout)
 		defer cancel()
+	}
+	if rest, ok := explainAnalyzePrefix(query); ok {
+		report, err := eng.ExplainAnalyze(ctx, rest)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return
+		}
+		fmt.Fprintln(out, report)
+		return
 	}
 	res, err := eng.QueryContext(ctx, query)
 	if err != nil {

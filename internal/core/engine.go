@@ -7,9 +7,11 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -18,6 +20,7 @@ import (
 	"xomatiq/internal/dtd"
 	"xomatiq/internal/hounds"
 	"xomatiq/internal/nativexml"
+	"xomatiq/internal/obs"
 	"xomatiq/internal/shred"
 	"xomatiq/internal/sql"
 	"xomatiq/internal/storage/disk"
@@ -56,6 +59,14 @@ type Config struct {
 	// FS is the filesystem the warehouse lives on; nil means the real
 	// disk. Fault-injection tests substitute a faultfs.FS.
 	FS disk.FS
+	// SlowQueryThreshold enables the slow-query log: queries whose
+	// end-to-end latency reaches the threshold are written to
+	// SlowQueryLog as JSON lines, with per-operator actuals. Zero
+	// disables the log (and the per-query trace allocation with it).
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives the slow-query JSON lines; nil means
+	// os.Stderr. Writes are serialised by the engine.
+	SlowQueryLog io.Writer
 }
 
 // NewConfig returns the default configuration for a warehouse at path.
@@ -70,6 +81,7 @@ type Engine struct {
 	store *shred.Store
 	bus   *hounds.Bus
 	plans *planCache
+	reg   *obs.Registry // engine-wide metrics; shared with the sql layer
 
 	mu      sync.Mutex
 	sources map[string]*sourceReg
@@ -77,6 +89,9 @@ type Engine struct {
 
 	statsMu  sync.Mutex
 	lastLoad LoadStats
+
+	slowMu  sync.Mutex
+	slowLog io.Writer
 }
 
 type sourceReg struct {
@@ -87,7 +102,11 @@ type sourceReg struct {
 
 // Open opens (or creates) a warehouse.
 func Open(cfg Config) (*Engine, error) {
-	opts := sql.Options{PoolPages: cfg.PoolPages, QueryWorkers: cfg.QueryWorkers, FS: cfg.FS}
+	reg := obs.NewRegistry()
+	opts := sql.Options{
+		PoolPages: cfg.PoolPages, QueryWorkers: cfg.QueryWorkers,
+		FS: cfg.FS, Metrics: reg,
+	}
 	var db *sql.DB
 	var err error
 	if cfg.Async {
@@ -103,14 +122,20 @@ func Open(cfg Config) (*Engine, error) {
 		db.Close()
 		return nil, err
 	}
+	slowLog := cfg.SlowQueryLog
+	if slowLog == nil {
+		slowLog = os.Stderr
+	}
 	return &Engine{
 		cfg:     cfg,
 		db:      db,
 		store:   store,
 		bus:     hounds.NewBus(),
 		plans:   newPlanCache(cfg.PlanCacheSize),
+		reg:     reg,
 		sources: map[string]*sourceReg{},
 		corpus:  map[string][]*xmldoc.Document{},
+		slowLog: slowLog,
 	}, nil
 }
 
@@ -447,11 +472,22 @@ func (e *Engine) Query(src string) (*Result, error) {
 // skipping the XQ parse, the XQ2SQL translation and the SQL parse while
 // the catalog epochs of every referenced database are unchanged.
 func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
-	entry, err := e.plan(src)
+	start := time.Now()
+	entry, cached, err := e.plan(src)
 	if err != nil {
+		e.reg.Query.Queries.Inc()
+		e.reg.Query.Errors.Inc()
 		return nil, err
 	}
-	return e.execPlan(ctx, entry)
+	// The per-query trace is allocated ONLY when the slow-query log might
+	// need it; the common path keeps tracing nil all the way down.
+	var qt *obs.QueryTrace
+	if e.cfg.SlowQueryThreshold > 0 {
+		qt = obs.NewQueryTrace(true)
+	}
+	res, err := e.execPlan(ctx, entry, qt)
+	e.observeQuery(src, cached, qt, res, err, time.Since(start))
+	return res, err
 }
 
 // QueryParsed runs an already-parsed query.
@@ -462,34 +498,41 @@ func (e *Engine) QueryParsed(q *xq.Query) (*Result, error) {
 // QueryParsedContext runs an already-parsed query under a context. The
 // plan cache is keyed on query text, so this path always translates.
 func (e *Engine) QueryParsedContext(ctx context.Context, q *xq.Query) (*Result, error) {
+	start := time.Now()
 	entry, err := e.translate(q)
 	if err != nil {
+		e.reg.Query.Queries.Inc()
+		e.reg.Query.Errors.Inc()
 		return nil, err
 	}
-	return e.execPlan(ctx, entry)
+	res, err := e.execPlan(ctx, entry, nil)
+	e.observeQuery("", false, nil, res, err, time.Since(start))
+	return res, err
 }
 
 // plan returns a usable plan entry for a query text, consulting the
 // cache first. A cached entry is served only while every catalog epoch
 // it captured still matches; otherwise it is dropped and rebuilt.
-func (e *Engine) plan(src string) (*planEntry, error) {
+// cached reports whether the entry came from the cache (observability:
+// EXPLAIN ANALYZE and the slow-query log surface it).
+func (e *Engine) plan(src string) (entry *planEntry, cached bool, err error) {
 	key := normalizeQuery(src)
 	if entry, ok := e.plans.get(key); ok {
 		if e.planFresh(entry) {
-			return entry, nil
+			return entry, true, nil
 		}
 		e.plans.invalidate(key)
 	}
 	q, err := xq.Parse(src)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	entry, err := e.translate(q)
+	entry, err = e.translate(q)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	e.plans.put(key, entry)
-	return entry, nil
+	return entry, false, nil
 }
 
 // planFresh reports whether every epoch the entry captured is current.
@@ -542,10 +585,17 @@ func (e *Engine) translate(q *xq.Query) (*planEntry, error) {
 }
 
 // execPlan runs a plan entry: the translated statement over the
-// relational engine, or the native fallback for unsupported shapes.
-func (e *Engine) execPlan(ctx context.Context, entry *planEntry) (*Result, error) {
+// relational engine, or the native fallback for unsupported shapes. qt,
+// when non-nil, collects the executed plan with per-operator actuals.
+func (e *Engine) execPlan(ctx context.Context, entry *planEntry, qt *obs.QueryTrace) (*Result, error) {
 	if !entry.unsupported {
-		rows, qerr := e.db.QueryStmtContext(ctx, entry.stmt)
+		var rows *sql.Rows
+		var qerr error
+		if qt != nil {
+			rows, qerr = e.db.QueryStmtTracedContext(ctx, entry.stmt, qt)
+		} else {
+			rows, qerr = e.db.QueryStmtContext(ctx, entry.stmt)
+		}
 		if qerr != nil {
 			return nil, fmt.Errorf("core: executing translated SQL: %w", qerr)
 		}
@@ -571,7 +621,74 @@ func (e *Engine) execPlan(ctx context.Context, entry *planEntry) (*Result, error
 	return &Result{Columns: nres.Columns, Rows: nres.Rows, Mode: ModeNative}, nil
 }
 
+// observeQuery feeds one finished query into the registry and, past the
+// slow-query threshold, the slow-query log. src may be empty (pre-parsed
+// queries); qt may be nil (tracing off).
+func (e *Engine) observeQuery(src string, cached bool, qt *obs.QueryTrace, res *Result, err error, elapsed time.Duration) {
+	q := &e.reg.Query
+	q.Queries.Inc()
+	q.Latency.Observe(elapsed)
+	switch {
+	case err != nil:
+		q.Errors.Inc()
+	case res.Mode == ModeNative:
+		q.Native.Inc()
+		q.Rows.Add(uint64(len(res.Rows)))
+	default:
+		q.SQL.Inc()
+		q.Rows.Add(uint64(len(res.Rows)))
+	}
+	if e.cfg.SlowQueryThreshold <= 0 || elapsed < e.cfg.SlowQueryThreshold {
+		return
+	}
+	q.Slow.Inc()
+	e.logSlowQuery(src, cached, qt, res, err, elapsed)
+}
+
+// slowQueryRecord is one JSON line of the slow-query log.
+type slowQueryRecord struct {
+	TS        string                `json:"ts"`
+	Query     string                `json:"query,omitempty"`
+	Mode      Mode                  `json:"mode,omitempty"`
+	SQL       string                `json:"sql,omitempty"`
+	PlanCache string                `json:"plan_cache"`
+	ElapsedMS float64               `json:"elapsed_ms"`
+	Rows      int                   `json:"rows"`
+	Error     string                `json:"error,omitempty"`
+	Operators []obs.OperatorSummary `json:"operators,omitempty"`
+}
+
+func (e *Engine) logSlowQuery(src string, cached bool, qt *obs.QueryTrace, res *Result, err error, elapsed time.Duration) {
+	rec := slowQueryRecord{
+		TS:        time.Now().UTC().Format(time.RFC3339Nano),
+		Query:     src,
+		PlanCache: "miss",
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		Operators: qt.Operators(),
+	}
+	if cached {
+		rec.PlanCache = "hit"
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	} else {
+		rec.Mode = res.Mode
+		rec.SQL = res.SQL
+		rec.Rows = len(res.Rows)
+	}
+	line, merr := json.Marshal(rec)
+	if merr != nil {
+		return
+	}
+	e.slowMu.Lock()
+	defer e.slowMu.Unlock()
+	e.slowLog.Write(append(line, '\n'))
+}
+
 // PlanCacheStats snapshots the plan cache's effectiveness counters.
+//
+// Deprecated: read the PlanCache field of Snapshot instead; this
+// accessor is kept as a thin view for one release.
 func (e *Engine) PlanCacheStats() PlanCacheStats { return e.plans.stats() }
 
 // corpusFor reconstructs (and caches) the documents of every database a
@@ -643,6 +760,37 @@ func (e *Engine) Explain(src string) (string, error) {
 	return "SQL: " + tr.SQL + "\nplan:\n  " + strings.ReplaceAll(plan, "\n", "\n  "), nil
 }
 
+// ExplainAnalyze runs the query and renders the executed plan with
+// actual per-operator row counts and timings next to the plan text, plus
+// a total line (rows, latency, mode, plan-cache verdict). Unlike
+// Explain, the query REALLY executes — side effects on the plan cache
+// and metrics are those of a normal run.
+func (e *Engine) ExplainAnalyze(ctx context.Context, src string) (string, error) {
+	start := time.Now()
+	entry, cached, err := e.plan(src)
+	if err != nil {
+		return "", err
+	}
+	qt := obs.NewQueryTrace(true)
+	res, err := e.execPlan(ctx, entry, qt)
+	elapsed := time.Since(start)
+	e.observeQuery(src, cached, qt, res, err, elapsed)
+	if err != nil {
+		return "", err
+	}
+	cacheState := "miss"
+	if cached {
+		cacheState = "hit"
+	}
+	total := fmt.Sprintf("total: %d rows in %s (mode=%s, plan cache %s)",
+		len(res.Rows), elapsed.Round(time.Microsecond), res.Mode, cacheState)
+	if res.Mode == ModeNative {
+		return fmt.Sprintf("native evaluation (no single-SELECT translation)\n%s", total), nil
+	}
+	return "SQL: " + res.SQL + "\nplan:\n  " +
+		strings.ReplaceAll(qt.Render(true), "\n", "\n  ") + "\n" + total, nil
+}
+
 // WarehouseStats summarises one warehoused database.
 type WarehouseStats struct {
 	DB    string
@@ -651,19 +799,35 @@ type WarehouseStats struct {
 }
 
 // Stats reports physical database statistics plus per-warehouse counts.
+//
+// Deprecated: read the DB and Warehouses fields of Snapshot instead;
+// this accessor is kept as a thin view for one release.
 func (e *Engine) Stats() (sql.Stats, []WarehouseStats, error) {
 	phys := e.db.Stats()
-	var whs []WarehouseStats
-	for _, dbName := range e.store.Databases() {
-		n, err := e.store.DocCount(dbName)
-		if err != nil {
-			return phys, nil, err
-		}
-		whs = append(whs, WarehouseStats{
-			DB: dbName, Docs: n, Paths: e.store.PathCount(dbName),
-		})
+	whs, err := e.warehouseStats()
+	if err != nil {
+		return phys, nil, err
 	}
 	return phys, whs, nil
+}
+
+// warehouseStats snapshots per-warehouse counts via shred.Store.Overview:
+// one dictionary-lock acquisition plus one grouped count query, so the
+// listing cannot interleave with a concurrent Harness the way the old
+// per-database Databases/DocCount/PathCount loop could.
+func (e *Engine) warehouseStats() ([]WarehouseStats, error) {
+	infos, err := e.store.Overview()
+	if err != nil {
+		return nil, err
+	}
+	if len(infos) == 0 {
+		return nil, nil
+	}
+	whs := make([]WarehouseStats, len(infos))
+	for i, in := range infos {
+		whs[i] = WarehouseStats{DB: in.DB, Docs: in.Docs, Paths: in.Paths}
+	}
+	return whs, nil
 }
 
 // Compact rewrites the warehouse into a fresh file at path, reclaiming

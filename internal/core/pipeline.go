@@ -65,6 +65,9 @@ func (s LoadStats) Summary() string {
 
 // LastLoadStats reports throughput of the most recent load (the console
 // \harness command and datahound surface these numbers).
+//
+// Deprecated: read the LastLoad field of Snapshot instead; this accessor
+// is kept as a thin view for one release.
 func (e *Engine) LastLoadStats() LoadStats {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()
@@ -75,6 +78,8 @@ func (e *Engine) setLoadStats(s LoadStats) {
 	e.statsMu.Lock()
 	e.lastLoad = s
 	e.statsMu.Unlock()
+	e.reg.Ingest.Loads.Inc()
+	e.reg.Ingest.SourceBytes.Add(uint64(s.Bytes))
 }
 
 // loadWorkers resolves the configured ingest parallelism.
@@ -209,10 +214,15 @@ func (e *Engine) runLoadPipeline(ctx context.Context, dbName string, d *dtd.DTD,
 		}
 		// Keyword shards merge only after their chunk is durable, in
 		// document order, reproducing the sequential posting order.
+		chunkTuples := 0
 		for _, b := range chunk {
 			e.store.MergeKeywords(dbName, b)
-			tuples += b.Tuples()
+			chunkTuples += b.Tuples()
 		}
+		tuples += chunkTuples
+		e.reg.Ingest.Chunks.Inc()
+		e.reg.Ingest.Docs.Add(uint64(len(chunk)))
+		e.reg.Ingest.Tuples.Add(uint64(chunkTuples))
 		chunk = chunk[:0]
 		return nil
 	}

@@ -16,10 +16,11 @@ type Stats struct {
 	DirtyPages int
 	// Buffer-pool shard layout and cumulative cache effectiveness since
 	// open; concurrent readers bump the counters without the pool lock.
-	PoolShards int
-	PoolHits   uint64
-	PoolMisses uint64
-	Tables     []TableStats
+	PoolShards    int
+	PoolHits      uint64
+	PoolMisses    uint64
+	PoolEvictions uint64
+	Tables        []TableStats
 }
 
 // TableStats describes one table.
@@ -35,12 +36,13 @@ func (db *DB) Stats() Stats {
 	defer db.mu.RUnlock()
 	ps := db.pool.Stats()
 	s := Stats{
-		FilePages:  db.mgr.NumPages(),
-		WALBytes:   db.log.Size(),
-		DirtyPages: db.pool.DirtyCount(),
-		PoolShards: ps.Shards,
-		PoolHits:   ps.Hits,
-		PoolMisses: ps.Misses,
+		FilePages:     db.mgr.NumPages(),
+		WALBytes:      db.log.Size(),
+		DirtyPages:    db.pool.DirtyCount(),
+		PoolShards:    ps.Shards,
+		PoolHits:      ps.Hits,
+		PoolMisses:    ps.Misses,
+		PoolEvictions: ps.Evictions,
 	}
 	for _, t := range db.cat.tables {
 		ts := TableStats{Name: t.Name, Rows: t.Heap.Count()}

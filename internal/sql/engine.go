@@ -12,6 +12,7 @@ import (
 
 	"xomatiq/internal/index/btree"
 	"xomatiq/internal/index/hash"
+	"xomatiq/internal/obs"
 	"xomatiq/internal/storage/bufpool"
 	"xomatiq/internal/storage/disk"
 	"xomatiq/internal/storage/heap"
@@ -41,6 +42,11 @@ type Options struct {
 	// GOMAXPROCS). 1 forces every scan serial; results are byte-identical
 	// either way.
 	QueryWorkers int
+	// Metrics is the registry the buffer pool, WAL and executor feed.
+	// Nil gets a private registry, so instrumentation is always live
+	// (plain atomics) and callers that want the numbers share one
+	// registry across layers.
+	Metrics *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -56,6 +62,9 @@ func (o *Options) fill() {
 	if o.QueryWorkers == 0 {
 		o.QueryWorkers = runtime.GOMAXPROCS(0)
 	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
 }
 
 // DB is an embedded relational database: one data file plus one WAL.
@@ -70,6 +79,7 @@ type DB struct {
 	catH *heap.Heap
 
 	opts      Options
+	reg       *obs.Registry // == opts.Metrics; the executor's handle
 	nextTxn   uint64
 	inBatch   bool
 	batchTxn  uint64
@@ -130,7 +140,10 @@ func open(path string, opts Options) (*DB, error) {
 		log:  log,
 		cat:  newCatalog(),
 		opts: opts,
+		reg:  opts.Metrics,
 	}
+	db.pool.BindMetrics(&db.reg.Pool)
+	log.SetMetrics(&db.reg.WAL)
 	db.pool.SetNoSteal(true)
 
 	// Crash recovery: replay committed WAL ops onto the checkpointed
@@ -693,7 +706,16 @@ func (db *DB) QueryStmt(sel *Select) (*Rows, error) {
 func (db *DB) QueryStmtContext(ctx context.Context, sel *Select) (*Rows, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.runSelect(ctx, sel)
+	return db.runSelect(ctx, sel, nil)
+}
+
+// QueryStmtTracedContext runs a parsed SELECT under ctx with a query
+// trace attached: qt accumulates the plan lines and per-operator actual
+// rows/timings as the plan executes (EXPLAIN ANALYZE, slow-query log).
+func (db *DB) QueryStmtTracedContext(ctx context.Context, sel *Select, qt *obs.QueryTrace) (*Rows, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.runSelect(ctx, sel, qt)
 }
 
 // Table exposes table metadata (column defs and row count).
@@ -1175,7 +1197,9 @@ func (db *DB) removeTuple(txn uint64, t *TableInfo, rid heap.RID, tup value.Tupl
 // tuple of each match. fn must not mutate the heap; callers collect rids
 // first when they need to.
 func (db *DB) matchingRows(t *TableInfo, where Expr, fn func(rid heap.RID, tup value.Tuple) error) error {
-	it, err := db.accessPath(nil, t, t.Name, conjuncts(where), nil)
+	// A minimal execState (no ctx, no workers) keeps the DML scan serial
+	// and untraced while still feeding the work counters.
+	it, _, err := db.accessPath(&execState{reg: db.reg}, t, t.Name, conjuncts(where))
 	if err != nil {
 		return err
 	}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
+	"xomatiq/internal/obs"
 	"xomatiq/internal/storage/disk"
 	"xomatiq/internal/storage/heap"
 	"xomatiq/internal/value"
@@ -36,6 +38,13 @@ type execState struct {
 	// LIMIT cut). Parallel scan workers select on it when handing off
 	// page batches, so an abandoned iterator never strands goroutines.
 	done chan struct{}
+	// reg receives the work counters (heap pages, index probes) of this
+	// execution; nil skips them (plan-only walks).
+	reg *obs.Registry
+	// qt collects plan lines and, for EXPLAIN ANALYZE / slow queries,
+	// per-operator actuals; nil (the normal query path) records nothing
+	// and keeps the executor allocation-free.
+	qt *obs.QueryTrace
 }
 
 // newExecState prepares the shared state for one query execution. The
@@ -63,19 +72,88 @@ func (es *execState) poll() error {
 	return es.ctx.Err()
 }
 
-// runSelect plans and executes a SELECT under db.mu (read-held).
-func (db *DB) runSelect(ctx context.Context, sel *Select) (*Rows, error) {
+// tracef appends a plan line to the query trace and returns its operator
+// handle (nil when no trace, or when the trace is plan-only).
+func (es *execState) tracef(format string, args ...any) *obs.OpStats {
+	if es == nil {
+		return nil
+	}
+	return es.qt.Linef(format, args...)
+}
+
+// plainf appends a plan line that never carries actuals (work folded
+// into another operator, e.g. filters inside a parallel scan).
+func (es *execState) plainf(format string, args ...any) {
+	if es != nil {
+		es.qt.Plainf(format, args...)
+	}
+}
+
+// scannedPage feeds one visited heap page (with its decoded record
+// count) to the registry. Safe from scan worker goroutines.
+func (es *execState) scannedPage(records int) {
+	if es == nil || es.reg == nil {
+		return
+	}
+	es.reg.Heap.PagesScanned.Inc()
+	es.reg.Heap.RecordsScanned.Add(uint64(records))
+}
+
+// btreeSearch feeds one B-tree prefix/range scan to the registry.
+func (es *execState) btreeSearch() {
+	if es != nil && es.reg != nil {
+		es.reg.Index.BTreeSearches.Inc()
+	}
+}
+
+// hashLookup feeds one hash-index lookup to the registry.
+func (es *execState) hashLookup() {
+	if es != nil && es.reg != nil {
+		es.reg.Index.HashLookups.Inc()
+	}
+}
+
+// tracedIter wraps an operator's input to record rows emitted and
+// inclusive wall time (children included, as EXPLAIN ANALYZE reports it
+// everywhere else). Only ever allocated when a trace collects actuals.
+type tracedIter struct {
+	in rowIter
+	op *obs.OpStats
+}
+
+func (t *tracedIter) Schema() *Schema { return t.in.Schema() }
+
+func (t *tracedIter) Next() (value.Tuple, bool, error) {
+	start := time.Now()
+	tup, ok, err := t.in.Next()
+	t.op.Observe(ok && err == nil, time.Since(start))
+	return tup, ok, err
+}
+
+// tracedIf wraps it with an actuals recorder when the plan line carries
+// an operator handle; with tracing off (op nil) it returns it unchanged,
+// so the normal query path pays nothing.
+func tracedIf(op *obs.OpStats, it rowIter) rowIter {
+	if op == nil {
+		return it
+	}
+	return &tracedIter{in: it, op: op}
+}
+
+// runSelect plans and executes a SELECT under db.mu (read-held). qt, when
+// non-nil, collects plan lines and per-operator actuals (EXPLAIN ANALYZE
+// and slow-query traces); nil keeps the execution untraced.
+func (db *DB) runSelect(ctx context.Context, sel *Select, qt *obs.QueryTrace) (*Rows, error) {
 	if len(sel.From) == 0 {
 		return nil, fmt.Errorf("sql: SELECT requires FROM")
 	}
 	es := newExecState(ctx, db.opts.QueryWorkers)
+	es.reg = db.reg
+	es.qt = qt
 	defer es.finish()
-	it, residual, err := db.buildFrom(es, sel, nil)
+	it, err := db.buildFrom(es, sel)
 	if err != nil {
 		return nil, err
-	}
-	for _, c := range residual {
-		it = &filterIter{in: it, pred: c}
 	}
 	if hasAggregates(sel) {
 		return db.runAggregate(sel, it)
@@ -87,14 +165,14 @@ func (db *DB) runSelect(ctx context.Context, sel *Select) (*Rows, error) {
 // for the first table, then one join per subsequent table. WHERE
 // conjuncts that reference a single binding are pushed down to that
 // binding's scan or join build, so intermediate results stay small; the
-// outer filter re-checks the full predicate for correctness.
-func (db *DB) buildFrom(es *execState, sel *Select, trace *[]string) (rowIter, []Expr, error) {
+// outer residual filters re-check the full predicate for correctness.
+func (db *DB) buildFrom(es *execState, sel *Select) (rowIter, error) {
 	conjs := conjuncts(sel.Where)
 	entries := make([]fromEntry, len(sel.From))
 	for i, ref := range sel.From {
 		t, err := db.cat.table(ref.Table)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		entries[i] = fromEntry{ref, t}
 	}
@@ -148,13 +226,13 @@ func (db *DB) buildFrom(es *execState, sel *Select, trace *[]string) (rowIter, [
 	}
 	for _, c := range conjs {
 		if err := checkRefs(c); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
 	for _, e := range entries {
 		if e.ref.On != nil {
 			if err := checkRefs(e.ref.On); err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 		}
 	}
@@ -174,20 +252,27 @@ func (db *DB) buildFrom(es *execState, sel *Select, trace *[]string) (rowIter, [
 	}
 
 	first := entries[0]
-	it, err := db.accessPath(es, first.t, first.ref.Binding(), conjs, trace)
+	it, scanOp, err := db.accessPath(es, first.t, first.ref.Binding(), conjs)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	firstFilters := pushdown[strings.ToLower(first.ref.Binding())]
-	if pit, ok := parallelizeScan(es, it, firstFilters, trace); ok {
-		it = pit
+	// The actuals wrapper goes on AFTER the parallelize decision:
+	// parallelizeScan type-asserts the bare seqScanIter, and when it wins,
+	// the serial scan operator never runs (its plan line renders without
+	// actuals) while the parallel operator carries its own handle.
+	if pit, pop, ok := parallelizeScan(es, it, firstFilters); ok {
+		it = tracedIf(pop, pit)
 		for _, c := range firstFilters {
-			tracef(trace, "  filter %s", ExprString(c))
+			// Filters fold into the scan workers, so the lines carry no
+			// separate actuals.
+			es.plainf("  filter %s", ExprString(c))
 		}
 	} else {
+		it = tracedIf(scanOp, it)
 		for _, c := range firstFilters {
-			it = &filterIter{in: it, pred: c}
-			tracef(trace, "  filter %s", ExprString(c))
+			fop := es.tracef("  filter %s", ExprString(c))
+			it = tracedIf(fop, &filterIter{in: it, pred: c})
 		}
 	}
 	// Residual conjuncts apply as soon as every column they reference is
@@ -209,23 +294,17 @@ func (db *DB) buildFrom(es *execState, sel *Select, trace *[]string) (rowIter, [
 	it = applyReady(it)
 	for _, e := range entries[1:] {
 		it, err = db.buildJoin(es, it, e.t, e.ref, conjs,
-			pushdown[strings.ToLower(e.ref.Binding())], trace)
+			pushdown[strings.ToLower(e.ref.Binding())])
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		it = applyReady(it)
 	}
 	for _, c := range pending {
-		tracef(trace, "residual filter %s", ExprString(c))
+		rop := es.tracef("residual filter %s", ExprString(c))
+		it = tracedIf(rop, &filterIter{in: it, pred: c})
 	}
-	return it, pending, nil
-}
-
-// tracef appends a plan line when tracing is enabled.
-func tracef(trace *[]string, format string, args ...any) {
-	if trace != nil {
-		*trace = append(*trace, fmt.Sprintf(format, args...))
-	}
+	return it, nil
 }
 
 // Explain plans a SELECT and renders the chosen access paths and join
@@ -242,14 +321,14 @@ func (db *DB) Explain(src string) (string, error) {
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	var trace []string
 	// A plan-only execState (never executed, so no done channel) lets the
 	// trace report the parallel-scan decision the real run would make.
-	es := &execState{workers: db.opts.QueryWorkers}
-	if _, _, err := db.buildFrom(es, sel, &trace); err != nil {
+	qt := obs.NewQueryTrace(false)
+	es := &execState{workers: db.opts.QueryWorkers, qt: qt}
+	if _, err := db.buildFrom(es, sel); err != nil {
 		return "", err
 	}
-	return strings.Join(trace, "\n"), nil
+	return qt.Text(), nil
 }
 
 // resolvesIn reports whether every column reference in e resolves
@@ -428,15 +507,18 @@ func refersTo(c *ColumnRef, binding string, t *TableInfo) bool {
 // accessPath chooses between a sequential scan and an index scan for one
 // table, based on the WHERE conjuncts. The full predicate is re-checked
 // by the surrounding filter, so index selection is purely an access-path
-// optimisation.
-func (db *DB) accessPath(es *execState, t *TableInfo, binding string, conjs []Expr, trace *[]string) (rowIter, error) {
+// optimisation. The returned iterator is NOT wrapped with the actuals
+// recorder — callers apply tracedIf(op, it) themselves, after the
+// parallelize decision, because parallelizeScan must see the bare
+// seqScanIter and DML row collection needs the bare ridSource.
+func (db *DB) accessPath(es *execState, t *TableInfo, binding string, conjs []Expr) (rowIter, *obs.OpStats, error) {
 	schema := t.Schema(binding)
 	if db.indexesDeferred {
 		// Bulk load in progress: the secondary indexes miss the freshly
 		// loaded rows until ResumeIndexes rebuilds them, so only the
 		// heaps are trustworthy.
-		tracef(trace, "scan %s as %s: sequential (index maintenance deferred)", t.Name, binding)
-		return &seqScanIter{es: es, t: t, schema: schema}, nil
+		op := es.tracef("scan %s as %s: sequential (index maintenance deferred)", t.Name, binding)
+		return &seqScanIter{es: es, t: t, schema: schema}, op, nil
 	}
 	bounds := map[int]*bound{} // column position -> constraints
 	boundFor := func(pos int) *bound {
@@ -525,19 +607,30 @@ func (db *DB) accessPath(es *execState, t *TableInfo, binding string, conjs []Ex
 		}
 	}
 	if best == nil {
-		tracef(trace, "scan %s as %s: sequential", t.Name, binding)
-		return &seqScanIter{es: es, t: t, schema: schema}, nil
+		op := es.tracef("scan %s as %s: sequential", t.Name, binding)
+		return &seqScanIter{es: es, t: t, schema: schema}, op, nil
 	}
 	how := "prefix lookup"
 	if bestRange != nil {
 		how = "prefix+range scan"
 	}
-	tracef(trace, "scan %s as %s: index %s (%s, %d leading cols)",
+	op := es.tracef("scan %s as %s: index %s (%s, %d leading cols)",
 		t.Name, binding, best.Name, how, len(bestPrefix))
-	if best.UsingHash {
-		return newHashScanIter(es, t, schema, best, bestPrefix)
+	// Index scans collect their RID list eagerly at construction; when
+	// actuals are on, that work is attributed to the scan operator.
+	var start time.Time
+	if op != nil {
+		start = time.Now()
 	}
-	return newBTreeScanIter(es, t, schema, best, bestPrefix, bestRange)
+	var it rowIter
+	var err error
+	if best.UsingHash {
+		it, err = newHashScanIter(es, t, schema, best, bestPrefix)
+	} else {
+		it, err = newBTreeScanIter(es, t, schema, best, bestPrefix, bestRange)
+	}
+	op.AddSince(start)
+	return it, op, err
 }
 
 // prefixCombos enumerates the cartesian product of per-column candidate
@@ -608,6 +701,7 @@ func (s *seqScanIter) loadPage() error {
 	if serr != nil {
 		return serr
 	}
+	s.es.scannedPage(len(s.tups))
 	s.cur = next
 	return nil
 }
@@ -669,6 +763,7 @@ func (r *ridListIter) Next() (value.Tuple, bool, error) {
 func newHashScanIter(es *execState, t *TableInfo, schema *Schema, ix *IndexInfo, prefix [][]value.Value) (rowIter, error) {
 	var rids []heap.RID
 	for _, key := range prefixCombos(prefix) {
+		es.hashLookup()
 		ix.Hash.Lookup(key, func(p []byte) bool {
 			rids = append(rids, ridFromBytes(p))
 			return true
@@ -700,6 +795,7 @@ func newBTreeScanIter(es *execState, t *TableInfo, schema *Schema, ix *IndexInfo
 	}
 	for _, prefix := range prefixCombos(prefixVals) {
 		var err error
+		es.btreeSearch()
 		switch {
 		case rng == nil:
 			err = ix.BTree.ScanPrefix(prefix, collect)

@@ -16,7 +16,7 @@ type equiPair struct {
 // join key), hash join (any equi keys), and nested-loop join (everything
 // else). The ON residual is applied at the join; WHERE conjuncts are
 // re-checked by the outer filter.
-func (db *DB) buildJoin(es *execState, left rowIter, rt *TableInfo, ref TableRef, whereConjs []Expr, rightFilter []Expr, trace *[]string) (rowIter, error) {
+func (db *DB) buildJoin(es *execState, left rowIter, rt *TableInfo, ref TableRef, whereConjs []Expr, rightFilter []Expr) (rowIter, error) {
 	binding := ref.Binding()
 	rightSchema := rt.Schema(binding)
 	outSchema := left.Schema().Concat(rightSchema)
@@ -43,14 +43,18 @@ func (db *DB) buildJoin(es *execState, left rowIter, rt *TableInfo, ref TableRef
 	// remaining single-binding filters applied inline. A large sequential
 	// right side parallelises just like a driving scan, so hash-join and
 	// nested-loop builds also scale with QueryWorkers.
+	// rightSrc runs lazily inside the join's first Next (on the caller's
+	// goroutine), so its scan/parallel-scan trace lines appear only when
+	// the build actually executes — plain EXPLAIN never reaches it.
 	rightSrc := func() (rowIter, error) {
-		it, err := db.accessPath(es, rt, binding, whereConjs, trace)
+		it, sop, err := db.accessPath(es, rt, binding, whereConjs)
 		if err != nil {
 			return nil, err
 		}
-		if pit, ok := parallelizeScan(es, it, rightFilter, trace); ok {
-			return pit, nil
+		if pit, pop, ok := parallelizeScan(es, it, rightFilter); ok {
+			return tracedIf(pop, pit), nil
 		}
+		it = tracedIf(sop, it)
 		for _, f := range rightFilter {
 			it = &filterIter{in: it, pred: f}
 		}
@@ -59,16 +63,16 @@ func (db *DB) buildJoin(es *execState, left rowIter, rt *TableInfo, ref TableRef
 	var join rowIter
 	if len(pairs) > 0 {
 		if ix := pickJoinIndex(rt, pairs); ix != nil {
-			tracef(trace, "join %s as %s: index nested loop via %s (%d keys)",
+			op := es.tracef("join %s as %s: index nested loop via %s (%d keys)",
 				rt.Name, binding, ix.Name, len(pairs))
-			join = newIndexJoinIter(es, left, rt, rightSchema, outSchema, ix, pairs, rightFilter)
+			join = tracedIf(op, newIndexJoinIter(es, left, rt, rightSchema, outSchema, ix, pairs, rightFilter))
 		} else {
-			tracef(trace, "join %s as %s: hash join (%d keys)", rt.Name, binding, len(pairs))
-			join = newHashJoinIter(es, left, rightSchema, outSchema, pairs, rightSrc)
+			op := es.tracef("join %s as %s: hash join (%d keys)", rt.Name, binding, len(pairs))
+			join = tracedIf(op, newHashJoinIter(es, left, rightSchema, outSchema, pairs, rightSrc))
 		}
 	} else {
-		tracef(trace, "join %s as %s: nested loop (cross)", rt.Name, binding)
-		join = newNestedLoopIter(es, left, outSchema, rightSrc)
+		op := es.tracef("join %s as %s: nested loop (cross)", rt.Name, binding)
+		join = tracedIf(op, newNestedLoopIter(es, left, outSchema, rightSrc))
 	}
 	for _, r := range residual {
 		join = &filterIter{in: join, pred: r}
@@ -308,11 +312,13 @@ func (j *indexJoinIter) probe(ltup value.Tuple) error {
 	j.matches = j.matches[:0]
 	var rids []heap.RID
 	if j.ix.Hash != nil {
+		j.es.hashLookup()
 		j.ix.Hash.Lookup(key, func(p []byte) bool {
 			rids = append(rids, ridFromBytes(p))
 			return true
 		})
 	} else {
+		j.es.btreeSearch()
 		if err := j.ix.BTree.ScanPrefix(key, func(_, v []byte) bool {
 			rids = append(rids, ridFromBytes(v))
 			return true

@@ -3,6 +3,7 @@ package sql
 import (
 	"sync/atomic"
 
+	"xomatiq/internal/obs"
 	"xomatiq/internal/storage/disk"
 	"xomatiq/internal/storage/heap"
 	"xomatiq/internal/value"
@@ -20,24 +21,24 @@ var parallelScanMinPages = 8
 // so the caller must NOT wrap them again when ok is true. Output order
 // is byte-identical to the serial plan for any worker count: batches
 // carry their chain position and the merger emits them in heap order.
-func parallelizeScan(es *execState, it rowIter, filters []Expr, trace *[]string) (rowIter, bool) {
+func parallelizeScan(es *execState, it rowIter, filters []Expr) (rowIter, *obs.OpStats, bool) {
 	ss, ok := it.(*seqScanIter)
 	if !ok || es == nil || es.workers <= 1 {
-		return it, false
+		return it, nil, false
 	}
 	pages := ss.t.Heap.PageIDs()
 	if len(pages) < parallelScanMinPages {
-		return it, false
+		return it, nil, false
 	}
 	workers := es.workers
 	if workers > len(pages) {
 		workers = len(pages)
 	}
-	tracef(trace, "  parallel scan (%d workers, %d pages)", workers, len(pages))
+	op := es.tracef("  parallel scan (%d workers, %d pages)", workers, len(pages))
 	return &parallelScanIter{
 		es: es, t: ss.t, schema: ss.schema,
 		filters: filters, pages: pages, workers: workers,
-	}, true
+	}, op, true
 }
 
 // pageBatch is the unit of hand-off between scan workers and the merger:
@@ -122,12 +123,14 @@ func (p *parallelScanIter) scanPage(i int) pageBatch {
 		}
 	}
 	row := Row{Schema: p.schema}
+	decoded := 0
 	_, _, err := p.t.Heap.ScanPage(p.pages[i], func(_ heap.RID, rec []byte) bool {
 		tup, derr := value.DecodeTuple(rec)
 		if derr != nil {
 			b.err = derr
 			return false
 		}
+		decoded++
 		row.Values = tup
 		for _, f := range p.filters {
 			v, ferr := Eval(f, row)
@@ -145,6 +148,7 @@ func (p *parallelScanIter) scanPage(i int) pageBatch {
 	if err != nil && b.err == nil {
 		b.err = err
 	}
+	p.es.scannedPage(decoded)
 	return b
 }
 

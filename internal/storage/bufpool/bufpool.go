@@ -21,6 +21,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"xomatiq/internal/obs"
 	"xomatiq/internal/storage/disk"
 	"xomatiq/internal/storage/page"
 )
@@ -56,8 +57,12 @@ type shard struct {
 	lru       *list.List // of *Frame; front = most recently used
 	noSteal   bool
 	mutations uint64
-	hits      atomic.Uint64
-	misses    atomic.Uint64
+	// m holds the shard's cache-effectiveness counters. Always non-nil:
+	// New gives each shard a private block, and BindMetrics swaps in the
+	// engine registry's blocks, so the hot path increments without a nil
+	// check. Loads through the pointer race benignly with BindMetrics
+	// only during pool construction, before any concurrent use.
+	m *obs.PoolShardMetrics
 }
 
 // Frame is a cached page. Callers access the page through Page() and must
@@ -125,9 +130,21 @@ func New(mgr *disk.Manager, capacity int) *Pool {
 			capacity: c,
 			frames:   make(map[disk.PageID]*Frame),
 			lru:      list.New(),
+			m:        &obs.PoolShardMetrics{},
 		}
 	}
 	return p
+}
+
+// BindMetrics points each shard's counters at the given registry group
+// so pool activity shows up in engine snapshots. Must be called before
+// the pool sees concurrent use (the engine calls it at open time);
+// counts recorded before the bind stay on the discarded private blocks.
+func (p *Pool) BindMetrics(pm *obs.PoolMetrics) {
+	handles := pm.Bind(len(p.shards))
+	for i, s := range p.shards {
+		s.m = handles[i]
+	}
 }
 
 // shardFor maps a page id to its shard. The id is multiplied by a large
@@ -140,19 +157,21 @@ func (p *Pool) shardFor(id disk.PageID) *shard {
 // ShardCount reports the number of lock shards (stats, tests).
 func (p *Pool) ShardCount() int { return len(p.shards) }
 
-// Stats is a snapshot of the pool's hit/miss counters.
+// Stats is a snapshot of the pool's hit/miss/eviction counters.
 type Stats struct {
-	Shards int
-	Hits   uint64
-	Misses uint64
+	Shards    int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
 }
 
 // Stats snapshots the pool's cache-effectiveness counters.
 func (p *Pool) Stats() Stats {
 	s := Stats{Shards: len(p.shards)}
 	for _, sh := range p.shards {
-		s.Hits += sh.hits.Load()
-		s.Misses += sh.misses.Load()
+		s.Hits += sh.m.Hits.Load()
+		s.Misses += sh.m.Misses.Load()
+		s.Evictions += sh.m.Evictions.Load()
 	}
 	return s
 }
@@ -168,7 +187,7 @@ func (p *Pool) Fetch(id disk.PageID) (*Frame, error) {
 		f.pins.Add(1)
 		s.lru.MoveToFront(f.lruElem)
 		s.mu.Unlock()
-		s.hits.Add(1)
+		s.m.Hits.Inc()
 		if f.loaded.Load() {
 			return f, nil
 		}
@@ -183,7 +202,7 @@ func (p *Pool) Fetch(id disk.PageID) (*Frame, error) {
 		f.loaded.Store(true)
 		return f, nil
 	}
-	s.misses.Add(1)
+	s.m.Misses.Inc()
 	f, err := s.newFrameLocked(id)
 	if err != nil {
 		s.mu.Unlock()
@@ -278,6 +297,7 @@ func (s *shard) evictLocked() error {
 			}
 		}
 		s.dropFrameLocked(f)
+		s.m.Evictions.Inc()
 		return nil
 	}
 	if sawDirty {

@@ -29,6 +29,7 @@ import (
 	"io"
 	"sync"
 
+	"xomatiq/internal/obs"
 	"xomatiq/internal/storage/disk"
 )
 
@@ -37,13 +38,13 @@ type Op uint8
 
 // Log record types.
 const (
-	OpInitPage Op = iota + 1 // payload: pageID, kind
-	OpSetAux                 // payload: pageID, aux
-	OpInsertAt               // payload: pageID, slot, record bytes
-	OpDelete                 // payload: pageID, slot
-	OpUpdate                 // payload: pageID, slot, record bytes
-	OpCommit                 // no payload
-	OpPageImage              // payload: pageID, kind, full page bytes
+	OpInitPage  Op = iota + 1 // payload: pageID, kind
+	OpSetAux                  // payload: pageID, aux
+	OpInsertAt                // payload: pageID, slot, record bytes
+	OpDelete                  // payload: pageID, slot
+	OpUpdate                  // payload: pageID, slot, record bytes
+	OpCommit                  // no payload
+	OpPageImage               // payload: pageID, kind, full page bytes
 )
 
 // Record is one logical log record.
@@ -65,6 +66,7 @@ type Log struct {
 	w    *bufio.Writer
 	path string
 	size int64
+	m    *obs.WALMetrics // always non-nil; SetMetrics swaps in the engine's
 }
 
 // appendWriter turns a positional disk.File into the sequential writer
@@ -97,7 +99,16 @@ func OpenFS(fs disk.FS, path string) (*Log, error) {
 		return nil, errors.Join(fmt.Errorf("wal: stat: %w", err), f.Close())
 	}
 	aw := &appendWriter{f: f, off: size}
-	return &Log{f: f, aw: aw, w: bufio.NewWriter(aw), path: path, size: size}, nil
+	return &Log{f: f, aw: aw, w: bufio.NewWriter(aw), path: path, size: size,
+		m: &obs.WALMetrics{}}, nil
+}
+
+// SetMetrics points the log's counters at the given registry group. Must
+// be called before concurrent use (the engine calls it at open time).
+func (l *Log) SetMetrics(m *obs.WALMetrics) {
+	l.mu.Lock()
+	l.m = m
+	l.mu.Unlock()
 }
 
 func (r *Record) encode() []byte {
@@ -149,6 +160,8 @@ func (l *Log) Append(r Record) error {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	l.size += int64(len(hdr) + len(payload))
+	l.m.Appends.Inc()
+	l.m.Bytes.Add(uint64(len(hdr) + len(payload)))
 	return nil
 }
 
@@ -176,6 +189,7 @@ func (l *Log) Sync() error {
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	l.m.Fsyncs.Inc()
 	return nil
 }
 
@@ -213,6 +227,7 @@ func (l *Log) Truncate() error {
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: truncate sync: %w", err)
 	}
+	l.m.Fsyncs.Inc()
 	l.size = 0
 	l.aw.off = 0
 	l.w.Reset(l.aw)

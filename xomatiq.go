@@ -32,9 +32,13 @@
 package xomatiq
 
 import (
+	"io"
+	"time"
+
 	"xomatiq/internal/bio"
 	"xomatiq/internal/core"
 	"xomatiq/internal/hounds"
+	"xomatiq/internal/storage/disk"
 	"xomatiq/internal/xq2sql"
 )
 
@@ -59,6 +63,15 @@ const (
 
 // PlanCacheStats snapshots the plan cache's effectiveness counters.
 type PlanCacheStats = core.PlanCacheStats
+
+// Snapshot is the unified observability surface: one typed view of
+// every engine metric (buffer pool, WAL, executor work, query latency,
+// ingest throughput, plan cache, physical state, warehouses, last
+// load). Get one with Engine.Snapshot(); flatten it with Metrics().
+type Snapshot = core.Snapshot
+
+// FS abstracts the filesystem the warehouse lives on (see WithFS).
+type FS = disk.FS
 
 // Sentinel errors; match with errors.Is.
 var (
@@ -100,6 +113,25 @@ func WithoutKeywordIndex() Option { return func(c *Config) { c.UseKeywordIndex =
 // negative disables caching.
 func WithPlanCacheSize(n int) Option { return func(c *Config) { c.PlanCacheSize = n } }
 
+// WithLoadWorkers sets the harness ingest parallelism (0 = GOMAXPROCS).
+// Warehouse contents are byte-identical for any setting.
+func WithLoadWorkers(n int) Option { return func(c *Config) { c.LoadWorkers = n } }
+
+// WithFS substitutes the filesystem backing the data file and WAL (nil
+// means the real disk; fault-injection tests inject a failing FS).
+func WithFS(fs FS) Option { return func(c *Config) { c.FS = fs } }
+
+// WithSlowQueryThreshold enables the slow-query log: queries at or over
+// d are written as JSON lines (query text, mode, plan-cache state,
+// per-operator actuals) to the slow-query writer. Zero disables it.
+func WithSlowQueryThreshold(d time.Duration) Option {
+	return func(c *Config) { c.SlowQueryThreshold = d }
+}
+
+// WithSlowQueryLog directs the slow-query JSON lines to w (default
+// os.Stderr). Only meaningful together with WithSlowQueryThreshold.
+func WithSlowQueryLog(w io.Writer) Option { return func(c *Config) { c.SlowQueryLog = w } }
+
 // Open opens (or creates) a warehouse at path with default settings,
 // adjusted by options.
 func Open(path string, opts ...Option) (*Engine, error) {
@@ -110,8 +142,10 @@ func Open(path string, opts ...Option) (*Engine, error) {
 	return core.Open(cfg)
 }
 
-// OpenConfig opens a warehouse from an explicit Config, for callers that
-// build configuration programmatically.
+// OpenConfig opens a warehouse from an explicit Config. It is the
+// escape hatch for callers that build configuration programmatically or
+// need a Config field no functional option covers; Open with options
+// and OpenConfig are otherwise equivalent.
 func OpenConfig(cfg Config) (*Engine, error) { return core.Open(cfg) }
 
 // Source is a remote database location the Data Hounds can fetch.
