@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-compare bench-guard profile check fuzz crash
+.PHONY: all build vet test race bench bench-json bench-compare bench-guard bench-server serve loadtest profile check fuzz crash
 
 # Seconds of fuzzing per parser target.
 FUZZTIME ?= 30s
@@ -64,6 +64,51 @@ bench-compare:
 		echo "(get it with: go install golang.org/x/perf/cmd/benchstat@latest)"; \
 		exit 1; }
 	benchstat $(OLD) $(NEW)
+
+# ---- server ----
+
+SERVE_DB    ?= serve.db
+SERVE_HTTP  ?= 127.0.0.1:8080
+SERVE_LINE  ?= 127.0.0.1:7979
+SERVE_DATA  ?= data
+
+# Generate demo data (once) and serve it: HTTP on $(SERVE_HTTP), line
+# protocol on $(SERVE_LINE). Attach with: xomatiq -connect $(SERVE_LINE)
+serve:
+	@test -f $(SERVE_DATA)/enzyme.dat || $(GO) run ./cmd/genload -out $(SERVE_DATA) -enzyme 500 -embl 0 -sprot 0
+	$(GO) run ./cmd/xomatiqd -db $(SERVE_DB) -http $(SERVE_HTTP) -line $(SERVE_LINE) \
+		-preload hlx_enzyme.DEFAULT=enzyme:$(SERVE_DATA)/enzyme.dat
+
+# Concurrent-clients load test under the race detector: N HTTP clients
+# mixing queries and ingest, results byte-checked against the embedded
+# engine, plus shedding and shutdown-drain coverage.
+loadtest:
+	$(GO) test -race -count=1 -v -run 'TestConcurrentClients|TestHTTPInflightShedding|TestLineSessionShedding|TestShutdownDrains' ./internal/server/
+
+# End-to-end HTTP query latency: start a throwaway preloaded server on
+# a scratch port, ramp 1/4/16 clients with benchjson -server, archive
+# the result as the BENCH_SRV baseline, and shut the server down.
+BENCHSRV_HTTP ?= 127.0.0.1:18080
+BENCHSRV_OUT  ?= BENCH_SRV_$(shell date +%F)
+
+bench-server:
+	@test -f $(SERVE_DATA)/enzyme.dat || $(GO) run ./cmd/genload -out $(SERVE_DATA) -enzyme 500 -embl 0 -sprot 0
+	@rm -rf benchsrv.tmp && mkdir -p benchsrv.tmp
+	$(GO) build -o benchsrv.tmp/xomatiqd ./cmd/xomatiqd
+	$(GO) build -o benchsrv.tmp/benchjson ./cmd/benchjson
+	@benchsrv.tmp/xomatiqd -db benchsrv.tmp/bench.db -http $(BENCHSRV_HTTP) -line "" \
+		-preload hlx_enzyme.DEFAULT=enzyme:$(SERVE_DATA)/enzyme.dat & \
+	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
+	for i in $$(seq 1 50); do \
+		benchsrv.tmp/benchjson -server http://$(BENCHSRV_HTTP) -clients 1 -requests 1 >/dev/null 2>&1 && break; \
+		sleep 0.2; \
+	done; \
+	benchsrv.tmp/benchjson -server http://$(BENCHSRV_HTTP) \
+		2> $(BENCHSRV_OUT).txt > $(BENCHSRV_OUT).json; \
+	status=$$?; kill $$pid 2>/dev/null; trap - EXIT; \
+	cat $(BENCHSRV_OUT).txt; \
+	echo "wrote $(BENCHSRV_OUT).json (raw text in $(BENCHSRV_OUT).txt)"; \
+	exit $$status
 
 check: vet build test race
 

@@ -636,8 +636,11 @@ func BenchmarkQueryCached(b *testing.B) {
 			runQuery(b, eng, q)
 		}
 		b.StopTimer()
-		st := eng.PlanCacheStats()
-		if st.Hits == 0 {
+		snap, err := eng.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st := snap.PlanCache; st.Hits == 0 {
 			b.Fatalf("no cache hits recorded: %+v", st)
 		}
 	})

@@ -24,6 +24,17 @@
 // baseline's ns/op, and any benchmark slower by more than -tolerance
 // (default 0.10 = 10%) fails the run with exit status 1. `make
 // bench-guard` wires this against the committed baseline.
+//
+// With -server <base-url> it benchmarks a running xomatiqd end to end
+// instead of running go test: ramps of concurrent HTTP clients POST
+// the -query to /v1/query and the wall-clock per-request latency comes
+// out in the same go-bench line format —
+//
+//	BenchmarkServerHTTPQuery/clients=4   200   812345 ns/op   4924 qps
+//
+// — so the JSON conversion and -guard gating work unchanged. `make
+// bench-server` starts a preloaded server, runs this, and records the
+// BENCH_SRV baseline.
 package main
 
 import (
@@ -32,11 +43,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // record is one benchmark result row.
@@ -58,11 +73,23 @@ func main() {
 	profileDir := flag.String("profiledir", "", "also capture mutex/block/cpu profiles into this directory (-bench runs only)")
 	guard := flag.String("guard", "", "baseline `go test -bench` text file; fail on ns/op regressions against it")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/op regression for -guard (0.10 = 10%)")
+	server := flag.String("server", "", "benchmark a running xomatiqd at this base URL (e.g. http://127.0.0.1:8080) instead of reading stdin")
+	query := flag.String("query", defaultServerQuery, "FLWR query for -server runs")
+	clients := flag.String("clients", "1,4,16", "comma-separated concurrent client counts for -server runs")
+	requests := flag.Int("requests", 50, "requests per client per -server measurement")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
 	if *bench != "" {
 		out, err := runBench(*bench, *benchtime, *pkg, *profileDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		in = strings.NewReader(out)
+	}
+	if *server != "" {
+		out, err := runServerBench(*server, *query, *clients, *requests)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -163,6 +190,77 @@ func stripProcs(name string) string {
 		}
 	}
 	return name[:i]
+}
+
+// defaultServerQuery matches the enzyme corpus `make bench-server`
+// preloads (any selective point lookup works; override with -query).
+const defaultServerQuery = `FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme WHERE $a//enzyme_id = "1.14.17.3" RETURN $a//enzyme_description`
+
+// runServerBench drives a running xomatiqd over HTTP: for each client
+// count, `clients` goroutines each POST `requests` queries to
+// /v1/query, and the aggregate wall time becomes one go-bench-style
+// result line (ns per request plus a qps metric). The lines mirror to
+// stderr like runBench's raw text does.
+func runServerBench(base, query, clientSpec string, requests int) (string, error) {
+	base = strings.TrimSuffix(base, "/")
+	body, err := json.Marshal(map[string]string{"query": query})
+	if err != nil {
+		return "", err
+	}
+	post := func() error {
+		resp, err := http.Post(base+"/v1/query", "application/json",
+			strings.NewReader(string(body)))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(out)))
+		}
+		return nil
+	}
+	// One warm-up request also validates the query and the connection.
+	if err := post(); err != nil {
+		return "", fmt.Errorf("server warm-up query failed: %w", err)
+	}
+	var sb strings.Builder
+	for _, cs := range strings.Split(clientSpec, ",") {
+		clients, err := strconv.Atoi(strings.TrimSpace(cs))
+		if err != nil || clients <= 0 {
+			return "", fmt.Errorf("bad -clients element %q", cs)
+		}
+		total := clients * requests
+		var wg sync.WaitGroup
+		var failures atomic.Int64
+		var errOnce sync.Once
+		var firstErr error
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < requests; i++ {
+					if err := post(); err != nil {
+						failures.Add(1)
+						errOnce.Do(func() { firstErr = err })
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if n := failures.Load(); n > 0 {
+			return "", fmt.Errorf("clients=%d: %d/%d requests failed (first: %v)",
+				clients, n, total, firstErr)
+		}
+		line := fmt.Sprintf("BenchmarkServerHTTPQuery/clients=%d \t %d \t %d ns/op \t %.1f qps\n",
+			clients, total, elapsed.Nanoseconds()/int64(total),
+			float64(total)/elapsed.Seconds())
+		sb.WriteString(line)
+		fmt.Fprint(os.Stderr, line)
+	}
+	return sb.String(), nil
 }
 
 // runBench executes the benchmark run, mirroring its raw text to stderr

@@ -1,54 +1,44 @@
 // Command xomatiq is the interactive query console — the text-mode
 // equivalent of the paper's visual query interface (Figures 7, 10, 12).
-// It shows warehoused DTD structures, accepts queries in the three modes
-// the GUI offers (keyword search, sub-tree search, join queries written
-// in full FLWR), and renders results as tables or XML.
+// It runs in two modes:
 //
-//	xomatiq -db warehouse.db
+//	xomatiq -db warehouse.db          embedded: opens the warehouse in-process
+//	xomatiq -connect host:port        remote: attaches to a running xomatiqd
 //
-// Console commands:
-//
-//	\dbs                     list warehoused databases
-//	\dtd <db>                show a database's DTD structure tree
-//	\doc <db> <entry>        reconstruct one entry as XML
-//	\kw <db> [db...] : <kw>  keyword search mode (Fig. 8)
-//	\harness <db> <format> <file>  bulk-load a flat file, print throughput
-//	\stats                   physical and warehouse statistics
-//	\metrics                 flat dump of every engine counter
-//	\mode table|xml          result display mode
-//	\quit                    exit
-//
-// Anything else is a XomatiQ FLWR query; end it with a line containing
-// only ";". A query prefixed with EXPLAIN ANALYZE is executed and its
-// operator tree printed with actual row counts and timings.
+// Remote mode speaks the newline-delimited line protocol: the server
+// runs the same console REPL on its side of the connection, so the
+// full \-command surface (see internal/console) works identically;
+// this process is just the terminal.
 package main
 
 import (
-	"bufio"
-	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
+	"xomatiq/internal/console"
 	"xomatiq/internal/core"
-	"xomatiq/internal/hounds"
-	"xomatiq/internal/obs"
 )
-
-// queryTimeout bounds each query's execution; 0 means no limit.
-var queryTimeout time.Duration
 
 func main() {
 	dbPath := flag.String("db", "warehouse.db", "warehouse database file")
-	flag.DurationVar(&queryTimeout, "timeout", 0, "per-query timeout (e.g. 5s; 0 = none)")
+	connect := flag.String("connect", "", "attach to a running xomatiqd line-protocol port (host:port) instead of opening -db")
+	timeout := flag.Duration("timeout", 0, "per-query timeout (e.g. 5s; 0 = none)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "shredding goroutines for \\harness loads")
 	queryWorkers := flag.Int("query-workers", runtime.GOMAXPROCS(0), "goroutines per large sequential scan (1 = serial)")
 	flag.Parse()
+
+	if *connect != "" {
+		if err := remote(*connect, os.Stdin, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	cfg := core.NewConfig(*dbPath)
 	cfg.LoadWorkers = *workers
@@ -61,275 +51,41 @@ func main() {
 	if eng.Recovered() {
 		fmt.Println("(warehouse recovered from WAL after unclean shutdown)")
 	}
+	sess, err := eng.NewSession(nil,
+		core.WithDefaultDeadline(*timeout),
+		core.WithSessionTag("console"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
 	fmt.Println("XomatiQ console — \\dbs lists databases, \\quit exits.")
-	repl(eng, os.Stdin, os.Stdout)
+	console.New(sess).Run(os.Stdin, os.Stdout)
 }
 
-func repl(eng *core.Engine, in io.Reader, out io.Writer) {
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	mode := "table"
-	// registered tracks db -> flat file bound by \harness this session;
-	// core sources can't be rebound, so re-harnessing needs the same file.
-	registered := map[string]string{}
-	var queryBuf []string
-	prompt := func() {
-		if len(queryBuf) > 0 {
-			fmt.Fprint(out, "  ... ")
-		} else {
-			fmt.Fprint(out, "xomatiq> ")
-		}
-	}
-	prompt()
-	for sc.Scan() {
-		line := sc.Text()
-		trimmed := strings.TrimSpace(line)
-		switch {
-		case len(queryBuf) == 0 && strings.HasPrefix(trimmed, "\\"):
-			if !command(eng, out, trimmed, &mode, registered) {
-				return
-			}
-		case trimmed == ";":
-			query := strings.Join(queryBuf, "\n")
-			queryBuf = nil
-			runQuery(eng, out, query, mode)
-		case trimmed == "" && len(queryBuf) == 0:
-			// skip blank lines between queries
-		default:
-			queryBuf = append(queryBuf, line)
-			// Single-line queries ending in ';' run immediately.
-			if strings.HasSuffix(trimmed, ";") {
-				query := strings.TrimSuffix(strings.Join(queryBuf, "\n"), ";")
-				queryBuf = nil
-				runQuery(eng, out, query, mode)
-			}
-		}
-		prompt()
-	}
-}
-
-// command handles a backslash command; returns false to exit.
-func command(eng *core.Engine, out io.Writer, line string, mode *string, registered map[string]string) bool {
-	fields := strings.Fields(line)
-	switch fields[0] {
-	case "\\quit", "\\q":
-		return false
-	case "\\dbs":
-		for _, db := range eng.Databases() {
-			n, _ := eng.DocCount(db)
-			fmt.Fprintf(out, "  %-24s %6d entries\n", db, n)
-		}
-	case "\\dtd":
-		if len(fields) != 2 {
-			fmt.Fprintln(out, "usage: \\dtd <db>")
-			break
-		}
-		tree, err := eng.DTDTree(fields[1])
-		if err != nil {
-			fmt.Fprintln(out, "error:", err)
-			break
-		}
-		fmt.Fprint(out, tree)
-	case "\\doc":
-		if len(fields) != 3 {
-			fmt.Fprintln(out, "usage: \\doc <db> <entry>")
-			break
-		}
-		xml, err := eng.Document(fields[1], fields[2])
-		if err != nil {
-			fmt.Fprintln(out, "error:", err)
-			break
-		}
-		fmt.Fprintln(out, xml)
-	case "\\kw":
-		runKeywordMode(eng, out, fields[1:], *mode)
-	case "\\harness":
-		runHarness(eng, out, fields[1:], registered)
-	case "\\stats":
-		snap, err := eng.Snapshot()
-		if err != nil {
-			fmt.Fprintln(out, "error:", err)
-			break
-		}
-		phys := snap.DB
-		fmt.Fprintf(out, "file: %d pages, wal: %d bytes, dirty: %d pages\n",
-			phys.FilePages, phys.WALBytes, phys.DirtyPages)
-		fmt.Fprintf(out, "buffer pool: %d shards, %d hits, %d misses\n",
-			snap.Pool.Shards, snap.Pool.Hits, snap.Pool.Misses)
-		for _, w := range snap.Warehouses {
-			fmt.Fprintf(out, "  %-24s %6d docs %5d paths\n", w.DB, w.Docs, w.Paths)
-		}
-		for _, t := range phys.Tables {
-			fmt.Fprintf(out, "  table %-12s %8d rows  indexes: %s\n",
-				t.Name, t.Rows, strings.Join(t.Indexes, ", "))
-		}
-		pc := snap.PlanCache
-		fmt.Fprintf(out, "plan cache: %d entries, %d hits, %d misses, %d invalidations\n",
-			pc.Entries, pc.Hits, pc.Misses, pc.Invalidations)
-	case "\\metrics":
-		snap, err := eng.Snapshot()
-		if err != nil {
-			fmt.Fprintln(out, "error:", err)
-			break
-		}
-		fmt.Fprint(out, obs.FormatMetrics(snap.Metrics()))
-	case "\\plan":
-		query := strings.TrimSpace(strings.TrimPrefix(line, "\\plan"))
-		if query == "" {
-			fmt.Fprintln(out, "usage: \\plan <query on one line>")
-			break
-		}
-		plan, err := eng.Explain(query)
-		if err != nil {
-			fmt.Fprintln(out, "error:", err)
-			break
-		}
-		fmt.Fprintln(out, plan)
-	case "\\mode":
-		if len(fields) == 2 && (fields[1] == "table" || fields[1] == "xml") {
-			*mode = fields[1]
-			fmt.Fprintln(out, "display mode:", *mode)
-		} else {
-			fmt.Fprintln(out, "usage: \\mode table|xml")
-		}
-	default:
-		fmt.Fprintln(out, "unknown command; try \\dbs \\dtd \\doc \\kw \\harness \\stats \\metrics \\plan \\mode \\quit")
-	}
-	return true
-}
-
-// runHarness bulk-loads a flat file into a warehouse database through
-// the parallel ingest pipeline and prints the throughput of the load.
-func runHarness(eng *core.Engine, out io.Writer, args []string, registered map[string]string) {
-	if len(args) != 3 {
-		fmt.Fprintln(out, "usage: \\harness <db> <format> <file>   (formats: enzyme, embl, sprot)")
-		return
-	}
-	db, format, file := args[0], args[1], args[2]
-	tr, ok := hounds.Registry[format]
-	if !ok {
-		fmt.Fprintf(out, "unknown format %q (want enzyme, embl or sprot)\n", format)
-		return
-	}
-	if prev, dup := registered[db]; dup {
-		// The source is already bound; FileSource re-reads its path on
-		// every fetch, so the same file simply re-harnesses.
-		if prev != file {
-			fmt.Fprintf(out, "error: %s is bound to %s for this session; restart to load a different file\n", db, prev)
-			return
-		}
-	} else {
-		if err := eng.RegisterSource(db, hounds.FileSource{Path: file}, tr); err != nil {
-			fmt.Fprintln(out, "error:", err)
-			return
-		}
-		registered[db] = file
-	}
-	n, err := eng.Harness(db)
+// remote attaches stdin/stdout to a xomatiqd line-protocol port. The
+// REPL runs server-side; this end is a dumb pipe that exits when
+// either direction closes.
+func remote(addr string, in io.Reader, out io.Writer) error {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
 	if err != nil {
-		fmt.Fprintln(out, "error:", err)
-		return
+		return fmt.Errorf("connect %s: %w", addr, err)
 	}
-	fmt.Fprintf(out, "harnessed %d entries into %s\n", n, db)
-	if snap, err := eng.Snapshot(); err == nil {
-		fmt.Fprintln(out, snap.LastLoad.Summary())
-	}
-}
-
-// runKeywordMode builds the Fig. 8-style keyword query from "\kw db1 db2
-// : keyword" and runs it.
-func runKeywordMode(eng *core.Engine, out io.Writer, args []string, mode string) {
-	sep := -1
-	for i, a := range args {
-		if a == ":" {
-			sep = i
-			break
+	defer conn.Close()
+	done := make(chan struct{})
+	go func() {
+		// Server → terminal. Ends when the server closes (e.g. after
+		// \quit or shutdown drain).
+		io.Copy(out, conn)
+		close(done)
+	}()
+	go func() {
+		// Terminal → server. On local EOF, half-close the write side so
+		// the server sees EOF and finishes its REPL cleanly.
+		io.Copy(conn, in)
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.CloseWrite()
 		}
-	}
-	if sep <= 0 || sep == len(args)-1 {
-		fmt.Fprintln(out, "usage: \\kw <db> [db...] : <keyword>")
-		return
-	}
-	dbs := args[:sep]
-	kw := strings.Join(args[sep+1:], " ")
-	var sb strings.Builder
-	sb.WriteString("FOR ")
-	for i, db := range dbs {
-		if i > 0 {
-			sb.WriteString(", ")
-		}
-		fmt.Fprintf(&sb, "$v%d IN document(%q)/%s", i, db, rootOf(eng, db))
-	}
-	sb.WriteString("\nWHERE ")
-	for i := range dbs {
-		if i > 0 {
-			sb.WriteString(" AND ")
-		}
-		fmt.Fprintf(&sb, "contains($v%d, %q, any)", i, kw)
-	}
-	sb.WriteString("\nRETURN ")
-	for i := range dbs {
-		if i > 0 {
-			sb.WriteString(", ")
-		}
-		fmt.Fprintf(&sb, "$v%d//entry_name", i)
-	}
-	fmt.Fprintln(out, "generated query:")
-	fmt.Fprintln(out, sb.String())
-	runQuery(eng, out, sb.String(), mode)
-}
-
-// explainAnalyzePrefix strips a leading case-insensitive "EXPLAIN
-// ANALYZE" from a query, reporting whether it was present.
-func explainAnalyzePrefix(query string) (string, bool) {
-	trimmed := strings.TrimSpace(query)
-	fields := strings.Fields(trimmed)
-	if len(fields) < 2 || !strings.EqualFold(fields[0], "EXPLAIN") || !strings.EqualFold(fields[1], "ANALYZE") {
-		return query, false
-	}
-	rest := strings.TrimSpace(trimmed[len(fields[0]):])
-	rest = strings.TrimSpace(rest[len(fields[1]):])
-	return rest, true
-}
-
-// rootOf guesses the root element of a database from its DTD tree.
-func rootOf(eng *core.Engine, db string) string {
-	tree, err := eng.DTDTree(db)
-	if err != nil {
-		return "hlx_n_sequence"
-	}
-	first := strings.SplitN(tree, "\n", 2)[0]
-	return strings.Fields(first)[0]
-}
-
-func runQuery(eng *core.Engine, out io.Writer, query, mode string) {
-	if strings.TrimSpace(query) == "" {
-		return
-	}
-	ctx := context.Background()
-	if queryTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, queryTimeout)
-		defer cancel()
-	}
-	if rest, ok := explainAnalyzePrefix(query); ok {
-		report, err := eng.ExplainAnalyze(ctx, rest)
-		if err != nil {
-			fmt.Fprintln(out, "error:", err)
-			return
-		}
-		fmt.Fprintln(out, report)
-		return
-	}
-	res, err := eng.QueryContext(ctx, query)
-	if err != nil {
-		fmt.Fprintln(out, "error:", err)
-		return
-	}
-	if mode == "xml" {
-		fmt.Fprintln(out, res.XML())
-	} else {
-		fmt.Fprint(out, res.Table())
-	}
-	fmt.Fprintf(out, "(%d rows, %s mode)\n", len(res.Rows), res.Mode)
+	}()
+	<-done
+	return nil
 }

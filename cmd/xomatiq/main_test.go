@@ -2,148 +2,70 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"xomatiq/internal/bio"
 	"xomatiq/internal/core"
 	"xomatiq/internal/hounds"
+	"xomatiq/internal/server"
 )
 
-func testEngine(t *testing.T) *core.Engine {
-	t.Helper()
-	eng, err := core.Open(core.NewConfig(filepath.Join(t.TempDir(), "repl.db")))
+// TestRemoteConsoleAttach is the acceptance round trip: the console's
+// -connect pipe attaches to a running server's line protocol and
+// round-trips a FLWR query, EXPLAIN ANALYZE and \metrics.
+func TestRemoteConsoleAttach(t *testing.T) {
+	eng, err := core.Open(core.NewConfig(filepath.Join(t.TempDir(), "remote.db")))
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { eng.Close() })
+	defer eng.Close()
 	entries := bio.GenEnzymes(20, bio.GenOptions{Seed: 3})
-	var buf bytes.Buffer
-	if err := bio.WriteEnzyme(&buf, entries); err != nil {
+	var flat bytes.Buffer
+	if err := bio.WriteEnzyme(&flat, entries); err != nil {
 		t.Fatal(err)
 	}
-	src := hounds.NewSimSource("enzyme", buf.String())
+	src := hounds.NewSimSource("enzyme", flat.String())
 	if err := eng.RegisterSource("hlx_enzyme.DEFAULT", src, hounds.EnzymeTransformer{}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := eng.Harness("hlx_enzyme.DEFAULT"); err != nil {
 		t.Fatal(err)
 	}
-	return eng
-}
 
-func runREPL(t *testing.T, eng *core.Engine, input string) string {
-	t.Helper()
+	srv := server.New(eng, server.Config{LineAddr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	query := `FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme WHERE $a//enzyme_id = "1.14.17.3" RETURN $a//enzyme_description`
+	input := query + ";\n" +
+		"EXPLAIN ANALYZE " + query + ";\n" +
+		"\\metrics\n" +
+		"\\quit\n"
 	var out bytes.Buffer
-	repl(eng, strings.NewReader(input), &out)
-	return out.String()
-}
-
-func TestREPLDbsAndDTD(t *testing.T) {
-	eng := testEngine(t)
-	out := runREPL(t, eng, "\\dbs\n\\dtd hlx_enzyme.DEFAULT\n\\quit\n")
-	if !strings.Contains(out, "hlx_enzyme.DEFAULT") || !strings.Contains(out, "21 entries") {
-		t.Errorf("\\dbs output:\n%s", out)
+	if err := remote(srv.LineAddr(), strings.NewReader(input), &out); err != nil {
+		t.Fatal(err)
 	}
-	if !strings.Contains(out, "db_entry") || !strings.Contains(out, "enzyme_id") {
-		t.Errorf("\\dtd output:\n%s", out)
+	got := out.String()
+	if !strings.Contains(got, "session ") {
+		t.Errorf("banner missing:\n%s", got)
 	}
-}
-
-func TestREPLSingleLineQuery(t *testing.T) {
-	eng := testEngine(t)
-	out := runREPL(t, eng,
-		`FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme WHERE $a//enzyme_id = "1.14.17.3" RETURN $a//enzyme_description;`+"\n\\quit\n")
-	if !strings.Contains(out, "Peptidylglycine monooxygenase") {
-		t.Errorf("query output:\n%s", out)
+	if !strings.Contains(got, "Peptidylglycine monooxygenase") || !strings.Contains(got, "1 rows, sql mode") {
+		t.Errorf("remote query output:\n%s", got)
 	}
-	if !strings.Contains(out, "1 rows, sql mode") {
-		t.Errorf("missing row count:\n%s", out)
+	if !strings.Contains(got, "actual") {
+		t.Errorf("remote EXPLAIN ANALYZE output:\n%s", got)
 	}
-}
-
-func TestREPLMultiLineQuery(t *testing.T) {
-	eng := testEngine(t)
-	input := `FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
-WHERE $a//enzyme_id = "1.14.17.3"
-RETURN $a//enzyme_id
-;
-\quit
-`
-	out := runREPL(t, eng, input)
-	if !strings.Contains(out, "1.14.17.3") {
-		t.Errorf("multi-line query output:\n%s", out)
-	}
-}
-
-func TestREPLXMLMode(t *testing.T) {
-	eng := testEngine(t)
-	input := "\\mode xml\n" +
-		`FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme WHERE $a//enzyme_id = "1.14.17.3" RETURN $a//enzyme_id;` +
-		"\n\\quit\n"
-	out := runREPL(t, eng, input)
-	if !strings.Contains(out, "display mode: xml") {
-		t.Errorf("mode switch missing:\n%s", out)
-	}
-	if !strings.Contains(out, "<enzyme_id>1.14.17.3</enzyme_id>") {
-		t.Errorf("xml output missing:\n%s", out)
-	}
-}
-
-func TestREPLDocCommand(t *testing.T) {
-	eng := testEngine(t)
-	out := runREPL(t, eng, "\\doc hlx_enzyme.DEFAULT 1.14.17.3\n\\quit\n")
-	if !strings.Contains(out, "<hlx_enzyme>") {
-		t.Errorf("\\doc output:\n%s", out)
-	}
-	out = runREPL(t, eng, "\\doc hlx_enzyme.DEFAULT missing\n\\quit\n")
-	if !strings.Contains(out, "error:") {
-		t.Errorf("\\doc of missing entry should error:\n%s", out)
-	}
-}
-
-func TestREPLKeywordMode(t *testing.T) {
-	eng := testEngine(t)
-	out := runREPL(t, eng, "\\kw hlx_enzyme.DEFAULT : copper\n\\quit\n")
-	if !strings.Contains(out, "generated query:") || !strings.Contains(out, `contains($v0, "copper", any)`) {
-		t.Errorf("\\kw output:\n%s", out)
-	}
-	out = runREPL(t, eng, "\\kw missing-colon\n\\quit\n")
-	if !strings.Contains(out, "usage:") {
-		t.Errorf("\\kw usage message missing:\n%s", out)
-	}
-}
-
-func TestREPLErrorsAndUnknown(t *testing.T) {
-	eng := testEngine(t)
-	out := runREPL(t, eng, "\\bogus\nTHIS IS NOT A QUERY;\n\\quit\n")
-	if !strings.Contains(out, "unknown command") {
-		t.Errorf("unknown command message missing:\n%s", out)
-	}
-	if !strings.Contains(out, "error:") {
-		t.Errorf("query error missing:\n%s", out)
-	}
-	// EOF without \quit terminates cleanly.
-	out = runREPL(t, eng, "\\dbs\n")
-	if !strings.Contains(out, "hlx_enzyme.DEFAULT") {
-		t.Errorf("EOF handling broken:\n%s", out)
-	}
-}
-
-func TestREPLStatsAndPlan(t *testing.T) {
-	eng := testEngine(t)
-	out := runREPL(t, eng, "\\stats\n\\quit\n")
-	if !strings.Contains(out, "docs") || !strings.Contains(out, "table nodes") {
-		t.Errorf("\\stats output:\n%s", out)
-	}
-	out = runREPL(t, eng,
-		`\plan FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme WHERE $a//enzyme_id = "1.14.17.3" RETURN $a//enzyme_description`+"\n\\quit\n")
-	if !strings.Contains(out, "SQL:") || !strings.Contains(out, "plan:") {
-		t.Errorf("\\plan output:\n%s", out)
-	}
-	out = runREPL(t, eng, "\\plan\n\\quit\n")
-	if !strings.Contains(out, "usage:") {
-		t.Errorf("\\plan usage missing:\n%s", out)
+	if !strings.Contains(got, "query.count") {
+		t.Errorf("remote \\metrics output:\n%s", got)
 	}
 }

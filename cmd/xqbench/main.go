@@ -357,9 +357,11 @@ func e16() {
 	dm := med(9, func() { mustQuery(engCold, q) })
 	fmt.Printf("%-34s %12v\n", "Fig. 9 query, plan cache hit", dh.Round(time.Microsecond))
 	fmt.Printf("%-34s %12v\n", "Fig. 9 query, cache disabled", dm.Round(time.Microsecond))
-	pc := engCached.PlanCacheStats()
-	fmt.Printf("cache: %d entries, %d hits, %d misses, %d invalidations\n",
-		pc.Entries, pc.Hits, pc.Misses, pc.Invalidations)
+	if snap, err := engCached.Snapshot(); err == nil {
+		pc := snap.PlanCache
+		fmt.Printf("cache: %d entries, %d hits, %d misses, %d invalidations\n",
+			pc.Entries, pc.Hits, pc.Misses, pc.Invalidations)
+	}
 }
 
 func e12() {

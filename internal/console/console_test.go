@@ -1,0 +1,175 @@
+package console
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xomatiq/internal/bio"
+	"xomatiq/internal/core"
+	"xomatiq/internal/hounds"
+)
+
+func testEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	eng, err := core.Open(core.NewConfig(filepath.Join(t.TempDir(), "repl.db")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	entries := bio.GenEnzymes(20, bio.GenOptions{Seed: 3})
+	var buf bytes.Buffer
+	if err := bio.WriteEnzyme(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	src := hounds.NewSimSource("enzyme", buf.String())
+	if err := eng.RegisterSource("hlx_enzyme.DEFAULT", src, hounds.EnzymeTransformer{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Harness("hlx_enzyme.DEFAULT"); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func runREPL(t *testing.T, eng *core.Engine, input string, opts ...Option) string {
+	t.Helper()
+	sess, err := eng.NewSession(nil, core.WithSessionTag("test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	var out bytes.Buffer
+	New(sess, opts...).Run(strings.NewReader(input), &out)
+	return out.String()
+}
+
+func TestREPLDbsAndDTD(t *testing.T) {
+	eng := testEngine(t)
+	out := runREPL(t, eng, "\\dbs\n\\dtd hlx_enzyme.DEFAULT\n\\quit\n")
+	if !strings.Contains(out, "hlx_enzyme.DEFAULT") || !strings.Contains(out, "21 entries") {
+		t.Errorf("\\dbs output:\n%s", out)
+	}
+	if !strings.Contains(out, "db_entry") || !strings.Contains(out, "enzyme_id") {
+		t.Errorf("\\dtd output:\n%s", out)
+	}
+}
+
+func TestREPLSingleLineQuery(t *testing.T) {
+	eng := testEngine(t)
+	out := runREPL(t, eng,
+		`FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme WHERE $a//enzyme_id = "1.14.17.3" RETURN $a//enzyme_description;`+"\n\\quit\n")
+	if !strings.Contains(out, "Peptidylglycine monooxygenase") {
+		t.Errorf("query output:\n%s", out)
+	}
+	if !strings.Contains(out, "1 rows, sql mode") {
+		t.Errorf("missing row count:\n%s", out)
+	}
+}
+
+func TestREPLMultiLineQuery(t *testing.T) {
+	eng := testEngine(t)
+	input := `FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE $a//enzyme_id = "1.14.17.3"
+RETURN $a//enzyme_id
+;
+\quit
+`
+	out := runREPL(t, eng, input)
+	if !strings.Contains(out, "1.14.17.3") {
+		t.Errorf("multi-line query output:\n%s", out)
+	}
+}
+
+func TestREPLXMLMode(t *testing.T) {
+	eng := testEngine(t)
+	input := "\\mode xml\n" +
+		`FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme WHERE $a//enzyme_id = "1.14.17.3" RETURN $a//enzyme_id;` +
+		"\n\\quit\n"
+	out := runREPL(t, eng, input)
+	if !strings.Contains(out, "display mode: xml") {
+		t.Errorf("mode switch missing:\n%s", out)
+	}
+	if !strings.Contains(out, "<enzyme_id>1.14.17.3</enzyme_id>") {
+		t.Errorf("xml output missing:\n%s", out)
+	}
+}
+
+func TestREPLDocCommand(t *testing.T) {
+	eng := testEngine(t)
+	out := runREPL(t, eng, "\\doc hlx_enzyme.DEFAULT 1.14.17.3\n\\quit\n")
+	if !strings.Contains(out, "<hlx_enzyme>") {
+		t.Errorf("\\doc output:\n%s", out)
+	}
+	out = runREPL(t, eng, "\\doc hlx_enzyme.DEFAULT missing\n\\quit\n")
+	if !strings.Contains(out, "error:") {
+		t.Errorf("\\doc of missing entry should error:\n%s", out)
+	}
+}
+
+func TestREPLKeywordMode(t *testing.T) {
+	eng := testEngine(t)
+	out := runREPL(t, eng, "\\kw hlx_enzyme.DEFAULT : copper\n\\quit\n")
+	if !strings.Contains(out, "generated query:") || !strings.Contains(out, `contains($v0, "copper", any)`) {
+		t.Errorf("\\kw output:\n%s", out)
+	}
+	out = runREPL(t, eng, "\\kw missing-colon\n\\quit\n")
+	if !strings.Contains(out, "usage:") {
+		t.Errorf("\\kw usage message missing:\n%s", out)
+	}
+}
+
+func TestREPLErrorsAndUnknown(t *testing.T) {
+	eng := testEngine(t)
+	out := runREPL(t, eng, "\\bogus\nTHIS IS NOT A QUERY;\n\\quit\n")
+	if !strings.Contains(out, "unknown command") {
+		t.Errorf("unknown command message missing:\n%s", out)
+	}
+	if !strings.Contains(out, "error:") {
+		t.Errorf("query error missing:\n%s", out)
+	}
+	// EOF without \quit terminates cleanly.
+	out = runREPL(t, eng, "\\dbs\n")
+	if !strings.Contains(out, "hlx_enzyme.DEFAULT") {
+		t.Errorf("EOF handling broken:\n%s", out)
+	}
+}
+
+func TestREPLStatsAndPlan(t *testing.T) {
+	eng := testEngine(t)
+	out := runREPL(t, eng, "\\stats\n\\quit\n")
+	if !strings.Contains(out, "docs") || !strings.Contains(out, "table nodes") {
+		t.Errorf("\\stats output:\n%s", out)
+	}
+	out = runREPL(t, eng,
+		`\plan FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme WHERE $a//enzyme_id = "1.14.17.3" RETURN $a//enzyme_description`+"\n\\quit\n")
+	if !strings.Contains(out, "SQL:") || !strings.Contains(out, "plan:") {
+		t.Errorf("\\plan output:\n%s", out)
+	}
+	out = runREPL(t, eng, "\\plan\n\\quit\n")
+	if !strings.Contains(out, "usage:") {
+		t.Errorf("\\plan usage missing:\n%s", out)
+	}
+}
+
+func TestREPLSessionCommand(t *testing.T) {
+	eng := testEngine(t)
+	out := runREPL(t, eng,
+		`FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme WHERE $a//enzyme_id = "1.14.17.3" RETURN $a//enzyme_id;`+
+			"\n\\session\n\\quit\n")
+	if !strings.Contains(out, `tag="test"`) {
+		t.Errorf("\\session tag missing:\n%s", out)
+	}
+	if !strings.Contains(out, "queries: 1, errors: 0, rows: 1") {
+		t.Errorf("\\session counters wrong:\n%s", out)
+	}
+}
+
+func TestREPLHarnessDisabled(t *testing.T) {
+	eng := testEngine(t)
+	out := runREPL(t, eng, "\\harness db enzyme /tmp/nope.dat\n\\quit\n", WithoutHarness())
+	if !strings.Contains(out, "\\harness is disabled") {
+		t.Errorf("remote \\harness should be refused:\n%s", out)
+	}
+}

@@ -67,6 +67,15 @@ type Config struct {
 	// SlowQueryLog receives the slow-query JSON lines; nil means
 	// os.Stderr. Writes are serialised by the engine.
 	SlowQueryLog io.Writer
+	// MaxSessions caps the number of concurrently open sessions;
+	// NewSession past the cap fails with ErrTooManySessions. 0 means
+	// unlimited. The implicit default session does not count.
+	MaxSessions int
+	// MaxInflightQueries caps concurrently executing queries across all
+	// sessions (including the implicit default session); queries past
+	// the cap are shed with ErrOverloaded instead of queueing. 0 means
+	// unlimited.
+	MaxInflightQueries int
 }
 
 // NewConfig returns the default configuration for a warehouse at path.
@@ -92,6 +101,11 @@ type Engine struct {
 
 	slowMu  sync.Mutex
 	slowLog io.Writer
+
+	sessMu      sync.Mutex
+	sessions    map[uint64]*Session
+	nextSession uint64
+	defaultSess *Session
 }
 
 type sourceReg struct {
@@ -126,21 +140,31 @@ func Open(cfg Config) (*Engine, error) {
 	if slowLog == nil {
 		slowLog = os.Stderr
 	}
-	return &Engine{
-		cfg:     cfg,
-		db:      db,
-		store:   store,
-		bus:     hounds.NewBus(),
-		plans:   newPlanCache(cfg.PlanCacheSize),
-		reg:     reg,
-		sources: map[string]*sourceReg{},
-		corpus:  map[string][]*xmldoc.Document{},
-		slowLog: slowLog,
-	}, nil
+	e := &Engine{
+		cfg:      cfg,
+		db:       db,
+		store:    store,
+		bus:      hounds.NewBus(),
+		plans:    newPlanCache(cfg.PlanCacheSize),
+		reg:      reg,
+		sources:  map[string]*sourceReg{},
+		corpus:   map[string][]*xmldoc.Document{},
+		slowLog:  slowLog,
+		sessions: map[uint64]*Session{},
+	}
+	// The implicit default session backs the legacy Engine.Query*
+	// surface: no deadline, engine-default workers, outside the
+	// MaxSessions cap and the Sessions listing.
+	e.defaultSess, _ = e.newSession(context.Background(), SessionOptions{}, true)
+	return e, nil
 }
 
-// Close checkpoints and closes the warehouse.
-func (e *Engine) Close() error { return e.db.Close() }
+// Close cancels every open session, then checkpoints and closes the
+// warehouse.
+func (e *Engine) Close() error {
+	e.closeAllSessions()
+	return e.db.Close()
+}
 
 // DB exposes the underlying relational engine (benchmarks, diagnostics).
 func (e *Engine) DB() *sql.DB { return e.db }
@@ -194,7 +218,7 @@ func (e *Engine) HarnessContext(ctx context.Context, dbName string) (int, error)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	reg, ok := e.sources[dbName]
-	if !ok {
+	if !ok || reg.source == nil {
 		return 0, fmt.Errorf("%w for %q", ErrNoSource, dbName)
 	}
 	rc, version, err := reg.source.Fetch()
@@ -202,8 +226,46 @@ func (e *Engine) HarnessContext(ctx context.Context, dbName string) (int, error)
 		return 0, err
 	}
 	defer rc.Close()
+	n, err := e.harnessStreamLocked(ctx, dbName, reg.transformer, rc, version)
+	if err == nil {
+		reg.lastVersion = version
+	}
+	return n, err
+}
+
+// HarnessReaderContext is a full load from a caller-supplied flat-file
+// stream instead of a registered source's fetch: the server's streamed
+// /v1/ingest upload rides here, straight into the parallel shredding
+// pipeline. The database is registered on first use (with the
+// transformer's schema); a database already registered keeps its
+// original transformer. version labels the load in the change trigger.
+func (e *Engine) HarnessReaderContext(ctx context.Context, dbName string, tr hounds.Transformer, r io.Reader, version string) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	reg, ok := e.sources[dbName]
+	if !ok {
+		if err := e.store.RegisterDB(dbName, tr.SequencePaths(), dtdText(tr)); err != nil {
+			return 0, err
+		}
+		// No source: Harness/Update on this database report ErrNoSource;
+		// only reader loads refresh it.
+		reg = &sourceReg{transformer: tr}
+		e.sources[dbName] = reg
+	}
+	n, err := e.harnessStreamLocked(ctx, dbName, reg.transformer, r, version)
+	if err == nil {
+		reg.lastVersion = version
+	}
+	return n, err
+}
+
+// harnessStreamLocked is the shared harness body: stream-transform the
+// flat file, clear the previous harvest once the stream proves viable,
+// run the parallel load pipeline, record stats and fire the trigger.
+// Caller holds e.mu.
+func (e *Engine) harnessStreamLocked(ctx context.Context, dbName string, tr hounds.Transformer, r io.Reader, version string) (int, error) {
 	start := time.Now()
-	cr := &countingReader{r: rc}
+	cr := &countingReader{r: r}
 
 	// Stream the transform on its own goroutine; documents are not
 	// validated here (the pipeline workers do that in parallel).
@@ -211,7 +273,7 @@ func (e *Engine) HarnessContext(ctx context.Context, dbName string) (int, error)
 	trErr := make(chan error, 1)
 	stopTr := make(chan struct{})
 	go func() {
-		err := hounds.TransformStream(reg.transformer, cr, func(d *xmldoc.Document) error {
+		err := hounds.TransformStream(tr, cr, func(d *xmldoc.Document) error {
 			select {
 			case rawCh <- d:
 				return nil
@@ -278,7 +340,7 @@ func (e *Engine) HarnessContext(ctx context.Context, dbName string) (int, error)
 		trDone = true
 		return <-trErr
 	}
-	docs, tuples, err := e.runLoadPipeline(ctx, dbName, reg.transformer.DTD(), true, produce)
+	docs, tuples, err := e.runLoadPipeline(ctx, dbName, tr.DTD(), true, produce)
 	if err != nil {
 		return 0, err
 	}
@@ -286,7 +348,6 @@ func (e *Engine) HarnessContext(ctx context.Context, dbName string) (int, error)
 		Docs: len(docs), Tuples: tuples, Bytes: cr.n,
 		Elapsed: time.Since(start), Workers: e.loadWorkers(),
 	})
-	reg.lastVersion = version
 	e.corpus[dbName] = docs
 	e.bus.Publish(hounds.Trigger{Change: hounds.ChangeSet{
 		DB: dbName, Version: version, Added: docNamesOf(docs),
@@ -325,7 +386,7 @@ func (e *Engine) UpdateContext(ctx context.Context, dbName string) (hounds.Chang
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	reg, ok := e.sources[dbName]
-	if !ok {
+	if !ok || reg.source == nil {
 		return hounds.ChangeSet{}, fmt.Errorf("%w for %q", ErrNoSource, dbName)
 	}
 	rc, version, err := reg.source.Fetch()
@@ -451,17 +512,13 @@ const (
 	ModeNative Mode = "native" // in-memory fallback
 )
 
-// Result is a materialised query result.
-type Result struct {
-	Columns []string
-	Rows    [][]string
-	Mode    Mode
-	SQL     string // generated SQL when Mode == ModeSQL
-}
-
 // Query parses and runs a XomatiQ query. The XQ2SQL path is tried first;
 // query shapes outside the translatable subset fall back to native
 // evaluation over reconstructed documents.
+//
+// Query runs on the engine's implicit default session; new code that
+// needs per-client state (deadlines, worker overrides, cancellation
+// scope) should open an explicit session with NewSession.
 func (e *Engine) Query(src string) (*Result, error) {
 	return e.QueryContext(context.Background(), src)
 }
@@ -471,7 +528,24 @@ func (e *Engine) Query(src string) (*Result, error) {
 // fallback) and returns ctx.Err(). Repeated queries hit the plan cache,
 // skipping the XQ parse, the XQ2SQL translation and the SQL parse while
 // the catalog epochs of every referenced database are unchanged.
+//
+// QueryContext is a thin wrapper over the engine's implicit default
+// session (Session.Query on an explicit session is the primary API).
 func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
+	return e.defaultSess.Query(ctx, src)
+}
+
+// queryContext is the shared execution path under every session: plan
+// (cache-first), execute with the session's worker override, observe
+// with the session's slow-log tag.
+func (e *Engine) queryContext(ctx context.Context, src string, workers int, tag string) (*Result, error) {
+	// An already-expired context fails fast: small queries can otherwise
+	// finish between the executor's periodic cancellation polls.
+	if err := ctx.Err(); err != nil {
+		e.reg.Query.Queries.Inc()
+		e.reg.Query.Errors.Inc()
+		return nil, err
+	}
 	start := time.Now()
 	entry, cached, err := e.plan(src)
 	if err != nil {
@@ -485,8 +559,8 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) 
 	if e.cfg.SlowQueryThreshold > 0 {
 		qt = obs.NewQueryTrace(true)
 	}
-	res, err := e.execPlan(ctx, entry, qt)
-	e.observeQuery(src, cached, qt, res, err, time.Since(start))
+	res, err := e.execPlan(ctx, entry, qt, workers)
+	e.observeQuery(src, tag, cached, qt, res, err, time.Since(start))
 	return res, err
 }
 
@@ -505,8 +579,8 @@ func (e *Engine) QueryParsedContext(ctx context.Context, q *xq.Query) (*Result, 
 		e.reg.Query.Errors.Inc()
 		return nil, err
 	}
-	res, err := e.execPlan(ctx, entry, nil)
-	e.observeQuery("", false, nil, res, err, time.Since(start))
+	res, err := e.execPlan(ctx, entry, nil, 0)
+	e.observeQuery("", "", false, nil, res, err, time.Since(start))
 	return res, err
 }
 
@@ -525,7 +599,7 @@ func (e *Engine) plan(src string) (entry *planEntry, cached bool, err error) {
 	}
 	q, err := xq.Parse(src)
 	if err != nil {
-		return nil, false, err
+		return nil, false, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	entry, err = e.translate(q)
 	if err != nil {
@@ -586,16 +660,12 @@ func (e *Engine) translate(q *xq.Query) (*planEntry, error) {
 
 // execPlan runs a plan entry: the translated statement over the
 // relational engine, or the native fallback for unsupported shapes. qt,
-// when non-nil, collects the executed plan with per-operator actuals.
-func (e *Engine) execPlan(ctx context.Context, entry *planEntry, qt *obs.QueryTrace) (*Result, error) {
+// when non-nil, collects the executed plan with per-operator actuals;
+// workers, when positive, overrides the engine's intra-query scan
+// parallelism (per-session overrides ride here).
+func (e *Engine) execPlan(ctx context.Context, entry *planEntry, qt *obs.QueryTrace, workers int) (*Result, error) {
 	if !entry.unsupported {
-		var rows *sql.Rows
-		var qerr error
-		if qt != nil {
-			rows, qerr = e.db.QueryStmtTracedContext(ctx, entry.stmt, qt)
-		} else {
-			rows, qerr = e.db.QueryStmtContext(ctx, entry.stmt)
-		}
+		rows, qerr := e.db.QueryStmtOptsContext(ctx, entry.stmt, sql.ExecOpts{Trace: qt, Workers: workers})
 		if qerr != nil {
 			return nil, fmt.Errorf("core: executing translated SQL: %w", qerr)
 		}
@@ -623,8 +693,9 @@ func (e *Engine) execPlan(ctx context.Context, entry *planEntry, qt *obs.QueryTr
 
 // observeQuery feeds one finished query into the registry and, past the
 // slow-query threshold, the slow-query log. src may be empty (pre-parsed
-// queries); qt may be nil (tracing off).
-func (e *Engine) observeQuery(src string, cached bool, qt *obs.QueryTrace, res *Result, err error, elapsed time.Duration) {
+// queries); tag is the session's slow-log label; qt may be nil (tracing
+// off).
+func (e *Engine) observeQuery(src, tag string, cached bool, qt *obs.QueryTrace, res *Result, err error, elapsed time.Duration) {
 	q := &e.reg.Query
 	q.Queries.Inc()
 	q.Latency.Observe(elapsed)
@@ -642,12 +713,13 @@ func (e *Engine) observeQuery(src string, cached bool, qt *obs.QueryTrace, res *
 		return
 	}
 	q.Slow.Inc()
-	e.logSlowQuery(src, cached, qt, res, err, elapsed)
+	e.logSlowQuery(src, tag, cached, qt, res, err, elapsed)
 }
 
 // slowQueryRecord is one JSON line of the slow-query log.
 type slowQueryRecord struct {
 	TS        string                `json:"ts"`
+	Tag       string                `json:"tag,omitempty"`
 	Query     string                `json:"query,omitempty"`
 	Mode      Mode                  `json:"mode,omitempty"`
 	SQL       string                `json:"sql,omitempty"`
@@ -658,9 +730,10 @@ type slowQueryRecord struct {
 	Operators []obs.OperatorSummary `json:"operators,omitempty"`
 }
 
-func (e *Engine) logSlowQuery(src string, cached bool, qt *obs.QueryTrace, res *Result, err error, elapsed time.Duration) {
+func (e *Engine) logSlowQuery(src, tag string, cached bool, qt *obs.QueryTrace, res *Result, err error, elapsed time.Duration) {
 	rec := slowQueryRecord{
 		TS:        time.Now().UTC().Format(time.RFC3339Nano),
+		Tag:       tag,
 		Query:     src,
 		PlanCache: "miss",
 		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
@@ -685,11 +758,6 @@ func (e *Engine) logSlowQuery(src string, cached bool, qt *obs.QueryTrace, res *
 	e.slowLog.Write(append(line, '\n'))
 }
 
-// PlanCacheStats snapshots the plan cache's effectiveness counters.
-//
-// Deprecated: read the PlanCache field of Snapshot instead; this
-// accessor is kept as a thin view for one release.
-func (e *Engine) PlanCacheStats() PlanCacheStats { return e.plans.stats() }
 
 // corpusFor reconstructs (and caches) the documents of every database a
 // query references.
@@ -742,7 +810,7 @@ func (e *Engine) corpusDocsLocked(db string) ([]*xmldoc.Document, error) {
 func (e *Engine) Explain(src string) (string, error) {
 	q, err := xq.Parse(src)
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	tr, err := xq2sql.Translate(e.store, q, xq2sql.Options{
 		UseKeywordIndex: e.cfg.UseKeywordIndex,
@@ -765,18 +833,27 @@ func (e *Engine) Explain(src string) (string, error) {
 // a total line (rows, latency, mode, plan-cache verdict). Unlike
 // Explain, the query REALLY executes — side effects on the plan cache
 // and metrics are those of a normal run.
+//
+// ExplainAnalyze runs on the engine's implicit default session;
+// Session.ExplainAnalyze applies per-session deadlines and overrides.
 func (e *Engine) ExplainAnalyze(ctx context.Context, src string) (string, error) {
+	return e.defaultSess.ExplainAnalyze(ctx, src)
+}
+
+// explainAnalyze is the session-parameterised body of ExplainAnalyze.
+// It also returns the result so the calling session can count rows.
+func (e *Engine) explainAnalyze(ctx context.Context, src string, workers int, tag string) (string, *Result, error) {
 	start := time.Now()
 	entry, cached, err := e.plan(src)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	qt := obs.NewQueryTrace(true)
-	res, err := e.execPlan(ctx, entry, qt)
+	res, err := e.execPlan(ctx, entry, qt, workers)
 	elapsed := time.Since(start)
-	e.observeQuery(src, cached, qt, res, err, elapsed)
+	e.observeQuery(src, tag, cached, qt, res, err, elapsed)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	cacheState := "miss"
 	if cached {
@@ -785,10 +862,10 @@ func (e *Engine) ExplainAnalyze(ctx context.Context, src string) (string, error)
 	total := fmt.Sprintf("total: %d rows in %s (mode=%s, plan cache %s)",
 		len(res.Rows), elapsed.Round(time.Microsecond), res.Mode, cacheState)
 	if res.Mode == ModeNative {
-		return fmt.Sprintf("native evaluation (no single-SELECT translation)\n%s", total), nil
+		return fmt.Sprintf("native evaluation (no single-SELECT translation)\n%s", total), res, nil
 	}
 	return "SQL: " + res.SQL + "\nplan:\n  " +
-		strings.ReplaceAll(qt.Render(true), "\n", "\n  ") + "\n" + total, nil
+		strings.ReplaceAll(qt.Render(true), "\n", "\n  ") + "\n" + total, res, nil
 }
 
 // WarehouseStats summarises one warehoused database.
@@ -796,19 +873,6 @@ type WarehouseStats struct {
 	DB    string
 	Docs  int
 	Paths int
-}
-
-// Stats reports physical database statistics plus per-warehouse counts.
-//
-// Deprecated: read the DB and Warehouses fields of Snapshot instead;
-// this accessor is kept as a thin view for one release.
-func (e *Engine) Stats() (sql.Stats, []WarehouseStats, error) {
-	phys := e.db.Stats()
-	whs, err := e.warehouseStats()
-	if err != nil {
-		return phys, nil, err
-	}
-	return phys, whs, nil
 }
 
 // warehouseStats snapshots per-warehouse counts via shred.Store.Overview:
@@ -837,64 +901,3 @@ func (e *Engine) Compact(path string) error {
 	return e.db.CompactTo(path, sql.Options{PoolPages: e.cfg.PoolPages})
 }
 
-// XML renders a result as an XML document (the "display the results in
-// XML format" option of Fig. 7b).
-func (r *Result) XML() string {
-	root := xmldoc.NewElement("results")
-	for _, row := range r.Rows {
-		re := root.AddChild(xmldoc.NewElement("result"))
-		for i, col := range r.Columns {
-			ce := re.AddChild(xmldoc.NewElement(col))
-			if row[i] != "" {
-				ce.AddText(row[i])
-			}
-		}
-	}
-	doc := &xmldoc.Document{Root: root}
-	return doc.Serialize(xmldoc.SerializeOptions{Indent: "  "})
-}
-
-// Table renders a result as fixed-width text (the "simple table format"
-// option).
-func (r *Result) Table() string {
-	widths := make([]int, len(r.Columns))
-	for i, c := range r.Columns {
-		widths[i] = len(c)
-	}
-	for _, row := range r.Rows {
-		for i, v := range row {
-			if len(v) > 60 {
-				v = v[:57] + "..."
-			}
-			if len(v) > widths[i] {
-				widths[i] = len(v)
-			}
-		}
-	}
-	var sb strings.Builder
-	writeRow := func(vals []string) {
-		for i, v := range vals {
-			if len(v) > 60 {
-				v = v[:57] + "..."
-			}
-			if i > 0 {
-				sb.WriteString("  ")
-			}
-			sb.WriteString(v)
-			for p := len(v); p < widths[i]; p++ {
-				sb.WriteByte(' ')
-			}
-		}
-		sb.WriteByte('\n')
-	}
-	writeRow(r.Columns)
-	seps := make([]string, len(r.Columns))
-	for i := range seps {
-		seps[i] = strings.Repeat("-", widths[i])
-	}
-	writeRow(seps)
-	for _, row := range r.Rows {
-		writeRow(row)
-	}
-	return sb.String()
-}

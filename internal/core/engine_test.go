@@ -365,10 +365,11 @@ RETURN $a//enzyme_id`)
 		t.Errorf("fallback plan = %q, %v", plan, err)
 	}
 
-	phys, whs, err := e.Stats()
+	snap, err := e.Snapshot()
 	if err != nil {
 		t.Fatal(err)
 	}
+	phys, whs := snap.DB, snap.Warehouses
 	if phys.FilePages < 2 || len(whs) != 1 || whs[0].Docs != 11 || whs[0].Paths == 0 {
 		t.Errorf("stats = %+v %+v", phys, whs)
 	}

@@ -1,6 +1,13 @@
 package core
 
-import "errors"
+import (
+	"context"
+	"encoding/json"
+	"errors"
+
+	"xomatiq/internal/nativexml"
+	"xomatiq/internal/xq2sql"
+)
 
 // Sentinel errors of the engine API. Callers match them with errors.Is;
 // the wrapped form carries the database name.
@@ -16,4 +23,141 @@ var (
 	// ErrDuplicateSource reports a second RegisterSource under the same
 	// database name.
 	ErrDuplicateSource = errors.New("core: source already registered")
+
+	// ErrSessionClosed reports a query on a closed session.
+	ErrSessionClosed = errors.New("core: session closed")
+
+	// ErrTooManySessions reports a NewSession refused by the
+	// Config.MaxSessions admission cap.
+	ErrTooManySessions = errors.New("core: too many sessions")
+
+	// ErrOverloaded reports a query shed by the Config.MaxInflightQueries
+	// admission cap — the engine refuses work instead of queueing it
+	// unboundedly; back off and retry.
+	ErrOverloaded = errors.New("core: too many in-flight queries")
+
+	// ErrBadQuery wraps parse failures of the query text (xq syntax
+	// errors). The wrapped error carries the position detail.
+	ErrBadQuery = errors.New("core: bad query")
 )
+
+// Code is a stable, wire-safe error classification. Codes survive
+// serialization: a remote client can errors.Is-match the same taxonomy
+// the embedded API exposes, because the server encodes the code and the
+// client's decoder maps it back to the sentinel.
+type Code string
+
+// The error taxonomy. Every engine error maps to exactly one code;
+// CodeInternal is the catch-all for errors with no public classification.
+const (
+	CodeUnknownDatabase Code = "unknown_database"
+	CodeNoSource        Code = "no_source"
+	CodeDuplicateSource Code = "duplicate_source"
+	CodeUnsupported     Code = "unsupported_query"
+	CodeBadQuery        Code = "bad_query"
+	CodeCanceled        Code = "canceled"
+	CodeDeadline        Code = "deadline_exceeded"
+	CodeSessionClosed   Code = "session_closed"
+	CodeTooManySessions Code = "too_many_sessions"
+	CodeOverloaded      Code = "overloaded"
+	CodeInternal        Code = "internal"
+)
+
+// sentinelOf maps each code back to the sentinel a decoded wire error
+// should match under errors.Is. CodeInternal (and unknown future codes)
+// map to nil: no sentinel, only the message survives.
+var sentinelOf = map[Code]error{
+	CodeUnknownDatabase: ErrUnknownDatabase,
+	CodeNoSource:        ErrNoSource,
+	CodeDuplicateSource: ErrDuplicateSource,
+	CodeUnsupported:     xq2sql.ErrUnsupported,
+	CodeBadQuery:        ErrBadQuery,
+	CodeCanceled:        context.Canceled,
+	CodeDeadline:        context.DeadlineExceeded,
+	CodeSessionClosed:   ErrSessionClosed,
+	CodeTooManySessions: ErrTooManySessions,
+	CodeOverloaded:      ErrOverloaded,
+}
+
+// Error is the wire form of an engine error: a stable code plus the
+// human-readable message. It marshals/unmarshals as JSON and keeps
+// errors.Is compatibility with the sentinel taxonomy on both ends of a
+// connection.
+type Error struct {
+	Code    Code   `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Message }
+
+// Is matches the sentinel corresponding to the code, so
+// errors.Is(decoded, xomatiq.ErrUnknownDatabase) works on a client that
+// never saw the original error value.
+func (e *Error) Is(target error) bool {
+	s, ok := sentinelOf[e.Code]
+	return ok && s == target
+}
+
+// ErrorCode classifies any error into the taxonomy. Typed *Error values
+// pass their code through; sentinels and context errors map to their
+// codes; anything else is CodeInternal.
+func ErrorCode(err error) Code {
+	var we *Error
+	if errors.As(err, &we) {
+		return we.Code
+	}
+	switch {
+	case errors.Is(err, ErrUnknownDatabase),
+		errors.Is(err, xq2sql.ErrUnknownDatabase),
+		errors.Is(err, nativexml.ErrUnknownDatabase):
+		return CodeUnknownDatabase
+	case errors.Is(err, ErrNoSource):
+		return CodeNoSource
+	case errors.Is(err, ErrDuplicateSource):
+		return CodeDuplicateSource
+	case errors.Is(err, xq2sql.ErrUnsupported):
+		return CodeUnsupported
+	case errors.Is(err, ErrBadQuery):
+		return CodeBadQuery
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadline
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	case errors.Is(err, ErrSessionClosed):
+		return CodeSessionClosed
+	case errors.Is(err, ErrTooManySessions):
+		return CodeTooManySessions
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	default:
+		return CodeInternal
+	}
+}
+
+// WireError converts any error into its wire form. A nil err returns
+// nil; a typed *Error passes through unchanged.
+func WireError(err error) *Error {
+	if err == nil {
+		return nil
+	}
+	var we *Error
+	if errors.As(err, &we) {
+		return we
+	}
+	return &Error{Code: ErrorCode(err), Message: err.Error()}
+}
+
+// ErrorFromJSON decodes a wire error. The result matches the code's
+// sentinel under errors.Is, so remote callers branch exactly like
+// embedded ones.
+func ErrorFromJSON(data []byte) (*Error, error) {
+	var e Error
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, err
+	}
+	if e.Code == "" {
+		e.Code = CodeInternal
+	}
+	return &e, nil
+}

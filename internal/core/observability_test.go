@@ -162,21 +162,19 @@ WHERE contains($a//catalytic_activity, "ketone") RETURN $a//enzyme_id`); err != 
 	if err != nil {
 		t.Fatal(err)
 	}
-	phys, whs, err := e.Stats()
-	if err != nil {
-		t.Fatal(err)
+	// The unified snapshot mirrors the layer internals exactly (the old
+	// PlanCacheStats/Stats/LastLoadStats thin views collapsed into it).
+	if phys := e.db.Stats(); !reflect.DeepEqual(phys, snap.DB) {
+		t.Errorf("db.Stats() = %+v\nSnapshot().DB = %+v", phys, snap.DB)
 	}
-	if !reflect.DeepEqual(phys, snap.DB) {
-		t.Errorf("Stats() phys = %+v\nSnapshot().DB = %+v", phys, snap.DB)
+	if whs, err := e.warehouseStats(); err != nil || !reflect.DeepEqual(whs, snap.Warehouses) {
+		t.Errorf("warehouseStats() = %+v, %v\nSnapshot().Warehouses = %+v", whs, err, snap.Warehouses)
 	}
-	if !reflect.DeepEqual(whs, snap.Warehouses) {
-		t.Errorf("Stats() warehouses = %+v\nSnapshot().Warehouses = %+v", whs, snap.Warehouses)
+	if pc := e.plans.stats(); !reflect.DeepEqual(pc, snap.PlanCache) {
+		t.Errorf("plans.stats() = %+v\nSnapshot().PlanCache = %+v", pc, snap.PlanCache)
 	}
-	if pc := e.PlanCacheStats(); !reflect.DeepEqual(pc, snap.PlanCache) {
-		t.Errorf("PlanCacheStats() = %+v\nSnapshot().PlanCache = %+v", pc, snap.PlanCache)
-	}
-	if ll := e.LastLoadStats(); !reflect.DeepEqual(ll, snap.LastLoad) {
-		t.Errorf("LastLoadStats() = %+v\nSnapshot().LastLoad = %+v", ll, snap.LastLoad)
+	if ll := e.lastLoadStats(); !reflect.DeepEqual(ll, snap.LastLoad) {
+		t.Errorf("lastLoadStats() = %+v\nSnapshot().LastLoad = %+v", ll, snap.LastLoad)
 	}
 
 	// The registry saw the load and the query.

@@ -63,12 +63,10 @@ func (s LoadStats) Summary() string {
 		s.Workers, s.DocsPerSec(), s.TuplesPerSec(), s.MBPerSec())
 }
 
-// LastLoadStats reports throughput of the most recent load (the console
-// \harness command and datahound surface these numbers).
-//
-// Deprecated: read the LastLoad field of Snapshot instead; this accessor
-// is kept as a thin view for one release.
-func (e *Engine) LastLoadStats() LoadStats {
+// lastLoadStats reports throughput of the most recent load; it surfaces
+// publicly as the LastLoad field of Snapshot (the former
+// Engine.LastLoadStats thin view collapsed into the unified surface).
+func (e *Engine) lastLoadStats() LoadStats {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()
 	return e.lastLoad

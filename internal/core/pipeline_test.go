@@ -210,7 +210,7 @@ RETURN $a//enzyme_id`
 			t.Fatal(err)
 		}
 	}
-	base := e.PlanCacheStats()
+	base := e.plans.stats()
 	src.Publish(enzymeFlat(t, bio.GenEnzymes(50, bio.GenOptions{Seed: 5})))
 	if _, err := e.Harness(db); err != nil {
 		t.Fatal(err)
@@ -220,7 +220,7 @@ RETURN $a//enzyme_id`
 			t.Fatal(err)
 		}
 	}
-	st := e.PlanCacheStats()
+	st := e.plans.stats()
 	if inv := st.Invalidations - base.Invalidations; inv != 1 {
 		t.Errorf("queries after a 50-doc harness invalidated the plan cache %d times, want exactly 1", inv)
 	}

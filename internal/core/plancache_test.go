@@ -73,7 +73,7 @@ func TestQueryPlanCacheHit(t *testing.T) {
 	if len(first.Rows) != len(second.Rows) || second.Mode != ModeSQL {
 		t.Fatalf("cached result differs: %d vs %d rows", len(first.Rows), len(second.Rows))
 	}
-	st := e.PlanCacheStats()
+	st := e.plans.stats()
 	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
 		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
 	}
@@ -93,7 +93,7 @@ RETURN $a//enzyme_id`
 	if err != nil || r2.Mode != ModeNative {
 		t.Fatalf("cached native query: %v", err)
 	}
-	if st := e.PlanCacheStats(); st.Hits != 1 {
+	if st := e.plans.stats(); st.Hits != 1 {
 		t.Errorf("unsupported shape not cached: %+v", st)
 	}
 }
@@ -139,7 +139,7 @@ RETURN $a//enzyme_id`
 	if len(after.Rows) != 1 || after.Rows[0][0] != "7.7.7.7" {
 		t.Fatalf("post-update query = %v, want the new entry", after.Rows)
 	}
-	if st := e.PlanCacheStats(); st.Invalidations == 0 {
+	if st := e.plans.stats(); st.Invalidations == 0 {
 		t.Errorf("expected an invalidation, stats = %+v", st)
 	}
 }
@@ -159,7 +159,7 @@ func TestQueryPlanCacheDisabled(t *testing.T) {
 	if _, err := e.Query(ketoneQuery); err != nil {
 		t.Fatal(err)
 	}
-	if st := e.PlanCacheStats(); st != (PlanCacheStats{}) {
+	if st := e.plans.stats(); st != (PlanCacheStats{}) {
 		t.Errorf("disabled cache recorded activity: %+v", st)
 	}
 }

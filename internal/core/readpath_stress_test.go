@@ -123,9 +123,9 @@ RETURN $a//enzyme_id`
 	// Plan-cache correctness after the churn: the final state serves a
 	// cached plan whose result still matches a fresh translation.
 	final := mustRender()
-	pcBefore := e.PlanCacheStats()
+	pcBefore := e.plans.stats()
 	again := mustRender()
-	pcAfter := e.PlanCacheStats()
+	pcAfter := e.plans.stats()
 	if final != again {
 		t.Errorf("stable warehouse returned differing results:\n%s\nvs\n%s", final, again)
 	}

@@ -1,0 +1,125 @@
+// result.go is the query result surface: a materialised table with
+// structured accessors (Columns/Rows fields), three renderers (Table,
+// XML, JSON) and a stable wire decoding, so remote callers round-trip
+// results byte-identically instead of screen-scraping formatted text.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"xomatiq/internal/xmldoc"
+)
+
+// Result is a materialised query result. Columns and Rows are the
+// structured accessors (callers should read them, not parse Table
+// output); JSON is the stable wire encoding the server ships.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+	Mode    Mode
+	SQL     string // generated SQL when Mode == ModeSQL
+}
+
+// wireResult is the JSON shape of a Result. Field order is fixed by the
+// struct, so the encoding is byte-stable for a given result: the
+// concurrent-clients test compares server bytes against embedded bytes.
+type wireResult struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Mode    Mode       `json:"mode"`
+	SQL     string     `json:"sql,omitempty"`
+}
+
+// JSON renders the result as its stable wire encoding: a single JSON
+// object with columns, rows, mode and (on the SQL path) the generated
+// SQL. Encoding a given result always yields identical bytes.
+func (r *Result) JSON() []byte {
+	w := wireResult{Columns: r.Columns, Rows: r.Rows, Mode: r.Mode, SQL: r.SQL}
+	if w.Columns == nil {
+		w.Columns = []string{}
+	}
+	if w.Rows == nil {
+		w.Rows = [][]string{}
+	}
+	data, err := json.Marshal(w)
+	if err != nil {
+		// Strings-only struct; Marshal cannot fail. Keep the error path
+		// total anyway.
+		return []byte(fmt.Sprintf(`{"columns":[],"rows":[],"mode":%q}`, r.Mode))
+	}
+	return data
+}
+
+// ResultFromJSON decodes a wire-encoded result (the client half of
+// Result.JSON).
+func ResultFromJSON(data []byte) (*Result, error) {
+	var w wireResult
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("core: decoding result: %w", err)
+	}
+	return &Result{Columns: w.Columns, Rows: w.Rows, Mode: w.Mode, SQL: w.SQL}, nil
+}
+
+// XML renders a result as an XML document (the "display the results in
+// XML format" option of Fig. 7b).
+func (r *Result) XML() string {
+	root := xmldoc.NewElement("results")
+	for _, row := range r.Rows {
+		re := root.AddChild(xmldoc.NewElement("result"))
+		for i, col := range r.Columns {
+			ce := re.AddChild(xmldoc.NewElement(col))
+			if row[i] != "" {
+				ce.AddText(row[i])
+			}
+		}
+	}
+	doc := &xmldoc.Document{Root: root}
+	return doc.Serialize(xmldoc.SerializeOptions{Indent: "  "})
+}
+
+// Table renders a result as fixed-width text (the "simple table format"
+// option).
+func (r *Result) Table() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, v := range row {
+			if len(v) > 60 {
+				v = v[:57] + "..."
+			}
+			if len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(vals []string) {
+		for i, v := range vals {
+			if len(v) > 60 {
+				v = v[:57] + "..."
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(v)
+			for p := len(v); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	seps := make([]string, len(r.Columns))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(seps)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,336 @@
+// session.go is the session layer of the public API: every query enters
+// the engine through a Session, which carries per-session state — a
+// default per-query deadline, a query-worker override, a slow-log tag
+// and a cancellation scope — and feeds per-session statistics into the
+// registry. The engine keeps an implicit default session so the legacy
+// Engine.Query* surface stays a thin wrapper, and a session registry so
+// the server layer can list and close remote sessions.
+package core
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"xomatiq/internal/obs"
+)
+
+// SessionOptions carries the per-session state a NewSession starts from.
+// Build one with the WithSession* functional options (or literally; the
+// zero value inherits every engine default).
+type SessionOptions struct {
+	// Deadline is the default per-query deadline: queries run under a
+	// context that expires after this duration unless the caller's
+	// context already carries an earlier deadline. Zero means no default.
+	Deadline time.Duration
+	// QueryWorkers overrides the engine's intra-query scan parallelism
+	// for this session's queries (1 = serial). Zero inherits
+	// Config.QueryWorkers. Results are byte-identical for any value.
+	QueryWorkers int
+	// Tag labels the session in listings and in the slow-query log's
+	// "tag" field (e.g. a remote address or client name).
+	Tag string
+}
+
+// SessionOption adjusts SessionOptions, in the same functional-option
+// style as the engine's Open options.
+type SessionOption func(*SessionOptions)
+
+// WithDefaultDeadline sets the session's default per-query deadline.
+func WithDefaultDeadline(d time.Duration) SessionOption {
+	return func(o *SessionOptions) { o.Deadline = d }
+}
+
+// WithSessionQueryWorkers caps intra-query scan parallelism for the
+// session's queries (0 = engine default, 1 = serial).
+func WithSessionQueryWorkers(n int) SessionOption {
+	return func(o *SessionOptions) { o.QueryWorkers = n }
+}
+
+// WithSessionTag labels the session in listings and the slow-query log.
+func WithSessionTag(tag string) SessionOption {
+	return func(o *SessionOptions) { o.Tag = tag }
+}
+
+// Session is one client's query scope on an engine. Sessions are safe
+// for concurrent use; closing one cancels its in-flight queries and
+// fails later ones with ErrSessionClosed. Create with Engine.NewSession,
+// always Close when done.
+type Session struct {
+	eng     *Engine
+	id      uint64
+	opts    SessionOptions
+	created time.Time
+
+	// ctx is the session's cancellation scope: derived from the
+	// NewSession context, cancelled by Close. Every query context is
+	// tied to it, so closing the session (or cancelling its parent)
+	// aborts in-flight queries.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	closed    atomic.Bool
+	isDefault bool
+
+	queries  obs.Counter
+	errors   obs.Counter
+	rows     obs.Counter
+	lastUsed atomic.Int64 // unix nanoseconds of the last query start
+}
+
+// NewSession opens a session on the engine. The context scopes the
+// session's lifetime: cancelling it closes the session and aborts its
+// in-flight queries. Fails with ErrTooManySessions when the
+// Config.MaxSessions admission cap is reached.
+func (e *Engine) NewSession(ctx context.Context, opts ...SessionOption) (*Session, error) {
+	var so SessionOptions
+	for _, o := range opts {
+		o(&so)
+	}
+	return e.newSession(ctx, so, false)
+}
+
+func (e *Engine) newSession(ctx context.Context, so SessionOptions, isDefault bool) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	s := &Session{
+		eng: e, opts: so, created: time.Now(),
+		ctx: sctx, cancel: cancel, isDefault: isDefault,
+	}
+	if !isDefault {
+		e.sessMu.Lock()
+		if max := e.cfg.MaxSessions; max > 0 && len(e.sessions) >= max {
+			e.sessMu.Unlock()
+			cancel()
+			e.reg.Session.Rejected.Inc()
+			return nil, ErrTooManySessions
+		}
+		e.nextSession++
+		s.id = e.nextSession
+		e.sessions[s.id] = s
+		e.sessMu.Unlock()
+		e.reg.Session.Opened.Inc()
+		e.reg.Session.Active.Add(1)
+	}
+	// Parent-context cancellation closes the session (unregister + stats)
+	// even if the owner never calls Close.
+	context.AfterFunc(sctx, func() { s.Close() })
+	return s, nil
+}
+
+// Close cancels the session's in-flight queries, removes it from the
+// engine's registry and fails later queries with ErrSessionClosed.
+// Idempotent; always returns nil.
+func (s *Session) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.cancel()
+	if !s.isDefault {
+		e := s.eng
+		e.sessMu.Lock()
+		delete(e.sessions, s.id)
+		e.sessMu.Unlock()
+		e.reg.Session.Closed.Inc()
+		e.reg.Session.Active.Add(-1)
+	}
+	return nil
+}
+
+// ID reports the session's engine-unique id (0 for the implicit default
+// session).
+func (s *Session) ID() uint64 { return s.id }
+
+// Tag reports the session's label.
+func (s *Session) Tag() string { return s.opts.Tag }
+
+// Options returns a copy of the session's options.
+func (s *Session) Options() SessionOptions { return s.opts }
+
+// Engine returns the engine the session runs on (for engine-level
+// operations — catalog listings, snapshots, loads).
+func (s *Session) Engine() *Engine { return s.eng }
+
+// SessionInfo is the wire-ready description of one open session
+// (Engine.Sessions, the server's /v1/sessions listing).
+type SessionInfo struct {
+	ID      uint64    `json:"id"`
+	Tag     string    `json:"tag,omitempty"`
+	Created time.Time `json:"created"`
+	// LastUsed is nil until the session runs its first query
+	// (omitempty skips nil pointers but not zero time.Time values).
+	LastUsed   *time.Time `json:"last_used,omitempty"`
+	Queries    uint64     `json:"queries"`
+	Errors     uint64     `json:"errors"`
+	Rows       uint64     `json:"rows"`
+	DeadlineMS int64      `json:"default_deadline_ms,omitempty"`
+	Workers    int        `json:"query_workers,omitempty"`
+}
+
+// Info snapshots the session's descriptive state and counters.
+func (s *Session) Info() SessionInfo {
+	info := SessionInfo{
+		ID: s.id, Tag: s.opts.Tag, Created: s.created,
+		Queries: s.queries.Load(), Errors: s.errors.Load(), Rows: s.rows.Load(),
+		DeadlineMS: int64(s.opts.Deadline / time.Millisecond),
+		Workers:    s.opts.QueryWorkers,
+	}
+	if lu := s.lastUsed.Load(); lu != 0 {
+		t := time.Unix(0, lu)
+		info.LastUsed = &t
+	}
+	return info
+}
+
+// Sessions lists the open sessions, sorted by id (the implicit default
+// session is not listed).
+func (e *Engine) Sessions() []SessionInfo {
+	e.sessMu.Lock()
+	ss := make([]*Session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		ss = append(ss, s)
+	}
+	e.sessMu.Unlock()
+	sort.Slice(ss, func(i, j int) bool { return ss[i].id < ss[j].id })
+	infos := make([]SessionInfo, len(ss))
+	for i, s := range ss {
+		infos[i] = s.Info()
+	}
+	return infos
+}
+
+// Session looks up an open session by id (the server's
+// /v1/query?session= path).
+func (e *Engine) Session(id uint64) (*Session, bool) {
+	e.sessMu.Lock()
+	s, ok := e.sessions[id]
+	e.sessMu.Unlock()
+	return s, ok
+}
+
+// CloseSession closes the open session with the given id, reporting
+// whether one was found.
+func (e *Engine) CloseSession(id uint64) bool {
+	e.sessMu.Lock()
+	s, ok := e.sessions[id]
+	e.sessMu.Unlock()
+	if ok {
+		s.Close()
+	}
+	return ok
+}
+
+// closeAllSessions is Engine.Close's sweep: cancel every open session so
+// their queries abort before the store shuts down.
+func (e *Engine) closeAllSessions() {
+	e.sessMu.Lock()
+	ss := make([]*Session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		ss = append(ss, s)
+	}
+	e.sessMu.Unlock()
+	for _, s := range ss {
+		s.Close()
+	}
+	if e.defaultSess != nil {
+		e.defaultSess.Close()
+	}
+}
+
+// queryCtx derives the context one query runs under: the caller's
+// context, tied to the session's cancellation scope, with the session's
+// default deadline applied when the caller set none.
+func (s *Session) queryCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	qctx, cancel := context.WithCancel(ctx)
+	stop := context.AfterFunc(s.ctx, cancel)
+	cancelDeadline := context.CancelFunc(func() {})
+	if s.opts.Deadline > 0 {
+		if _, has := qctx.Deadline(); !has {
+			qctx, cancelDeadline = context.WithTimeout(qctx, s.opts.Deadline)
+		}
+	}
+	return qctx, func() {
+		stop()
+		cancelDeadline()
+		cancel()
+	}
+}
+
+// Admit reserves one slot in the engine-wide in-flight admission gate
+// shared by every session (including the default one): past
+// Config.MaxInflightQueries the caller is shed with ErrOverloaded
+// instead of queueing. Query and ExplainAnalyze admit themselves; the
+// method is exported so serving layers can route other session-scoped
+// work (and load tests) through the same gate. The returned release
+// must be called exactly once when the work finishes.
+func (s *Session) Admit() (release func(), err error) {
+	if s.closed.Load() {
+		return nil, ErrSessionClosed
+	}
+	sm := &s.eng.reg.Session
+	sm.Inflight.Add(1)
+	if max := s.eng.cfg.MaxInflightQueries; max > 0 && sm.Inflight.Load() > int64(max) {
+		sm.Inflight.Add(-1)
+		sm.Shed.Inc()
+		return nil, ErrOverloaded
+	}
+	return func() { sm.Inflight.Add(-1) }, nil
+}
+
+// observe feeds one finished query into the session counters.
+func (s *Session) observe(res *Result, err error) {
+	s.queries.Inc()
+	s.lastUsed.Store(time.Now().UnixNano())
+	if err != nil {
+		s.errors.Inc()
+		return
+	}
+	s.rows.Add(uint64(len(res.Rows)))
+}
+
+// Query parses and runs a XomatiQ query on the session: the caller's
+// context is tied to the session's cancellation scope and default
+// deadline, the session's worker override applies, and the result is
+// wire-serializable via Result.JSON.
+func (s *Session) Query(ctx context.Context, src string) (*Result, error) {
+	release, err := s.Admit()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	qctx, cancel := s.queryCtx(ctx)
+	defer cancel()
+	res, err := s.eng.queryContext(qctx, src, s.opts.QueryWorkers, s.opts.Tag)
+	s.observe(res, err)
+	return res, err
+}
+
+// ExplainAnalyze runs the query on the session and renders the executed
+// plan with per-operator actuals (see Engine.ExplainAnalyze).
+func (s *Session) ExplainAnalyze(ctx context.Context, src string) (string, error) {
+	release, err := s.Admit()
+	if err != nil {
+		return "", err
+	}
+	defer release()
+	qctx, cancel := s.queryCtx(ctx)
+	defer cancel()
+	report, res, err := s.eng.explainAnalyze(qctx, src, s.opts.QueryWorkers, s.opts.Tag)
+	s.observe(res, err)
+	return report, err
+}
+
+// Explain translates the query and renders the plan without executing
+// it (see Engine.Explain).
+func (s *Session) Explain(src string) (string, error) {
+	if s.closed.Load() {
+		return "", ErrSessionClosed
+	}
+	return s.eng.Explain(src)
+}

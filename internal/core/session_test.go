@@ -1,0 +1,356 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xomatiq/internal/bio"
+	"xomatiq/internal/hounds"
+	"xomatiq/internal/xq2sql"
+)
+
+const sessKetoneQuery = `FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//catalytic_activity, "ketone")
+RETURN $a//enzyme_id, $a//enzyme_description`
+
+func openSessionEngine(t *testing.T, adjust func(*Config)) *Engine {
+	t.Helper()
+	cfg := NewConfig(filepath.Join(t.TempDir(), "sess.db"))
+	if adjust != nil {
+		adjust(&cfg)
+	}
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	entries := bio.GenEnzymes(20, bio.GenOptions{Seed: 7})
+	var buf bytes.Buffer
+	if err := bio.WriteEnzyme(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	src := hounds.NewSimSource("enzyme", buf.String())
+	if err := e.RegisterSource("hlx_enzyme.DEFAULT", src, hounds.EnzymeTransformer{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Harness("hlx_enzyme.DEFAULT"); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSessionQueryMatchesEngineQuery(t *testing.T) {
+	e := openSessionEngine(t, nil)
+	s, err := e.NewSession(context.Background(), WithSessionTag("test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	want, err := e.Query(sessKetoneQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Query(context.Background(), sessKetoneQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.JSON(), got.JSON()) {
+		t.Errorf("session result differs from engine result:\n%s\nvs\n%s", got.JSON(), want.JSON())
+	}
+	info := s.Info()
+	if info.Queries != 1 || info.Tag != "test" || info.Rows != uint64(len(got.Rows)) {
+		t.Errorf("session info = %+v", info)
+	}
+}
+
+func TestSessionRegistryListAndClose(t *testing.T) {
+	e := openSessionEngine(t, nil)
+	s1, err := e.NewSession(context.Background(), WithSessionTag("one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := e.NewSession(context.Background(), WithSessionTag("two"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := e.Sessions()
+	if len(infos) != 2 || infos[0].ID >= infos[1].ID || infos[0].Tag != "one" {
+		t.Fatalf("sessions = %+v", infos)
+	}
+	if !e.CloseSession(s1.ID()) {
+		t.Error("CloseSession(s1) found nothing")
+	}
+	if got := e.Sessions(); len(got) != 1 || got[0].ID != s2.ID() {
+		t.Errorf("after close, sessions = %+v", got)
+	}
+	if _, err := s1.Query(context.Background(), sessKetoneQuery); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("query on closed session = %v, want ErrSessionClosed", err)
+	}
+	// Close is idempotent and the registry survives double closes.
+	s1.Close()
+	s2.Close()
+	if got := e.Sessions(); len(got) != 0 {
+		t.Errorf("after closing all, sessions = %+v", got)
+	}
+	snap, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Session.Opened != 2 || snap.Session.Closed != 2 || snap.Session.Active != 0 {
+		t.Errorf("session metrics = %+v", snap.Session)
+	}
+}
+
+func TestSessionMaxSessions(t *testing.T) {
+	e := openSessionEngine(t, func(c *Config) { c.MaxSessions = 1 })
+	s1, err := e.NewSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.NewSession(context.Background()); !errors.Is(err, ErrTooManySessions) {
+		t.Fatalf("second session = %v, want ErrTooManySessions", err)
+	}
+	s1.Close()
+	s2, err := e.NewSession(context.Background())
+	if err != nil {
+		t.Fatalf("session after close: %v", err)
+	}
+	s2.Close()
+	snap, _ := e.Snapshot()
+	if snap.Session.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", snap.Session.Rejected)
+	}
+}
+
+func TestSessionDefaultDeadline(t *testing.T) {
+	e := openSessionEngine(t, nil)
+	s, err := e.NewSession(context.Background(), WithDefaultDeadline(time.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_, qerr := s.Query(context.Background(), sessKetoneQuery)
+	if !errors.Is(qerr, context.DeadlineExceeded) {
+		t.Errorf("query under 1ns session deadline = %v, want DeadlineExceeded", qerr)
+	}
+	if got := ErrorCode(qerr); got != CodeDeadline {
+		t.Errorf("ErrorCode = %q, want %q", got, CodeDeadline)
+	}
+}
+
+func TestSessionCallerDeadlineWins(t *testing.T) {
+	e := openSessionEngine(t, nil)
+	// A generous session deadline must not override the caller's tighter
+	// context.
+	s, err := e.NewSession(context.Background(), WithDefaultDeadline(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	if _, err := s.Query(ctx, sessKetoneQuery); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("query under 1ns caller deadline = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestSessionCloseCancelsInflightQuery(t *testing.T) {
+	e := openSessionEngine(t, nil)
+	s, err := e.NewSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		// A query loop long enough to outlive the close below.
+		for {
+			_, qerr := s.Query(context.Background(), sessKetoneQuery)
+			if qerr != nil {
+				done <- qerr
+				return
+			}
+		}
+	}()
+	<-started
+	time.Sleep(2 * time.Millisecond)
+	s.Close()
+	select {
+	case qerr := <-done:
+		if !errors.Is(qerr, context.Canceled) && !errors.Is(qerr, ErrSessionClosed) {
+			t.Errorf("in-flight query after Close = %v", qerr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("query loop did not stop after session close")
+	}
+}
+
+func TestSessionParentContextClosesSession(t *testing.T) {
+	e := openSessionEngine(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := e.NewSession(ctx, WithSessionTag("scoped"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// AfterFunc runs async; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(e.Sessions()) != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := e.Sessions(); len(got) != 0 {
+		t.Errorf("session survived parent cancellation: %+v", got)
+	}
+	if _, err := s.Query(context.Background(), sessKetoneQuery); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("query after parent cancel = %v, want ErrSessionClosed", err)
+	}
+}
+
+func TestSessionWorkerOverrideDeterminism(t *testing.T) {
+	e := openSessionEngine(t, nil)
+	serial, err := e.NewSession(context.Background(), WithSessionQueryWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Close()
+	par, err := e.NewSession(context.Background(), WithSessionQueryWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	a, err := serial.Query(context.Background(), sessKetoneQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Query(context.Background(), sessKetoneQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.JSON(), b.JSON()) {
+		t.Errorf("worker override changed result bytes:\n%s\nvs\n%s", a.JSON(), b.JSON())
+	}
+}
+
+func TestErrorTaxonomy(t *testing.T) {
+	e := openSessionEngine(t, nil)
+	cases := []struct {
+		name string
+		err  error
+		code Code
+	}{
+		{"unknown db", func() error {
+			_, err := e.Query(`FOR $a IN document("nope.DEFAULT")/x RETURN $a//y`)
+			return err
+		}(), CodeUnknownDatabase},
+		{"parse", func() error {
+			_, err := e.Query(`FLWR garbage ((`)
+			return err
+		}(), CodeBadQuery},
+		{"no source", func() error {
+			_, err := e.Harness("unregistered.DEFAULT")
+			return err
+		}(), CodeNoSource},
+		{"canceled", context.Canceled, CodeCanceled},
+		{"deadline", context.DeadlineExceeded, CodeDeadline},
+		{"unsupported", xq2sql.ErrUnsupported, CodeUnsupported},
+		{"session closed", ErrSessionClosed, CodeSessionClosed},
+		{"too many sessions", ErrTooManySessions, CodeTooManySessions},
+		{"overloaded", ErrOverloaded, CodeOverloaded},
+		{"internal", errors.New("disk on fire"), CodeInternal},
+	}
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+			continue
+		}
+		if got := ErrorCode(tc.err); got != tc.code {
+			t.Errorf("%s: ErrorCode = %q, want %q (err: %v)", tc.name, got, tc.code, tc.err)
+		}
+	}
+}
+
+func TestWireErrorRoundTrip(t *testing.T) {
+	orig := WireError(ErrUnknownDatabase)
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ErrorFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decoded error matches the sentinel under errors.Is even though
+	// it never saw the original value — the code carries the identity.
+	if !errors.Is(decoded, ErrUnknownDatabase) {
+		t.Errorf("decoded error %+v does not match ErrUnknownDatabase", decoded)
+	}
+	if errors.Is(decoded, ErrNoSource) {
+		t.Error("decoded error spuriously matches ErrNoSource")
+	}
+	if WireError(nil) != nil {
+		t.Error("WireError(nil) != nil")
+	}
+	if ErrorCode(decoded) != CodeUnknownDatabase {
+		t.Errorf("ErrorCode(decoded) = %q", ErrorCode(decoded))
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	e := openSessionEngine(t, nil)
+	res, err := e.Query(sessKetoneQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := res.JSON()
+	// Stable: encoding twice yields identical bytes.
+	if !bytes.Equal(data, res.JSON()) {
+		t.Error("Result.JSON is not byte-stable")
+	}
+	back, err := ResultFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.JSON(), data) {
+		t.Errorf("round trip changed bytes:\n%s\nvs\n%s", back.JSON(), data)
+	}
+	if back.Mode != res.Mode || back.SQL != res.SQL || len(back.Rows) != len(res.Rows) {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+	// Empty results encode with empty arrays, not nulls.
+	empty := (&Result{Mode: ModeSQL}).JSON()
+	if s := string(empty); !strings.Contains(s, `"columns":[]`) || !strings.Contains(s, `"rows":[]`) {
+		t.Errorf("empty result JSON = %s", s)
+	}
+}
+
+func TestSessionInflightShedding(t *testing.T) {
+	e := openSessionEngine(t, func(c *Config) { c.MaxInflightQueries = 1 })
+	s, err := e.NewSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Hold the only in-flight slot open by acquiring admission directly.
+	release, err := s.Admit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, qerr := s.Query(context.Background(), sessKetoneQuery); !errors.Is(qerr, ErrOverloaded) {
+		t.Errorf("second in-flight query = %v, want ErrOverloaded", qerr)
+	}
+	release()
+	if _, qerr := s.Query(context.Background(), sessKetoneQuery); qerr != nil {
+		t.Errorf("query after release: %v", qerr)
+	}
+	snap, _ := e.Snapshot()
+	if snap.Session.Shed != 1 {
+		t.Errorf("shed = %d, want 1", snap.Session.Shed)
+	}
+}

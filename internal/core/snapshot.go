@@ -1,7 +1,8 @@
 // snapshot.go assembles the engine's unified observability surface: one
-// typed snapshot of every metric the layers feed, replacing the
-// scattered PlanCacheStats / Stats / LastLoadStats accessors (kept as
-// deprecated thin views for one release).
+// typed snapshot of every metric the layers feed. The former
+// PlanCacheStats / Stats / LastLoadStats thin views are collapsed into
+// this surface: read Snapshot.PlanCache, Snapshot.DB +
+// Snapshot.Warehouses, and Snapshot.LastLoad.
 package core
 
 import (
@@ -20,6 +21,7 @@ type Snapshot struct {
 	DB         sql.Stats
 	Warehouses []WarehouseStats
 	LastLoad   LoadStats
+	Sessions   []SessionInfo
 }
 
 // Snapshot captures the engine's metrics. It is safe to call
@@ -38,7 +40,8 @@ func (e *Engine) Snapshot() (Snapshot, error) {
 		PlanCache:        e.plans.stats(),
 		DB:               e.db.Stats(),
 		Warehouses:       whs,
-		LastLoad:         e.LastLoadStats(),
+		LastLoad:         e.lastLoadStats(),
+		Sessions:         e.Sessions(),
 	}, nil
 }
 

@@ -7,6 +7,7 @@ package nativexml
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -16,6 +17,10 @@ import (
 	"xomatiq/internal/xmldoc"
 	"xomatiq/internal/xq"
 )
+
+// ErrUnknownDatabase marks a path over a database absent from the
+// corpus; the engine maps it to its public sentinel.
+var ErrUnknownDatabase = errors.New("nativexml: unknown database")
 
 // Corpus is the in-memory warehouse: database name to documents.
 type Corpus map[string][]*xmldoc.Document
@@ -275,7 +280,7 @@ func (ev *evaluator) bindCandidates(p *xq.PathExpr, varIdx map[string]int, env m
 	}
 	docs, ok := ev.corpus[p.Doc]
 	if !ok {
-		return nil, fmt.Errorf("unknown database %q", p.Doc)
+		return nil, fmt.Errorf("%w %q", ErrUnknownDatabase, p.Doc)
 	}
 	var out []binding
 	for _, d := range docs {
@@ -309,7 +314,7 @@ func (ev *evaluator) evalPath(p *xq.PathExpr, env map[string]binding) ([]match, 
 	}
 	docs, ok := ev.corpus[p.Doc]
 	if !ok {
-		return nil, fmt.Errorf("unknown database %q", p.Doc)
+		return nil, fmt.Errorf("%w %q", ErrUnknownDatabase, p.Doc)
 	}
 	var out []match
 	for _, d := range docs {

@@ -275,6 +275,29 @@ type QuerySnapshot struct {
 	Latency HistogramSnapshot
 }
 
+// SessionMetrics counts the engine's session lifecycle and admission
+// control: how many sessions were opened/closed, how many NewSession
+// calls were shed by the MaxSessions cap, and how many queries were shed
+// by the MaxInflightQueries cap (the server maps both to 429s).
+type SessionMetrics struct {
+	Opened   Counter // sessions created (the implicit default session is not counted)
+	Closed   Counter // sessions closed
+	Active   Gauge   // currently open sessions
+	Rejected Counter // NewSession calls refused by the MaxSessions cap
+	Shed     Counter // queries refused by the MaxInflightQueries cap
+	Inflight Gauge   // queries currently executing across all sessions
+}
+
+// SessionSnapshot is the session section of a registry snapshot.
+type SessionSnapshot struct {
+	Opened   uint64
+	Closed   uint64
+	Active   int64
+	Rejected uint64
+	Shed     uint64
+	Inflight int64
+}
+
 // IngestMetrics counts bulk-load pipeline throughput.
 type IngestMetrics struct {
 	Loads       Counter // harness/update loads completed
@@ -297,12 +320,13 @@ type IngestSnapshot struct {
 // grouped by layer. Layers hold pointers to their group and feed it
 // directly; Engine.Snapshot reads the whole thing at once.
 type Registry struct {
-	Pool   PoolMetrics
-	WAL    WALMetrics
-	Heap   HeapMetrics
-	Index  IndexMetrics
-	Query  QueryMetrics
-	Ingest IngestMetrics
+	Pool    PoolMetrics
+	WAL     WALMetrics
+	Heap    HeapMetrics
+	Index   IndexMetrics
+	Query   QueryMetrics
+	Ingest  IngestMetrics
+	Session SessionMetrics
 }
 
 // NewRegistry returns an empty registry.
@@ -313,12 +337,13 @@ func NewRegistry() *Registry { return &Registry{} }
 // events in flight between loads, but every counter is monotone with
 // respect to earlier snapshots.
 type RegistrySnapshot struct {
-	Pool   PoolSnapshot
-	WAL    WALSnapshot
-	Heap   HeapSnapshot
-	Index  IndexSnapshot
-	Query  QuerySnapshot
-	Ingest IngestSnapshot
+	Pool    PoolSnapshot
+	WAL     WALSnapshot
+	Heap    HeapSnapshot
+	Index   IndexSnapshot
+	Query   QuerySnapshot
+	Ingest  IngestSnapshot
+	Session SessionSnapshot
 }
 
 // Snapshot copies the registry. Never blocks a writer: every read is one
@@ -356,6 +381,14 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 			Chunks:      r.Ingest.Chunks.Load(),
 			SourceBytes: r.Ingest.SourceBytes.Load(),
 		},
+		Session: SessionSnapshot{
+			Opened:   r.Session.Opened.Load(),
+			Closed:   r.Session.Closed.Load(),
+			Active:   r.Session.Active.Load(),
+			Rejected: r.Session.Rejected.Load(),
+			Shed:     r.Session.Shed.Load(),
+			Inflight: r.Session.Inflight.Load(),
+		},
 	}
 }
 
@@ -386,6 +419,12 @@ func (s RegistrySnapshot) Metrics() map[string]float64 {
 		"ingest.tuples":        float64(s.Ingest.Tuples),
 		"ingest.chunks":        float64(s.Ingest.Chunks),
 		"ingest.source_bytes":  float64(s.Ingest.SourceBytes),
+		"sessions.opened":      float64(s.Session.Opened),
+		"sessions.closed":      float64(s.Session.Closed),
+		"sessions.active":      float64(s.Session.Active),
+		"sessions.rejected":    float64(s.Session.Rejected),
+		"sessions.shed":        float64(s.Session.Shed),
+		"sessions.inflight":    float64(s.Session.Inflight),
 	}
 	if lat := s.Query.Latency; lat.Count > 0 {
 		m["query.latency_mean_us"] = float64(lat.Mean()) / float64(time.Microsecond)

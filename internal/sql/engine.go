@@ -704,18 +704,32 @@ func (db *DB) QueryStmt(sel *Select) (*Rows, error) {
 
 // QueryStmtContext runs a parsed SELECT under ctx.
 func (db *DB) QueryStmtContext(ctx context.Context, sel *Select) (*Rows, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.runSelect(ctx, sel, nil)
+	return db.QueryStmtOptsContext(ctx, sel, ExecOpts{})
 }
 
 // QueryStmtTracedContext runs a parsed SELECT under ctx with a query
 // trace attached: qt accumulates the plan lines and per-operator actual
 // rows/timings as the plan executes (EXPLAIN ANALYZE, slow-query log).
 func (db *DB) QueryStmtTracedContext(ctx context.Context, sel *Select, qt *obs.QueryTrace) (*Rows, error) {
+	return db.QueryStmtOptsContext(ctx, sel, ExecOpts{Trace: qt})
+}
+
+// ExecOpts carries per-query execution overrides.
+type ExecOpts struct {
+	// Trace, when non-nil, collects plan lines and per-operator actuals.
+	Trace *obs.QueryTrace
+	// Workers overrides Options.QueryWorkers for this query when
+	// positive (1 forces serial scans); 0 inherits the DB-wide setting.
+	// Results are byte-identical for any value.
+	Workers int
+}
+
+// QueryStmtOptsContext runs a parsed SELECT under ctx with per-query
+// execution overrides (session-scoped worker caps, tracing).
+func (db *DB) QueryStmtOptsContext(ctx context.Context, sel *Select, o ExecOpts) (*Rows, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.runSelect(ctx, sel, qt)
+	return db.runSelect(ctx, sel, o.Trace, o.Workers)
 }
 
 // Table exposes table metadata (column defs and row count).

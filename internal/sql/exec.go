@@ -142,12 +142,17 @@ func tracedIf(op *obs.OpStats, it rowIter) rowIter {
 
 // runSelect plans and executes a SELECT under db.mu (read-held). qt, when
 // non-nil, collects plan lines and per-operator actuals (EXPLAIN ANALYZE
-// and slow-query traces); nil keeps the execution untraced.
-func (db *DB) runSelect(ctx context.Context, sel *Select, qt *obs.QueryTrace) (*Rows, error) {
+// and slow-query traces); nil keeps the execution untraced. workers
+// overrides Options.QueryWorkers for this query when positive (per-session
+// overrides ride here); 0 inherits the DB-wide setting.
+func (db *DB) runSelect(ctx context.Context, sel *Select, qt *obs.QueryTrace, workers int) (*Rows, error) {
 	if len(sel.From) == 0 {
 		return nil, fmt.Errorf("sql: SELECT requires FROM")
 	}
-	es := newExecState(ctx, db.opts.QueryWorkers)
+	if workers <= 0 {
+		workers = db.opts.QueryWorkers
+	}
+	es := newExecState(ctx, workers)
 	es.reg = db.reg
 	es.qt = qt
 	defer es.finish()

@@ -41,6 +41,10 @@ import (
 // ErrUnsupported marks queries outside the translatable subset.
 var ErrUnsupported = errors.New("xq2sql: query shape not translatable to a single SELECT")
 
+// ErrUnknownDatabase marks a FOR/LET binding over a database the store
+// does not know; the engine maps it to its public sentinel.
+var ErrUnknownDatabase = errors.New("xq2sql: unknown database")
+
 // Options tune the translation.
 type Options struct {
 	// UseKeywordIndex enables inverted-index doc prefilters for
@@ -170,7 +174,7 @@ func (t *translator) addBinding(b xq.Binding) error {
 		return fmt.Errorf("%w: FOR binding rooted at a variable", ErrUnsupported)
 	}
 	if !t.store.HasDB(b.Path.Doc) {
-		return fmt.Errorf("xq2sql: unknown database %q", b.Path.Doc)
+		return fmt.Errorf("%w %q", ErrUnknownDatabase, b.Path.Doc)
 	}
 	if _, err := lastPreds(b.Path.Steps); err != nil {
 		return err

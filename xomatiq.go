@@ -12,23 +12,36 @@
 //	src := xomatiq.NewSimSource("expasy", enzymeFlatFileText)
 //	eng.RegisterSource("hlx_enzyme.DEFAULT", src, xomatiq.EnzymeTransformer{})
 //	eng.Harness("hlx_enzyme.DEFAULT")
-//	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-//	defer cancel()
-//	res, _ := eng.QueryContext(ctx, `FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+//	sess, _ := eng.NewSession(ctx,
+//		xomatiq.WithDefaultDeadline(5*time.Second),
+//		xomatiq.WithSessionTag("ingest-ui"))
+//	defer sess.Close()
+//	res, _ := sess.Query(ctx, `FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
 //	WHERE contains($a//catalytic_activity, "ketone")
 //	RETURN $a//enzyme_id, $a//enzyme_description`)
 //	fmt.Print(res.Table())
 //
-// Every lifecycle and query method has a Context variant
-// (QueryContext, HarnessContext, UpdateContext); the plain forms run
-// with context.Background(). Repeated queries are answered from an LRU
-// plan cache that is invalidated automatically when a referenced
-// database changes.
+// Queries enter the engine through a Session (Engine.NewSession): each
+// session carries a default per-query deadline, an intra-query worker
+// override, a slow-log tag and a cancellation scope, and shows up in
+// Engine.Sessions listings with its own counters. The legacy
+// Engine.Query/QueryContext surface remains as a thin wrapper over an
+// implicit default session.
+//
+// Results are wire-serializable — Result.JSON round-trips through
+// ResultFromJSON byte-identically — and errors classify into a stable
+// Code taxonomy (Error, ErrorCode) that survives serialization: a
+// decoded remote error still matches the package sentinels under
+// errors.Is. cmd/xomatiqd serves this API over HTTP and a console line
+// protocol; see internal/server.
+//
+// Repeated queries are answered from an LRU plan cache that is
+// invalidated automatically when a referenced database changes.
 //
 // The package re-exports the pieces a downstream application needs: the
-// engine (internal/core), the Data Hounds sources and transformers
-// (internal/hounds), and the flat-file toolkit with synthetic
-// generators (internal/bio).
+// engine and sessions (internal/core), the Data Hounds sources and
+// transformers (internal/hounds), and the flat-file toolkit with
+// synthetic generators (internal/bio).
 package xomatiq
 
 import (
@@ -49,8 +62,12 @@ type Engine = core.Engine
 // Config tunes an Engine; use NewConfig for defaults.
 type Config = core.Config
 
-// Result is a materialised query result with XML and table renderers.
+// Result is a materialised query result with XML, table and
+// wire-stable JSON renderers (Result.JSON / ResultFromJSON).
 type Result = core.Result
+
+// ResultFromJSON decodes a Result.JSON payload (the /v1/query body).
+func ResultFromJSON(data []byte) (*Result, error) { return core.ResultFromJSON(data) }
 
 // Mode reports which execution path answered a query.
 type Mode = core.Mode
@@ -73,6 +90,66 @@ type Snapshot = core.Snapshot
 // FS abstracts the filesystem the warehouse lives on (see WithFS).
 type FS = disk.FS
 
+// Session is one client's query scope: per-session deadline, worker
+// override, tag, cancellation scope and counters. Open with
+// Engine.NewSession, always Close when done.
+type Session = core.Session
+
+// SessionOptions carries the state a session starts from; build with
+// the WithSession*/WithDefaultDeadline functional options.
+type SessionOptions = core.SessionOptions
+
+// SessionOption adjusts SessionOptions.
+type SessionOption = core.SessionOption
+
+// SessionInfo is the wire-ready description of one open session.
+type SessionInfo = core.SessionInfo
+
+// Session option re-exports (Engine.NewSession).
+var (
+	// WithDefaultDeadline sets the session's default per-query deadline.
+	WithDefaultDeadline = core.WithDefaultDeadline
+	// WithSessionQueryWorkers overrides intra-query scan parallelism for
+	// the session (0 = engine default, 1 = serial).
+	WithSessionQueryWorkers = core.WithSessionQueryWorkers
+	// WithSessionTag labels the session in listings and the slow log.
+	WithSessionTag = core.WithSessionTag
+)
+
+// Error is the wire form of an engine error: a stable Code plus the
+// message. It survives JSON serialization and keeps errors.Is
+// compatibility with the sentinels on both ends of a connection.
+type Error = core.Error
+
+// Code is the stable, wire-safe error classification.
+type Code = core.Code
+
+// The error taxonomy; ErrorCode classifies any error into it.
+const (
+	CodeUnknownDatabase = core.CodeUnknownDatabase
+	CodeNoSource        = core.CodeNoSource
+	CodeDuplicateSource = core.CodeDuplicateSource
+	CodeUnsupported     = core.CodeUnsupported
+	CodeBadQuery        = core.CodeBadQuery
+	CodeCanceled        = core.CodeCanceled
+	CodeDeadline        = core.CodeDeadline
+	CodeSessionClosed   = core.CodeSessionClosed
+	CodeTooManySessions = core.CodeTooManySessions
+	CodeOverloaded      = core.CodeOverloaded
+	CodeInternal        = core.CodeInternal
+)
+
+// ErrorCode classifies any error into the taxonomy (CodeInternal for
+// errors with no public classification).
+func ErrorCode(err error) Code { return core.ErrorCode(err) }
+
+// WireError converts any error into its wire form (nil stays nil).
+func WireError(err error) *Error { return core.WireError(err) }
+
+// ErrorFromJSON decodes a wire error; the result matches the code's
+// sentinel under errors.Is.
+func ErrorFromJSON(data []byte) (*Error, error) { return core.ErrorFromJSON(data) }
+
 // Sentinel errors; match with errors.Is.
 var (
 	// ErrUnknownDatabase reports a reference to an unregistered database.
@@ -84,6 +161,15 @@ var (
 	// ErrUnsupported marks query shapes outside the XQ2SQL-translatable
 	// subset (the engine answers them natively; Explain reports it).
 	ErrUnsupported = xq2sql.ErrUnsupported
+	// ErrBadQuery wraps parse failures of the query text.
+	ErrBadQuery = core.ErrBadQuery
+	// ErrSessionClosed reports a query on a closed session.
+	ErrSessionClosed = core.ErrSessionClosed
+	// ErrTooManySessions reports a NewSession refused by MaxSessions.
+	ErrTooManySessions = core.ErrTooManySessions
+	// ErrOverloaded reports a query shed by MaxInflightQueries; back off
+	// and retry.
+	ErrOverloaded = core.ErrOverloaded
 )
 
 // NewConfig returns the default configuration for a warehouse at path.
@@ -131,6 +217,15 @@ func WithSlowQueryThreshold(d time.Duration) Option {
 // WithSlowQueryLog directs the slow-query JSON lines to w (default
 // os.Stderr). Only meaningful together with WithSlowQueryThreshold.
 func WithSlowQueryLog(w io.Writer) Option { return func(c *Config) { c.SlowQueryLog = w } }
+
+// WithMaxSessions caps concurrent sessions; NewSession past the cap
+// fails with ErrTooManySessions (0 = unlimited).
+func WithMaxSessions(n int) Option { return func(c *Config) { c.MaxSessions = n } }
+
+// WithMaxInflightQueries caps engine-wide concurrent queries; past the
+// cap queries are shed with ErrOverloaded instead of queueing
+// (0 = unlimited).
+func WithMaxInflightQueries(n int) Option { return func(c *Config) { c.MaxInflightQueries = n } }
 
 // Open opens (or creates) a warehouse at path with default settings,
 // adjusted by options.

@@ -1,0 +1,104 @@
+package xomatiq_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"xomatiq"
+)
+
+// TestPublicSessionAPI drives the session surface purely through the
+// package re-exports: options, per-session queries, wire results and
+// the serialized error taxonomy.
+func TestPublicSessionAPI(t *testing.T) {
+	eng, err := xomatiq.Open(filepath.Join(t.TempDir(), "api.db"),
+		xomatiq.WithMaxSessions(2),
+		xomatiq.WithMaxInflightQueries(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	var flat bytes.Buffer
+	if err := xomatiq.WriteEnzyme(&flat, xomatiq.GenEnzymes(10, xomatiq.GenOptions{Seed: 3})); err != nil {
+		t.Fatal(err)
+	}
+	src := xomatiq.NewSimSource("expasy", flat.String())
+	if err := eng.RegisterSource("hlx_enzyme.DEFAULT", src, xomatiq.EnzymeTransformer{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Harness("hlx_enzyme.DEFAULT"); err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := eng.NewSession(context.Background(),
+		xomatiq.WithDefaultDeadline(30*time.Second),
+		xomatiq.WithSessionQueryWorkers(1),
+		xomatiq.WithSessionTag("api-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	const q = `FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme WHERE $a//enzyme_id = "1.14.17.3" RETURN $a//enzyme_description`
+	res, err := sess.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+
+	// Wire round trip through the public helpers.
+	back, err := xomatiq.ResultFromJSON(res.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.JSON(), res.JSON()) {
+		t.Errorf("JSON round trip not stable:\n%s\n%s", back.JSON(), res.JSON())
+	}
+
+	// Error taxonomy through the public helpers.
+	_, err = sess.Query(context.Background(), `FOR $a IN document("nope.DEFAULT")/x RETURN $a//y`)
+	if xomatiq.ErrorCode(err) != xomatiq.CodeUnknownDatabase {
+		t.Errorf("ErrorCode = %q, want %q", xomatiq.ErrorCode(err), xomatiq.CodeUnknownDatabase)
+	}
+	if we := xomatiq.WireError(err); we.Code != xomatiq.CodeUnknownDatabase {
+		t.Errorf("WireError code = %q", we.Code)
+	}
+	decoded, err := xomatiq.ErrorFromJSON([]byte(`{"code":"unknown_database","message":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(decoded, xomatiq.ErrUnknownDatabase) {
+		t.Errorf("decoded error does not match ErrUnknownDatabase")
+	}
+
+	// Session listing shows the tag and counters.
+	found := false
+	for _, info := range eng.Sessions() {
+		if info.Tag == "api-test" {
+			found = true
+			if info.Queries != 2 || info.Errors != 1 {
+				t.Errorf("session counters: %+v", info)
+			}
+		}
+	}
+	if !found {
+		t.Error("tagged session missing from listing")
+	}
+
+	// MaxSessions admission: slot 2 is free, slot 3 is refused.
+	s2, err := eng.NewSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := eng.NewSession(context.Background()); !errors.Is(err, xomatiq.ErrTooManySessions) {
+		t.Errorf("third session: err = %v, want ErrTooManySessions", err)
+	}
+}
