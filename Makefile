@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-compare bench-guard bench-server serve loadtest profile check fuzz crash
+.PHONY: all build vet test test-plans race bench bench-json bench-compare bench-guard bench-server serve loadtest profile check fuzz crash
 
 # Seconds of fuzzing per parser target.
 FUZZTIME ?= 30s
@@ -13,11 +13,18 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: test-plans
 	$(GO) test ./...
 
+# Golden-plan snapshot corpus: EXPLAIN output for every query under
+# internal/sql/testdata/plans/ must match byte-for-byte. After an
+# intentional planner change, regenerate with:
+#   $(GO) test -run TestGoldenPlans ./internal/sql/ -update
+test-plans:
+	$(GO) test -run TestGoldenPlans ./internal/sql/
+
 race:
-	$(GO) test -race ./internal/core/... ./internal/sql/...
+	$(GO) test -race ./internal/core/... ./internal/sql/... ./internal/xq2sql/...
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

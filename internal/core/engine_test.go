@@ -354,7 +354,11 @@ RETURN $a//enzyme_id`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(plan, "SQL:") || !strings.Contains(plan, "scan nodes") {
+	// The cost-based planner may lead with whichever table it estimates
+	// smallest, so assert the nodes table shows up with an estimate rather
+	// than pinning it as the driving scan.
+	if !strings.Contains(plan, "SQL:") || !strings.Contains(plan, "nodes as ") ||
+		!strings.Contains(plan, "(est rows=") {
 		t.Errorf("plan = %s", plan)
 	}
 	// Untranslatable queries report the native fallback.

@@ -100,7 +100,7 @@ func TestExplainAnalyzeSerialScan(t *testing.T) {
 	out := analyze(t, e, `FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
 WHERE contains($a//catalytic_activity, "ketone")
 RETURN $a//enzyme_id`)
-	if !regexp.MustCompile(`sequential \(actual rows=\d+ time=[^\)]+\)`).MatchString(out) {
+	if !regexp.MustCompile(`sequential \(est rows=\d+\) \(actual rows=\d+ time=[^\)]+\)`).MatchString(out) {
 		t.Errorf("no sequential scan with actuals:\n%s", out)
 	}
 }
@@ -115,7 +115,7 @@ func TestExplainAnalyzeParallelScan(t *testing.T) {
 	out := analyze(t, e, `FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
 WHERE contains($a//catalytic_activity, "ketone")
 RETURN $a//enzyme_id`)
-	if !regexp.MustCompile(`parallel scan \(\d+ workers, \d+ pages\) \(actual rows=\d+ time=[^\)]+\)`).MatchString(out) {
+	if !regexp.MustCompile(`parallel scan \(\d+ workers, \d+ pages\) \(est rows=\d+\) \(actual rows=\d+ time=[^\)]+\)`).MatchString(out) {
 		t.Errorf("no parallel scan with actuals:\n%s", out)
 	}
 	// The superseded serial scan line stays in the plan but never ran, so
@@ -133,7 +133,7 @@ func TestExplainAnalyzeHashJoin(t *testing.T) {
 	})
 	setupJoinData(t, e)
 	out := analyze(t, e, joinQuery)
-	if !regexp.MustCompile(`hash join \(\d+ keys\) \(actual rows=\d+ time=[^\)]+\)`).MatchString(out) {
+	if !regexp.MustCompile(`hash join \(\d+ keys\) \(est rows=\d+\) \(actual rows=\d+ time=[^\)]+\)`).MatchString(out) {
 		t.Errorf("no hash join with actuals:\n%s", out)
 	}
 }

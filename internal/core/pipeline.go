@@ -271,6 +271,14 @@ collect:
 	if rerr := e.db.ResumeIndexes(); rerr != nil {
 		failErr = errors.Join(failErr, rerr)
 	}
+	// Refresh optimizer statistics over whatever committed, riding the
+	// same post-load collector slot as the index rebuild: the cost-based
+	// planner's row counts and value distributions always describe the
+	// current harvest. A stats failure does not invalidate the loaded
+	// data, but it must surface.
+	if aerr := e.store.AnalyzeStats(); aerr != nil {
+		failErr = errors.Join(failErr, aerr)
+	}
 	// One epoch bump per load (not per document) invalidates cached
 	// plans exactly once, after the data they would read has changed.
 	e.store.BumpEpoch(dbName)

@@ -18,6 +18,13 @@ type TableInfo struct {
 	Heap    *heap.Heap
 	Indexes []*IndexInfo
 	rid     heap.RID // catalog row location
+
+	// Stats is the optimizer-statistics snapshot from the last ANALYZE
+	// (nil until one runs). statsRID locates its catalog "S" row when
+	// hasStats is set.
+	Stats    *tableStats
+	statsRID heap.RID
+	hasStats bool
 }
 
 // ColIndex resolves a column name to its position, or -1.

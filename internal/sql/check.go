@@ -44,6 +44,8 @@ func (db *DB) CheckConsistency() error {
 			_, _, _, scanErr = decodeTableRow(tup)
 		case "I":
 			_, _, _, _, _, scanErr = decodeIndexRow(tup)
+		case "S":
+			_, _, scanErr = decodeStatsRow(tup)
 		default:
 			scanErr = fmt.Errorf("sql: check: catalog row %v has tag %q", rid, tup[0].Text())
 		}

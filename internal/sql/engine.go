@@ -243,12 +243,14 @@ func (db *DB) loadCatalog(rebuild bool) error {
 	}
 	db.catH = h
 
-	// First pass: tables. Second pass: indexes (they reference tables).
+	// First pass: tables. Second pass: indexes and statistics rows (they
+	// reference tables).
 	type pendingIndex struct {
 		tup value.Tuple
 		rid heap.RID
 	}
 	var pend []pendingIndex
+	var pendStats []pendingIndex
 	err = h.Scan(func(rid heap.RID, rec []byte) bool {
 		tup, derr := value.DecodeTuple(rec)
 		if derr != nil {
@@ -272,11 +274,28 @@ func (db *DB) loadCatalog(rebuild bool) error {
 			}
 		case "I":
 			pend = append(pend, pendingIndex{tup, rid})
+		case "S":
+			pendStats = append(pendStats, pendingIndex{tup, rid})
 		}
 		return true
 	})
 	if err != nil {
 		return err
+	}
+	for _, p := range pendStats {
+		tbl, st, derr := decodeStatsRow(p.tup)
+		if derr != nil {
+			return derr
+		}
+		t, ok := db.cat.tables[strings.ToLower(tbl)]
+		if !ok || len(st.Cols) != len(t.Columns) {
+			// Orphaned or shape-mismatched stats (table dropped or altered
+			// under an older binary): stale estimates are worse than none.
+			continue
+		}
+		t.Stats = st
+		t.statsRID = p.rid
+		t.hasStats = true
 	}
 	healed := false
 	for _, p := range pend {
@@ -839,6 +858,11 @@ func (db *DB) dropTable(txn uint64, s *DropTable) error {
 			return err
 		}
 		delete(db.cat.indexes, strings.ToLower(ix.Name))
+	}
+	if t.hasStats {
+		if err := db.catH.Delete(txn, t.statsRID); err != nil {
+			return err
+		}
 	}
 	if err := db.catH.Delete(txn, t.rid); err != nil {
 		return err

@@ -242,6 +242,12 @@ func (db *DB) buildFrom(es *execState, sel *Select) (rowIter, error) {
 		}
 	}
 
+	// Greedy cost-based join ordering: smallest estimated stream first.
+	// Result SETS are order-insensitive here (no ORDER BY handling depends
+	// on FROM order), and orderJoins keeps the syntactic order whenever a
+	// SELECT * or an ON clause pins it.
+	entries = orderJoins(sel, entries, conjs)
+
 	// Classify conjuncts by the single binding they constrain (if any);
 	// those are enforced exactly at the binding's scan, so only the
 	// multi-binding residue needs the outer filter.
@@ -297,13 +303,18 @@ func (db *DB) buildFrom(es *execState, sel *Select) (rowIter, error) {
 		return it
 	}
 	it = applyReady(it)
-	for _, e := range entries[1:] {
+	placed := map[string]bool{lowerBinding(first.ref): true}
+	leftEst := estScanRows(first.t, first.ref.Binding(), conjs)
+	for i, e := range entries[1:] {
+		jest := estJoinRows(entries, i+1, placed, conjs, leftEst)
 		it, err = db.buildJoin(es, it, e.t, e.ref, conjs,
-			pushdown[strings.ToLower(e.ref.Binding())])
+			pushdown[strings.ToLower(e.ref.Binding())], jest)
 		if err != nil {
 			return nil, err
 		}
 		it = applyReady(it)
+		placed[lowerBinding(e.ref)] = true
+		leftEst = jest
 	}
 	for _, c := range pending {
 		rop := es.tracef("residual filter %s", ExprString(c))
@@ -611,16 +622,31 @@ func (db *DB) accessPath(es *execState, t *TableInfo, binding string, conjs []Ex
 			best, bestScore, bestPrefix, bestRange = ix, score, prefix, rng
 		}
 	}
+	// The scan operator emits every live row (filters are separate
+	// operators), so its estimate is the live row count; an index path's
+	// estimate is the rows its consumed bounds are expected to fetch.
+	rows := t.Heap.Count()
+	estIdx := 0.0
+	if best != nil {
+		estIdx = estIndexMatchRows(t, best, len(bestPrefix), bestRange != nil, bounds)
+		// Cost decision: when statistics say the index would fetch most of
+		// the table anyway (e.g. an equality on a heavily skewed value, or
+		// a range spanning the whole observed domain), random-order heap
+		// fetches lose to a sequential read.
+		if int64(rows) >= seqFallbackMinRows && estIdx >= seqFallbackFrac*float64(rows) {
+			best = nil
+		}
+	}
 	if best == nil {
-		op := es.tracef("scan %s as %s: sequential", t.Name, binding)
+		op := es.tracef("scan %s as %s: sequential (est rows=%d)", t.Name, binding, rows)
 		return &seqScanIter{es: es, t: t, schema: schema}, op, nil
 	}
 	how := "prefix lookup"
 	if bestRange != nil {
 		how = "prefix+range scan"
 	}
-	op := es.tracef("scan %s as %s: index %s (%s, %d leading cols)",
-		t.Name, binding, best.Name, how, len(bestPrefix))
+	op := es.tracef("scan %s as %s: index %s (%s, %d leading cols) (est rows=%d)",
+		t.Name, binding, best.Name, how, len(bestPrefix), estRowsInt(estIdx))
 	// Index scans collect their RID list eagerly at construction; when
 	// actuals are on, that work is attributed to the scan operator.
 	var start time.Time

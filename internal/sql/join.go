@@ -16,7 +16,9 @@ type equiPair struct {
 // join key), hash join (any equi keys), and nested-loop join (everything
 // else). The ON residual is applied at the join; WHERE conjuncts are
 // re-checked by the outer filter.
-func (db *DB) buildJoin(es *execState, left rowIter, rt *TableInfo, ref TableRef, whereConjs []Expr, rightFilter []Expr) (rowIter, error) {
+// est is the cost model's output-cardinality estimate for this join,
+// rendered on the plan line (EXPLAIN ANALYZE pairs it with actuals).
+func (db *DB) buildJoin(es *execState, left rowIter, rt *TableInfo, ref TableRef, whereConjs []Expr, rightFilter []Expr, est float64) (rowIter, error) {
 	binding := ref.Binding()
 	rightSchema := rt.Schema(binding)
 	outSchema := left.Schema().Concat(rightSchema)
@@ -63,15 +65,17 @@ func (db *DB) buildJoin(es *execState, left rowIter, rt *TableInfo, ref TableRef
 	var join rowIter
 	if len(pairs) > 0 {
 		if ix := pickJoinIndex(rt, pairs); ix != nil {
-			op := es.tracef("join %s as %s: index nested loop via %s (%d keys)",
-				rt.Name, binding, ix.Name, len(pairs))
+			op := es.tracef("join %s as %s: index nested loop via %s (%d keys) (est rows=%d)",
+				rt.Name, binding, ix.Name, len(pairs), estRowsInt(est))
 			join = tracedIf(op, newIndexJoinIter(es, left, rt, rightSchema, outSchema, ix, pairs, rightFilter))
 		} else {
-			op := es.tracef("join %s as %s: hash join (%d keys)", rt.Name, binding, len(pairs))
+			op := es.tracef("join %s as %s: hash join (%d keys) (est rows=%d)",
+				rt.Name, binding, len(pairs), estRowsInt(est))
 			join = tracedIf(op, newHashJoinIter(es, left, rightSchema, outSchema, pairs, rightSrc))
 		}
 	} else {
-		op := es.tracef("join %s as %s: nested loop (cross)", rt.Name, binding)
+		op := es.tracef("join %s as %s: nested loop (cross) (est rows=%d)",
+			rt.Name, binding, estRowsInt(est))
 		join = tracedIf(op, newNestedLoopIter(es, left, outSchema, rightSrc))
 	}
 	for _, r := range residual {

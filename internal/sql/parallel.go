@@ -9,10 +9,23 @@ import (
 	"xomatiq/internal/value"
 )
 
-// parallelScanMinPages is the planner threshold: sequential scans over
-// heaps with fewer pages stay serial, because the fan-out and merge cost
-// would exceed the scan itself. Var, not const, so tests can lower it.
+// parallelScanMinPages is the planner floor: sequential scans over heaps
+// with fewer pages stay serial, because the fan-out and merge cost would
+// exceed the scan itself. Var, not const, so tests can lower it.
 var parallelScanMinPages = 8
+
+// Above the page floor a cost decision takes over: the work a parallel
+// scan amortises is page fetches plus per-row decode and filter
+// evaluation, and the fraction other workers shoulder must beat a fixed
+// fan-out/merge overhead. A heap that is many pages but few live rows
+// (bulk deletes) therefore stays serial where the old fixed threshold
+// went parallel. Vars, not consts, so tests can pin the decision.
+var (
+	parallelPageCost   = 0.2
+	parallelRowCost    = 0.02
+	parallelFilterCost = 0.01
+	parallelOverhead   = 3.0
+)
 
 // parallelizeScan swaps a sequential scan for the parallel scan-filter
 // operator when the query runs with more than one worker and the driving
@@ -34,7 +47,20 @@ func parallelizeScan(es *execState, it rowIter, filters []Expr) (rowIter, *obs.O
 	if workers > len(pages) {
 		workers = len(pages)
 	}
-	op := es.tracef("  parallel scan (%d workers, %d pages)", workers, len(pages))
+	rows := float64(ss.t.Heap.Count())
+	work := float64(len(pages))*parallelPageCost +
+		rows*(parallelRowCost+parallelFilterCost*float64(len(filters)))
+	if work*(1-1/float64(workers)) < parallelOverhead {
+		return it, nil, false
+	}
+	// The operator folds the filters in, so its estimate (and actuals)
+	// are post-filter output rows.
+	binding := ""
+	if len(ss.schema.Cols) > 0 {
+		binding = ss.schema.Cols[0].Table
+	}
+	op := es.tracef("  parallel scan (%d workers, %d pages) (est rows=%d)",
+		workers, len(pages), estRowsInt(estScanRows(ss.t, binding, filters)))
 	return &parallelScanIter{
 		es: es, t: ss.t, schema: ss.schema,
 		filters: filters, pages: pages, workers: workers,

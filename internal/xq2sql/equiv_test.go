@@ -1,6 +1,7 @@
 package xq2sql
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"xomatiq/internal/nativexml"
+	"xomatiq/internal/sql"
 	"xomatiq/internal/xmldoc"
 	"xomatiq/internal/xq"
 )
@@ -29,6 +31,13 @@ func TestRandomQueryEquivalence(t *testing.T) {
 			fx := newFixture(t)
 			docs := randomCorpus(rng, 20)
 			fx.loadDocs(t, "rnd", []string{"/root/seq"}, docs)
+			// Odd seeds run with optimizer statistics: plans may change
+			// (index choices, join order), results must not.
+			if seed%2 == 1 {
+				if err := fx.store.DB.Analyze(); err != nil {
+					t.Fatal(err)
+				}
+			}
 
 			tried, ran := 0, 0
 			for q := 0; q < 60; q++ {
@@ -57,6 +66,36 @@ func TestRandomQueryEquivalence(t *testing.T) {
 						parts[i] = v.String()
 					}
 					sqlRows = append(sqlRows, strings.Join(parts, "|"))
+				}
+				// Intra-query parallelism must not perturb results: the
+				// same statement under 1 and 4 workers returns
+				// byte-identical rows in identical order.
+				stmt, err := sql.Parse(tr.SQL)
+				if err != nil {
+					t.Fatalf("reparse: %v\nSQL: %s", err, tr.SQL)
+				}
+				sel, ok := stmt.(*sql.Select)
+				if !ok {
+					t.Fatalf("translated SQL is not a SELECT: %s", tr.SQL)
+				}
+				render := func(workers int) string {
+					r, err := fx.store.DB.QueryStmtOptsContext(context.Background(), sel, sql.ExecOpts{Workers: workers})
+					if err != nil {
+						t.Fatalf("execute (workers=%d): %v\nSQL: %s", workers, err, tr.SQL)
+					}
+					var rows []string
+					for _, row := range r.Rows {
+						parts := make([]string, len(row))
+						for i, v := range row {
+							parts[i] = v.String()
+						}
+						rows = append(rows, strings.Join(parts, "|"))
+					}
+					return strings.Join(rows, ";")
+				}
+				if w1, w4 := render(1), render(4); w1 != w4 {
+					t.Fatalf("worker count changed results\nquery:\n%s\nSQL: %s\nworkers=1: %s\nworkers=4: %s",
+						src, tr.SQL, w1, w4)
 				}
 				nres, err := nativexml.Eval(fx.corpus, query)
 				if err != nil {
@@ -147,10 +186,20 @@ func randomCorpus(rng *rand.Rand, n int) []*xmldoc.Document {
 // purpose: they must skip cleanly via ErrUnsupported, never mistranslate.
 func randomQuery(rng *rand.Rand) string {
 	var sb strings.Builder
-	twoVars := rng.Intn(4) == 0
+	nVars := 1
+	if rng.Intn(4) == 0 {
+		nVars = 2
+		if rng.Intn(3) == 0 {
+			nVars = 3
+		}
+	}
+	twoVars := nVars >= 2
 	sb.WriteString(`FOR $a IN document("rnd")/root`)
 	if twoVars {
 		sb.WriteString(`, $b IN document("rnd")/root`)
+	}
+	if nVars >= 3 {
+		sb.WriteString(`, $c IN document("rnd")/root`)
 	}
 	// Optional LET alias over a subpath of $a. Both engines resolve LETs
 	// by substitution, so these exercise ResolveLets round-tripping.
@@ -168,6 +217,9 @@ func randomQuery(rng *rand.Rand) string {
 	pickVar := func() string {
 		if hasLet && rng.Intn(4) == 0 {
 			return "l"
+		}
+		if nVars >= 3 && rng.Intn(3) == 0 {
+			return "c"
 		}
 		if twoVars && rng.Intn(2) == 0 {
 			return "b"
@@ -204,7 +256,14 @@ func randomQuery(rng *rand.Rand) string {
 		return p
 	}
 	cond := func(v string) string {
-		switch rng.Intn(6) {
+		switch rng.Intn(7) {
+		case 6:
+			// Range-predicate pair on one path: the planner may consume
+			// both bounds as an index range; XQuery's existential
+			// semantics still give each comparison its own value witness.
+			p := randPath(v)
+			lo := 5 + rng.Intn(50)
+			return fmt.Sprintf(`(%s >= %d AND %s < %d)`, p, lo, p, lo+rng.Intn(60))
 		case 0:
 			kw := strings.Fields(rTexts[rng.Intn(len(rTexts))])[0]
 			if rng.Intn(2) == 0 {
@@ -263,12 +322,17 @@ func randomQuery(rng *rand.Rand) string {
 			}
 			sb.WriteString(cond(pickVar()))
 		}
-		// Occasionally a cross-variable equality (join).
+		// Occasionally a cross-variable equality (join); with a third
+		// variable, extend it into a multi-join chain a-b-c so the
+		// greedy join-order pass has something to reorder.
 		if twoVars && rng.Intn(2) == 0 {
 			if nConds > 0 {
 				sb.WriteString(" AND ")
 			}
 			sb.WriteString(randPath("a") + " = " + randPath("b"))
+			if nVars >= 3 {
+				sb.WriteString(" AND " + randPath("b") + " = " + randPath("c"))
+			}
 		}
 	}
 	sb.WriteString("\nRETURN ")
