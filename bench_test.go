@@ -24,6 +24,7 @@ import (
 	"xomatiq/internal/shred"
 	"xomatiq/internal/sql"
 	"xomatiq/internal/srs"
+	"xomatiq/internal/value"
 	"xomatiq/internal/xq"
 )
 
@@ -734,5 +735,107 @@ func BenchmarkQueryConcurrent(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// E18 (vectorized execution): micro-benchmarks isolating the two
+// operators the columnar chunk format rebuilt. ChunkScan measures a
+// full unindexed scan-and-filter (pages decode straight into chunk
+// column vectors, the filter narrows selection vectors); the workers
+// dimension toggles the chunk-recycling parallel scan.
+func BenchmarkChunkScan(b *testing.B) {
+	db, err := sql.OpenAsync(filepath.Join(b.TempDir(), "e18.db"), sql.Options{QueryWorkers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE m (k INT, grp TEXT, v TEXT)`); err != nil {
+		b.Fatal(err)
+	}
+	var tups []value.Tuple
+	for i := 0; i < 20000; i++ {
+		tups = append(tups, value.Tuple{
+			value.NewInt(int64(i)),
+			value.NewText(fmt.Sprintf("g%d", i%13)),
+			value.NewText(fmt.Sprintf("payload-%06d-%s", i, strings.Repeat("x", 40))),
+		})
+	}
+	if err := db.InsertBatch("m", tups); err != nil {
+		b.Fatal(err)
+	}
+	workerCounts := []int{1}
+	if max := runtime.GOMAXPROCS(0); max > 1 {
+		workerCounts = append(workerCounts, max)
+	}
+	q := `SELECT k, v FROM m WHERE grp = 'g3'`
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			db.SetQueryWorkers(w)
+			b.ResetTimer()
+			rows := 0
+			for i := 0; i < b.N; i++ {
+				res, err := db.Query(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = len(res.Rows)
+			}
+			b.ReportMetric(float64(rows), "rows")
+		})
+	}
+}
+
+// HashJoinPartitioned measures the partitioned hash join in isolation:
+// both join columns are unindexed, the 12000-row build side hashes into
+// multiple partitions, and workers>1 builds the per-partition tables
+// concurrently.
+func BenchmarkHashJoinPartitioned(b *testing.B) {
+	db, err := sql.OpenAsync(filepath.Join(b.TempDir(), "e18j.db"), sql.Options{QueryWorkers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	for _, ddl := range []string{
+		`CREATE TABLE dl (k INT, tag TEXT)`,
+		`CREATE TABLE fr (fk INT, amt INT)`,
+	} {
+		if _, err := db.Exec(ddl); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var tups []value.Tuple
+	for i := 0; i < 400; i++ {
+		tups = append(tups, value.Tuple{value.NewInt(int64(i)), value.NewText(fmt.Sprintf("t%d", i))})
+	}
+	if err := db.InsertBatch("dl", tups); err != nil {
+		b.Fatal(err)
+	}
+	tups = nil
+	for i := 0; i < 12000; i++ {
+		tups = append(tups, value.Tuple{value.NewInt(int64(i % 400)), value.NewInt(int64(i))})
+	}
+	if err := db.InsertBatch("fr", tups); err != nil {
+		b.Fatal(err)
+	}
+	workerCounts := []int{1}
+	if max := runtime.GOMAXPROCS(0); max > 1 {
+		workerCounts = append(workerCounts, max)
+	}
+	q := `SELECT d.tag, f.amt FROM dl d, fr f WHERE f.fk = d.k AND d.k < 50`
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			db.SetQueryWorkers(w)
+			b.ResetTimer()
+			rows := 0
+			for i := 0; i < b.N; i++ {
+				res, err := db.Query(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = len(res.Rows)
+			}
+			b.ReportMetric(float64(rows), "rows")
+		})
 	}
 }

@@ -100,8 +100,8 @@ func TestExplainAnalyzeSerialScan(t *testing.T) {
 	out := analyze(t, e, `FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
 WHERE contains($a//catalytic_activity, "ketone")
 RETURN $a//enzyme_id`)
-	if !regexp.MustCompile(`sequential \(est rows=\d+\) \(actual rows=\d+ time=[^\)]+\)`).MatchString(out) {
-		t.Errorf("no sequential scan with actuals:\n%s", out)
+	if !regexp.MustCompile(`sequential \(batch=\d+\) \(est rows=\d+\) \(actual rows=\d+ time=[^\)]+ batches=\d+ rows/batch=\d+\)`).MatchString(out) {
+		t.Errorf("no sequential scan with batched actuals:\n%s", out)
 	}
 }
 
@@ -115,8 +115,8 @@ func TestExplainAnalyzeParallelScan(t *testing.T) {
 	out := analyze(t, e, `FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
 WHERE contains($a//catalytic_activity, "ketone")
 RETURN $a//enzyme_id`)
-	if !regexp.MustCompile(`parallel scan \(\d+ workers, \d+ pages\) \(est rows=\d+\) \(actual rows=\d+ time=[^\)]+\)`).MatchString(out) {
-		t.Errorf("no parallel scan with actuals:\n%s", out)
+	if !regexp.MustCompile(`parallel scan \(\d+ workers, \d+ pages\) \(batch=\d+\) \(est rows=\d+\) \(actual rows=\d+ time=[^\)]+ batches=\d+ rows/batch=\d+\)`).MatchString(out) {
+		t.Errorf("no parallel scan with batched actuals:\n%s", out)
 	}
 	// The superseded serial scan line stays in the plan but never ran, so
 	// it must render without actuals.
@@ -133,8 +133,8 @@ func TestExplainAnalyzeHashJoin(t *testing.T) {
 	})
 	setupJoinData(t, e)
 	out := analyze(t, e, joinQuery)
-	if !regexp.MustCompile(`hash join \(\d+ keys\) \(est rows=\d+\) \(actual rows=\d+ time=[^\)]+\)`).MatchString(out) {
-		t.Errorf("no hash join with actuals:\n%s", out)
+	if !regexp.MustCompile(`partitioned hash join \(\d+ keys, partitions=\d+\) \(est rows=\d+\) \(actual rows=\d+ time=[^\)]+ batches=\d+ rows/batch=\d+\)`).MatchString(out) {
+		t.Errorf("no partitioned hash join with batched actuals:\n%s", out)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 type OpStats struct {
 	rows    atomic.Int64
 	nanos   atomic.Int64
+	batches atomic.Int64
 	touched atomic.Bool
 }
 
@@ -40,6 +41,28 @@ func (o *OpStats) AddSince(start time.Time) {
 	}
 	o.touched.Store(true)
 	o.nanos.Add(int64(time.Since(start)))
+}
+
+// ObserveBatch records one NextChunk() call of a batched operator: d of
+// inclusive time, one batch, and the rows the chunk carries. This keeps
+// EXPLAIN ANALYZE row counts exact under vectorized execution — a batch
+// call is not one row — and feeds the rows-per-batch actuals. Nil-safe.
+func (o *OpStats) ObserveBatch(rows int64, d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.touched.Store(true)
+	o.rows.Add(rows)
+	o.batches.Add(1)
+	o.nanos.Add(int64(d))
+}
+
+// Batches reports batches emitted so far (0 for row operators). Nil-safe.
+func (o *OpStats) Batches() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.batches.Load()
 }
 
 // AddRows folds n emitted rows into the operator. Nil-safe.
@@ -148,10 +171,17 @@ func (t *QueryTrace) Render(actuals bool) string {
 	}
 	parts := make([]string, len(t.lines))
 	for i, l := range t.lines {
-		if l.Op.Touched() {
+		switch {
+		case l.Op.Touched() && l.Op.Batches() > 0:
+			// Batched operators additionally report how full their chunks
+			// ran; the rows/batch average is the vectorization actuals.
+			b := l.Op.Batches()
+			parts[i] = fmt.Sprintf("%s (actual rows=%d time=%s batches=%d rows/batch=%d)",
+				l.Text, l.Op.Rows(), l.Op.Elapsed().Round(time.Microsecond), b, l.Op.Rows()/b)
+		case l.Op.Touched():
 			parts[i] = fmt.Sprintf("%s (actual rows=%d time=%s)",
 				l.Text, l.Op.Rows(), l.Op.Elapsed().Round(time.Microsecond))
-		} else {
+		default:
 			parts[i] = l.Text
 		}
 	}

@@ -1,0 +1,270 @@
+package sql
+
+import (
+	"time"
+
+	"xomatiq/internal/obs"
+	"xomatiq/internal/storage/disk"
+	"xomatiq/internal/storage/heap"
+	"xomatiq/internal/value"
+)
+
+// tracedChunkIter is the batch-operator actuals recorder: rows are
+// counted per chunk (one NextChunk may emit hundreds of rows), batches
+// are counted per call, and time stays inclusive of children — keeping
+// EXPLAIN ANALYZE row counts exact under vectorized execution.
+type tracedChunkIter struct {
+	in batchIter
+	op *obs.OpStats
+}
+
+func (t *tracedChunkIter) Schema() *Schema { return t.in.Schema() }
+
+func (t *tracedChunkIter) NextChunk() (*chunk, error) {
+	start := time.Now()
+	c, err := t.in.NextChunk()
+	if c != nil && err == nil {
+		t.op.ObserveBatch(int64(c.Rows()), time.Since(start))
+	} else {
+		t.op.Observe(false, time.Since(start))
+	}
+	return c, err
+}
+
+// tracedBatchIf mirrors tracedIf for batch operators: with tracing off
+// (op nil) the iterator passes through untouched.
+func tracedBatchIf(op *obs.OpStats, it batchIter) batchIter {
+	if op == nil {
+		return it
+	}
+	return &tracedChunkIter{in: it, op: op}
+}
+
+// toBatch converts a bare access-path iterator to its native batched
+// form: sequential scans decode heap pages straight into chunk columns,
+// index RID lists fetch and decode in batches. Anything else adapts
+// row-by-row.
+func toBatch(es *execState, it rowIter) batchIter {
+	switch s := it.(type) {
+	case *seqScanIter:
+		return &chunkScanIter{es: es, t: s.t, schema: s.schema, batch: s.batch}
+	case *ridListIter:
+		return &chunkRIDIter{es: es, t: s.t, schema: s.schema, rids: s.rids, batch: s.batch}
+	default:
+		return newChunksFromRows(es, it, defaultChunkCap)
+	}
+}
+
+// chunkScanIter is the batched sequential scan: every NextChunk decodes
+// whole heap pages straight into the reused chunk's column vectors until
+// the batch target is reached (page granularity, so a dense page may
+// overshoot the target slightly). Per-row work is two appends per
+// column — no Tuple and no per-TEXT-field string allocation.
+type chunkScanIter struct {
+	es     *execState
+	t      *TableInfo
+	schema *Schema
+	batch  int
+
+	started bool
+	cur     disk.PageID
+	out     *chunk
+	eof     bool
+}
+
+func (s *chunkScanIter) Schema() *Schema { return s.schema }
+
+func (s *chunkScanIter) NextChunk() (*chunk, error) {
+	if s.eof {
+		return nil, nil
+	}
+	if !s.started {
+		s.started = true
+		s.cur = s.t.Heap.FirstPage()
+		s.out = newChunk(s.schema, s.batch)
+	}
+	s.out.Reset()
+	for !s.out.Full() {
+		if s.cur == disk.InvalidPage {
+			s.eof = true
+			break
+		}
+		var serr error
+		records := 0
+		next, _, err := s.t.Heap.ScanPage(s.cur, func(_ heap.RID, rec []byte) bool {
+			if cerr := s.es.poll(); cerr != nil {
+				serr = cerr
+				return false
+			}
+			if derr := s.out.AppendRecord(rec); derr != nil {
+				serr = derr
+				return false
+			}
+			records++
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		if serr != nil {
+			return nil, serr
+		}
+		s.es.scannedPage(records)
+		s.cur = next
+	}
+	if s.out.n == 0 {
+		return nil, nil
+	}
+	return s.out, nil
+}
+
+// chunkRIDIter is the batched form of an index scan's RID-list fetch.
+type chunkRIDIter struct {
+	es     *execState
+	t      *TableInfo
+	schema *Schema
+	rids   []heap.RID
+	batch  int
+
+	pos int
+	out *chunk
+}
+
+func (r *chunkRIDIter) Schema() *Schema { return r.schema }
+
+func (r *chunkRIDIter) NextChunk() (*chunk, error) {
+	if r.pos >= len(r.rids) {
+		return nil, nil
+	}
+	if r.out == nil {
+		r.out = newChunk(r.schema, r.batch)
+	}
+	r.out.Reset()
+	for !r.out.Full() && r.pos < len(r.rids) {
+		if err := r.es.poll(); err != nil {
+			return nil, err
+		}
+		rec, err := r.t.Heap.Get(r.rids[r.pos])
+		if err != nil {
+			return nil, err
+		}
+		if err := r.out.AppendRecord(rec); err != nil {
+			return nil, err
+		}
+		r.pos++
+	}
+	return r.out, nil
+}
+
+// chunkFilterIter evaluates a predicate over each input chunk and
+// narrows its selection vector in place — surviving rows are listed, no
+// columns move. Only the columns the predicate touches are materialised
+// into the reused scratch row, so a two-column predicate over a wide
+// join output stays cheap.
+type chunkFilterIter struct {
+	in      batchIter
+	pred    Expr
+	cols    []int // columns the predicate reads; allCols if unresolvable
+	allCols bool
+	scratch value.Tuple
+	sel     []int
+}
+
+func newChunkFilter(in batchIter, pred Expr) *chunkFilterIter {
+	schema := in.Schema()
+	cols, ok := predCols(pred, schema)
+	return &chunkFilterIter{
+		in: in, pred: pred, cols: cols, allCols: !ok,
+		scratch: make(value.Tuple, len(schema.Cols)),
+	}
+}
+
+func (f *chunkFilterIter) Schema() *Schema { return f.in.Schema() }
+
+func (f *chunkFilterIter) NextChunk() (*chunk, error) {
+	row := Row{Schema: f.in.Schema(), Values: f.scratch}
+	for {
+		c, err := f.in.NextChunk()
+		if err != nil || c == nil {
+			return nil, err
+		}
+		f.sel = f.sel[:0]
+		for k, n := 0, c.Rows(); k < n; k++ {
+			r := c.RowIdx(k)
+			if f.allCols {
+				c.ReadRow(r, f.scratch)
+			} else {
+				c.ReadCols(r, f.cols, f.scratch)
+			}
+			v, err := Eval(f.pred, row)
+			if err != nil {
+				return nil, err
+			}
+			if truthy(v) {
+				f.sel = append(f.sel, r)
+			}
+		}
+		if len(f.sel) == 0 {
+			continue // nothing survived; pull the next batch
+		}
+		c.sel = f.sel
+		return c, nil
+	}
+}
+
+// predCols lists the schema columns a predicate reads. ok is false when
+// the expression contains something unresolvable (the filter then copies
+// the full row per candidate).
+func predCols(e Expr, schema *Schema) (cols []int, ok bool) {
+	ok = true
+	seen := map[int]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		if !ok {
+			return
+		}
+		switch e := e.(type) {
+		case *Literal:
+		case *ColumnRef:
+			i, err := schema.Find(e)
+			if err != nil {
+				ok = false
+				return
+			}
+			if !seen[i] {
+				seen[i] = true
+				cols = append(cols, i)
+			}
+		case *BinaryExpr:
+			walk(e.Left)
+			walk(e.Right)
+		case *UnaryExpr:
+			walk(e.Expr)
+		case *LikeExpr:
+			walk(e.Expr)
+			walk(e.Pattern)
+		case *InExpr:
+			walk(e.Expr)
+			for _, x := range e.List {
+				walk(x)
+			}
+		case *BetweenExpr:
+			walk(e.Expr)
+			walk(e.Lo)
+			walk(e.Hi)
+		case *IsNullExpr:
+			walk(e.Expr)
+		case *FuncCall:
+			for _, a := range e.Args {
+				walk(a)
+			}
+		default:
+			ok = false
+		}
+	}
+	walk(e)
+	if !ok {
+		return nil, false
+	}
+	return cols, true
+}

@@ -286,6 +286,31 @@ func estIndexMatchRows(t *TableInfo, ix *IndexInfo, nPrefix int, rng bool, bound
 	return rows * sel
 }
 
+// batchSizeFor picks the chunk row capacity for an operator expected to
+// emit est rows (scan estimates come from the PR 7 statistics): tiny
+// streams get small chunks so point lookups don't drag a full-size
+// arena around, everything else gets the default. Deterministic in the
+// estimate, so EXPLAIN's (batch=k) annotation is stable plan text.
+func batchSizeFor(est float64) int {
+	if est <= 64 {
+		return 64
+	}
+	return defaultChunkCap
+}
+
+// partitionsFor picks the build-side partition count of a partitioned
+// hash join from the estimated build rows: one partition per ~2k rows,
+// as a power of two, clamped to [1, 16]. Small builds keep a single
+// partition (one plain hash table); large builds gain concurrent table
+// construction and a bounded per-partition spill unit.
+func partitionsFor(est float64) int {
+	p := 1
+	for float64(p)*2048 < est && p < 16 {
+		p *= 2
+	}
+	return p
+}
+
 // estRowsInt rounds an estimate for display.
 func estRowsInt(est float64) int64 {
 	if est < 0 || math.IsNaN(est) {

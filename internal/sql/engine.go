@@ -762,6 +762,18 @@ func (db *DB) Table(name string) (cols []ColumnDef, rows int, err error) {
 	return append([]ColumnDef(nil), t.Columns...), t.Heap.Count(), nil
 }
 
+// SetQueryWorkers changes the intra-query parallelism cap for queries
+// issued after it returns (benchmark harnesses toggle it to compare
+// serial and parallel plans on one warehouse).
+func (db *DB) SetQueryWorkers(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	db.opts.QueryWorkers = n
+}
+
 // Tables lists the table names in the catalog.
 func (db *DB) Tables() []string {
 	db.mu.RLock()

@@ -171,7 +171,7 @@ func (db *DB) runSelect(ctx context.Context, sel *Select, qt *obs.QueryTrace, wo
 // conjuncts that reference a single binding are pushed down to that
 // binding's scan or join build, so intermediate results stay small; the
 // outer residual filters re-check the full predicate for correctness.
-func (db *DB) buildFrom(es *execState, sel *Select) (rowIter, error) {
+func (db *DB) buildFrom(es *execState, sel *Select) (batchIter, error) {
 	conjs := conjuncts(sel.Where)
 	entries := make([]fromEntry, len(sel.From))
 	for i, ref := range sel.From {
@@ -263,7 +263,7 @@ func (db *DB) buildFrom(es *execState, sel *Select) (rowIter, error) {
 	}
 
 	first := entries[0]
-	it, scanOp, err := db.accessPath(es, first.t, first.ref.Binding(), conjs)
+	rit, scanOp, err := db.accessPath(es, first.t, first.ref.Binding(), conjs)
 	if err != nil {
 		return nil, err
 	}
@@ -271,30 +271,32 @@ func (db *DB) buildFrom(es *execState, sel *Select) (rowIter, error) {
 	// The actuals wrapper goes on AFTER the parallelize decision:
 	// parallelizeScan type-asserts the bare seqScanIter, and when it wins,
 	// the serial scan operator never runs (its plan line renders without
-	// actuals) while the parallel operator carries its own handle.
-	if pit, pop, ok := parallelizeScan(es, it, firstFilters); ok {
-		it = tracedIf(pop, pit)
+	// actuals) while the parallel operator carries its own handle. Both
+	// branches produce the batched pipeline: chunks flow from here on.
+	var it batchIter
+	if pit, pop, ok := parallelizeScan(es, rit, firstFilters); ok {
+		it = tracedBatchIf(pop, pit)
 		for _, c := range firstFilters {
 			// Filters fold into the scan workers, so the lines carry no
 			// separate actuals.
 			es.plainf("  filter %s", ExprString(c))
 		}
 	} else {
-		it = tracedIf(scanOp, it)
+		it = tracedBatchIf(scanOp, toBatch(es, rit))
 		for _, c := range firstFilters {
 			fop := es.tracef("  filter %s", ExprString(c))
-			it = tracedIf(fop, &filterIter{in: it, pred: c})
+			it = tracedBatchIf(fop, newChunkFilter(it, c))
 		}
 	}
 	// Residual conjuncts apply as soon as every column they reference is
 	// in scope, so selective cross-binding predicates (join conditions,
 	// structural tests) prune intermediate results early.
 	pending := residual
-	applyReady := func(it rowIter) rowIter {
+	applyReady := func(it batchIter) batchIter {
 		kept := pending[:0]
 		for _, c := range pending {
 			if resolvesIn(c, it.Schema()) {
-				it = &filterIter{in: it, pred: c}
+				it = newChunkFilter(it, c)
 			} else {
 				kept = append(kept, c)
 			}
@@ -318,7 +320,7 @@ func (db *DB) buildFrom(es *execState, sel *Select) (rowIter, error) {
 	}
 	for _, c := range pending {
 		rop := es.tracef("residual filter %s", ExprString(c))
-		it = tracedIf(rop, &filterIter{in: it, pred: c})
+		it = tracedBatchIf(rop, newChunkFilter(it, c))
 	}
 	return it, nil
 }
@@ -534,7 +536,7 @@ func (db *DB) accessPath(es *execState, t *TableInfo, binding string, conjs []Ex
 		// loaded rows until ResumeIndexes rebuilds them, so only the
 		// heaps are trustworthy.
 		op := es.tracef("scan %s as %s: sequential (index maintenance deferred)", t.Name, binding)
-		return &seqScanIter{es: es, t: t, schema: schema}, op, nil
+		return &seqScanIter{es: es, t: t, schema: schema, batch: defaultChunkCap}, op, nil
 	}
 	bounds := map[int]*bound{} // column position -> constraints
 	boundFor := func(pos int) *bound {
@@ -638,15 +640,19 @@ func (db *DB) accessPath(es *execState, t *TableInfo, binding string, conjs []Ex
 		}
 	}
 	if best == nil {
-		op := es.tracef("scan %s as %s: sequential (est rows=%d)", t.Name, binding, rows)
-		return &seqScanIter{es: es, t: t, schema: schema}, op, nil
+		// The batch annotation is part of the plan: the cost model picks
+		// the chunk size from the scan's row estimate.
+		batch := batchSizeFor(float64(rows))
+		op := es.tracef("scan %s as %s: sequential (batch=%d) (est rows=%d)", t.Name, binding, batch, rows)
+		return &seqScanIter{es: es, t: t, schema: schema, batch: batch}, op, nil
 	}
 	how := "prefix lookup"
 	if bestRange != nil {
 		how = "prefix+range scan"
 	}
-	op := es.tracef("scan %s as %s: index %s (%s, %d leading cols) (est rows=%d)",
-		t.Name, binding, best.Name, how, len(bestPrefix), estRowsInt(estIdx))
+	batch := batchSizeFor(estIdx)
+	op := es.tracef("scan %s as %s: index %s (%s, %d leading cols) (batch=%d) (est rows=%d)",
+		t.Name, binding, best.Name, how, len(bestPrefix), batch, estRowsInt(estIdx))
 	// Index scans collect their RID list eagerly at construction; when
 	// actuals are on, that work is attributed to the scan operator.
 	var start time.Time
@@ -659,6 +665,9 @@ func (db *DB) accessPath(es *execState, t *TableInfo, binding string, conjs []Ex
 		it, err = newHashScanIter(es, t, schema, best, bestPrefix)
 	} else {
 		it, err = newBTreeScanIter(es, t, schema, best, bestPrefix, bestRange)
+	}
+	if rl, ok := it.(*ridListIter); ok {
+		rl.batch = batch
 	}
 	op.AddSince(start)
 	return it, op, err
@@ -692,9 +701,12 @@ type ridSource interface {
 // full-table scan keeps O(page) rows in memory instead of the whole heap
 // and a context cancel fires between pages of a long scan.
 type seqScanIter struct {
-	es      *execState
-	t       *TableInfo
-	schema  *Schema
+	es     *execState
+	t      *TableInfo
+	schema *Schema
+	// batch is the chunk capacity the cost model chose; toBatch carries
+	// it into the batched form of this scan.
+	batch   int
 	started bool
 	cur     disk.PageID // next page to load
 	rids    []heap.RID  // rows of the page most recently loaded
@@ -764,6 +776,7 @@ type ridListIter struct {
 	t      *TableInfo
 	schema *Schema
 	rids   []heap.RID
+	batch  int // chunk capacity for the batched form (see toBatch)
 	pos    int
 }
 

@@ -1,6 +1,9 @@
 package sql
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"xomatiq/internal/storage/heap"
 	"xomatiq/internal/value"
 )
@@ -13,12 +16,12 @@ type equiPair struct {
 
 // buildJoin adds one table to the join tree. It prefers, in order: index
 // nested-loop join (right table has an index whose leading column is a
-// join key), hash join (any equi keys), and nested-loop join (everything
-// else). The ON residual is applied at the join; WHERE conjuncts are
-// re-checked by the outer filter.
+// join key), partitioned hash join (any equi keys), and nested-loop join
+// (everything else). The ON residual is applied at the join; WHERE
+// conjuncts are re-checked by the outer filter.
 // est is the cost model's output-cardinality estimate for this join,
 // rendered on the plan line (EXPLAIN ANALYZE pairs it with actuals).
-func (db *DB) buildJoin(es *execState, left rowIter, rt *TableInfo, ref TableRef, whereConjs []Expr, rightFilter []Expr, est float64) (rowIter, error) {
+func (db *DB) buildJoin(es *execState, left batchIter, rt *TableInfo, ref TableRef, whereConjs []Expr, rightFilter []Expr, est float64) (batchIter, error) {
 	binding := ref.Binding()
 	rightSchema := rt.Schema(binding)
 	outSchema := left.Schema().Concat(rightSchema)
@@ -45,43 +48,56 @@ func (db *DB) buildJoin(es *execState, left rowIter, rt *TableInfo, ref TableRef
 	// remaining single-binding filters applied inline. A large sequential
 	// right side parallelises just like a driving scan, so hash-join and
 	// nested-loop builds also scale with QueryWorkers.
-	// rightSrc runs lazily inside the join's first Next (on the caller's
-	// goroutine), so its scan/parallel-scan trace lines appear only when
-	// the build actually executes — plain EXPLAIN never reaches it.
-	rightSrc := func() (rowIter, error) {
+	// rightSrc runs lazily inside the join's first NextChunk (on the
+	// caller's goroutine), so its scan/parallel-scan trace lines appear
+	// only when the build actually executes — plain EXPLAIN never reaches
+	// it.
+	rightSrc := func() (batchIter, error) {
 		it, sop, err := db.accessPath(es, rt, binding, whereConjs)
 		if err != nil {
 			return nil, err
 		}
 		if pit, pop, ok := parallelizeScan(es, it, rightFilter); ok {
-			return tracedIf(pop, pit), nil
+			return tracedBatchIf(pop, pit), nil
 		}
-		it = tracedIf(sop, it)
+		bit := tracedBatchIf(sop, toBatch(es, it))
 		for _, f := range rightFilter {
-			it = &filterIter{in: it, pred: f}
+			bit = newChunkFilter(bit, f)
 		}
-		return it, nil
+		return bit, nil
 	}
-	var join rowIter
 	if len(pairs) > 0 {
 		if ix := pickJoinIndex(rt, pairs); ix != nil {
+			// Index nested-loop probes one left row at a time; the left
+			// batch stream adapts to rows at the join boundary.
 			op := es.tracef("join %s as %s: index nested loop via %s (%d keys) (est rows=%d)",
 				rt.Name, binding, ix.Name, len(pairs), estRowsInt(est))
-			join = tracedIf(op, newIndexJoinIter(es, left, rt, rightSchema, outSchema, ix, pairs, rightFilter))
-		} else {
-			op := es.tracef("join %s as %s: hash join (%d keys) (est rows=%d)",
-				rt.Name, binding, len(pairs), estRowsInt(est))
-			join = tracedIf(op, newHashJoinIter(es, left, rightSchema, outSchema, pairs, rightSrc))
+			lrows := &rowsFromChunks{in: left}
+			join := tracedIf(op, newIndexJoinIter(es, lrows, rt, rightSchema, outSchema, ix, pairs, rightFilter))
+			for _, r := range residual {
+				join = &filterIter{in: join, pred: r}
+			}
+			return newChunksFromRows(es, join, defaultChunkCap), nil
 		}
-	} else {
-		op := es.tracef("join %s as %s: nested loop (cross) (est rows=%d)",
-			rt.Name, binding, estRowsInt(est))
-		join = tracedIf(op, newNestedLoopIter(es, left, outSchema, rightSrc))
+		// The partition count is a plan decision: deterministic in the
+		// statistics-backed build-side estimate.
+		parts := partitionsFor(estScanRows(rt, binding, whereConjs))
+		op := es.tracef("join %s as %s: partitioned hash join (%d keys, partitions=%d) (est rows=%d)",
+			rt.Name, binding, len(pairs), parts, estRowsInt(est))
+		var join batchIter = tracedBatchIf(op, newPartHashJoin(es, left, outSchema, pairs, rightSrc, parts))
+		for _, r := range residual {
+			join = newChunkFilter(join, r)
+		}
+		return join, nil
 	}
+	op := es.tracef("join %s as %s: nested loop (cross) (est rows=%d)",
+		rt.Name, binding, estRowsInt(est))
+	lrows := &rowsFromChunks{in: left}
+	join := tracedIf(op, newNestedLoopIter(es, lrows, outSchema, rightSrc))
 	for _, r := range residual {
 		join = &filterIter{in: join, pred: r}
 	}
-	return join, nil
+	return newChunksFromRows(es, join, defaultChunkCap), nil
 }
 
 // asEquiPair matches expr as leftExpr = right.col (either orientation)
@@ -199,83 +215,262 @@ func pairCols(pairs []equiPair) []int {
 	return cols
 }
 
-// hashJoinIter builds a hash table over the right source keyed by the
-// join columns, then streams the left side probing it.
-type hashJoinIter struct {
+// fnvHash is FNV-1a, the partition function of the partitioned hash
+// join. Any fixed function works for correctness (same key always lands
+// in the same partition within one build); FNV keeps partitioning cheap
+// and dependency-free.
+func fnvHash(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// joinPartition is one build-side partition: the materialised right rows
+// and their join keys in right-source order, plus the hash table over
+// them. The (keys, rows) pair is self-contained — it references nothing
+// outside the partition — which is the spill seam: a memory-bounded
+// build would write the pair of an overflowing partition to disk and
+// re-read it when the probe side reaches that partition.
+type joinPartition struct {
+	keys  []string
+	rows  []value.Tuple
+	table map[string][]value.Tuple
+}
+
+// keySrc is the precompiled probe-key source for one join column: a left
+// chunk column (the fast path, read straight from the column vector), a
+// constant literal, or a general expression evaluated over the scratch
+// row.
+type keySrc struct {
+	colIdx int // left column position; -1 when lit/expr applies
+	lit    value.Value
+	expr   Expr
+}
+
+// partHashJoinIter is the batched partitioned hash join. The build side
+// hash-partitions the right source by join key into parts partitions
+// (rows stay in right-source order inside each partition, so per-key
+// match lists — and therefore results — are byte-identical to the
+// row-at-a-time join); the per-partition hash tables then build
+// concurrently under the query's worker budget. The probe side consumes
+// left chunks, computes each row's key against the column vectors
+// directly, and emits joined rows into a reused output chunk.
+type partHashJoinIter struct {
 	es        *execState
-	left      rowIter
+	left      batchIter
 	outSchema *Schema
 	pairs     []equiPair
 	cols      []int
-	rightSrc  func() (rowIter, error)
+	srcs      []keySrc
+	rightSrc  func() (batchIter, error)
+	parts     int
 
-	built   bool
-	table   map[string][]value.Tuple
-	current value.Tuple // left row being expanded
+	built      bool
+	partitions []joinPartition
+
+	out     *chunk
+	keyBuf  []byte
+	scratch value.Tuple
+	cur     *chunk // left chunk being probed
+	curPos  int    // next logical row of cur
+	curRow  int    // physical row of the matches being expanded
 	matches []value.Tuple
 	mpos    int
+	eof     bool
 }
 
-func newHashJoinIter(es *execState, left rowIter, rightSchema, outSchema *Schema, pairs []equiPair, rightSrc func() (rowIter, error)) rowIter {
-	return &hashJoinIter{
-		es: es, left: left, outSchema: outSchema,
-		pairs: pairs, cols: pairCols(pairs), rightSrc: rightSrc,
+func newPartHashJoin(es *execState, left batchIter, outSchema *Schema, pairs []equiPair, rightSrc func() (batchIter, error), parts int) *partHashJoinIter {
+	if parts < 1 {
+		parts = 1
 	}
+	h := &partHashJoinIter{
+		es: es, left: left, outSchema: outSchema,
+		pairs: pairs, cols: pairCols(pairs), rightSrc: rightSrc, parts: parts,
+	}
+	leftSchema := left.Schema()
+	for _, pos := range h.cols {
+		for _, p := range h.pairs {
+			if p.rightCol != pos {
+				continue
+			}
+			s := keySrc{colIdx: -1}
+			switch e := p.left.(type) {
+			case *ColumnRef:
+				if i, err := leftSchema.Find(e); err == nil {
+					s.colIdx = i
+				} else {
+					s.expr = p.left
+				}
+			case *Literal:
+				s.lit = e.Val
+			default:
+				s.expr = p.left
+			}
+			h.srcs = append(h.srcs, s)
+			break
+		}
+	}
+	h.scratch = make(value.Tuple, len(leftSchema.Cols))
+	return h
 }
 
-func (h *hashJoinIter) Schema() *Schema { return h.outSchema }
+func (h *partHashJoinIter) Schema() *Schema { return h.outSchema }
 
-func (h *hashJoinIter) build() error {
-	h.table = make(map[string][]value.Tuple)
+// build consumes the right source, partitioning rows by key hash, then
+// builds the per-partition hash tables (concurrently when the query has
+// workers to spare — partitions are independent, so the result does not
+// depend on scheduling).
+func (h *partHashJoinIter) build() error {
 	h.built = true
+	h.partitions = make([]joinPartition, h.parts)
 	src, err := h.rightSrc()
 	if err != nil {
 		return err
 	}
+	var kb []byte
 	for {
-		if err := h.es.poll(); err != nil {
-			return err
-		}
-		tup, ok, err := src.Next()
+		c, err := src.NextChunk()
 		if err != nil {
 			return err
 		}
-		if !ok {
-			return nil
+		if c == nil {
+			break
 		}
-		var key []byte
-		for _, pos := range h.cols {
-			key = tup[pos].EncodeKey(key)
+		for k, n := 0, c.Rows(); k < n; k++ {
+			if err := h.es.poll(); err != nil {
+				return err
+			}
+			r := c.RowIdx(k)
+			kb = kb[:0]
+			for _, pos := range h.cols {
+				kb = c.Value(pos, r).EncodeKey(kb)
+			}
+			p := &h.partitions[int(fnvHash(kb)%uint64(h.parts))]
+			p.keys = append(p.keys, string(kb))
+			p.rows = append(p.rows, c.TupleAt(r))
 		}
-		h.table[string(key)] = append(h.table[string(key)], tup)
 	}
+	buildOne := func(p *joinPartition) {
+		p.table = make(map[string][]value.Tuple, len(p.keys))
+		for i, k := range p.keys {
+			p.table[k] = append(p.table[k], p.rows[i])
+		}
+	}
+	workers := 1
+	if h.es != nil && h.es.workers > 1 {
+		workers = h.es.workers
+	}
+	if workers > h.parts {
+		workers = h.parts
+	}
+	if workers <= 1 {
+		for i := range h.partitions {
+			buildOne(&h.partitions[i])
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= h.parts {
+					return
+				}
+				buildOne(&h.partitions[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return nil
 }
 
-func (h *hashJoinIter) Next() (value.Tuple, bool, error) {
+// probeKey computes the join key of one left chunk row into the reused
+// key buffer. Column sources read the chunk vectors directly; only
+// general expressions fall back to a scratch-row Eval.
+func (h *partHashJoinIter) probeKey(r int) ([]byte, error) {
+	h.keyBuf = h.keyBuf[:0]
+	loaded := false
+	for i := range h.srcs {
+		s := &h.srcs[i]
+		var v value.Value
+		switch {
+		case s.colIdx >= 0:
+			v = h.cur.Value(s.colIdx, r)
+		case s.expr != nil:
+			if !loaded {
+				h.cur.ReadRow(r, h.scratch)
+				loaded = true
+			}
+			var err error
+			v, err = Eval(s.expr, Row{Schema: h.left.Schema(), Values: h.scratch})
+			if err != nil {
+				return nil, err
+			}
+		default:
+			v = s.lit
+		}
+		h.keyBuf = v.EncodeKey(h.keyBuf)
+	}
+	return h.keyBuf, nil
+}
+
+func (h *partHashJoinIter) NextChunk() (*chunk, error) {
+	if h.eof {
+		return nil, nil
+	}
 	if !h.built {
 		if err := h.build(); err != nil {
-			return nil, false, err
+			return nil, err
 		}
 	}
+	if h.out == nil {
+		h.out = newChunk(h.outSchema, defaultChunkCap)
+	}
+	h.out.Reset()
 	for {
-		if h.mpos < len(h.matches) {
-			rt := h.matches[h.mpos]
+		// Expand the pending matches of the current left row; a row with
+		// many matches may span output chunks.
+		for h.mpos < len(h.matches) {
+			if h.out.Full() {
+				return h.out, nil
+			}
+			h.out.appendJoined(h.cur, h.curRow, h.matches[h.mpos])
 			h.mpos++
-			out := make(value.Tuple, 0, len(h.current)+len(rt))
-			out = append(out, h.current...)
-			out = append(out, rt...)
-			return out, true, nil
 		}
-		ltup, ok, err := h.left.Next()
-		if err != nil || !ok {
-			return nil, false, err
+		if h.cur == nil || h.curPos >= h.cur.Rows() {
+			c, err := h.left.NextChunk()
+			if err != nil {
+				return nil, err
+			}
+			if c == nil {
+				h.eof = true
+				if h.out.n > 0 {
+					return h.out, nil
+				}
+				return nil, nil
+			}
+			h.cur, h.curPos = c, 0
+			continue
 		}
-		key, err := joinKey(h.pairs, h.cols, h.left.Schema(), ltup)
+		if err := h.es.poll(); err != nil {
+			return nil, err
+		}
+		r := h.cur.RowIdx(h.curPos)
+		h.curPos++
+		key, err := h.probeKey(r)
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
-		h.current = ltup
-		h.matches = h.table[string(key)]
+		part := &h.partitions[int(fnvHash(key)%uint64(h.parts))]
+		h.curRow = r
+		h.matches = part.table[string(key)]
 		h.mpos = 0
 	}
 }
@@ -402,7 +597,7 @@ type nestedLoopIter struct {
 	es        *execState
 	left      rowIter
 	outSchema *Schema
-	rightSrc  func() (rowIter, error)
+	rightSrc  func() (batchIter, error)
 
 	right   []value.Tuple
 	built   bool
@@ -411,7 +606,7 @@ type nestedLoopIter struct {
 	haveRow bool
 }
 
-func newNestedLoopIter(es *execState, left rowIter, outSchema *Schema, rightSrc func() (rowIter, error)) rowIter {
+func newNestedLoopIter(es *execState, left rowIter, outSchema *Schema, rightSrc func() (batchIter, error)) rowIter {
 	return &nestedLoopIter{es: es, left: left, outSchema: outSchema, rightSrc: rightSrc}
 }
 
@@ -424,14 +619,16 @@ func (n *nestedLoopIter) build() error {
 		return err
 	}
 	for {
-		tup, ok, err := src.Next()
+		c, err := src.NextChunk()
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if c == nil {
 			return nil
 		}
-		n.right = append(n.right, tup)
+		for k, cn := 0, c.Rows(); k < cn; k++ {
+			n.right = append(n.right, c.TupleAt(c.RowIdx(k)))
+		}
 	}
 }
 

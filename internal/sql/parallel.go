@@ -30,18 +30,19 @@ var (
 // parallelizeScan swaps a sequential scan for the parallel scan-filter
 // operator when the query runs with more than one worker and the driving
 // heap spans at least parallelScanMinPages pages. The binding-local
-// filters move inside the operator — workers apply them page-locally —
-// so the caller must NOT wrap them again when ok is true. Output order
-// is byte-identical to the serial plan for any worker count: batches
-// carry their chain position and the merger emits them in heap order.
-func parallelizeScan(es *execState, it rowIter, filters []Expr) (rowIter, *obs.OpStats, bool) {
+// filters move inside the operator — workers apply them page-locally,
+// narrowing each page chunk's selection vector — so the caller must NOT
+// wrap them again when ok is true. Output order is byte-identical to the
+// serial plan for any worker count: chunks carry their chain position
+// and the merger emits them in heap order.
+func parallelizeScan(es *execState, it rowIter, filters []Expr) (batchIter, *obs.OpStats, bool) {
 	ss, ok := it.(*seqScanIter)
 	if !ok || es == nil || es.workers <= 1 {
-		return it, nil, false
+		return nil, nil, false
 	}
 	pages := ss.t.Heap.PageIDs()
 	if len(pages) < parallelScanMinPages {
-		return it, nil, false
+		return nil, nil, false
 	}
 	workers := es.workers
 	if workers > len(pages) {
@@ -51,7 +52,7 @@ func parallelizeScan(es *execState, it rowIter, filters []Expr) (rowIter, *obs.O
 	work := float64(len(pages))*parallelPageCost +
 		rows*(parallelRowCost+parallelFilterCost*float64(len(filters)))
 	if work*(1-1/float64(workers)) < parallelOverhead {
-		return it, nil, false
+		return nil, nil, false
 	}
 	// The operator folds the filters in, so its estimate (and actuals)
 	// are post-filter output rows.
@@ -59,44 +60,58 @@ func parallelizeScan(es *execState, it rowIter, filters []Expr) (rowIter, *obs.O
 	if len(ss.schema.Cols) > 0 {
 		binding = ss.schema.Cols[0].Table
 	}
-	op := es.tracef("  parallel scan (%d workers, %d pages) (est rows=%d)",
-		workers, len(pages), estRowsInt(estScanRows(ss.t, binding, filters)))
-	return &parallelScanIter{
-		es: es, t: ss.t, schema: ss.schema,
+	op := es.tracef("  parallel scan (%d workers, %d pages) (batch=%d) (est rows=%d)",
+		workers, len(pages), ss.batch, estRowsInt(estScanRows(ss.t, binding, filters)))
+	p := &parallelScanIter{
+		es: es, t: ss.t, schema: ss.schema, batch: ss.batch,
 		filters: filters, pages: pages, workers: workers,
-	}, op, true
+	}
+	for _, f := range filters {
+		cols, okc := predCols(f, ss.schema)
+		p.filterCols = append(p.filterCols, cols)
+		p.filterAll = append(p.filterAll, !okc)
+	}
+	return p, op, true
 }
 
 // pageBatch is the unit of hand-off between scan workers and the merger:
-// the filtered, decoded rows of one heap page plus its chain position.
+// one heap page decoded into a chunk (selection vector already narrowed
+// by the pushed-down filters) plus its chain position.
 type pageBatch struct {
-	idx  int
-	tups []value.Tuple
-	err  error
+	idx int
+	c   *chunk
+	err error
 }
 
 // parallelScanIter partitions a heap's page chain across a pool of
 // goroutines that fetch, decode and filter pages concurrently against the
-// sharded buffer pool, then merges the per-page batches back in chain
+// sharded buffer pool, then merges the per-page chunks back in chain
 // order. Workers claim pages from an atomic cursor, so a skewed page
-// (many matching rows) never stalls the others. The operator is an
-// ordinary rowIter; workers start lazily on the first Next.
+// (many matching rows) never stalls the others. Chunks recycle through a
+// free list: the merger returns the chunk the consumer just finished
+// with, and workers reset-and-reuse it for a later page. The operator is
+// an ordinary batchIter; workers start lazily on the first NextChunk.
 type parallelScanIter struct {
 	es      *execState
 	t       *TableInfo
 	schema  *Schema
+	batch   int
 	filters []Expr
-	pages   []disk.PageID
-	workers int
+	// Per-filter column sets, precomputed once so workers copy only the
+	// predicate's columns into their scratch row.
+	filterCols [][]int
+	filterAll  []bool
+	pages      []disk.PageID
+	workers    int
 
 	started bool
 	out     chan pageBatch
+	free    chan *chunk
 	stop    chan struct{} // closed by the merger on error: workers quit early
 	stopped bool
 	pending map[int]pageBatch // reorder buffer, keyed by page index
 	next    int               // next page index the merger owes the caller
-	cur     []value.Tuple
-	pos     int
+	cur     *chunk            // chunk held by the consumer since the last call
 	err     error
 }
 
@@ -105,6 +120,7 @@ func (p *parallelScanIter) Schema() *Schema { return p.schema }
 func (p *parallelScanIter) start() {
 	p.started = true
 	p.out = make(chan pageBatch, p.workers*2)
+	p.free = make(chan *chunk, p.workers*2+2)
 	p.stop = make(chan struct{})
 	p.pending = make(map[int]pageBatch, p.workers)
 	var cursor atomic.Int64
@@ -118,12 +134,13 @@ func (p *parallelScanIter) start() {
 // batch (possibly carrying an error), which the merger relies on: a page
 // it waits for either arrives or the whole scan has failed.
 func (p *parallelScanIter) worker(cursor *atomic.Int64) {
+	scratch := make(value.Tuple, len(p.schema.Cols))
 	for {
 		i := int(cursor.Add(1)) - 1
 		if i >= len(p.pages) {
 			return
 		}
-		b := p.scanPage(i)
+		b := p.scanPage(i, scratch)
 		select {
 		case p.out <- b:
 		case <-p.stop:
@@ -137,10 +154,12 @@ func (p *parallelScanIter) worker(cursor *atomic.Int64) {
 	}
 }
 
-// scanPage decodes and filters one page. Cancellation is polled once per
-// page — the per-row counter of execState is not shared across workers,
-// so each worker checks the context directly at page granularity.
-func (p *parallelScanIter) scanPage(i int) pageBatch {
+// scanPage decodes one page into a (recycled) chunk and narrows its
+// selection vector through the pushed-down filters. Cancellation is
+// polled once per page — the per-row counter of execState is not shared
+// across workers, so each worker checks the context directly at page
+// granularity.
+func (p *parallelScanIter) scanPage(i int, scratch value.Tuple) pageBatch {
 	b := pageBatch{idx: i}
 	if p.es.ctx != nil {
 		if err := p.es.ctx.Err(); err != nil {
@@ -148,33 +167,54 @@ func (p *parallelScanIter) scanPage(i int) pageBatch {
 			return b
 		}
 	}
-	row := Row{Schema: p.schema}
+	var c *chunk
+	select {
+	case c = <-p.free:
+		c.Reset()
+	default:
+		c = newChunk(p.schema, p.batch)
+	}
+	b.c = c
 	decoded := 0
 	_, _, err := p.t.Heap.ScanPage(p.pages[i], func(_ heap.RID, rec []byte) bool {
-		tup, derr := value.DecodeTuple(rec)
-		if derr != nil {
+		if derr := c.AppendRecord(rec); derr != nil {
 			b.err = derr
 			return false
 		}
 		decoded++
-		row.Values = tup
-		for _, f := range p.filters {
-			v, ferr := Eval(f, row)
-			if ferr != nil {
-				b.err = ferr
-				return false
-			}
-			if !truthy(v) {
-				return true
-			}
-		}
-		b.tups = append(b.tups, tup)
 		return true
 	})
 	if err != nil && b.err == nil {
 		b.err = err
 	}
 	p.es.scannedPage(decoded)
+	if b.err != nil {
+		return b
+	}
+	row := Row{Schema: p.schema, Values: scratch}
+	for fi, f := range p.filters {
+		sel := c.sel[:0]
+		if sel == nil {
+			sel = make([]int, 0, c.n)
+		}
+		for k, n := 0, c.Rows(); k < n; k++ {
+			r := c.RowIdx(k)
+			if p.filterAll[fi] {
+				c.ReadRow(r, scratch)
+			} else {
+				c.ReadCols(r, p.filterCols[fi], scratch)
+			}
+			v, ferr := Eval(f, row)
+			if ferr != nil {
+				b.err = ferr
+				return b
+			}
+			if truthy(v) {
+				sel = append(sel, r)
+			}
+		}
+		c.sel = sel
+	}
 	return b
 }
 
@@ -188,38 +228,48 @@ func (p *parallelScanIter) fail(err error) error {
 	return err
 }
 
-func (p *parallelScanIter) Next() (value.Tuple, bool, error) {
+func (p *parallelScanIter) NextChunk() (*chunk, error) {
 	if p.err != nil {
-		return nil, false, p.err
+		return nil, p.err
 	}
 	if !p.started {
 		p.start()
 	}
-	for {
-		if p.pos < len(p.cur) {
-			t := p.cur[p.pos]
-			p.pos++
-			return t, true, nil
+	// The consumer is done with the chunk of the previous call; hand it
+	// back to the workers.
+	if p.cur != nil {
+		select {
+		case p.free <- p.cur:
+		default:
 		}
+		p.cur = nil
+	}
+	for {
 		if p.next >= len(p.pages) {
-			return nil, false, nil
+			return nil, nil
 		}
 		// Pull batches until the next page in chain order is available.
 		// Any error fails the scan immediately: a worker that errored has
 		// stopped claiming pages, so waiting for in-order delivery could
 		// wait forever.
-		for {
-			if b, ok := p.pending[p.next]; ok {
-				delete(p.pending, p.next)
-				p.next++
-				p.cur, p.pos = b.tups, 0
-				break
+		if b, ok := p.pending[p.next]; ok {
+			delete(p.pending, p.next)
+			p.next++
+			if b.c.Rows() == 0 {
+				// Fully filtered page: recycle without surfacing it.
+				select {
+				case p.free <- b.c:
+				default:
+				}
+				continue
 			}
-			b := <-p.out
-			if b.err != nil {
-				return nil, false, p.fail(b.err)
-			}
-			p.pending[b.idx] = b
+			p.cur = b.c
+			return b.c, nil
 		}
+		b := <-p.out
+		if b.err != nil {
+			return nil, p.fail(b.err)
+		}
+		p.pending[b.idx] = b
 	}
 }

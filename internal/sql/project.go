@@ -192,39 +192,48 @@ func finish(sel *Select, names []string, rows []outRow, spec *orderSpec) *Rows {
 	return out
 }
 
-// project evaluates the SELECT items over a non-aggregated stream.
-func (db *DB) project(sel *Select, it rowIter) (*Rows, error) {
+// project evaluates the SELECT items over a non-aggregated batch
+// stream: each chunk is processed through a reused scratch row (chunk
+// cell values are safe to retain, so the evaluated outputs never alias
+// recycled chunk memory).
+func (db *DB) project(sel *Select, it batchIter) (*Rows, error) {
 	in := it.Schema()
 	exprs, names := expandItems(sel, in)
 	spec := newOrderSpec(sel, in, names)
+	scratch := make(value.Tuple, len(in.Cols))
+	row := Row{Schema: in, Values: scratch}
 	var rows []outRow
+	early := spec == nil && !sel.Distinct && sel.Limit >= 0
+loop:
 	for {
-		tup, ok, err := it.Next()
+		c, err := it.NextChunk()
 		if err != nil {
 			return nil, err
 		}
-		if !ok {
+		if c == nil {
 			break
 		}
-		row := Row{Schema: in, Values: tup}
-		vals := make(value.Tuple, len(exprs))
-		for i, e := range exprs {
-			v, err := Eval(e, row)
-			if err != nil {
-				return nil, err
+		for k, n := 0, c.Rows(); k < n; k++ {
+			c.ReadRow(c.RowIdx(k), scratch)
+			vals := make(value.Tuple, len(exprs))
+			for i, e := range exprs {
+				v, err := Eval(e, row)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
 			}
-			vals[i] = v
-		}
-		or := outRow{vals: vals}
-		if spec != nil {
-			or.keys, err = spec.keysFor(tup, vals, nil)
-			if err != nil {
-				return nil, err
+			or := outRow{vals: vals}
+			if spec != nil {
+				or.keys, err = spec.keysFor(scratch, vals, nil)
+				if err != nil {
+					return nil, err
+				}
 			}
-		}
-		rows = append(rows, or)
-		if spec == nil && !sel.Distinct && sel.Limit >= 0 && len(rows) >= sel.Offset+sel.Limit {
-			break // early-out when no sort or dedup can change the prefix
+			rows = append(rows, or)
+			if early && len(rows) >= sel.Offset+sel.Limit {
+				break loop // no sort or dedup can change the prefix
+			}
 		}
 	}
 	return finish(sel, names, rows, spec), nil
@@ -395,43 +404,52 @@ type group struct {
 	aggs []*aggState
 }
 
-// runAggregate executes grouped/aggregated SELECTs.
-func (db *DB) runAggregate(sel *Select, it rowIter) (*Rows, error) {
+// runAggregate executes grouped/aggregated SELECTs over the batch
+// stream. The scratch row is reused per chunk row; only a new group's
+// representative row is materialised (TupleAt), so grouping allocates
+// per group, not per input row.
+func (db *DB) runAggregate(sel *Select, it batchIter) (*Rows, error) {
 	in := it.Schema()
 	exprs, names := expandItems(sel, in)
 	aggCalls := collectAggs(sel, exprs)
 
+	scratch := make(value.Tuple, len(in.Cols))
+	row := Row{Schema: in, Values: scratch}
 	groups := map[string]*group{}
 	var order []string // group output order = first appearance
+	var key []byte
 	for {
-		tup, ok, err := it.Next()
+		c, err := it.NextChunk()
 		if err != nil {
 			return nil, err
 		}
-		if !ok {
+		if c == nil {
 			break
 		}
-		row := Row{Schema: in, Values: tup}
-		var key []byte
-		for _, ge := range sel.GroupBy {
-			v, err := Eval(ge, row)
-			if err != nil {
-				return nil, err
+		for k, n := 0, c.Rows(); k < n; k++ {
+			r := c.RowIdx(k)
+			c.ReadRow(r, scratch)
+			key = key[:0]
+			for _, ge := range sel.GroupBy {
+				v, err := Eval(ge, row)
+				if err != nil {
+					return nil, err
+				}
+				key = v.Encode(key)
 			}
-			key = v.Encode(key)
-		}
-		g := groups[string(key)]
-		if g == nil {
-			g = &group{repr: tup}
-			for _, fc := range aggCalls {
-				g.aggs = append(g.aggs, newAggState(fc))
+			g := groups[string(key)]
+			if g == nil {
+				g = &group{repr: c.TupleAt(r)}
+				for _, fc := range aggCalls {
+					g.aggs = append(g.aggs, newAggState(fc))
+				}
+				groups[string(key)] = g
+				order = append(order, string(key))
 			}
-			groups[string(key)] = g
-			order = append(order, string(key))
-		}
-		for _, a := range g.aggs {
-			if err := a.add(row); err != nil {
-				return nil, err
+			for _, a := range g.aggs {
+				if err := a.add(row); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}

@@ -501,6 +501,54 @@ func DecodeTuple(p []byte) (Tuple, error) {
 	return t, nil
 }
 
+// VisitTuple walks an encoded tuple field by field without materialising
+// Values, calling visit once per field with the raw wire payload: INT and
+// BOOL pass their 8-byte big-endian payload as bits, FLOAT passes its
+// IEEE-754 bits, TEXT and BYTES pass the payload slice (aliasing rec, so
+// the callee must copy anything it keeps), NULL passes neither. The
+// columnar chunk decoder uses it to fill column vectors straight from
+// heap records with zero per-field allocation.
+func VisitTuple(rec []byte, visit func(col int, k Kind, bits uint64, payload []byte) error) error {
+	n, sz := binary.Uvarint(rec)
+	if sz <= 0 {
+		return fmt.Errorf("value: visit tuple: corrupt count")
+	}
+	p := rec[sz:]
+	for i := uint64(0); i < n; i++ {
+		if len(p) == 0 {
+			return fmt.Errorf("value: visit tuple: truncated tuple")
+		}
+		k := Kind(p[0])
+		var bits uint64
+		var payload []byte
+		var consumed int
+		switch k {
+		case KindNull:
+			consumed = 1
+		case KindInt, KindBool, KindFloat:
+			if len(p) < 9 {
+				return fmt.Errorf("value: visit tuple: short %s field", k)
+			}
+			bits = binary.BigEndian.Uint64(p[1:9])
+			consumed = 9
+		case KindText, KindBytes:
+			m, msz := binary.Uvarint(p[1:])
+			if msz <= 0 || uint64(len(p)-1-msz) < m {
+				return fmt.Errorf("value: visit tuple: corrupt length")
+			}
+			payload = p[1+msz : 1+msz+int(m)]
+			consumed = 1 + msz + int(m)
+		default:
+			return fmt.Errorf("value: visit tuple: unknown kind %d", p[0])
+		}
+		if err := visit(int(i), k, bits, payload); err != nil {
+			return err
+		}
+		p = p[consumed:]
+	}
+	return nil
+}
+
 // Clone returns a deep copy of the tuple (BYTES payloads are copied).
 func (t Tuple) Clone() Tuple {
 	out := make(Tuple, len(t))
