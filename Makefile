@@ -31,16 +31,17 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
 # Machine-readable benchmark snapshot: run the E1-E16 suite with memory
-# stats and archive it as BENCH_<date>.json. BENCHTIME is fixed (not
-# time-based) so runs are comparable across commits.
+# stats and archive it as BENCH_<date>.json plus the raw text twin
+# BENCH_<date>.txt. BENCHTIME is fixed (not time-based) so runs are
+# comparable across commits.
 BENCHTIME ?= 3x
-BENCHOUT  ?= BENCH_$(shell date +%F).json
+BENCHSTEM ?= BENCH_$(shell date +%F)
 
 bench-json:
 	$(GO) test -run xxx -bench . -benchtime $(BENCHTIME) -benchmem . \
-		| tee $(BENCHOUT).txt \
-		| $(GO) run ./cmd/benchjson > $(BENCHOUT)
-	@echo "wrote $(BENCHOUT) (raw text in $(BENCHOUT).txt)"
+		| tee $(BENCHSTEM).txt \
+		| $(GO) run ./cmd/benchjson > $(BENCHSTEM).json
+	@echo "wrote $(BENCHSTEM).json (raw text in $(BENCHSTEM).txt)"
 
 # Contention inspection: run the concurrent query benchmark with mutex,
 # block, and CPU profiling and drop the artifacts (plus the test binary
@@ -58,11 +59,12 @@ profile:
 # The $$ doubles survive Make so the regex anchors reach go test.
 # GUARDTIME is longer than BENCHTIME and GUARDTOL wider than benchstat
 # habits because the gate must stay green on noisy single-core CI boxes
-# while still catching step-function regressions.
-GUARDBENCH ?= BenchmarkQueryConcurrent/scan$$/clients=16$$/workers=1$$|BenchmarkChunkScan|BenchmarkHashJoinPartitioned
-GUARDBASE  ?= BENCH_E18_after.txt
+# while still catching step-function regressions (observed same-commit
+# run-to-run swings on the reference box reach ±45%).
+GUARDBENCH ?= BenchmarkQueryConcurrent/scan$$/clients=16$$/workers=1$$|BenchmarkChunkScan|BenchmarkHashJoinPartitioned|BenchmarkGroupBy|BenchmarkOrderByTopK|BenchmarkJoinSpill
+GUARDBASE  ?= BENCH_E19_after.txt
 GUARDTIME  ?= 10x
-GUARDTOL   ?= 0.35
+GUARDTOL   ?= 0.50
 
 bench-guard:
 	$(GO) run ./cmd/benchjson -bench '$(GUARDBENCH)' -benchtime $(GUARDTIME) \

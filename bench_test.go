@@ -839,3 +839,145 @@ func BenchmarkHashJoinPartitioned(b *testing.B) {
 		})
 	}
 }
+
+// ---------------------------------------------------------------------
+// E19 (vectorized aggregation & sort): micro-benchmarks for the GROUP BY
+// hash aggregate and the ORDER BY ... LIMIT top-K path. GroupBy is the
+// Fig. 11-style analytics shape — a wide fact table collapsed into a few
+// hundred groups with COUNT/SUM/MIN/MAX, HAVING, and an aggregate ORDER
+// BY; the clients dimension measures the same query under concurrent
+// load. BenchmarkJoinSpill (below) covers the memory-bounded hash join.
+func BenchmarkGroupBy(b *testing.B) {
+	db, err := sql.OpenAsync(filepath.Join(b.TempDir(), "e19g.db"), sql.Options{QueryWorkers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE ev (grp TEXT, v INT, pad TEXT)`); err != nil {
+		b.Fatal(err)
+	}
+	var tups []value.Tuple
+	for i := 0; i < 40000; i++ {
+		tups = append(tups, value.Tuple{
+			value.NewText(fmt.Sprintf("g%03d", i%300)),
+			value.NewInt(int64(i % 1000)),
+			value.NewText(fmt.Sprintf("payload-%06d-%s", i, strings.Repeat("x", 32))),
+		})
+	}
+	if err := db.InsertBatch("ev", tups); err != nil {
+		b.Fatal(err)
+	}
+	q := `SELECT grp, COUNT(*), SUM(v), MIN(v), MAX(v) FROM ev GROUP BY grp HAVING COUNT(*) > 10 ORDER BY SUM(v) DESC, grp LIMIT 10`
+	for _, clients := range []int{1, 16} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			b.SetParallelism((clients + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					res, err := db.Query(q)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if len(res.Rows) != 10 {
+						b.Errorf("got %d rows, want 10", len(res.Rows))
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// OrderByTopK measures ORDER BY score DESC LIMIT k over a large
+// unindexed table: the top-K sink must stop materializing (and stop
+// allocating per-row output tuples for) everything below the heap
+// threshold.
+func BenchmarkOrderByTopK(b *testing.B) {
+	db, err := sql.OpenAsync(filepath.Join(b.TempDir(), "e19s.db"), sql.Options{QueryWorkers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE sc (k INT, score INT, name TEXT)`); err != nil {
+		b.Fatal(err)
+	}
+	var tups []value.Tuple
+	for i := 0; i < 30000; i++ {
+		tups = append(tups, value.Tuple{
+			value.NewInt(int64(i)),
+			value.NewInt(int64((i * 2654435761) % 1000003)),
+			value.NewText(fmt.Sprintf("name-%06d", i)),
+		})
+	}
+	if err := db.InsertBatch("sc", tups); err != nil {
+		b.Fatal(err)
+	}
+	q := `SELECT k, name FROM sc WHERE score >= 100 ORDER BY score DESC LIMIT 5`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 5 {
+			b.Fatalf("got %d rows, want 5", len(res.Rows))
+		}
+	}
+}
+
+// JoinSpill measures the memory-bounded hash join: the same partitioned
+// join runs unbudgeted (build side fully resident) and under a budget
+// far below the build size, so most partitions spill to temp files and
+// reload per probe chunk. The gap is the price of staying within
+// memory; results are byte-identical either way (TestJoinSpillByteIdentity).
+func BenchmarkJoinSpill(b *testing.B) {
+	db, err := sql.OpenAsync(filepath.Join(b.TempDir(), "e19sp.db"), sql.Options{QueryWorkers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	for _, ddl := range []string{
+		`CREATE TABLE dl (k INT, tag TEXT)`,
+		`CREATE TABLE fr (fk INT, amt INT)`,
+	} {
+		if _, err := db.Exec(ddl); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var tups []value.Tuple
+	for i := 0; i < 400; i++ {
+		tups = append(tups, value.Tuple{value.NewInt(int64(i)), value.NewText(fmt.Sprintf("t%d", i))})
+	}
+	if err := db.InsertBatch("dl", tups); err != nil {
+		b.Fatal(err)
+	}
+	tups = nil
+	for i := 0; i < 12000; i++ {
+		tups = append(tups, value.Tuple{value.NewInt(int64(i % 400)), value.NewInt(int64(i))})
+	}
+	if err := db.InsertBatch("fr", tups); err != nil {
+		b.Fatal(err)
+	}
+	q := `SELECT d.tag, f.amt FROM dl d, fr f WHERE f.fk = d.k AND d.k < 50`
+	for _, budget := range []int64{0, 64 << 10} {
+		name := "budget=unlimited"
+		if budget > 0 {
+			name = fmt.Sprintf("budget=%dKiB", budget>>10)
+		}
+		b.Run(name, func(b *testing.B) {
+			db.SetMemBudget(budget)
+			b.ResetTimer()
+			rows := 0
+			for i := 0; i < b.N; i++ {
+				res, err := db.Query(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = len(res.Rows)
+			}
+			b.ReportMetric(float64(rows), "rows")
+		})
+	}
+	db.SetMemBudget(0)
+}

@@ -56,6 +56,11 @@ type Config struct {
 	// runtime.GOMAXPROCS(0); 1 forces serial scans. Any value produces
 	// byte-identical query results; only the wall clock changes.
 	QueryWorkers int
+	// QueryMemBudget bounds the memory a hash join may hold for its
+	// build side, in bytes (0 = unlimited). Overflowing partitions
+	// spill to temp files beside the warehouse and reload at probe
+	// time; results are byte-identical for any budget.
+	QueryMemBudget int64
 	// FS is the filesystem the warehouse lives on; nil means the real
 	// disk. Fault-injection tests substitute a faultfs.FS.
 	FS disk.FS
@@ -119,7 +124,8 @@ func Open(cfg Config) (*Engine, error) {
 	reg := obs.NewRegistry()
 	opts := sql.Options{
 		PoolPages: cfg.PoolPages, QueryWorkers: cfg.QueryWorkers,
-		FS: cfg.FS, Metrics: reg,
+		QueryMemBudget: cfg.QueryMemBudget,
+		FS:             cfg.FS, Metrics: reg,
 	}
 	var db *sql.DB
 	var err error
@@ -536,9 +542,9 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) 
 }
 
 // queryContext is the shared execution path under every session: plan
-// (cache-first), execute with the session's worker override, observe
-// with the session's slow-log tag.
-func (e *Engine) queryContext(ctx context.Context, src string, workers int, tag string) (*Result, error) {
+// (cache-first), execute with the session's worker and memory-budget
+// overrides, observe with the session's slow-log tag.
+func (e *Engine) queryContext(ctx context.Context, src string, workers int, memBudget int64, tag string) (*Result, error) {
 	// An already-expired context fails fast: small queries can otherwise
 	// finish between the executor's periodic cancellation polls.
 	if err := ctx.Err(); err != nil {
@@ -559,7 +565,7 @@ func (e *Engine) queryContext(ctx context.Context, src string, workers int, tag 
 	if e.cfg.SlowQueryThreshold > 0 {
 		qt = obs.NewQueryTrace(true)
 	}
-	res, err := e.execPlan(ctx, entry, qt, workers)
+	res, err := e.execPlan(ctx, entry, qt, workers, memBudget)
 	e.observeQuery(src, tag, cached, qt, res, err, time.Since(start))
 	return res, err
 }
@@ -579,7 +585,7 @@ func (e *Engine) QueryParsedContext(ctx context.Context, q *xq.Query) (*Result, 
 		e.reg.Query.Errors.Inc()
 		return nil, err
 	}
-	res, err := e.execPlan(ctx, entry, nil, 0)
+	res, err := e.execPlan(ctx, entry, nil, 0, 0)
 	e.observeQuery("", "", false, nil, res, err, time.Since(start))
 	return res, err
 }
@@ -662,10 +668,11 @@ func (e *Engine) translate(q *xq.Query) (*planEntry, error) {
 // relational engine, or the native fallback for unsupported shapes. qt,
 // when non-nil, collects the executed plan with per-operator actuals;
 // workers, when positive, overrides the engine's intra-query scan
-// parallelism (per-session overrides ride here).
-func (e *Engine) execPlan(ctx context.Context, entry *planEntry, qt *obs.QueryTrace, workers int) (*Result, error) {
+// parallelism; memBudget, when positive, overrides the engine's
+// hash-join memory budget (per-session overrides ride here).
+func (e *Engine) execPlan(ctx context.Context, entry *planEntry, qt *obs.QueryTrace, workers int, memBudget int64) (*Result, error) {
 	if !entry.unsupported {
-		rows, qerr := e.db.QueryStmtOptsContext(ctx, entry.stmt, sql.ExecOpts{Trace: qt, Workers: workers})
+		rows, qerr := e.db.QueryStmtOptsContext(ctx, entry.stmt, sql.ExecOpts{Trace: qt, Workers: workers, MemBudget: memBudget})
 		if qerr != nil {
 			return nil, fmt.Errorf("core: executing translated SQL: %w", qerr)
 		}
@@ -758,7 +765,6 @@ func (e *Engine) logSlowQuery(src, tag string, cached bool, qt *obs.QueryTrace, 
 	e.slowLog.Write(append(line, '\n'))
 }
 
-
 // corpusFor reconstructs (and caches) the documents of every database a
 // query references.
 func (e *Engine) corpusFor(q *xq.Query) (nativexml.Corpus, error) {
@@ -842,14 +848,14 @@ func (e *Engine) ExplainAnalyze(ctx context.Context, src string) (string, error)
 
 // explainAnalyze is the session-parameterised body of ExplainAnalyze.
 // It also returns the result so the calling session can count rows.
-func (e *Engine) explainAnalyze(ctx context.Context, src string, workers int, tag string) (string, *Result, error) {
+func (e *Engine) explainAnalyze(ctx context.Context, src string, workers int, memBudget int64, tag string) (string, *Result, error) {
 	start := time.Now()
 	entry, cached, err := e.plan(src)
 	if err != nil {
 		return "", nil, err
 	}
 	qt := obs.NewQueryTrace(true)
-	res, err := e.execPlan(ctx, entry, qt, workers)
+	res, err := e.execPlan(ctx, entry, qt, workers, memBudget)
 	elapsed := time.Since(start)
 	e.observeQuery(src, tag, cached, qt, res, err, elapsed)
 	if err != nil {
@@ -900,4 +906,3 @@ func (e *Engine) warehouseStats() ([]WarehouseStats, error) {
 func (e *Engine) Compact(path string) error {
 	return e.db.CompactTo(path, sql.Options{PoolPages: e.cfg.PoolPages})
 }
-

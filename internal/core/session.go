@@ -28,6 +28,10 @@ type SessionOptions struct {
 	// for this session's queries (1 = serial). Zero inherits
 	// Config.QueryWorkers. Results are byte-identical for any value.
 	QueryWorkers int
+	// MemBudget overrides the engine's hash-join memory budget for this
+	// session's queries, in bytes. Zero inherits Config.QueryMemBudget.
+	// Results are byte-identical for any value.
+	MemBudget int64
 	// Tag labels the session in listings and in the slow-query log's
 	// "tag" field (e.g. a remote address or client name).
 	Tag string
@@ -46,6 +50,14 @@ func WithDefaultDeadline(d time.Duration) SessionOption {
 // session's queries (0 = engine default, 1 = serial).
 func WithSessionQueryWorkers(n int) SessionOption {
 	return func(o *SessionOptions) { o.QueryWorkers = n }
+}
+
+// WithSessionMemBudget bounds hash-join build memory for the session's
+// queries, in bytes (0 = engine default). Joins whose build side would
+// exceed the budget spill partitions to temp files; results are
+// byte-identical for any budget.
+func WithSessionMemBudget(n int64) SessionOption {
+	return func(o *SessionOptions) { o.MemBudget = n }
 }
 
 // WithSessionTag labels the session in listings and the slow-query log.
@@ -306,7 +318,7 @@ func (s *Session) Query(ctx context.Context, src string) (*Result, error) {
 	defer release()
 	qctx, cancel := s.queryCtx(ctx)
 	defer cancel()
-	res, err := s.eng.queryContext(qctx, src, s.opts.QueryWorkers, s.opts.Tag)
+	res, err := s.eng.queryContext(qctx, src, s.opts.QueryWorkers, s.opts.MemBudget, s.opts.Tag)
 	s.observe(res, err)
 	return res, err
 }
@@ -321,7 +333,7 @@ func (s *Session) ExplainAnalyze(ctx context.Context, src string) (string, error
 	defer release()
 	qctx, cancel := s.queryCtx(ctx)
 	defer cancel()
-	report, res, err := s.eng.explainAnalyze(qctx, src, s.opts.QueryWorkers, s.opts.Tag)
+	report, res, err := s.eng.explainAnalyze(qctx, src, s.opts.QueryWorkers, s.opts.MemBudget, s.opts.Tag)
 	s.observe(res, err)
 	return report, err
 }

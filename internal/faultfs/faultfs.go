@@ -262,6 +262,25 @@ func (fs *FS) OpenFile(path string) (disk.File, error) {
 	return &handle{fs: fs, f: f, name: path}, nil
 }
 
+// Remove deletes path. It is a counted operation (spill-file cleanup is
+// part of the swept surface); removing a missing path is success, like
+// disk.OS. A removal is applied immediately to the namespace — the
+// crash model treats it like other metadata ops: after ErrCrashed or an
+// injected fault the file survives untouched.
+func (fs *FS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, faulted, err := fs.stepLocked(path, "remove", 0, 0)
+	if err != nil {
+		return err
+	}
+	if faulted {
+		return fmt.Errorf("faultfs: remove %s: %w", path, ErrInjected)
+	}
+	delete(fs.files, path)
+	return nil
+}
+
 // Image returns a copy of a file's current live contents (test helper).
 func (fs *FS) Image(path string) []byte {
 	fs.mu.Lock()

@@ -298,6 +298,26 @@ type SessionSnapshot struct {
 	Inflight int64
 }
 
+// ExecMetrics counts work done by the vectorized executor's stateful
+// operators: hash aggregation, chunk-wise sort, and hash-join spilling
+// under a memory budget.
+type ExecMetrics struct {
+	AggGroups      Counter // groups materialized by hash aggregation
+	SortRuns       Counter // sorted runs merged by the run-merge sort
+	JoinSpillParts Counter // join partitions spilled to temp files
+	JoinSpillBytes Counter // bytes written to join spill files
+	JoinSpillLoads Counter // spilled partitions loaded back for probing
+}
+
+// ExecSnapshot is the executor section of a registry snapshot.
+type ExecSnapshot struct {
+	AggGroups      uint64
+	SortRuns       uint64
+	JoinSpillParts uint64
+	JoinSpillBytes uint64
+	JoinSpillLoads uint64
+}
+
 // IngestMetrics counts bulk-load pipeline throughput.
 type IngestMetrics struct {
 	Loads       Counter // harness/update loads completed
@@ -325,6 +345,7 @@ type Registry struct {
 	Heap    HeapMetrics
 	Index   IndexMetrics
 	Query   QueryMetrics
+	Exec    ExecMetrics
 	Ingest  IngestMetrics
 	Session SessionMetrics
 }
@@ -342,6 +363,7 @@ type RegistrySnapshot struct {
 	Heap    HeapSnapshot
 	Index   IndexSnapshot
 	Query   QuerySnapshot
+	Exec    ExecSnapshot
 	Ingest  IngestSnapshot
 	Session SessionSnapshot
 }
@@ -374,6 +396,13 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 			Rows:    r.Query.Rows.Load(),
 			Latency: r.Query.Latency.Snapshot(),
 		},
+		Exec: ExecSnapshot{
+			AggGroups:      r.Exec.AggGroups.Load(),
+			SortRuns:       r.Exec.SortRuns.Load(),
+			JoinSpillParts: r.Exec.JoinSpillParts.Load(),
+			JoinSpillBytes: r.Exec.JoinSpillBytes.Load(),
+			JoinSpillLoads: r.Exec.JoinSpillLoads.Load(),
+		},
 		Ingest: IngestSnapshot{
 			Loads:       r.Ingest.Loads.Load(),
 			Docs:        r.Ingest.Docs.Load(),
@@ -397,34 +426,39 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 // units, so numbers line up across surfaces.
 func (s RegistrySnapshot) Metrics() map[string]float64 {
 	m := map[string]float64{
-		"pool.shards":          float64(s.Pool.Shards),
-		"pool.hits":            float64(s.Pool.Hits),
-		"pool.misses":          float64(s.Pool.Misses),
-		"pool.evictions":       float64(s.Pool.Evictions),
-		"wal.appends":          float64(s.WAL.Appends),
-		"wal.fsyncs":           float64(s.WAL.Fsyncs),
-		"wal.bytes":            float64(s.WAL.Bytes),
-		"heap.pages_scanned":   float64(s.Heap.PagesScanned),
-		"heap.records_scanned": float64(s.Heap.RecordsScanned),
-		"index.btree_searches": float64(s.Index.BTreeSearches),
-		"index.hash_lookups":   float64(s.Index.HashLookups),
-		"query.count":          float64(s.Query.Queries),
-		"query.sql":            float64(s.Query.SQL),
-		"query.native":         float64(s.Query.Native),
-		"query.errors":         float64(s.Query.Errors),
-		"query.slow":           float64(s.Query.Slow),
-		"query.rows":           float64(s.Query.Rows),
-		"ingest.loads":         float64(s.Ingest.Loads),
-		"ingest.docs":          float64(s.Ingest.Docs),
-		"ingest.tuples":        float64(s.Ingest.Tuples),
-		"ingest.chunks":        float64(s.Ingest.Chunks),
-		"ingest.source_bytes":  float64(s.Ingest.SourceBytes),
-		"sessions.opened":      float64(s.Session.Opened),
-		"sessions.closed":      float64(s.Session.Closed),
-		"sessions.active":      float64(s.Session.Active),
-		"sessions.rejected":    float64(s.Session.Rejected),
-		"sessions.shed":        float64(s.Session.Shed),
-		"sessions.inflight":    float64(s.Session.Inflight),
+		"pool.shards":           float64(s.Pool.Shards),
+		"pool.hits":             float64(s.Pool.Hits),
+		"pool.misses":           float64(s.Pool.Misses),
+		"pool.evictions":        float64(s.Pool.Evictions),
+		"wal.appends":           float64(s.WAL.Appends),
+		"wal.fsyncs":            float64(s.WAL.Fsyncs),
+		"wal.bytes":             float64(s.WAL.Bytes),
+		"heap.pages_scanned":    float64(s.Heap.PagesScanned),
+		"heap.records_scanned":  float64(s.Heap.RecordsScanned),
+		"index.btree_searches":  float64(s.Index.BTreeSearches),
+		"index.hash_lookups":    float64(s.Index.HashLookups),
+		"query.count":           float64(s.Query.Queries),
+		"query.sql":             float64(s.Query.SQL),
+		"query.native":          float64(s.Query.Native),
+		"query.errors":          float64(s.Query.Errors),
+		"query.slow":            float64(s.Query.Slow),
+		"query.rows":            float64(s.Query.Rows),
+		"exec.agg_groups":       float64(s.Exec.AggGroups),
+		"exec.sort_runs":        float64(s.Exec.SortRuns),
+		"exec.join_spill_parts": float64(s.Exec.JoinSpillParts),
+		"exec.join_spill_bytes": float64(s.Exec.JoinSpillBytes),
+		"exec.join_spill_loads": float64(s.Exec.JoinSpillLoads),
+		"ingest.loads":          float64(s.Ingest.Loads),
+		"ingest.docs":           float64(s.Ingest.Docs),
+		"ingest.tuples":         float64(s.Ingest.Tuples),
+		"ingest.chunks":         float64(s.Ingest.Chunks),
+		"ingest.source_bytes":   float64(s.Ingest.SourceBytes),
+		"sessions.opened":       float64(s.Session.Opened),
+		"sessions.closed":       float64(s.Session.Closed),
+		"sessions.active":       float64(s.Session.Active),
+		"sessions.rejected":     float64(s.Session.Rejected),
+		"sessions.shed":         float64(s.Session.Shed),
+		"sessions.inflight":     float64(s.Session.Inflight),
 	}
 	if lat := s.Query.Latency; lat.Count > 0 {
 		m["query.latency_mean_us"] = float64(lat.Mean()) / float64(time.Microsecond)

@@ -17,6 +17,7 @@ type OpStats struct {
 	nanos   atomic.Int64
 	batches atomic.Int64
 	touched atomic.Bool
+	note    atomic.Value // string; execution-time annotation, e.g. "spilled=3 parts"
 }
 
 // Observe records one Next() call: d of inclusive time and, when counted
@@ -88,6 +89,29 @@ func (o *OpStats) Elapsed() time.Duration {
 		return 0
 	}
 	return time.Duration(o.nanos.Load())
+}
+
+// Notef attaches an execution-time annotation to the operator, rendered
+// after the actuals in EXPLAIN ANALYZE (e.g. "spilled=3 parts",
+// "groups=117"). The last call wins. Nil-safe.
+func (o *OpStats) Notef(format string, args ...any) {
+	if o == nil {
+		return
+	}
+	o.touched.Store(true)
+	o.note.Store(fmt.Sprintf(format, args...))
+}
+
+// Note returns the operator's annotation, or "" when none was set.
+// Nil-safe.
+func (o *OpStats) Note() string {
+	if o == nil {
+		return ""
+	}
+	if s, ok := o.note.Load().(string); ok {
+		return s
+	}
+	return ""
 }
 
 // Touched reports whether the operator ever executed. Plan lines whose
@@ -183,6 +207,11 @@ func (t *QueryTrace) Render(actuals bool) string {
 				l.Text, l.Op.Rows(), l.Op.Elapsed().Round(time.Microsecond))
 		default:
 			parts[i] = l.Text
+		}
+		// Execution-time annotations (spill/group counts) render after the
+		// actuals so the pinned "(actual ...)" formats stay byte-stable.
+		if n := l.Op.Note(); n != "" {
+			parts[i] += " (" + n + ")"
 		}
 	}
 	return strings.Join(parts, "\n")

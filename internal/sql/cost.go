@@ -302,11 +302,20 @@ func batchSizeFor(est float64) int {
 // hash join from the estimated build rows: one partition per ~2k rows,
 // as a power of two, clamped to [1, 16]. Small builds keep a single
 // partition (one plain hash table); large builds gain concurrent table
-// construction and a bounded per-partition spill unit.
-func partitionsFor(est float64) int {
+// construction and a bounded per-partition spill unit. Under a memory
+// budget the count rises (up to 64) until the estimated resident bytes
+// of one partition fit the budget, so a spilling join sheds memory in
+// partition-sized steps instead of all-or-nothing.
+func partitionsFor(est float64, budget int64, cols int) int {
 	p := 1
 	for float64(p)*2048 < est && p < 16 {
 		p *= 2
+	}
+	if budget > 0 {
+		estBytes := est * float64(spillRowBytes(cols))
+		for estBytes/float64(p) > float64(budget) && p < 64 {
+			p *= 2
+		}
 	}
 	return p
 }
@@ -502,4 +511,59 @@ func orderJoins(sel *Select, entries []fromEntry, conjs []Expr) []fromEntry {
 func estJoinRows(entries []fromEntry, j int, placed map[string]bool, conjs []Expr, leftEst float64) float64 {
 	s, _ := joinStep(entries, j, placed, conjs)
 	return leftEst * estScanRows(entries[j].t, entries[j].ref.Binding(), conjs) * s
+}
+
+// estGroupsFor estimates the number of GROUP BY groups a SELECT will
+// produce: the product of the NDVs of the grouping columns (statistics
+// permitting; non-column expressions and unanalyzed columns default to
+// 32), clamped by the product of the per-table scan estimates. No
+// GROUP BY is a single group. Deterministic in the ANALYZE snapshot,
+// so EXPLAIN's "(est groups=N)" is stable plan text, and it pre-sizes
+// the hash aggregate's group table.
+func (db *DB) estGroupsFor(sel *Select) int64 {
+	if len(sel.GroupBy) == 0 {
+		return 1
+	}
+	conjs := conjuncts(sel.Where)
+	type bound struct {
+		t       *TableInfo
+		binding string
+	}
+	var tables []bound
+	total := 1.0
+	for _, ref := range sel.From {
+		t, err := db.cat.table(ref.Table)
+		if err != nil {
+			continue
+		}
+		tables = append(tables, bound{t, ref.Binding()})
+		total *= estScanRows(t, ref.Binding(), conjs)
+	}
+	prod := 1.0
+	for _, ge := range sel.GroupBy {
+		ndv := 32.0
+		if cr, ok := ge.(*ColumnRef); ok {
+			for _, tb := range tables {
+				pos, err := tb.t.Schema(tb.binding).Find(cr)
+				if err != nil {
+					continue
+				}
+				if cs := statsFor(tb.t, pos); cs != nil && cs.NDV > 0 {
+					ndv = float64(cs.NDV)
+				}
+				break
+			}
+		}
+		prod *= ndv
+	}
+	if prod > total {
+		prod = total
+	}
+	if prod < 1 {
+		prod = 1
+	}
+	if prod > 1<<20 {
+		prod = 1 << 20
+	}
+	return int64(prod)
 }

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"xomatiq/internal/index/btree"
 	"xomatiq/internal/index/hash"
@@ -42,6 +43,13 @@ type Options struct {
 	// GOMAXPROCS). 1 forces every scan serial; results are byte-identical
 	// either way.
 	QueryWorkers int
+	// QueryMemBudget bounds the memory a hash join may hold for its
+	// build side, in bytes (0 = unlimited). When the estimated resident
+	// build size crosses the budget, overflowing partitions spill their
+	// (key, row) streams to temp files beside the data file and are
+	// reloaded per-partition at probe time. Results are byte-identical
+	// for any budget.
+	QueryMemBudget int64
 	// Metrics is the registry the buffer pool, WAL and executor feed.
 	// Nil gets a private registry, so instrumentation is always live
 	// (plain atomics) and callers that want the numbers share one
@@ -80,6 +88,7 @@ type DB struct {
 
 	opts      Options
 	reg       *obs.Registry // == opts.Metrics; the executor's handle
+	spillSeq  atomic.Uint64 // join-spill temp-file name sequence
 	nextTxn   uint64
 	inBatch   bool
 	batchTxn  uint64
@@ -741,6 +750,10 @@ type ExecOpts struct {
 	// positive (1 forces serial scans); 0 inherits the DB-wide setting.
 	// Results are byte-identical for any value.
 	Workers int
+	// MemBudget overrides Options.QueryMemBudget for this query when
+	// positive; 0 inherits the DB-wide setting. Results are
+	// byte-identical for any value.
+	MemBudget int64
 }
 
 // QueryStmtOptsContext runs a parsed SELECT under ctx with per-query
@@ -748,7 +761,7 @@ type ExecOpts struct {
 func (db *DB) QueryStmtOptsContext(ctx context.Context, sel *Select, o ExecOpts) (*Rows, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.runSelect(ctx, sel, o.Trace, o.Workers)
+	return db.runSelect(ctx, sel, o.Trace, o.Workers, o.MemBudget)
 }
 
 // Table exposes table metadata (column defs and row count).
@@ -772,6 +785,18 @@ func (db *DB) SetQueryWorkers(n int) {
 		n = 1
 	}
 	db.opts.QueryWorkers = n
+}
+
+// SetMemBudget changes the per-query hash-join memory budget for
+// queries issued after it returns (0 = unlimited). Shrinking the budget
+// forces joins to spill; results stay byte-identical.
+func (db *DB) SetMemBudget(n int64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	db.opts.QueryMemBudget = n
 }
 
 // Tables lists the table names in the catalog.

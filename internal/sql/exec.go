@@ -45,6 +45,22 @@ type execState struct {
 	// per-operator actuals; nil (the normal query path) records nothing
 	// and keeps the executor allocation-free.
 	qt *obs.QueryTrace
+	// memBudget bounds the resident build memory of hash joins
+	// (Options.QueryMemBudget / ExecOpts.MemBudget); 0 is unlimited.
+	// Overflowing partitions spill to temp files through fs.
+	memBudget int64
+	// fs and spillBase name the spill files of this query; finish removes
+	// every registered file whether the query succeeded or failed.
+	fs         disk.FS
+	spillBase  string
+	spillFiles []disk.File
+	spillPaths []string
+}
+
+// addSpillFile registers a spill file for end-of-query cleanup.
+func (es *execState) addSpillFile(path string, f disk.File) {
+	es.spillPaths = append(es.spillPaths, path)
+	es.spillFiles = append(es.spillFiles, f)
 }
 
 // newExecState prepares the shared state for one query execution. The
@@ -53,10 +69,22 @@ func newExecState(ctx context.Context, workers int) *execState {
 	return &execState{ctx: ctx, workers: workers, done: make(chan struct{})}
 }
 
-// finish releases every goroutine still working for the query.
+// finish releases every goroutine still working for the query and
+// removes its spill files. Cleanup failures are swallowed: the query's
+// result (or error) is already determined, and an undeletable scratch
+// file must not turn it into a failure.
 func (es *execState) finish() {
-	if es != nil && es.done != nil {
+	if es == nil {
+		return
+	}
+	if es.done != nil {
 		close(es.done)
+	}
+	for _, f := range es.spillFiles {
+		_ = f.Close()
+	}
+	for _, p := range es.spillPaths {
+		_ = es.fs.Remove(p)
 	}
 }
 
@@ -144,26 +172,79 @@ func tracedIf(op *obs.OpStats, it rowIter) rowIter {
 // non-nil, collects plan lines and per-operator actuals (EXPLAIN ANALYZE
 // and slow-query traces); nil keeps the execution untraced. workers
 // overrides Options.QueryWorkers for this query when positive (per-session
-// overrides ride here); 0 inherits the DB-wide setting.
-func (db *DB) runSelect(ctx context.Context, sel *Select, qt *obs.QueryTrace, workers int) (*Rows, error) {
+// overrides ride here); 0 inherits the DB-wide setting. memBudget
+// likewise overrides Options.QueryMemBudget when positive.
+func (db *DB) runSelect(ctx context.Context, sel *Select, qt *obs.QueryTrace, workers int, memBudget int64) (*Rows, error) {
 	if len(sel.From) == 0 {
 		return nil, fmt.Errorf("sql: SELECT requires FROM")
 	}
 	if workers <= 0 {
 		workers = db.opts.QueryWorkers
 	}
+	if memBudget <= 0 {
+		memBudget = db.opts.QueryMemBudget
+	}
 	es := newExecState(ctx, workers)
 	es.reg = db.reg
 	es.qt = qt
+	if memBudget > 0 {
+		es.memBudget = memBudget
+		es.fs = db.opts.FS
+		es.spillBase = fmt.Sprintf("%s.spill.q%d", db.path, db.spillSeq.Add(1))
+	}
 	defer es.finish()
 	it, err := db.buildFrom(es, sel)
 	if err != nil {
 		return nil, err
 	}
+	sp := db.planSink(es, sel, it.Schema())
 	if hasAggregates(sel) {
-		return db.runAggregate(sel, it)
+		return db.runAggregate(es, sel, it, sp)
 	}
-	return db.project(sel, it)
+	return db.project(es, sel, it, sp)
+}
+
+// sinkPlan carries the planned result-sink shape of one SELECT: the
+// resolved output expressions/names, the order spec, the cost model's
+// group estimate, and the plan-line operator handles the executor feeds
+// with actuals (EXPLAIN ANALYZE "groups=G" / "runs=R" annotations).
+type sinkPlan struct {
+	exprs     []Expr
+	names     []string
+	spec      *orderSpec
+	estGroups int64
+	aggOp     *obs.OpStats
+	sortOp    *obs.OpStats
+}
+
+// planSink resolves the SELECT's sink operators against the input
+// schema and appends their plan lines (hash aggregate, having,
+// distinct, sort) after the scan/join tree. Shared by execution and
+// plain EXPLAIN, so the rendered plan always shows the sink strategy —
+// including the top-K-vs-run-merge sort decision.
+func (db *DB) planSink(es *execState, sel *Select, in *Schema) *sinkPlan {
+	sp := &sinkPlan{}
+	sp.exprs, sp.names = expandItems(sel, in)
+	sp.spec = newOrderSpec(sel, in, sp.names)
+	if hasAggregates(sel) {
+		sp.estGroups = db.estGroupsFor(sel)
+		sp.aggOp = es.tracef("hash aggregate (%d group cols, %d aggs) (est groups=%d)",
+			len(sel.GroupBy), len(collectAggs(sel, sp.exprs)), sp.estGroups)
+		if sel.Having != nil {
+			es.plainf("  having %s", ExprString(sel.Having))
+		}
+	}
+	if sel.Distinct {
+		es.plainf("distinct (hash)")
+	}
+	if sp.spec != nil {
+		if topKEligible(sel) {
+			sp.sortOp = es.tracef("sort: top-k (k=%d)", sel.Offset+sel.Limit)
+		} else {
+			sp.sortOp = es.tracef("sort: run-merge (%d keys)", len(sp.spec.exprs))
+		}
+	}
+	return sp
 }
 
 // buildFrom constructs the join tree for the FROM clause: an access path
@@ -342,10 +423,12 @@ func (db *DB) Explain(src string) (string, error) {
 	// A plan-only execState (never executed, so no done channel) lets the
 	// trace report the parallel-scan decision the real run would make.
 	qt := obs.NewQueryTrace(false)
-	es := &execState{workers: db.opts.QueryWorkers, qt: qt}
-	if _, err := db.buildFrom(es, sel); err != nil {
+	es := &execState{workers: db.opts.QueryWorkers, qt: qt, memBudget: db.opts.QueryMemBudget}
+	it, err := db.buildFrom(es, sel)
+	if err != nil {
 		return "", err
 	}
+	db.planSink(es, sel, it.Schema())
 	return qt.Text(), nil
 }
 

@@ -1,9 +1,11 @@
 package sql
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"xomatiq/internal/obs"
 	"xomatiq/internal/storage/heap"
 	"xomatiq/internal/value"
 )
@@ -80,11 +82,12 @@ func (db *DB) buildJoin(es *execState, left batchIter, rt *TableInfo, ref TableR
 			return newChunksFromRows(es, join, defaultChunkCap), nil
 		}
 		// The partition count is a plan decision: deterministic in the
-		// statistics-backed build-side estimate.
-		parts := partitionsFor(estScanRows(rt, binding, whereConjs))
+		// statistics-backed build-side estimate (and the memory budget,
+		// which raises it so one partition fits the budget).
+		parts := partitionsFor(estScanRows(rt, binding, whereConjs), es.memBudget, len(rightSchema.Cols))
 		op := es.tracef("join %s as %s: partitioned hash join (%d keys, partitions=%d) (est rows=%d)",
 			rt.Name, binding, len(pairs), parts, estRowsInt(est))
-		var join batchIter = tracedBatchIf(op, newPartHashJoin(es, left, outSchema, pairs, rightSrc, parts))
+		var join batchIter = tracedBatchIf(op, newPartHashJoin(es, left, outSchema, pairs, rightSrc, parts, op))
 		for _, r := range residual {
 			join = newChunkFilter(join, r)
 		}
@@ -231,13 +234,17 @@ func fnvHash(b []byte) uint64 {
 // joinPartition is one build-side partition: the materialised right rows
 // and their join keys in right-source order, plus the hash table over
 // them. The (keys, rows) pair is self-contained — it references nothing
-// outside the partition — which is the spill seam: a memory-bounded
-// build would write the pair of an overflowing partition to disk and
-// re-read it when the probe side reaches that partition.
+// outside the partition — which is the spill seam: under a memory
+// budget, an overflowing partition writes the pair to a temp file in
+// stream order and is reloaded per probe chunk that touches it.
 type joinPartition struct {
 	keys  []string
 	rows  []value.Tuple
 	table map[string][]value.Tuple
+
+	bytes   int64 // estimated resident bytes while buffered in memory
+	spilled bool
+	w       *spillWriter
 }
 
 // keySrc is the precompiled probe-key source for one join column: a left
@@ -267,9 +274,13 @@ type partHashJoinIter struct {
 	srcs      []keySrc
 	rightSrc  func() (batchIter, error)
 	parts     int
+	op        *obs.OpStats // the join's trace line (spill annotation)
 
 	built      bool
 	partitions []joinPartition
+	resident   int64 // estimated bytes buffered across unspilled partitions
+	spilledN   int
+	anySpilled bool
 
 	out     *chunk
 	keyBuf  []byte
@@ -280,15 +291,29 @@ type partHashJoinIter struct {
 	matches []value.Tuple
 	mpos    int
 	eof     bool
+
+	// Spilled-probe state, valid while anySpilled: per-left-chunk match
+	// lists indexed by logical row, and the per-partition probe lists
+	// that batch spilled lookups so each touched spill file loads once
+	// per chunk.
+	rowMatches  [][]value.Tuple
+	spillProbes [][]spillProbe
 }
 
-func newPartHashJoin(es *execState, left batchIter, outSchema *Schema, pairs []equiPair, rightSrc func() (batchIter, error), parts int) *partHashJoinIter {
+// spillProbe defers one left row's lookup into a spilled partition until
+// the whole chunk's probes are grouped.
+type spillProbe struct {
+	pos int // logical row in the current left chunk
+	key string
+}
+
+func newPartHashJoin(es *execState, left batchIter, outSchema *Schema, pairs []equiPair, rightSrc func() (batchIter, error), parts int, op *obs.OpStats) *partHashJoinIter {
 	if parts < 1 {
 		parts = 1
 	}
 	h := &partHashJoinIter{
 		es: es, left: left, outSchema: outSchema,
-		pairs: pairs, cols: pairCols(pairs), rightSrc: rightSrc, parts: parts,
+		pairs: pairs, cols: pairCols(pairs), rightSrc: rightSrc, parts: parts, op: op,
 	}
 	leftSchema := left.Schema()
 	for _, pos := range h.cols {
@@ -322,13 +347,22 @@ func (h *partHashJoinIter) Schema() *Schema { return h.outSchema }
 // build consumes the right source, partitioning rows by key hash, then
 // builds the per-partition hash tables (concurrently when the query has
 // workers to spare — partitions are independent, so the result does not
-// depend on scheduling).
+// depend on scheduling). Under a memory budget, whenever the estimated
+// resident build size crosses it the largest buffered partition spills
+// to a temp file; the spill decision runs in this single-threaded loop
+// over the deterministic right stream, so which partitions spill — and
+// therefore the result bytes — do not depend on worker count.
 func (h *partHashJoinIter) build() error {
 	h.built = true
 	h.partitions = make([]joinPartition, h.parts)
 	src, err := h.rightSrc()
 	if err != nil {
 		return err
+	}
+	budget := int64(0)
+	rowCost := int64(0)
+	if h.es != nil && h.es.memBudget > 0 {
+		budget = h.es.memBudget
 	}
 	var kb []byte
 	for {
@@ -338,6 +372,9 @@ func (h *partHashJoinIter) build() error {
 		}
 		if c == nil {
 			break
+		}
+		if rowCost == 0 {
+			rowCost = spillRowBytes(len(c.schema.Cols))
 		}
 		for k, n := 0, c.Rows(); k < n; k++ {
 			if err := h.es.poll(); err != nil {
@@ -349,11 +386,43 @@ func (h *partHashJoinIter) build() error {
 				kb = c.Value(pos, r).EncodeKey(kb)
 			}
 			p := &h.partitions[int(fnvHash(kb)%uint64(h.parts))]
+			if p.spilled {
+				if err := p.w.add(string(kb), c.TupleAt(r)); err != nil {
+					return err
+				}
+				continue
+			}
 			p.keys = append(p.keys, string(kb))
 			p.rows = append(p.rows, c.TupleAt(r))
+			cost := rowCost + int64(len(kb))
+			p.bytes += cost
+			h.resident += cost
+			for budget > 0 && h.resident > budget {
+				if err := h.spillLargest(); err != nil {
+					return err
+				}
+			}
 		}
 	}
+	for i := range h.partitions {
+		p := &h.partitions[i]
+		if !p.spilled {
+			continue
+		}
+		if err := p.w.flush(); err != nil {
+			return err
+		}
+		if h.es != nil && h.es.reg != nil {
+			h.es.reg.Exec.JoinSpillBytes.Add(uint64(p.w.bytes()))
+		}
+	}
+	if h.spilledN > 0 {
+		h.op.Notef("spilled=%d parts", h.spilledN)
+	}
 	buildOne := func(p *joinPartition) {
+		if p.spilled {
+			return
+		}
 		p.table = make(map[string][]value.Tuple, len(p.keys))
 		for i, k := range p.keys {
 			p.table[k] = append(p.table[k], p.rows[i])
@@ -388,6 +457,104 @@ func (h *partHashJoinIter) build() error {
 		}()
 	}
 	wg.Wait()
+	return nil
+}
+
+// spillLargest moves the largest buffered partition (lowest index on
+// ties — deterministic) out to a temp file, writing its (key, row)
+// records in stream order, and frees its resident buffers. The file is
+// registered with the query for cleanup at finish, success or error.
+func (h *partHashJoinIter) spillLargest() error {
+	best := -1
+	for i := range h.partitions {
+		p := &h.partitions[i]
+		if p.spilled || len(p.keys) == 0 {
+			continue
+		}
+		if best < 0 || p.bytes > h.partitions[best].bytes {
+			best = i
+		}
+	}
+	if best < 0 {
+		// Everything already spilled; nothing left to shed.
+		return nil
+	}
+	p := &h.partitions[best]
+	path := fmt.Sprintf("%s.p%d", h.es.spillBase, best)
+	f, err := h.es.fs.OpenFile(path)
+	if err != nil {
+		return fmt.Errorf("sql: join spill open: %w", err)
+	}
+	h.es.addSpillFile(path, f)
+	p.w = newSpillWriter(f)
+	for i, k := range p.keys {
+		if err := p.w.add(k, p.rows[i]); err != nil {
+			return err
+		}
+	}
+	p.spilled = true
+	h.anySpilled = true
+	h.spilledN++
+	h.resident -= p.bytes
+	p.bytes = 0
+	p.keys, p.rows = nil, nil
+	if h.es.reg != nil {
+		h.es.reg.Exec.JoinSpillParts.Inc()
+	}
+	return nil
+}
+
+// probeChunkSpilled probes every row of a new left chunk up front: rows
+// landing in resident partitions resolve against the in-memory tables
+// immediately, rows landing in spilled partitions are grouped per
+// partition so each touched spill file is read back exactly once per
+// chunk (ascending partition order — deterministic I/O), then match
+// lists are recorded per logical row. NextChunk then emits rows in left
+// stream order, so results are byte-identical to an unspilled run.
+func (h *partHashJoinIter) probeChunkSpilled(c *chunk) error {
+	n := c.Rows()
+	if cap(h.rowMatches) < n {
+		h.rowMatches = make([][]value.Tuple, n)
+	}
+	h.rowMatches = h.rowMatches[:n]
+	if h.spillProbes == nil {
+		h.spillProbes = make([][]spillProbe, h.parts)
+	}
+	for k := 0; k < n; k++ {
+		if err := h.es.poll(); err != nil {
+			return err
+		}
+		key, err := h.probeKey(c.RowIdx(k))
+		if err != nil {
+			return err
+		}
+		pi := int(fnvHash(key) % uint64(h.parts))
+		p := &h.partitions[pi]
+		if !p.spilled {
+			h.rowMatches[k] = p.table[string(key)]
+			continue
+		}
+		h.rowMatches[k] = nil
+		h.spillProbes[pi] = append(h.spillProbes[pi], spillProbe{pos: k, key: string(key)})
+	}
+	for pi := 0; pi < h.parts; pi++ {
+		probes := h.spillProbes[pi]
+		if len(probes) == 0 {
+			continue
+		}
+		p := &h.partitions[pi]
+		table, err := readSpill(p.w.f, p.w.bytes())
+		if err != nil {
+			return err
+		}
+		if h.es.reg != nil {
+			h.es.reg.Exec.JoinSpillLoads.Inc()
+		}
+		for _, pr := range probes {
+			h.rowMatches[pr.pos] = table[pr.key]
+		}
+		h.spillProbes[pi] = probes[:0]
+	}
 	return nil
 }
 
@@ -457,12 +624,25 @@ func (h *partHashJoinIter) NextChunk() (*chunk, error) {
 				return nil, nil
 			}
 			h.cur, h.curPos = c, 0
+			if h.anySpilled {
+				if err := h.probeChunkSpilled(c); err != nil {
+					return nil, err
+				}
+			}
 			continue
 		}
 		if err := h.es.poll(); err != nil {
 			return nil, err
 		}
 		r := h.cur.RowIdx(h.curPos)
+		if h.anySpilled {
+			// Match lists were resolved for the whole chunk up front.
+			h.curRow = r
+			h.matches = h.rowMatches[h.curPos]
+			h.curPos++
+			h.mpos = 0
+			continue
+		}
 		h.curPos++
 		key, err := h.probeKey(r)
 		if err != nil {

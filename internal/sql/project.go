@@ -2,7 +2,6 @@ package sql
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"xomatiq/internal/value"
@@ -119,238 +118,6 @@ func newOrderSpec(sel *Select, in *Schema, names []string) *orderSpec {
 	return spec
 }
 
-// keysFor evaluates the order keys for one row given its input values and
-// computed output values. rewrite, when non-nil, substitutes aggregate
-// results before evaluation.
-func (o *orderSpec) keysFor(inVals, outVals value.Tuple, rewrite map[*FuncCall]value.Value) (value.Tuple, error) {
-	keys := make(value.Tuple, len(o.exprs))
-	for i, e := range o.exprs {
-		if p := o.outPos[i]; p >= 0 {
-			keys[i] = outVals[p]
-			continue
-		}
-		if rewrite != nil {
-			e = rewriteAggs(e, rewrite)
-		}
-		v, err := Eval(e, Row{Schema: o.in, Values: inVals})
-		if err != nil {
-			return nil, fmt.Errorf("sql: ORDER BY: %w", err)
-		}
-		keys[i] = v
-	}
-	return keys, nil
-}
-
-// outRow pairs an output tuple with its sort keys.
-type outRow struct {
-	vals value.Tuple
-	keys value.Tuple
-}
-
-// finish applies DISTINCT, ORDER BY, OFFSET and LIMIT, producing Rows.
-func finish(sel *Select, names []string, rows []outRow, spec *orderSpec) *Rows {
-	if sel.Distinct {
-		seen := map[string]bool{}
-		kept := rows[:0]
-		for _, r := range rows {
-			k := string(r.vals.Encode(nil))
-			if !seen[k] {
-				seen[k] = true
-				kept = append(kept, r)
-			}
-		}
-		rows = kept
-	}
-	if spec != nil {
-		sort.SliceStable(rows, func(i, j int) bool {
-			for k := range spec.exprs {
-				c := value.Compare(rows[i].keys[k], rows[j].keys[k])
-				if spec.desc[k] {
-					c = -c
-				}
-				if c != 0 {
-					return c < 0
-				}
-			}
-			return false
-		})
-	}
-	if sel.Offset > 0 {
-		if sel.Offset >= len(rows) {
-			rows = nil
-		} else {
-			rows = rows[sel.Offset:]
-		}
-	}
-	if sel.Limit >= 0 && sel.Limit < len(rows) {
-		rows = rows[:sel.Limit]
-	}
-	out := &Rows{Columns: names}
-	for _, r := range rows {
-		out.Rows = append(out.Rows, r.vals)
-	}
-	return out
-}
-
-// project evaluates the SELECT items over a non-aggregated batch
-// stream: each chunk is processed through a reused scratch row (chunk
-// cell values are safe to retain, so the evaluated outputs never alias
-// recycled chunk memory).
-func (db *DB) project(sel *Select, it batchIter) (*Rows, error) {
-	in := it.Schema()
-	exprs, names := expandItems(sel, in)
-	spec := newOrderSpec(sel, in, names)
-	scratch := make(value.Tuple, len(in.Cols))
-	row := Row{Schema: in, Values: scratch}
-	var rows []outRow
-	early := spec == nil && !sel.Distinct && sel.Limit >= 0
-loop:
-	for {
-		c, err := it.NextChunk()
-		if err != nil {
-			return nil, err
-		}
-		if c == nil {
-			break
-		}
-		for k, n := 0, c.Rows(); k < n; k++ {
-			c.ReadRow(c.RowIdx(k), scratch)
-			vals := make(value.Tuple, len(exprs))
-			for i, e := range exprs {
-				v, err := Eval(e, row)
-				if err != nil {
-					return nil, err
-				}
-				vals[i] = v
-			}
-			or := outRow{vals: vals}
-			if spec != nil {
-				or.keys, err = spec.keysFor(scratch, vals, nil)
-				if err != nil {
-					return nil, err
-				}
-			}
-			rows = append(rows, or)
-			if early && len(rows) >= sel.Offset+sel.Limit {
-				break loop // no sort or dedup can change the prefix
-			}
-		}
-	}
-	return finish(sel, names, rows, spec), nil
-}
-
-// aggState accumulates one aggregate function over one group.
-type aggState struct {
-	fn      *FuncCall
-	count   int64
-	sumF    float64
-	sumI    int64
-	allInt  bool
-	started bool
-	minV    value.Value
-	maxV    value.Value
-}
-
-func newAggState(fn *FuncCall) *aggState {
-	return &aggState{fn: fn, allInt: true, minV: value.Null, maxV: value.Null}
-}
-
-func (a *aggState) add(row Row) error {
-	if a.fn.Star { // COUNT(*)
-		a.count++
-		return nil
-	}
-	v, err := Eval(a.fn.Args[0], row)
-	if err != nil {
-		return err
-	}
-	if v.IsNull() {
-		return nil
-	}
-	a.count++
-	switch a.fn.Name {
-	case "SUM", "AVG":
-		f, ok := v.AsNumeric()
-		if !ok {
-			return fmt.Errorf("sql: %s of non-numeric %s", a.fn.Name, v.Kind())
-		}
-		a.sumF += f
-		if v.Kind() == value.KindInt {
-			a.sumI += v.Int()
-		} else {
-			a.allInt = false
-		}
-	case "MIN":
-		if !a.started || value.Compare(v, a.minV) < 0 {
-			a.minV = v
-		}
-	case "MAX":
-		if !a.started || value.Compare(v, a.maxV) > 0 {
-			a.maxV = v
-		}
-	}
-	a.started = true
-	return nil
-}
-
-func (a *aggState) result() value.Value {
-	switch a.fn.Name {
-	case "COUNT":
-		return value.NewInt(a.count)
-	case "SUM":
-		if a.count == 0 {
-			return value.Null
-		}
-		if a.allInt {
-			return value.NewInt(a.sumI)
-		}
-		return value.NewFloat(a.sumF)
-	case "AVG":
-		if a.count == 0 {
-			return value.Null
-		}
-		return value.NewFloat(a.sumF / float64(a.count))
-	case "MIN":
-		return a.minV
-	case "MAX":
-		return a.maxV
-	}
-	return value.Null
-}
-
-// rewriteAggs clones e with aggregate calls replaced by their computed
-// literals.
-func rewriteAggs(e Expr, vals map[*FuncCall]value.Value) Expr {
-	switch e := e.(type) {
-	case *FuncCall:
-		if v, ok := vals[e]; ok {
-			return &Literal{Val: v}
-		}
-		ne := &FuncCall{Name: e.Name, Star: e.Star}
-		for _, a := range e.Args {
-			ne.Args = append(ne.Args, rewriteAggs(a, vals))
-		}
-		return ne
-	case *BinaryExpr:
-		return &BinaryExpr{Op: e.Op, Left: rewriteAggs(e.Left, vals), Right: rewriteAggs(e.Right, vals)}
-	case *UnaryExpr:
-		return &UnaryExpr{Op: e.Op, Expr: rewriteAggs(e.Expr, vals)}
-	case *LikeExpr:
-		return &LikeExpr{Expr: rewriteAggs(e.Expr, vals), Pattern: rewriteAggs(e.Pattern, vals), Not: e.Not}
-	case *InExpr:
-		ne := &InExpr{Expr: rewriteAggs(e.Expr, vals), Not: e.Not}
-		for _, x := range e.List {
-			ne.List = append(ne.List, rewriteAggs(x, vals))
-		}
-		return ne
-	case *BetweenExpr:
-		return &BetweenExpr{Expr: rewriteAggs(e.Expr, vals), Lo: rewriteAggs(e.Lo, vals), Hi: rewriteAggs(e.Hi, vals), Not: e.Not}
-	case *IsNullExpr:
-		return &IsNullExpr{Expr: rewriteAggs(e.Expr, vals), Not: e.Not}
-	}
-	return e
-}
-
 // collectAggs gathers the aggregate calls appearing in the SELECT.
 func collectAggs(sel *Select, exprs []Expr) []*FuncCall {
 	var aggs []*FuncCall
@@ -398,27 +165,42 @@ func collectAggs(sel *Select, exprs []Expr) []*FuncCall {
 	return aggs
 }
 
-// group is the accumulated state for one GROUP BY bucket.
-type group struct {
-	repr value.Tuple // first input row, used for group-by column output
-	aggs []*aggState
-}
-
-// runAggregate executes grouped/aggregated SELECTs over the batch
-// stream. The scratch row is reused per chunk row; only a new group's
-// representative row is materialised (TupleAt), so grouping allocates
-// per group, not per input row.
-func (db *DB) runAggregate(sel *Select, it batchIter) (*Rows, error) {
+// project evaluates the SELECT items over a non-aggregated batch
+// stream through precompiled value sources (column reads straight off
+// the chunk vectors; expressions load only the columns they touch into
+// a reused scratch row) and pushes into the shared result sink. In
+// top-K mode (ORDER BY + LIMIT, no DISTINCT) the sort keys evaluate
+// first into a reused scratch tuple, and rows the bounded heap would
+// discard never materialise their output values at all.
+func (db *DB) project(es *execState, sel *Select, it batchIter, sp *sinkPlan) (*Rows, error) {
 	in := it.Schema()
-	exprs, names := expandItems(sel, in)
-	aggCalls := collectAggs(sel, exprs)
-
+	exprs, spec := sp.exprs, sp.spec
+	outSrcs := make([]valSrc, len(exprs))
+	for i, e := range exprs {
+		outSrcs[i] = compileValSrc(e, in)
+	}
+	var keySrcs []valSrc
+	if spec != nil {
+		keySrcs = make([]valSrc, len(spec.exprs))
+		for i := range spec.exprs {
+			// An order key that names an output column evaluates that
+			// output's expression directly against the input row — the two
+			// are definitionally equal, and it keeps key evaluation
+			// independent of the output tuple.
+			ke := spec.exprs[i]
+			if p := spec.outPos[i]; p >= 0 {
+				ke = exprs[p]
+			}
+			keySrcs[i] = compileValSrc(ke, in)
+		}
+	}
+	sink := newResultSink(es, sel, sp.names, spec, sp.sortOp)
 	scratch := make(value.Tuple, len(in.Cols))
 	row := Row{Schema: in, Values: scratch}
-	groups := map[string]*group{}
-	var order []string // group output order = first appearance
-	var key []byte
-	for {
+	keyScratch := make(value.Tuple, len(keySrcs))
+	topK := sink.topK
+loop:
+	for !sink.full() {
 		c, err := it.NextChunk()
 		if err != nil {
 			return nil, err
@@ -427,78 +209,58 @@ func (db *DB) runAggregate(sel *Select, it batchIter) (*Rows, error) {
 			break
 		}
 		for k, n := 0, c.Rows(); k < n; k++ {
+			if err := es.poll(); err != nil {
+				return nil, err
+			}
 			r := c.RowIdx(k)
-			c.ReadRow(r, scratch)
-			key = key[:0]
-			for _, ge := range sel.GroupBy {
-				v, err := Eval(ge, row)
+			if topK {
+				for i := range keySrcs {
+					v, err := keySrcs[i].eval(c, r, row)
+					if err != nil {
+						return nil, fmt.Errorf("sql: ORDER BY: %w", err)
+					}
+					keyScratch[i] = v
+				}
+				if !sink.wouldAccept(keyScratch) {
+					continue
+				}
+			}
+			vals := make(value.Tuple, len(outSrcs))
+			for i := range outSrcs {
+				v, err := outSrcs[i].eval(c, r, row)
 				if err != nil {
 					return nil, err
 				}
-				key = v.Encode(key)
+				vals[i] = v
 			}
-			g := groups[string(key)]
-			if g == nil {
-				g = &group{repr: c.TupleAt(r)}
-				for _, fc := range aggCalls {
-					g.aggs = append(g.aggs, newAggState(fc))
+			var keys value.Tuple
+			if spec != nil {
+				keys = make(value.Tuple, len(keySrcs))
+				if topK {
+					copy(keys, keyScratch)
+				} else {
+					for i := range keySrcs {
+						v, err := keySrcs[i].eval(c, r, row)
+						if err != nil {
+							return nil, fmt.Errorf("sql: ORDER BY: %w", err)
+						}
+						keys[i] = v
+					}
 				}
-				groups[string(key)] = g
-				order = append(order, string(key))
 			}
-			for _, a := range g.aggs {
-				if err := a.add(row); err != nil {
-					return nil, err
-				}
+			sink.push(vals, keys)
+			if sink.full() {
+				break loop
+			}
+		}
+		if chunkPoison {
+			for i := range keyScratch {
+				keyScratch[i] = value.Value{}
+			}
+			for i := range scratch {
+				scratch[i] = value.Value{}
 			}
 		}
 	}
-	// A query with aggregates but no GROUP BY yields one row even over
-	// empty input.
-	if len(groups) == 0 && len(sel.GroupBy) == 0 {
-		g := &group{repr: make(value.Tuple, len(in.Cols))}
-		for _, fc := range aggCalls {
-			g.aggs = append(g.aggs, newAggState(fc))
-		}
-		groups[""] = g
-		order = append(order, "")
-	}
-
-	spec := newOrderSpec(sel, in, names)
-	var rows []outRow
-	for _, k := range order {
-		g := groups[k]
-		vals := map[*FuncCall]value.Value{}
-		for i, fc := range aggCalls {
-			vals[fc] = g.aggs[i].result()
-		}
-		row := Row{Schema: in, Values: g.repr}
-		if sel.Having != nil {
-			hv, err := Eval(rewriteAggs(sel.Having, vals), row)
-			if err != nil {
-				return nil, err
-			}
-			if !truthy(hv) {
-				continue
-			}
-		}
-		outVals := make(value.Tuple, len(exprs))
-		for i, e := range exprs {
-			v, err := Eval(rewriteAggs(e, vals), row)
-			if err != nil {
-				return nil, err
-			}
-			outVals[i] = v
-		}
-		or := outRow{vals: outVals}
-		if spec != nil {
-			keys, err := spec.keysFor(g.repr, outVals, vals)
-			if err != nil {
-				return nil, err
-			}
-			or.keys = keys
-		}
-		rows = append(rows, or)
-	}
-	return finish(sel, names, rows, spec), nil
+	return sink.finish(), nil
 }

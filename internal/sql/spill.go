@@ -1,0 +1,121 @@
+package sql
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"xomatiq/internal/storage/disk"
+	"xomatiq/internal/value"
+)
+
+// Join-spill file format: a flat stream of (key, row) records in
+// build-side stream order —
+//
+//	uvarint keyLen | keyLen bytes of encoded join key
+//	uvarint rowLen | rowLen bytes of value.Tuple wire encoding
+//
+// Stream order is the format's only invariant that matters: the
+// rebuilt per-key match lists must list rows in right-source order, so
+// a spilled partition probes byte-identically to one that stayed in
+// memory. Files are written through the disk.FS seam (fault-injectable)
+// and removed by execState.finish when the query ends, error or not.
+
+// spillBufSize is the write-combining buffer of one spill file: large
+// enough that a spilled partition costs a handful of WriteAt calls,
+// small enough to be irrelevant against the memory budget it protects.
+const spillBufSize = 64 << 10
+
+// spillWriter appends spill records to one file with buffered WriteAt.
+type spillWriter struct {
+	f      disk.File
+	buf    []byte
+	off    int64 // flushed bytes (== file length after flush)
+	rowBuf []byte
+}
+
+func newSpillWriter(f disk.File) *spillWriter {
+	return &spillWriter{f: f, buf: make([]byte, 0, spillBufSize)}
+}
+
+// add appends one (key, row) record.
+func (w *spillWriter) add(key string, row value.Tuple) error {
+	w.rowBuf = row.Encode(w.rowBuf[:0])
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(key)))
+	w.buf = append(w.buf, key...)
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(w.rowBuf)))
+	w.buf = append(w.buf, w.rowBuf...)
+	if len(w.buf) >= spillBufSize {
+		return w.flush()
+	}
+	return nil
+}
+
+// flush writes the buffered records out. Spill files are scratch data —
+// they never survive the query — so no Sync is issued: an unsynced
+// write that fails or is lost surfaces as a read error or short read at
+// load time, which fails the query cleanly.
+func (w *spillWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	n, err := w.f.WriteAt(w.buf, w.off)
+	w.off += int64(n)
+	if err != nil {
+		return fmt.Errorf("sql: join spill write: %w", err)
+	}
+	if n != len(w.buf) {
+		return fmt.Errorf("sql: join spill write: short write (%d of %d bytes)", n, len(w.buf))
+	}
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// bytes reports the total flushed size.
+func (w *spillWriter) bytes() int64 { return w.off }
+
+// readSpill loads one spill file back and rebuilds the partition's hash
+// table. Records decode in stream order, so per-key match lists come
+// back in right-source order — the byte-identity invariant. Any decode
+// anomaly (torn record, truncated file) is a query error, never a
+// silent wrong result.
+func readSpill(f disk.File, size int64) (map[string][]value.Tuple, error) {
+	buf := make([]byte, size)
+	if size > 0 {
+		if n, err := f.ReadAt(buf, 0); err != nil || int64(n) != size {
+			if err == nil {
+				err = fmt.Errorf("short read (%d of %d bytes)", n, size)
+			}
+			return nil, fmt.Errorf("sql: join spill read: %w", err)
+		}
+	}
+	table := map[string][]value.Tuple{}
+	off := 0
+	for off < len(buf) {
+		klen, n := binary.Uvarint(buf[off:])
+		if n <= 0 || off+n+int(klen) > len(buf) {
+			return nil, fmt.Errorf("sql: join spill read: corrupt record at offset %d", off)
+		}
+		off += n
+		key := string(buf[off : off+int(klen)])
+		off += int(klen)
+		rlen, n := binary.Uvarint(buf[off:])
+		if n <= 0 || off+n+int(rlen) > len(buf) {
+			return nil, fmt.Errorf("sql: join spill read: corrupt record at offset %d", off)
+		}
+		off += n
+		tup, err := value.DecodeTuple(buf[off : off+int(rlen)])
+		if err != nil {
+			return nil, fmt.Errorf("sql: join spill read: %w", err)
+		}
+		off += int(rlen)
+		table[key] = append(table[key], tup)
+	}
+	return table, nil
+}
+
+// spillRowBytes is the deterministic per-row memory estimate of a
+// build-side partition: tuple header plus a flat per-column cost.
+// Statistics carry no average-width figure, so a schema-based constant
+// keeps the spill decision (and the EXPLAIN partition count) identical
+// across runs and worker counts.
+func spillRowBytes(cols int) int64 { return 48 + 32*int64(cols) }

@@ -33,6 +33,9 @@ type File interface {
 type FS interface {
 	// OpenFile opens path read-write, creating it when absent.
 	OpenFile(path string) (File, error)
+	// Remove deletes path (spill-file cleanup). Removing a path that
+	// does not exist is not an error.
+	Remove(path string) error
 }
 
 // OS is the production FS backed by the operating system.
@@ -45,6 +48,15 @@ func (OS) OpenFile(path string) (File, error) {
 		return nil, err
 	}
 	return osFile{f}, nil
+}
+
+// Remove deletes path; a missing file is success.
+func (OS) Remove(path string) error {
+	err := os.Remove(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
 }
 
 // osFile adapts *os.File to File (Stat -> Size).

@@ -112,6 +112,10 @@ var (
 	// WithSessionQueryWorkers overrides intra-query scan parallelism for
 	// the session (0 = engine default, 1 = serial).
 	WithSessionQueryWorkers = core.WithSessionQueryWorkers
+	// WithSessionMemBudget bounds hash-join build memory for the
+	// session's queries, in bytes (0 = engine default); joins past the
+	// budget spill to temp files with byte-identical results.
+	WithSessionMemBudget = core.WithSessionMemBudget
 	// WithSessionTag labels the session in listings and the slow log.
 	WithSessionTag = core.WithSessionTag
 )
@@ -184,6 +188,12 @@ func WithPoolPages(n int) Option { return func(c *Config) { c.PoolPages = n } }
 // WithQueryWorkers caps intra-query scan parallelism (0 = GOMAXPROCS,
 // 1 = serial). Results are byte-identical for any setting.
 func WithQueryWorkers(n int) Option { return func(c *Config) { c.QueryWorkers = n } }
+
+// WithQueryMemBudget bounds the memory a hash join may hold for its
+// build side, in bytes (0 = unlimited). Overflowing partitions spill to
+// temp files beside the warehouse and reload at probe time; results are
+// byte-identical for any budget.
+func WithQueryMemBudget(n int64) Option { return func(c *Config) { c.QueryMemBudget = n } }
 
 // WithAsync skips the WAL fsync on commit (bulk loads; trades the
 // durability of the last commits for load throughput).
