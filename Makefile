@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-plans race bench bench-json bench-compare bench-guard bench-server serve loadtest profile check fuzz crash
+.PHONY: all build vet test test-plans test-tx race bench bench-json bench-compare bench-guard bench-server serve loadtest profile check fuzz crash
 
 # Seconds of fuzzing per parser target.
 FUZZTIME ?= 30s
@@ -26,6 +26,15 @@ test-plans:
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/sql/... ./internal/xq2sql/...
+
+# Transaction suite: the MVCC/Tx API tests (snapshot isolation, write
+# visibility, conflicts, admission) under the race detector, plus the
+# crash sweep that pins a reader snapshot across every crash point of a
+# concurrent load.
+test-tx:
+	$(GO) test -race -count=1 -run 'TestTx|TestQueryDuringLoadConsistency|TestHTTPTransactions|TestREPLTransaction' \
+		./internal/core/ ./internal/server/ ./internal/console/
+	$(GO) test -count=1 -run 'TestCrashSweepSnapshotReader' ./internal/sql/
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
@@ -61,7 +70,7 @@ profile:
 # habits because the gate must stay green on noisy single-core CI boxes
 # while still catching step-function regressions (observed same-commit
 # run-to-run swings on the reference box reach ±45%).
-GUARDBENCH ?= BenchmarkQueryConcurrent/scan$$/clients=16$$/workers=1$$|BenchmarkChunkScan|BenchmarkHashJoinPartitioned|BenchmarkGroupBy|BenchmarkOrderByTopK|BenchmarkJoinSpill
+GUARDBENCH ?= BenchmarkQueryConcurrent/scan$$/clients=16$$/workers=1$$|BenchmarkChunkScan|BenchmarkHashJoinPartitioned|BenchmarkGroupBy|BenchmarkOrderByTopK|BenchmarkJoinSpill|BenchmarkQueryDuringLoad
 GUARDBASE  ?= BENCH_E19_after.txt
 GUARDTIME  ?= 10x
 GUARDTOL   ?= 0.50

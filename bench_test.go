@@ -8,13 +8,16 @@ package xomatiq_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"xomatiq/internal/benchutil"
 	"xomatiq/internal/bio"
@@ -980,4 +983,86 @@ func BenchmarkJoinSpill(b *testing.B) {
 		})
 	}
 	db.SetMemBudget(0)
+}
+
+// ---------------------------------------------------------------------
+// E20 (MVCC snapshot reads): reader latency while the warehouse is
+// being reloaded. 16 client goroutines run the paper's sub-tree search
+// against ENZYME while a writer loops full harness reloads of the same
+// database. Every session query pins the epoch current at statement
+// start, so readers never block behind the load; the idle arm is the
+// baseline the during-load arm is judged against (target: during-load
+// p99 within 2x the idle p99).
+func BenchmarkQueryDuringLoad(b *testing.B) {
+	f := flats(b, 200, 300, 300)
+	alt, err := benchutil.BuildFlats(220, 0, 0, bio.GenOptions{Seed: 43, Cdc6Rate: 0.02, ECLinkRate: 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := benchutil.Figure9Query
+	for _, load := range []bool{false, true} {
+		name := "idle"
+		if load {
+			name = "during-load"
+		}
+		b.Run(fmt.Sprintf("%s/clients=16", name), func(b *testing.B) {
+			eng := warehouse(b, f, nil)
+			runQuery(b, eng, q) // warm plan cache and buffer pool
+			ctx := context.Background()
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			if load {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						flat := f.Enzyme
+						if i%2 == 0 {
+							flat = alt.Enzyme
+						}
+						if _, err := eng.HarnessReaderContext(ctx, "hlx_enzyme.DEFAULT",
+							hounds.EnzymeTransformer{}, strings.NewReader(flat),
+							fmt.Sprintf("v%d", i)); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			var mu sync.Mutex
+			var lat []float64
+			b.SetParallelism((16 + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				var local []float64
+				for pb.Next() {
+					t0 := time.Now()
+					if _, err := eng.Query(q); err != nil {
+						b.Error(err)
+						return
+					}
+					local = append(local, float64(time.Since(t0).Nanoseconds()))
+				}
+				mu.Lock()
+				lat = append(lat, local...)
+				mu.Unlock()
+			})
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+			if len(lat) > 0 {
+				sort.Float64s(lat)
+				b.ReportMetric(lat[len(lat)/2], "p50-ns")
+				b.ReportMetric(lat[(len(lat)*99)/100], "p99-ns")
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "qps")
+			}
+		})
+	}
 }

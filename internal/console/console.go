@@ -20,9 +20,17 @@
 //	\stats                   physical and warehouse statistics
 //	\metrics                 flat dump of every engine counter
 //	\session                 current session's id, options and counters
+//	\begin                   open a transaction: queries see one stable
+//	                         snapshot until \commit or \rollback
+//	\commit                  commit the open transaction
+//	\rollback                roll back the open transaction
 //	\plan <query>            show SQL translation and plan
 //	\mode table|xml          result display mode
 //	\quit                    exit
+//
+// The console runs server-side for remote connections too (the line
+// protocol runs this REPL on the server's end), so \begin/\commit/
+// \rollback work identically in local and -connect modes.
 //
 // Anything else is a XomatiQ FLWR query; end it with a line containing
 // only ";". A query prefixed with EXPLAIN ANALYZE is executed and its
@@ -193,6 +201,35 @@ func (c *Console) command(out io.Writer, line string) bool {
 		fmt.Fprint(out, obs.FormatMetrics(snap.Metrics()))
 	case "\\session":
 		c.printSession(out)
+	case "\\begin":
+		tx, err := c.sess.Begin(context.Background())
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		fmt.Fprintf(out, "transaction open at epoch %d; queries see this snapshot until \\commit or \\rollback\n", tx.Snapshot())
+	case "\\commit":
+		tx := c.sess.Tx()
+		if tx == nil {
+			fmt.Fprintln(out, "error: no open transaction (\\begin starts one)")
+			break
+		}
+		if err := tx.Commit(); err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		fmt.Fprintln(out, "committed")
+	case "\\rollback":
+		tx := c.sess.Tx()
+		if tx == nil {
+			fmt.Fprintln(out, "error: no open transaction (\\begin starts one)")
+			break
+		}
+		if err := tx.Rollback(); err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		fmt.Fprintln(out, "rolled back")
 	case "\\plan":
 		query := strings.TrimSpace(strings.TrimPrefix(line, "\\plan"))
 		if query == "" {
@@ -213,7 +250,7 @@ func (c *Console) command(out io.Writer, line string) bool {
 			fmt.Fprintln(out, "usage: \\mode table|xml")
 		}
 	default:
-		fmt.Fprintln(out, "unknown command; try \\dbs \\dtd \\doc \\kw \\harness \\stats \\metrics \\session \\plan \\mode \\quit")
+		fmt.Fprintln(out, "unknown command; try \\dbs \\dtd \\doc \\kw \\harness \\stats \\metrics \\session \\begin \\commit \\rollback \\plan \\mode \\quit")
 	}
 	return true
 }

@@ -2,6 +2,7 @@ package console
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -171,5 +172,51 @@ func TestREPLHarnessDisabled(t *testing.T) {
 	out := runREPL(t, eng, "\\harness db enzyme /tmp/nope.dat\n\\quit\n", WithoutHarness())
 	if !strings.Contains(out, "\\harness is disabled") {
 		t.Errorf("remote \\harness should be refused:\n%s", out)
+	}
+}
+
+// TestREPLTransaction drives \begin/\commit/\rollback: a query inside
+// the transaction keeps seeing the snapshot pinned at \begin even after
+// a concurrent load commits; \commit releases it.
+func TestREPLTransaction(t *testing.T) {
+	eng := testEngine(t)
+	countQ := `FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme RETURN $a//enzyme_id;`
+
+	// No transaction open yet: \commit and \rollback refuse politely.
+	out := runREPL(t, eng, "\\commit\n\\rollback\n\\quit\n")
+	if c := strings.Count(out, "no open transaction"); c != 2 {
+		t.Errorf("commit/rollback without tx:\n%s", out)
+	}
+
+	sess, err := eng.NewSession(nil, core.WithSessionTag("tx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	var buf bytes.Buffer
+	c := New(sess)
+
+	c.Run(strings.NewReader("\\begin\n"+countQ+"\n"), &buf)
+	if !strings.Contains(buf.String(), "transaction open at epoch") ||
+		!strings.Contains(buf.String(), "(21 rows") {
+		t.Fatalf("\\begin + query:\n%s", buf.String())
+	}
+
+	// A load commits while the console transaction stays open.
+	var flat bytes.Buffer
+	if err := bio.WriteEnzyme(&flat, bio.GenEnzymes(30, bio.GenOptions{Seed: 3})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.HarnessReaderContext(context.Background(), "hlx_enzyme.DEFAULT",
+		hounds.EnzymeTransformer{}, strings.NewReader(flat.String()), "v2"); err != nil {
+		t.Fatal(err)
+	}
+
+	buf.Reset()
+	c.Run(strings.NewReader(countQ+"\n\\commit\n"+countQ+"\n\\quit\n"), &buf)
+	out = buf.String()
+	if !strings.Contains(out, "(21 rows") || !strings.Contains(out, "committed") ||
+		!strings.Contains(out, "(31 rows") {
+		t.Fatalf("snapshot pin across load, then commit:\n%s", out)
 	}
 }

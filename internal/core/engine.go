@@ -81,6 +81,10 @@ type Config struct {
 	// the cap are shed with ErrOverloaded instead of queueing. 0 means
 	// unlimited.
 	MaxInflightQueries int
+	// MaxOpenTx caps concurrently open transactions across all sessions;
+	// Session.Begin past the cap fails with ErrOverloaded. 0 means
+	// unlimited.
+	MaxOpenTx int
 }
 
 // NewConfig returns the default configuration for a warehouse at path.
@@ -97,9 +101,24 @@ type Engine struct {
 	plans *planCache
 	reg   *obs.Registry // engine-wide metrics; shared with the sql layer
 
+	// writerTok is the engine's single-writer token: every mutation of
+	// the warehouse — autocommit loads (Harness/Update), source
+	// registration, and escalated transactions — holds it for the
+	// mutation's duration. Autocommit paths acquire it blocking
+	// (context-aware); a transaction's first write try-acquires it and
+	// fails fast with ErrTxConflict. Capacity 1: send = acquire,
+	// receive = release.
+	writerTok chan struct{}
+
 	mu      sync.Mutex
 	sources map[string]*sourceReg
 	corpus  map[string][]*xmldoc.Document // native-fallback cache
+	// txLoad, when non-nil, marks loads running inside an escalated
+	// transaction's open batch: the pipeline skips per-chunk commits and
+	// post-load stats, and triggers are deferred into it until the
+	// transaction commits. Guarded by e.mu (set only by load paths,
+	// which hold it).
+	txLoad *txLoadState
 
 	statsMu  sync.Mutex
 	lastLoad LoadStats
@@ -147,16 +166,17 @@ func Open(cfg Config) (*Engine, error) {
 		slowLog = os.Stderr
 	}
 	e := &Engine{
-		cfg:      cfg,
-		db:       db,
-		store:    store,
-		bus:      hounds.NewBus(),
-		plans:    newPlanCache(cfg.PlanCacheSize),
-		reg:      reg,
-		sources:  map[string]*sourceReg{},
-		corpus:   map[string][]*xmldoc.Document{},
-		slowLog:  slowLog,
-		sessions: map[uint64]*Session{},
+		cfg:       cfg,
+		db:        db,
+		store:     store,
+		bus:       hounds.NewBus(),
+		plans:     newPlanCache(cfg.PlanCacheSize),
+		reg:       reg,
+		writerTok: make(chan struct{}, 1),
+		sources:   map[string]*sourceReg{},
+		corpus:    map[string][]*xmldoc.Document{},
+		slowLog:   slowLog,
+		sessions:  map[uint64]*Session{},
 	}
 	// The implicit default session backs the legacy Engine.Query*
 	// surface: no deadline, engine-default workers, outside the
@@ -184,9 +204,44 @@ func (e *Engine) Bus() *hounds.Bus { return e.bus }
 // Recovered reports whether opening replayed a WAL after a crash.
 func (e *Engine) Recovered() bool { return e.db.Recovered() }
 
+// acquireWriter blocks until the single-writer token is free (or the
+// context ends). Every warehouse mutation holds the token: it is what
+// lets an escalated transaction exclude concurrent loads without
+// touching e.mu.
+func (e *Engine) acquireWriter(ctx context.Context) error {
+	select {
+	case e.writerTok <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case e.writerTok <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// tryAcquireWriter is the non-blocking acquisition transactions use:
+// losing the race is a conflict, not a queue.
+func (e *Engine) tryAcquireWriter() bool {
+	select {
+	case e.writerTok <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (e *Engine) releaseWriter() { <-e.writerTok }
+
 // RegisterSource attaches a remote source and its transformer under a
 // warehouse database name (e.g. "hlx_enzyme.DEFAULT").
 func (e *Engine) RegisterSource(dbName string, src hounds.Source, tr hounds.Transformer) error {
+	if err := e.acquireWriter(context.Background()); err != nil {
+		return err
+	}
+	defer e.releaseWriter()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, dup := e.sources[dbName]; dup {
@@ -221,8 +276,21 @@ func (e *Engine) Harness(dbName string) (int, error) {
 // yields its first document, so a source that fails to parse leaves the
 // warehouse untouched.
 func (e *Engine) HarnessContext(ctx context.Context, dbName string) (int, error) {
+	if err := e.acquireWriter(ctx); err != nil {
+		return 0, err
+	}
+	defer e.releaseWriter()
+	return e.harnessContext(ctx, dbName, nil)
+}
+
+// harnessContext is the token-free harness body. Caller holds the
+// writer token; st non-nil runs the load inside an escalated
+// transaction's open batch (see tx.go).
+func (e *Engine) harnessContext(ctx context.Context, dbName string, st *txLoadState) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.txLoad = st
+	defer func() { e.txLoad = nil }()
 	reg, ok := e.sources[dbName]
 	if !ok || reg.source == nil {
 		return 0, fmt.Errorf("%w for %q", ErrNoSource, dbName)
@@ -246,8 +314,20 @@ func (e *Engine) HarnessContext(ctx context.Context, dbName string) (int, error)
 // transformer's schema); a database already registered keeps its
 // original transformer. version labels the load in the change trigger.
 func (e *Engine) HarnessReaderContext(ctx context.Context, dbName string, tr hounds.Transformer, r io.Reader, version string) (int, error) {
+	if err := e.acquireWriter(ctx); err != nil {
+		return 0, err
+	}
+	defer e.releaseWriter()
+	return e.harnessReaderContext(ctx, dbName, tr, r, version, nil)
+}
+
+// harnessReaderContext is the token-free reader-load body (caller holds
+// the writer token; st as in harnessContext).
+func (e *Engine) harnessReaderContext(ctx context.Context, dbName string, tr hounds.Transformer, r io.Reader, version string, st *txLoadState) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.txLoad = st
+	defer func() { e.txLoad = nil }()
 	reg, ok := e.sources[dbName]
 	if !ok {
 		if err := e.store.RegisterDB(dbName, tr.SequencePaths(), dtdText(tr)); err != nil {
@@ -312,17 +392,27 @@ func (e *Engine) harnessStreamLocked(ctx context.Context, dbName string, tr houn
 			return 0, err
 		}
 	}
-	if err := e.db.Begin(); err != nil {
-		abortTransform()
-		return 0, err
+	// Clearing the previous harvest is its own atomic batch — unless the
+	// load runs inside a transaction, whose batch is already open (a
+	// failed clear then aborts the whole transaction in tx.go).
+	if e.txLoad == nil {
+		if err := e.db.Begin(); err != nil {
+			abortTransform()
+			return 0, err
+		}
 	}
 	if err := e.store.ClearDatabase(dbName); err != nil {
 		abortTransform()
-		return 0, errors.Join(err, e.db.Rollback())
-	}
-	if err := e.db.Commit(); err != nil {
-		abortTransform()
+		if e.txLoad == nil {
+			return 0, errors.Join(err, e.db.Rollback())
+		}
 		return 0, err
+	}
+	if e.txLoad == nil {
+		if err := e.db.Commit(); err != nil {
+			abortTransform()
+			return 0, err
+		}
 	}
 	produce := func(emit func(*xmldoc.Document) error) error {
 		perr := func() error {
@@ -355,10 +445,22 @@ func (e *Engine) harnessStreamLocked(ctx context.Context, dbName string, tr houn
 		Elapsed: time.Since(start), Workers: e.loadWorkers(),
 	})
 	e.corpus[dbName] = docs
-	e.bus.Publish(hounds.Trigger{Change: hounds.ChangeSet{
+	e.publishOrDefer(hounds.Trigger{Change: hounds.ChangeSet{
 		DB: dbName, Version: version, Added: docNamesOf(docs),
 	}})
 	return len(docs), nil
+}
+
+// publishOrDefer fires a change trigger — immediately for autocommit
+// loads, deferred into the transaction state for loads inside an open
+// batch (subscribers must not observe uncommitted changes). Caller
+// holds e.mu.
+func (e *Engine) publishOrDefer(tr hounds.Trigger) {
+	if e.txLoad != nil {
+		e.txLoad.triggers = append(e.txLoad.triggers, tr)
+		return
+	}
+	e.bus.Publish(tr)
 }
 
 func transformAll(tr hounds.Transformer, r io.Reader) ([]*xmldoc.Document, error) {
@@ -389,8 +491,20 @@ func (e *Engine) Update(dbName string) (hounds.ChangeSet, error) {
 // maintenance for small deltas and the deferred bulk path once the
 // delta reaches a full chunk.
 func (e *Engine) UpdateContext(ctx context.Context, dbName string) (hounds.ChangeSet, error) {
+	if err := e.acquireWriter(ctx); err != nil {
+		return hounds.ChangeSet{}, err
+	}
+	defer e.releaseWriter()
+	return e.updateContext(ctx, dbName, nil)
+}
+
+// updateContext is the token-free update body (caller holds the writer
+// token; st as in harnessContext).
+func (e *Engine) updateContext(ctx context.Context, dbName string, st *txLoadState) (hounds.ChangeSet, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.txLoad = st
+	defer func() { e.txLoad = nil }()
 	reg, ok := e.sources[dbName]
 	if !ok || reg.source == nil {
 		return hounds.ChangeSet{}, fmt.Errorf("%w for %q", ErrNoSource, dbName)
@@ -420,17 +534,25 @@ func (e *Engine) UpdateContext(ctx context.Context, dbName string) (hounds.Chang
 		byName[d.Name] = d
 	}
 	// Deletions first (removed entries and the old versions of modified
-	// ones), then the replacement loads in crash-atomic chunks.
-	if err := e.db.Begin(); err != nil {
-		return cs, err
+	// ones), then the replacement loads in crash-atomic chunks. Inside a
+	// transaction the batch is already open and stays open.
+	if e.txLoad == nil {
+		if err := e.db.Begin(); err != nil {
+			return cs, err
+		}
 	}
 	for _, name := range append(append([]string{}, cs.Removed...), cs.Modified...) {
 		if err := e.store.DeleteDocument(dbName, name); err != nil {
-			return cs, errors.Join(err, e.db.Rollback())
+			if e.txLoad == nil {
+				return cs, errors.Join(err, e.db.Rollback())
+			}
+			return cs, err
 		}
 	}
-	if err := e.db.Commit(); err != nil {
-		return cs, err
+	if e.txLoad == nil {
+		if err := e.db.Commit(); err != nil {
+			return cs, err
+		}
 	}
 	var loads []*xmldoc.Document
 	for _, name := range append(append([]string{}, cs.Modified...), cs.Added...) {
@@ -457,7 +579,7 @@ func (e *Engine) UpdateContext(ctx context.Context, dbName string) (hounds.Chang
 	})
 	reg.lastVersion = version
 	e.corpus[dbName] = newDocs
-	e.bus.Publish(hounds.Trigger{Change: cs})
+	e.publishOrDefer(hounds.Trigger{Change: cs})
 	return cs, nil
 }
 
@@ -541,10 +663,21 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) 
 	return e.defaultSess.Query(ctx, src)
 }
 
+// readView selects which state a query reads. The zero value is the
+// default for session queries: pin a per-statement snapshot at the
+// current epoch, so the query never blocks behind (and never observes a
+// torn state of) a concurrent load. A transaction's reads carry its
+// pinned snap; an escalated transaction reads live so it sees its own
+// open batch.
+type readView struct {
+	snap *sql.Snap // non-nil: the transaction's pinned snapshot
+	live bool      // true: legacy live read under db.mu (sees open batch)
+}
+
 // queryContext is the shared execution path under every session: plan
 // (cache-first), execute with the session's worker and memory-budget
 // overrides, observe with the session's slow-log tag.
-func (e *Engine) queryContext(ctx context.Context, src string, workers int, memBudget int64, tag string) (*Result, error) {
+func (e *Engine) queryContext(ctx context.Context, src string, workers int, memBudget int64, tag string, v readView) (*Result, error) {
 	// An already-expired context fails fast: small queries can otherwise
 	// finish between the executor's periodic cancellation polls.
 	if err := ctx.Err(); err != nil {
@@ -565,7 +698,7 @@ func (e *Engine) queryContext(ctx context.Context, src string, workers int, memB
 	if e.cfg.SlowQueryThreshold > 0 {
 		qt = obs.NewQueryTrace(true)
 	}
-	res, err := e.execPlan(ctx, entry, qt, workers, memBudget)
+	res, err := e.execPlan(ctx, entry, qt, workers, memBudget, v)
 	e.observeQuery(src, tag, cached, qt, res, err, time.Since(start))
 	return res, err
 }
@@ -585,7 +718,7 @@ func (e *Engine) QueryParsedContext(ctx context.Context, q *xq.Query) (*Result, 
 		e.reg.Query.Errors.Inc()
 		return nil, err
 	}
-	res, err := e.execPlan(ctx, entry, nil, 0, 0)
+	res, err := e.execPlan(ctx, entry, nil, 0, 0, readView{})
 	e.observeQuery("", "", false, nil, res, err, time.Since(start))
 	return res, err
 }
@@ -669,10 +802,14 @@ func (e *Engine) translate(q *xq.Query) (*planEntry, error) {
 // when non-nil, collects the executed plan with per-operator actuals;
 // workers, when positive, overrides the engine's intra-query scan
 // parallelism; memBudget, when positive, overrides the engine's
-// hash-join memory budget (per-session overrides ride here).
-func (e *Engine) execPlan(ctx context.Context, entry *planEntry, qt *obs.QueryTrace, workers int, memBudget int64) (*Result, error) {
+// hash-join memory budget (per-session overrides ride here); v selects
+// the read view (per-statement snapshot by default).
+func (e *Engine) execPlan(ctx context.Context, entry *planEntry, qt *obs.QueryTrace, workers int, memBudget int64, v readView) (*Result, error) {
 	if !entry.unsupported {
-		rows, qerr := e.db.QueryStmtOptsContext(ctx, entry.stmt, sql.ExecOpts{Trace: qt, Workers: workers, MemBudget: memBudget})
+		rows, qerr := e.db.QueryStmtOptsContext(ctx, entry.stmt, sql.ExecOpts{
+			Trace: qt, Workers: workers, MemBudget: memBudget,
+			Snap: v.snap, SnapshotRead: v.snap == nil && !v.live,
+		})
 		if qerr != nil {
 			return nil, fmt.Errorf("core: executing translated SQL: %w", qerr)
 		}
@@ -848,14 +985,14 @@ func (e *Engine) ExplainAnalyze(ctx context.Context, src string) (string, error)
 
 // explainAnalyze is the session-parameterised body of ExplainAnalyze.
 // It also returns the result so the calling session can count rows.
-func (e *Engine) explainAnalyze(ctx context.Context, src string, workers int, memBudget int64, tag string) (string, *Result, error) {
+func (e *Engine) explainAnalyze(ctx context.Context, src string, workers int, memBudget int64, tag string, v readView) (string, *Result, error) {
 	start := time.Now()
 	entry, cached, err := e.plan(src)
 	if err != nil {
 		return "", nil, err
 	}
 	qt := obs.NewQueryTrace(true)
-	res, err := e.execPlan(ctx, entry, qt, workers, memBudget)
+	res, err := e.execPlan(ctx, entry, qt, workers, memBudget, v)
 	elapsed := time.Since(start)
 	e.observeQuery(src, tag, cached, qt, res, err, elapsed)
 	if err != nil {

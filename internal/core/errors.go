@@ -39,6 +39,25 @@ var (
 	// ErrBadQuery wraps parse failures of the query text (xq syntax
 	// errors). The wrapped error carries the position detail.
 	ErrBadQuery = errors.New("core: bad query")
+
+	// ErrTxConflict reports a transaction write that lost the race for
+	// the engine's single-writer token, or one whose snapshot went stale
+	// before its first write (another transaction or autocommit load
+	// committed after this Tx began). The transaction stays open for
+	// reads; retry the write in a fresh transaction.
+	ErrTxConflict = errors.New("core: transaction conflict")
+
+	// ErrTxClosed reports an operation on a transaction that already
+	// committed or rolled back.
+	ErrTxClosed = errors.New("core: transaction closed")
+
+	// ErrTxActive reports Session.Begin while the session already has an
+	// open transaction (one transaction per session).
+	ErrTxActive = errors.New("core: transaction already open")
+
+	// ErrTxReadOnly reports a write (Harness/Update) inside a
+	// transaction opened with TxOptions.ReadOnly.
+	ErrTxReadOnly = errors.New("core: read-only transaction")
 )
 
 // Code is a stable, wire-safe error classification. Codes survive
@@ -60,6 +79,10 @@ const (
 	CodeSessionClosed   Code = "session_closed"
 	CodeTooManySessions Code = "too_many_sessions"
 	CodeOverloaded      Code = "overloaded"
+	CodeTxConflict      Code = "tx_conflict"
+	CodeTxClosed        Code = "tx_closed"
+	CodeTxActive        Code = "tx_active"
+	CodeTxReadOnly      Code = "tx_read_only"
 	CodeInternal        Code = "internal"
 )
 
@@ -77,6 +100,10 @@ var sentinelOf = map[Code]error{
 	CodeSessionClosed:   ErrSessionClosed,
 	CodeTooManySessions: ErrTooManySessions,
 	CodeOverloaded:      ErrOverloaded,
+	CodeTxConflict:      ErrTxConflict,
+	CodeTxClosed:        ErrTxClosed,
+	CodeTxActive:        ErrTxActive,
+	CodeTxReadOnly:      ErrTxReadOnly,
 }
 
 // Error is the wire form of an engine error: a stable code plus the
@@ -130,6 +157,14 @@ func ErrorCode(err error) Code {
 		return CodeTooManySessions
 	case errors.Is(err, ErrOverloaded):
 		return CodeOverloaded
+	case errors.Is(err, ErrTxConflict):
+		return CodeTxConflict
+	case errors.Is(err, ErrTxClosed):
+		return CodeTxClosed
+	case errors.Is(err, ErrTxActive):
+		return CodeTxActive
+	case errors.Is(err, ErrTxReadOnly):
+		return CodeTxReadOnly
 	default:
 		return CodeInternal
 	}

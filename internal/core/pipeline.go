@@ -120,6 +120,14 @@ func (e *Engine) runLoadPipeline(ctx context.Context, dbName string, d *dtd.DTD,
 	if err != nil {
 		return nil, 0, err
 	}
+	// Inside a transaction the whole load is one open batch: chunks are
+	// not individually committed, and index maintenance stays inline so
+	// the batch's indexes remain usable by the transaction's own reads
+	// (ResumeIndexes would commit, which a batch must not).
+	txMode := e.txLoad != nil
+	if txMode {
+		deferIdx = false
+	}
 	if deferIdx {
 		if err := e.db.DeferIndexes(); err != nil {
 			return nil, 0, err
@@ -201,14 +209,22 @@ func (e *Engine) runLoadPipeline(ctx context.Context, dbName string, d *dtd.DTD,
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := e.db.Begin(); err != nil {
-			return err
-		}
-		if err := e.store.InsertChunk(dbName, chunk); err != nil {
-			return errors.Join(err, e.db.Rollback())
-		}
-		if err := e.db.Commit(); err != nil {
-			return err
+		if txMode {
+			// The transaction's batch is already open; a failed chunk
+			// aborts the whole transaction in tx.go.
+			if err := e.store.InsertChunk(dbName, chunk); err != nil {
+				return err
+			}
+		} else {
+			if err := e.db.Begin(); err != nil {
+				return err
+			}
+			if err := e.store.InsertChunk(dbName, chunk); err != nil {
+				return errors.Join(err, e.db.Rollback())
+			}
+			if err := e.db.Commit(); err != nil {
+				return err
+			}
 		}
 		// Keyword shards merge only after their chunk is durable, in
 		// document order, reproducing the sequential posting order.
@@ -267,17 +283,22 @@ collect:
 	// load on success, the consistent prefix on failure. ResumeIndexes
 	// is a no-op when maintenance was inline (or a rollback already
 	// restored it), and falls back to a catalog rollback on rebuild
-	// errors.
-	if rerr := e.db.ResumeIndexes(); rerr != nil {
-		failErr = errors.Join(failErr, rerr)
-	}
-	// Refresh optimizer statistics over whatever committed, riding the
-	// same post-load collector slot as the index rebuild: the cost-based
-	// planner's row counts and value distributions always describe the
-	// current harvest. A stats failure does not invalidate the loaded
-	// data, but it must surface.
-	if aerr := e.store.AnalyzeStats(); aerr != nil {
-		failErr = errors.Join(failErr, aerr)
+	// errors. In tx mode maintenance was inline and ANALYZE would
+	// commit mid-batch, so both steps move to the transaction's Commit.
+	if txMode {
+		e.txLoad.dbs[dbName] = true
+	} else {
+		if rerr := e.db.ResumeIndexes(); rerr != nil {
+			failErr = errors.Join(failErr, rerr)
+		}
+		// Refresh optimizer statistics over whatever committed, riding the
+		// same post-load collector slot as the index rebuild: the
+		// cost-based planner's row counts and value distributions always
+		// describe the current harvest. A stats failure does not
+		// invalidate the loaded data, but it must surface.
+		if aerr := e.store.AnalyzeStats(); aerr != nil {
+			failErr = errors.Join(failErr, aerr)
+		}
 	}
 	// One epoch bump per load (not per document) invalidates cached
 	// plans exactly once, after the data they would read has changed.

@@ -10,6 +10,7 @@ package core
 import (
 	"context"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -85,6 +86,13 @@ type Session struct {
 	closed    atomic.Bool
 	isDefault bool
 
+	// txMu guards tx, the session's most recent transaction. One open
+	// transaction per session; a finished one stays here (done=true)
+	// until the next Begin replaces it. Tx.done is read without txMu so
+	// Begin never takes a Tx's own mutex (which outlives operations).
+	txMu sync.Mutex
+	tx   *Tx
+
 	queries  obs.Counter
 	errors   obs.Counter
 	rows     obs.Counter
@@ -139,6 +147,11 @@ func (e *Engine) newSession(ctx context.Context, so SessionOptions, isDefault bo
 func (s *Session) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
+	}
+	// A session never outlives its transaction: anything uncommitted
+	// rolls back before the cancellation sweep.
+	if tx := s.openTx(); tx != nil {
+		tx.Rollback()
 	}
 	s.cancel()
 	if !s.isDefault {
@@ -310,7 +323,14 @@ func (s *Session) observe(res *Result, err error) {
 // context is tied to the session's cancellation scope and default
 // deadline, the session's worker override applies, and the result is
 // wire-serializable via Result.JSON.
+// Outside a transaction each query pins a per-statement snapshot of the
+// current epoch, so it never blocks behind (or observes a torn state of)
+// a concurrent load. With a transaction open the query joins it and sees
+// the transaction's stable snapshot plus its own writes.
 func (s *Session) Query(ctx context.Context, src string) (*Result, error) {
+	if tx := s.openTx(); tx != nil {
+		return tx.Query(ctx, src)
+	}
 	release, err := s.Admit()
 	if err != nil {
 		return nil, err
@@ -318,7 +338,7 @@ func (s *Session) Query(ctx context.Context, src string) (*Result, error) {
 	defer release()
 	qctx, cancel := s.queryCtx(ctx)
 	defer cancel()
-	res, err := s.eng.queryContext(qctx, src, s.opts.QueryWorkers, s.opts.MemBudget, s.opts.Tag)
+	res, err := s.eng.queryContext(qctx, src, s.opts.QueryWorkers, s.opts.MemBudget, s.opts.Tag, readView{})
 	s.observe(res, err)
 	return res, err
 }
@@ -333,7 +353,7 @@ func (s *Session) ExplainAnalyze(ctx context.Context, src string) (string, error
 	defer release()
 	qctx, cancel := s.queryCtx(ctx)
 	defer cancel()
-	report, res, err := s.eng.explainAnalyze(qctx, src, s.opts.QueryWorkers, s.opts.MemBudget, s.opts.Tag)
+	report, res, err := s.eng.explainAnalyze(qctx, src, s.opts.QueryWorkers, s.opts.MemBudget, s.opts.Tag, readView{})
 	s.observe(res, err)
 	return report, err
 }

@@ -1,0 +1,365 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"xomatiq/internal/bio"
+	"xomatiq/internal/hounds"
+)
+
+// countQuery returns every entry id: one row per warehoused document,
+// with no contains() predicate (keyword prefilters read live store
+// state by design, so snapshot assertions avoid them).
+const countQuery = `FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+RETURN $a//enzyme_id`
+
+// querier is the shared read surface of Session and Tx.
+type querier interface {
+	Query(context.Context, string) (*Result, error)
+}
+
+func txRows(t *testing.T, q querier, ctx context.Context, src string) int {
+	t.Helper()
+	res, err := q.Query(ctx, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(res.Rows)
+}
+
+// TestTxSnapshotIsolation is the acceptance check: a transaction opened
+// before a load never observes its rows, while a plain session sees
+// them as soon as the load commits.
+func TestTxSnapshotIsolation(t *testing.T) {
+	e := openEngine(t)
+	src := setupEnzyme(t, e, 20)
+	ctx := context.Background()
+
+	sess, err := e.NewSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	tx, err := sess.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := txRows(t, tx, ctx, countQuery)
+	if before != 21 {
+		t.Fatalf("tx sees %d rows before update, want 21", before)
+	}
+
+	// A bigger harvest commits behind the transaction's back.
+	bigger := bio.GenEnzymes(30, bio.GenOptions{Seed: 5})
+	src.Publish(enzymeFlat(t, bigger))
+	if _, err := e.Update("hlx_enzyme.DEFAULT"); err != nil {
+		t.Fatal(err)
+	}
+
+	plain, err := e.NewSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if n := txRows(t, plain, ctx, countQuery); n != 31 {
+		t.Fatalf("plain session sees %d rows after update, want 31", n)
+	}
+	// The transaction still reads its pinned epoch — repeatedly.
+	for i := 0; i < 3; i++ {
+		if n := txRows(t, tx, ctx, countQuery); n != 21 {
+			t.Fatalf("tx read %d sees %d rows, want the pinned 21", i, n)
+		}
+	}
+	// Session.Query joins the open transaction automatically.
+	if n := txRows(t, sess, ctx, countQuery); n != 21 {
+		t.Fatalf("session query inside tx sees %d rows, want 21", n)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n := txRows(t, sess, ctx, countQuery); n != 31 {
+		t.Fatalf("session sees %d rows after commit, want 31", n)
+	}
+}
+
+// TestTxWriteVisibility: a transaction's own load is visible to its own
+// reads immediately, to nobody else until Commit, and its trigger fires
+// only at Commit.
+func TestTxWriteVisibility(t *testing.T) {
+	e := openEngine(t)
+	src := setupEnzyme(t, e, 10)
+	ctx := context.Background()
+
+	triggers := make(chan hounds.Trigger, 4)
+	e.Bus().Subscribe(func(tr hounds.Trigger) { triggers <- tr })
+
+	sess, err := e.NewSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	plain, err := e.NewSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+
+	tx, err := sess.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigger := bio.GenEnzymes(25, bio.GenOptions{Seed: 5})
+	src.Publish(enzymeFlat(t, bigger))
+	if _, err := tx.Update(ctx, "hlx_enzyme.DEFAULT"); err != nil {
+		t.Fatal(err)
+	}
+	if n := txRows(t, tx, ctx, countQuery); n != 26 {
+		t.Fatalf("tx sees %d of its own rows, want 26", n)
+	}
+	if n := txRows(t, plain, ctx, countQuery); n != 11 {
+		t.Fatalf("plain session sees %d uncommitted rows, want the old 11", n)
+	}
+	select {
+	case tr := <-triggers:
+		t.Fatalf("trigger %+v fired before commit", tr)
+	default:
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n := txRows(t, plain, ctx, countQuery); n != 26 {
+		t.Fatalf("plain session sees %d rows after commit, want 26", n)
+	}
+	select {
+	case <-triggers:
+	case <-time.After(5 * time.Second):
+		t.Fatal("deferred trigger never fired after commit")
+	}
+}
+
+// TestTxConflict covers both conflict shapes: losing the single-writer
+// race, and escalating from a snapshot that predates another commit.
+func TestTxConflict(t *testing.T) {
+	e := openEngine(t)
+	src := setupEnzyme(t, e, 10)
+	ctx := context.Background()
+
+	s1, _ := e.NewSession(ctx)
+	defer s1.Close()
+	s2, _ := e.NewSession(ctx)
+	defer s2.Close()
+
+	tx1, err := s1.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := s2.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Publish(enzymeFlat(t, bio.GenEnzymes(12, bio.GenOptions{Seed: 5})))
+	if _, err := tx1.Update(ctx, "hlx_enzyme.DEFAULT"); err != nil {
+		t.Fatal(err)
+	}
+	// tx1 holds the writer token: tx2's write loses the race.
+	if _, err := tx2.Update(ctx, "hlx_enzyme.DEFAULT"); !errors.Is(err, ErrTxConflict) {
+		t.Fatalf("tx2 write with token held = %v, want ErrTxConflict", err)
+	}
+	// tx2 stays open for reads after the conflict.
+	if n := txRows(t, tx2, ctx, countQuery); n != 11 {
+		t.Fatalf("tx2 sees %d rows after conflict, want 11", n)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The token is free now, but tx2's snapshot predates tx1's commit:
+	// first committer wins.
+	if _, err := tx2.Update(ctx, "hlx_enzyme.DEFAULT"); !errors.Is(err, ErrTxConflict) {
+		t.Fatalf("tx2 write on stale snapshot = %v, want ErrTxConflict", err)
+	}
+	if err := tx2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh transaction writes fine.
+	tx3, err := s2.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Publish(enzymeFlat(t, bio.GenEnzymes(14, bio.GenOptions{Seed: 5})))
+	if _, err := tx3.Update(ctx, "hlx_enzyme.DEFAULT"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx3.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := e.DocCount("hlx_enzyme.DEFAULT"); n != 15 {
+		t.Fatalf("final DocCount = %d, want 15", n)
+	}
+}
+
+// TestTxRollback: an escalated transaction's writes vanish on rollback,
+// the engine caches resync, and autocommit loads still work afterwards
+// (the writer token was released).
+func TestTxRollback(t *testing.T) {
+	e := openEngine(t)
+	src := setupEnzyme(t, e, 10)
+	ctx := context.Background()
+
+	sess, _ := e.NewSession(ctx)
+	defer sess.Close()
+	tx, err := sess.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Publish(enzymeFlat(t, bio.GenEnzymes(40, bio.GenOptions{Seed: 5})))
+	if _, err := tx.Update(ctx, "hlx_enzyme.DEFAULT"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if n := txRows(t, sess, ctx, countQuery); n != 11 {
+		t.Fatalf("post-rollback rows = %d, want 11", n)
+	}
+	if n, _ := e.DocCount("hlx_enzyme.DEFAULT"); n != 11 {
+		t.Fatalf("post-rollback DocCount = %d, want 11", n)
+	}
+	// Operations on a finished transaction report ErrTxClosed.
+	if _, err := tx.Query(ctx, countQuery); !errors.Is(err, ErrTxClosed) {
+		t.Fatalf("query on closed tx = %v, want ErrTxClosed", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxClosed) {
+		t.Fatalf("commit after rollback = %v, want ErrTxClosed", err)
+	}
+	// The store dictionaries reloaded: a new autocommit load and a
+	// follow-up query behave normally.
+	if _, err := e.Update("hlx_enzyme.DEFAULT"); err != nil {
+		t.Fatal(err)
+	}
+	if n := txRows(t, sess, ctx, countQuery); n != 41 {
+		t.Fatalf("post-reload rows = %d, want 41", n)
+	}
+}
+
+// TestTxAdmissionAndOptions covers ErrTxActive, ReadOnly, MaxOpenTx and
+// the session-close rollback path.
+func TestTxAdmissionAndOptions(t *testing.T) {
+	e := openEngineCfg(t, func(c *Config) { c.MaxOpenTx = 1 })
+	src := setupEnzyme(t, e, 5)
+	ctx := context.Background()
+
+	sess, _ := e.NewSession(ctx)
+	tx, err := sess.BeginTx(ctx, TxOptions{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Begin(ctx); !errors.Is(err, ErrTxActive) {
+		t.Fatalf("second Begin = %v, want ErrTxActive", err)
+	}
+	if _, err := tx.Update(ctx, "hlx_enzyme.DEFAULT"); !errors.Is(err, ErrTxReadOnly) {
+		t.Fatalf("write in read-only tx = %v, want ErrTxReadOnly", err)
+	}
+	other, _ := e.NewSession(ctx)
+	defer other.Close()
+	if _, err := other.Begin(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Begin past MaxOpenTx = %v, want ErrOverloaded", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The gauge released: a new transaction fits again, escalates, and
+	// Session.Close rolls it back — releasing the writer token, proven by
+	// the autocommit harness afterwards not deadlocking.
+	tx2, err := sess.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Publish(enzymeFlat(t, bio.GenEnzymes(7, bio.GenOptions{Seed: 5})))
+	if _, err := tx2.Update(ctx, "hlx_enzyme.DEFAULT"); err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+	if !tx2.done.Load() {
+		t.Fatal("Session.Close left the transaction open")
+	}
+	if _, err := e.Harness("hlx_enzyme.DEFAULT"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := e.DocCount("hlx_enzyme.DEFAULT"); n != 8 {
+		t.Fatalf("DocCount after close-rollback + harness = %d, want 8", n)
+	}
+}
+
+// TestQueryDuringLoadConsistency is the MVCC tentpole check: concurrent
+// scans during a continuous load loop always see a committed harvest
+// boundary — one of the two published row counts, never a torn state —
+// and loads never wait for readers. Run with -race.
+func TestQueryDuringLoadConsistency(t *testing.T) {
+	e, err := Open(NewConfig(filepath.Join(t.TempDir(), "wh.db")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	src := setupEnzyme(t, e, 15)
+	ctx := context.Background()
+
+	v1 := enzymeFlat(t, bio.GenEnzymes(15, bio.GenOptions{Seed: 5}))
+	v2 := enzymeFlat(t, bio.GenEnzymes(27, bio.GenOptions{Seed: 5}))
+
+	const readers = 8
+	const iters = 15
+	var wg sync.WaitGroup
+	errs := make(chan error, readers*iters+iters)
+	counts := make(chan int, readers*iters)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess, err := e.NewSession(ctx)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer sess.Close()
+			for i := 0; i < iters; i++ {
+				res, err := sess.Query(ctx, countQuery)
+				if err != nil {
+					errs <- err
+					return
+				}
+				counts <- len(res.Rows)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if i%2 == 0 {
+				src.Publish(v2)
+			} else {
+				src.Publish(v1)
+			}
+			if _, err := e.Update("hlx_enzyme.DEFAULT"); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	close(counts)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for n := range counts {
+		if n != 16 && n != 28 {
+			t.Fatalf("reader saw %d rows mid-load; want a committed boundary (16 or 28)", n)
+		}
+	}
+}

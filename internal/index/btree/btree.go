@@ -34,10 +34,39 @@ const (
 	MaxValue = 512
 )
 
-// Tree is a B+tree rooted in a buffer pool.
+// Tree is a B+tree rooted in a buffer pool. Mutation is serialised by
+// the engine layer; a frozen tree (see Freeze) is an immutable
+// epoch-bound view safe to read concurrently with the writer.
 type Tree struct {
 	pool   *bufpool.Pool
 	anchor disk.PageID
+
+	// Frozen trees resolve page reads (anchor, inner, leaf) through the
+	// pool's version map at a fixed epoch.
+	frozen bool
+	epoch  uint64
+}
+
+// ErrFrozen is returned by mutators of a frozen (snapshot) tree.
+var ErrFrozen = fmt.Errorf("btree: mutation of frozen snapshot tree")
+
+// Freeze returns an immutable view of the tree bound to the given
+// published epoch. The anchor page itself is versioned, so the view's
+// root — and every node below it — is the tree as of that epoch, no
+// matter how many splits the live tree has seen since. The caller must
+// keep the epoch pinned (bufpool.PinEpoch) while the view is in use.
+func (t *Tree) Freeze(epoch uint64) *Tree {
+	return &Tree{pool: t.pool, anchor: t.anchor, frozen: true, epoch: epoch}
+}
+
+// fetchRead resolves a page for reading: version-mapped at the frozen
+// epoch, or the live frame for a mutable tree (whose callers are
+// serialised against the writer by the engine).
+func (t *Tree) fetchRead(id disk.PageID) (bufpool.PageRef, error) {
+	if t.frozen {
+		return t.pool.ReadAt(id, t.epoch)
+	}
+	return t.pool.FetchRef(id)
 }
 
 // Create allocates a new empty tree and returns it. The anchor page ID is
@@ -79,28 +108,31 @@ func Open(pool *bufpool.Pool, anchor disk.PageID) (*Tree, error) {
 func (t *Tree) Anchor() disk.PageID { return t.anchor }
 
 func (t *Tree) root() (disk.PageID, error) {
-	f, err := t.pool.Fetch(t.anchor)
+	ref, err := t.fetchRead(t.anchor)
 	if err != nil {
 		return 0, err
 	}
-	id := disk.PageID(f.Page().Aux())
-	t.pool.Unpin(f, false)
+	id := disk.PageID(ref.Page().Aux())
+	ref.Release()
 	return id, nil
 }
 
 func (t *Tree) setRoot(id disk.PageID) error {
-	f, err := t.pool.Fetch(t.anchor)
+	f, err := t.pool.FetchMut(t.anchor)
 	if err != nil {
 		return err
 	}
 	f.Page().SetAux(uint32(id))
-	t.pool.Unpin(f, true)
+	t.pool.UnpinMut(f, true)
 	return nil
 }
 
 // Insert puts (key, val) into the tree, replacing any existing value for
 // the key. ok reports whether the key was new.
 func (t *Tree) Insert(key, val []byte) (ok bool, err error) {
+	if t.frozen {
+		return false, ErrFrozen
+	}
 	if len(key) == 0 || len(key) > MaxKey {
 		return false, fmt.Errorf("btree: key of %d bytes (max %d)", len(key), MaxKey)
 	}
@@ -117,7 +149,7 @@ func (t *Tree) Insert(key, val []byte) (ok bool, err error) {
 	}
 	if res.split {
 		// Grow a new root.
-		nr, err := t.pool.Allocate(page.KindBTreeInner)
+		nr, err := t.pool.AllocateMut(page.KindBTreeInner)
 		if err != nil {
 			return false, err
 		}
@@ -126,7 +158,7 @@ func (t *Tree) Insert(key, val []byte) (ok bool, err error) {
 		n.setAux(uint32(rootID)) // leftmost child
 		n.insertCellAt(0, innerCell(res.sepKey, uint32(res.right)))
 		newRoot := nr.ID()
-		t.pool.Unpin(nr, true)
+		t.pool.UnpinMut(nr, true)
 		if err := t.setRoot(newRoot); err != nil {
 			return false, err
 		}
@@ -142,14 +174,18 @@ type insertResult struct {
 }
 
 func (t *Tree) insert(id disk.PageID, key, val []byte) (insertResult, error) {
-	f, err := t.pool.Fetch(id)
+	// The whole descent uses FetchMut: leaves are always mutated, and
+	// inner nodes may be re-fetched for separator insertion after a child
+	// split. Retaining a pre-image of a node that ends up untouched costs
+	// one page copy per generation — cheap next to the split logic.
+	f, err := t.pool.FetchMut(id)
 	if err != nil {
 		return insertResult{}, err
 	}
 	n := wrapNode(f.Page())
 	if n.isLeaf() {
 		res, dirty, err := t.leafInsert(f, n, key, val)
-		t.pool.Unpin(f, dirty)
+		t.pool.UnpinMut(f, dirty)
 		return res, err
 	}
 	// Inner: find the child to descend into.
@@ -163,14 +199,14 @@ func (t *Tree) insert(id disk.PageID, key, val []byte) (insertResult, error) {
 	} else {
 		child = disk.PageID(n.child(rank - 1))
 	}
-	t.pool.Unpin(f, false)
+	t.pool.UnpinMut(f, false)
 
 	res, err := t.insert(child, key, val)
 	if err != nil || !res.split {
 		return res, err
 	}
 	// Child split: add separator to this node.
-	f, err = t.pool.Fetch(id)
+	f, err = t.pool.FetchMut(id)
 	if err != nil {
 		return insertResult{}, err
 	}
@@ -180,7 +216,7 @@ func (t *Tree) insert(id disk.PageID, key, val []byte) (insertResult, error) {
 	if n.fits(len(cell)) {
 		n.ensureFit(len(cell))
 		n.insertCellAt(rank, cell)
-		t.pool.Unpin(f, true)
+		t.pool.UnpinMut(f, true)
 		return insertResult{added: res.added}, nil
 	}
 	out, err := t.splitInner(f, n, rank, cell)
@@ -210,7 +246,7 @@ func (t *Tree) leafInsert(f *bufpool.Frame, n node, key, val []byte) (insertResu
 // the appropriate half. Returns the separator (first key of the right
 // node) and the right page. The caller unpins f.
 func (t *Tree) splitLeaf(f *bufpool.Frame, n node, rank int, cell []byte) (insertResult, error) {
-	rf, err := t.pool.Allocate(page.KindBTreeLeaf)
+	rf, err := t.pool.AllocateMut(page.KindBTreeLeaf)
 	if err != nil {
 		return insertResult{}, err
 	}
@@ -241,7 +277,7 @@ func (t *Tree) splitLeaf(f *bufpool.Frame, n node, rank int, cell []byte) (inser
 	}
 	sep := append([]byte(nil), r.key(0)...)
 	right := rf.ID()
-	t.pool.Unpin(rf, true)
+	t.pool.UnpinMut(rf, true)
 	return insertResult{split: true, sepKey: sep, right: right}, nil
 }
 
@@ -249,9 +285,9 @@ func (t *Tree) splitLeaf(f *bufpool.Frame, n node, rank int, cell []byte) (inser
 // at rank. The middle separator is promoted, not kept. The caller's frame
 // is unpinned here.
 func (t *Tree) splitInner(f *bufpool.Frame, n node, rank int, cell []byte) (insertResult, error) {
-	rf, err := t.pool.Allocate(page.KindBTreeInner)
+	rf, err := t.pool.AllocateMut(page.KindBTreeInner)
 	if err != nil {
-		t.pool.Unpin(f, true)
+		t.pool.UnpinMut(f, true)
 		return insertResult{}, err
 	}
 	r := wrapNode(rf.Page())
@@ -280,8 +316,8 @@ func (t *Tree) splitInner(f *bufpool.Frame, n node, rank int, cell []byte) (inse
 		r.insertCellAt(rank-mid-1, cell)
 	}
 	right := rf.ID()
-	t.pool.Unpin(rf, true)
-	t.pool.Unpin(f, true)
+	t.pool.UnpinMut(rf, true)
+	t.pool.UnpinMut(f, true)
 	return insertResult{split: true, sepKey: promoted, right: right}, nil
 }
 
@@ -292,19 +328,19 @@ func (t *Tree) Get(key []byte) (val []byte, ok bool, err error) {
 		return nil, false, err
 	}
 	for {
-		f, err := t.pool.Fetch(id)
+		ref, err := t.fetchRead(id)
 		if err != nil {
 			return nil, false, err
 		}
-		n := wrapNode(f.Page())
+		n := wrapNode(ref.Page())
 		if n.isLeaf() {
 			rank, exact := n.search(key)
 			if !exact {
-				t.pool.Unpin(f, false)
+				ref.Release()
 				return nil, false, nil
 			}
 			out := append([]byte(nil), n.value(rank)...)
-			t.pool.Unpin(f, false)
+			ref.Release()
 			return out, true, nil
 		}
 		rank, exact := n.search(key)
@@ -316,18 +352,21 @@ func (t *Tree) Get(key []byte) (val []byte, ok bool, err error) {
 		} else {
 			id = disk.PageID(n.child(rank - 1))
 		}
-		t.pool.Unpin(f, false)
+		ref.Release()
 	}
 }
 
 // Delete removes key. ok reports whether it was present.
 func (t *Tree) Delete(key []byte) (ok bool, err error) {
+	if t.frozen {
+		return false, ErrFrozen
+	}
 	id, err := t.root()
 	if err != nil {
 		return false, err
 	}
 	for {
-		f, err := t.pool.Fetch(id)
+		f, err := t.pool.FetchMut(id)
 		if err != nil {
 			return false, err
 		}
@@ -335,11 +374,11 @@ func (t *Tree) Delete(key []byte) (ok bool, err error) {
 		if n.isLeaf() {
 			rank, exact := n.search(key)
 			if !exact {
-				t.pool.Unpin(f, false)
+				t.pool.UnpinMut(f, false)
 				return false, nil
 			}
 			n.removeCellAt(rank)
-			t.pool.Unpin(f, true)
+			t.pool.UnpinMut(f, true)
 			return true, nil
 		}
 		rank, exact := n.search(key)
@@ -351,7 +390,7 @@ func (t *Tree) Delete(key []byte) (ok bool, err error) {
 		} else {
 			id = disk.PageID(n.child(rank - 1))
 		}
-		t.pool.Unpin(f, false)
+		t.pool.UnpinMut(f, false)
 	}
 }
 
@@ -377,18 +416,18 @@ func (t *Tree) Seek(from []byte) *Iterator {
 		return it
 	}
 	for {
-		f, err := t.pool.Fetch(id)
+		ref, err := t.fetchRead(id)
 		if err != nil {
 			it.err = err
 			it.done = true
 			return it
 		}
-		n := wrapNode(f.Page())
+		n := wrapNode(ref.Page())
 		if n.isLeaf() {
 			rank, _ := n.search(from)
 			it.page = id
 			it.rank = rank - 1 // Next advances to rank
-			t.pool.Unpin(f, false)
+			ref.Release()
 			return it
 		}
 		rank, exact := n.search(from)
@@ -400,7 +439,7 @@ func (t *Tree) Seek(from []byte) *Iterator {
 		} else {
 			id = disk.PageID(n.child(rank - 1))
 		}
-		t.pool.Unpin(f, false)
+		ref.Release()
 	}
 }
 
@@ -410,22 +449,22 @@ func (it *Iterator) Next() bool {
 		return false
 	}
 	for {
-		f, err := it.tree.pool.Fetch(it.page)
+		ref, err := it.tree.fetchRead(it.page)
 		if err != nil {
 			it.err = err
 			it.done = true
 			return false
 		}
-		n := wrapNode(f.Page())
+		n := wrapNode(ref.Page())
 		if it.rank+1 < n.numCells() {
 			it.rank++
 			it.key = append(it.key[:0], n.key(it.rank)...)
 			it.val = append(it.val[:0], n.value(it.rank)...)
-			it.tree.pool.Unpin(f, false)
+			ref.Release()
 			return true
 		}
 		next := disk.PageID(n.aux())
-		it.tree.pool.Unpin(f, false)
+		ref.Release()
 		if next == disk.InvalidPage {
 			it.done = true
 			return false

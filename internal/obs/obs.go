@@ -286,6 +286,7 @@ type SessionMetrics struct {
 	Rejected Counter // NewSession calls refused by the MaxSessions cap
 	Shed     Counter // queries refused by the MaxInflightQueries cap
 	Inflight Gauge   // queries currently executing across all sessions
+	OpenTx   Gauge   // transactions currently open across all sessions
 }
 
 // SessionSnapshot is the session section of a registry snapshot.
@@ -296,6 +297,7 @@ type SessionSnapshot struct {
 	Rejected uint64
 	Shed     uint64
 	Inflight int64
+	OpenTx   int64
 }
 
 // ExecMetrics counts work done by the vectorized executor's stateful
@@ -417,6 +419,7 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 			Rejected: r.Session.Rejected.Load(),
 			Shed:     r.Session.Shed.Load(),
 			Inflight: r.Session.Inflight.Load(),
+			OpenTx:   r.Session.OpenTx.Load(),
 		},
 	}
 }
@@ -459,6 +462,7 @@ func (s RegistrySnapshot) Metrics() map[string]float64 {
 		"sessions.rejected":     float64(s.Session.Rejected),
 		"sessions.shed":         float64(s.Session.Shed),
 		"sessions.inflight":     float64(s.Session.Inflight),
+		"sessions.open_tx":      float64(s.Session.OpenTx),
 	}
 	if lat := s.Query.Latency; lat.Count > 0 {
 		m["query.latency_mean_us"] = float64(lat.Mean()) / float64(time.Microsecond)

@@ -16,6 +16,12 @@
 //	GET  /v1/sessions          list open sessions
 //	POST /v1/sessions          open a session ({"tag","deadline_ms","query_workers"})
 //	DELETE /v1/sessions/{id}   close a session
+//	POST /v1/tx                begin a transaction on a session
+//	                           ({"session": N, "read_only": bool}); queries
+//	                           sent with that session id then read the
+//	                           transaction's pinned snapshot
+//	POST /v1/tx/commit         commit the session's open transaction
+//	POST /v1/tx/rollback       roll back the session's open transaction
 //	GET  /metrics              flat text dump of every engine counter
 //
 // Line protocol (one TCP connection = one session): the server runs
@@ -215,6 +221,9 @@ func (s *Server) handler() http.Handler {
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
 	mux.HandleFunc("/v1/sessions", s.handleSessions)
 	mux.HandleFunc("/v1/sessions/", s.handleSessionByID)
+	mux.HandleFunc("/v1/tx", s.handleTxBegin)
+	mux.HandleFunc("/v1/tx/commit", s.handleTxFinish(func(tx *core.Tx) error { return tx.Commit() }))
+	mux.HandleFunc("/v1/tx/rollback", s.handleTxFinish(func(tx *core.Tx) error { return tx.Rollback() }))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
@@ -226,9 +235,11 @@ func httpStatus(code core.Code) int {
 		return http.StatusBadRequest
 	case core.CodeUnknownDatabase, core.CodeNoSource:
 		return http.StatusNotFound
-	case core.CodeDuplicateSource:
+	case core.CodeDuplicateSource, core.CodeTxConflict, core.CodeTxActive:
 		return http.StatusConflict
-	case core.CodeSessionClosed:
+	case core.CodeTxReadOnly:
+		return http.StatusBadRequest
+	case core.CodeSessionClosed, core.CodeTxClosed:
 		return http.StatusGone
 	case core.CodeTooManySessions, core.CodeOverloaded:
 		return http.StatusTooManyRequests
@@ -408,6 +419,85 @@ func (s *Server) handleSessionByID(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]bool{"closed": true})
+}
+
+// txRequest is the body of every /v1/tx* endpoint: the session the
+// transaction lives on. Transactions are per-session state, so the
+// shared HTTP session (0) is refused — open a session first.
+type txRequest struct {
+	Session  uint64 `json:"session"`
+	ReadOnly bool   `json:"read_only,omitempty"`
+}
+
+// txResponse describes a transaction's state on begin.
+type txResponse struct {
+	Session  uint64 `json:"session"`
+	Epoch    uint64 `json:"epoch"`
+	ReadOnly bool   `json:"read_only,omitempty"`
+}
+
+// txSession resolves the session a /v1/tx* request targets.
+func (s *Server) txSession(w http.ResponseWriter, r *http.Request) (*core.Session, txRequest, bool) {
+	var req txRequest
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return nil, req, false
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, &core.Error{Code: core.CodeBadQuery, Message: "bad request body: " + err.Error()})
+		return nil, req, false
+	}
+	if req.Session == 0 {
+		writeError(w, &core.Error{Code: core.CodeBadQuery,
+			Message: "transactions need a named session (POST /v1/sessions first)"})
+		return nil, req, false
+	}
+	sess, ok := s.eng.Session(req.Session)
+	if !ok {
+		writeError(w, &core.Error{Code: core.CodeSessionClosed,
+			Message: fmt.Sprintf("no session %d", req.Session)})
+		return nil, req, false
+	}
+	return sess, req, true
+}
+
+// handleTxBegin opens a transaction on the named session. Queries sent
+// with that session id afterwards run inside it (one stable snapshot)
+// until /v1/tx/commit or /v1/tx/rollback.
+func (s *Server) handleTxBegin(w http.ResponseWriter, r *http.Request) {
+	sess, req, ok := s.txSession(w, r)
+	if !ok {
+		return
+	}
+	tx, err := sess.BeginTx(r.Context(), core.TxOptions{ReadOnly: req.ReadOnly})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, txResponse{Session: req.Session, Epoch: tx.Snapshot(), ReadOnly: tx.ReadOnly()})
+}
+
+// handleTxFinish builds the commit/rollback handler: resolve the
+// session's open transaction and finish it. No open transaction reports
+// CodeTxClosed.
+func (s *Server) handleTxFinish(finish func(*core.Tx) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sess, req, ok := s.txSession(w, r)
+		if !ok {
+			return
+		}
+		tx := sess.Tx()
+		if tx == nil {
+			writeError(w, &core.Error{Code: core.CodeTxClosed,
+				Message: fmt.Sprintf("session %d has no open transaction", req.Session)})
+			return
+		}
+		if err := finish(tx); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, map[string]bool{"done": true})
+	}
 }
 
 // handleMetrics dumps every engine counter as flat text, one

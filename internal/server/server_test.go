@@ -529,3 +529,88 @@ func TestShutdownDrains(t *testing.T) {
 		// listener close propagates, but no banner will arrive.
 	}
 }
+
+// postJSON posts a JSON body to path and returns the response and body.
+func postJSON(t *testing.T, srv *Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post("http://"+srv.HTTPAddr()+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestHTTPTransactions drives the /v1/tx surface: snapshot-stable reads
+// on the session while a load commits, commit, and the error taxonomy
+// for the closed/missing cases.
+func TestHTTPTransactions(t *testing.T) {
+	eng := testEngine(t, nil)
+	srv := testServer(t, eng)
+
+	// Transactions need a named session.
+	resp, _ := postJSON(t, srv, "/v1/tx", `{}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("tx begin without session: status %d, want 400", resp.StatusCode)
+	}
+
+	_, body := postJSON(t, srv, "/v1/sessions", `{"tag":"txtest"}`)
+	var info core.SessionInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	sessRef := fmt.Sprintf(`{"session":%d}`, info.ID)
+
+	// Rollback with no open transaction → tx_closed (410).
+	resp, body = postJSON(t, srv, "/v1/tx/rollback", sessRef)
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("rollback without tx: status %d (%s), want 410", resp.StatusCode, body)
+	}
+	if we, err := core.ErrorFromJSON(body); err != nil || !errors.Is(we, core.ErrTxClosed) {
+		t.Fatalf("rollback without tx body %s: want ErrTxClosed", body)
+	}
+
+	resp, body = postJSON(t, srv, "/v1/tx", sessRef)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tx begin: status %d (%s)", resp.StatusCode, body)
+	}
+
+	countQ := `{"query":"FOR $a IN document(\"hlx_enzyme.DEFAULT\")/hlx_enzyme RETURN $a//enzyme_id","session":` + fmt.Sprint(info.ID) + `}`
+	_, body = postQuery(t, srv, countQ, "")
+	res, err := core.ResultFromJSON(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(res.Rows)
+
+	// A load commits mid-transaction; the session still reads its pin.
+	if _, err := eng.HarnessReaderContext(context.Background(), testDB,
+		hounds.EnzymeTransformer{}, strings.NewReader(enzymeFlat(t, 33, 3)), "v2"); err != nil {
+		t.Fatal(err)
+	}
+	_, body = postQuery(t, srv, countQ, "")
+	if res, err = core.ResultFromJSON(body); err != nil || len(res.Rows) != before {
+		t.Fatalf("query inside tx sees %d rows (%v), want the pinned %d", len(res.Rows), err, before)
+	}
+
+	resp, body = postJSON(t, srv, "/v1/tx/commit", sessRef)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tx commit: status %d (%s)", resp.StatusCode, body)
+	}
+	_, body = postQuery(t, srv, countQ, "")
+	if res, err = core.ResultFromJSON(body); err != nil || len(res.Rows) != 34 {
+		t.Fatalf("query after commit sees %d rows (%v), want 34", len(res.Rows), err)
+	}
+
+	// Double Begin on the session → tx_active (409).
+	postJSON(t, srv, "/v1/tx", sessRef)
+	resp, body = postJSON(t, srv, "/v1/tx", sessRef)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second begin: status %d (%s), want 409", resp.StatusCode, body)
+	}
+	if we, err := core.ErrorFromJSON(body); err != nil || !errors.Is(we, core.ErrTxActive) {
+		t.Fatalf("second begin body %s: want ErrTxActive", body)
+	}
+}

@@ -69,6 +69,17 @@ type Update struct {
 	Where Expr
 }
 
+// BeginTx, CommitTx and RollbackTx are the explicit transaction
+// statements: BEGIN opens a batch (statements until COMMIT share one
+// WAL transaction), COMMIT makes it durable atomically, ROLLBACK
+// discards it. They map onto DB.Begin/Commit/Rollback; the session
+// layer above intercepts them for its own Tx lifecycle.
+type (
+	BeginTx    struct{}
+	CommitTx   struct{}
+	RollbackTx struct{}
+)
+
 // Assignment is one SET column = expr clause.
 type Assignment struct {
 	Column string
@@ -125,6 +136,9 @@ func (*Insert) stmt()      {}
 func (*Delete) stmt()      {}
 func (*Update) stmt()      {}
 func (*Select) stmt()      {}
+func (*BeginTx) stmt()     {}
+func (*CommitTx) stmt()    {}
+func (*RollbackTx) stmt()  {}
 
 // Expr is any expression node.
 type Expr interface{ expr() }

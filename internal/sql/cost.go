@@ -520,7 +520,7 @@ func estJoinRows(entries []fromEntry, j int, placed map[string]bool, conjs []Exp
 // GROUP BY is a single group. Deterministic in the ANALYZE snapshot,
 // so EXPLAIN's "(est groups=N)" is stable plan text, and it pre-sizes
 // the hash aggregate's group table.
-func (db *DB) estGroupsFor(sel *Select) int64 {
+func (db *DB) estGroupsFor(es *execState, sel *Select) int64 {
 	if len(sel.GroupBy) == 0 {
 		return 1
 	}
@@ -532,7 +532,7 @@ func (db *DB) estGroupsFor(sel *Select) int64 {
 	var tables []bound
 	total := 1.0
 	for _, ref := range sel.From {
-		t, err := db.cat.table(ref.Table)
+		t, err := db.tableFor(es, ref.Table)
 		if err != nil {
 			continue
 		}

@@ -12,6 +12,7 @@ package sql_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -232,6 +233,70 @@ func TestCrashRecoverySweep(t *testing.T) {
 	if !testing.Short() && res.Points < 50 {
 		t.Fatalf("sweep exercised only %d crash points, want >= 50 (%v)", res.Points, res)
 	}
+	if res.AtCommitted == 0 {
+		t.Errorf("no crash point recovered to a committed boundary: %v", res)
+	}
+}
+
+// snapshotProbe reduces the warehouse to a comparable string through a
+// pinned snapshot: every page access resolves against the snapshot's
+// epoch, so a load or delete committing between two probes of the same
+// snapshot must not change the result.
+func snapshotProbe(db *sql.DB, snap *sql.Snap) (string, error) {
+	probes := []string{
+		`SELECT name FROM docs WHERE db = ` + shred.Quote(crashDBName),
+		`SELECT doc_id, node_id, val FROM values_str WHERE db = ` + shred.Quote(crashDBName),
+	}
+	var b strings.Builder
+	for i, src := range probes {
+		stmt, err := sql.Parse(src)
+		if err != nil {
+			return "", err
+		}
+		sel, ok := stmt.(*sql.Select)
+		if !ok {
+			return "", fmt.Errorf("probe %d is not a SELECT", i)
+		}
+		rows, err := db.QueryStmtOptsContext(context.Background(), sel, sql.ExecOpts{Snap: snap})
+		if err != nil {
+			return "", fmt.Errorf("probe %d: %w", i, err)
+		}
+		lines := make([]string, 0, len(rows.Rows))
+		for _, row := range rows.Rows {
+			parts := make([]string, len(row))
+			for j, v := range row {
+				parts[j] = v.String()
+			}
+			lines = append(lines, strings.Join(parts, "|"))
+		}
+		sort.Strings(lines)
+		fmt.Fprintf(&b, "p%d: %s\n", i, strings.Join(lines, ";"))
+	}
+	return b.String(), nil
+}
+
+// TestCrashSweepSnapshotReader is the MVCC crash sweep: a reader pins a
+// snapshot before every step and re-reads it after the step commits,
+// while the harness cuts power at every sampled disk operation. The
+// reader must always see exactly the committed boundary it pinned —
+// never a torn epoch — and recovery must still land on a committed
+// fingerprint with the reader's epoch pins in play.
+func TestCrashSweepSnapshotReader(t *testing.T) {
+	docs := enzymeDocs(t, 6)
+	maxPoints := 40
+	if testing.Short() {
+		maxPoints = 10
+	}
+	w := crashtest.WithSnapshotReader(crashWorkload(t, docs), snapshotProbe)
+	res, err := crashtest.Sweep(crashtest.Config{
+		Seed:      43,
+		Opts:      sql.Options{PoolPages: 256, WALSoftLimit: 8 << 10},
+		MaxPoints: maxPoints,
+	}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
 	if res.AtCommitted == 0 {
 		t.Errorf("no crash point recovered to a committed boundary: %v", res)
 	}

@@ -100,6 +100,24 @@ type DB struct {
 	// durable mgr.IndexesStale flag is raised for the whole window so a
 	// crash mid-load rebuilds on the next open.
 	indexesDeferred bool
+
+	// snap is the currently published snapshot (see snapshot.go); replaced
+	// under db.mu at every commit, read lock-free by snapshot queries.
+	snap atomic.Pointer[Snap]
+	// readGate excludes snapshot readers from the rollback window where
+	// live frames are discarded and replayed (mid-replay pages are torn).
+	// Readers hold it shared per statement; only rollbackLocked takes it
+	// exclusively — commits never block readers.
+	readGate sync.RWMutex
+	// rollbackGen counts rollbacks. Published snapshots from an older
+	// generation stop using their frozen B-trees (rollback may have
+	// discarded never-flushed index pages their anchors reach).
+	rollbackGen atomic.Uint64
+	// queryWorkers/queryMemBudget mirror the Options fields for lock-free
+	// reads by the snapshot query path (SetQueryWorkers/SetMemBudget
+	// mutate Options under db.mu, which snapshot readers do not hold).
+	queryWorkers   atomic.Int64
+	queryMemBudget atomic.Int64
 }
 
 // Result reports the effect of a non-query statement.
@@ -202,6 +220,9 @@ func open(path string, opts Options) (*DB, error) {
 		db.closeFiles()
 		return nil, err
 	}
+	db.queryWorkers.Store(int64(opts.QueryWorkers))
+	db.queryMemBudget.Store(opts.QueryMemBudget)
+	db.publishLocked()
 	if mgr.IndexesStale() {
 		// The rebuild checkpoint inside loadCatalog made the fresh
 		// anchors durable; the flag can come down. Losing this write
@@ -529,11 +550,21 @@ func (db *DB) Commit() error {
 		}
 		return err
 	}
-	return db.maybeCheckpointLocked()
+	if err := db.maybeCheckpointLocked(); err != nil {
+		return err
+	}
+	db.publishLocked()
+	return nil
 }
 
 // Rollback abandons the open batch: every change since the last commit
 // is discarded and the database returns to its last committed state.
+//
+// Deprecated: application code should scope rollbacks to a transaction
+// — open one with core.Session.Begin and call Tx.Rollback, which also
+// restores the warehouse's in-memory dictionaries and caches. The bare
+// batch surface (Begin/Commit/Rollback) remains for the engine's
+// internal loaders and the SQL BEGIN/COMMIT/ROLLBACK statements.
 //
 // In the no-steal/redo-only design nothing of an uncommitted
 // transaction reaches the data file, so abort is: drop the dirty
@@ -569,25 +600,44 @@ func (db *DB) rollbackLocked() error {
 	if err != nil {
 		return fmt.Errorf("sql: rollback scan: %w", err)
 	}
-	if err := db.pool.DiscardDirty(); err != nil {
-		return err
-	}
-	// DiscardDirty dropped unflushed index pages while the catalog's
-	// anchors still name them, and the checkpoint below makes that
-	// mismatch durable. Raise the header flag (durable within the
-	// checkpoint's flush, before the WAL truncate) so a process death
-	// anywhere before loadCatalog re-persists fresh anchors leaves a
-	// file that rebuilds its indexes on the next open.
-	if err := db.mgr.SetIndexesStale(true); err != nil {
-		return err
-	}
-	for _, op := range ops {
-		if err := db.mgr.EnsureAllocated(disk.PageID(op.Page)); err != nil {
-			return fmt.Errorf("sql: rollback extend: %w", err)
+	// Quiesce snapshot readers for the discard+replay window: a live
+	// frame mid-replay holds the checkpoint state plus a prefix of the
+	// committed ops, which a version-map miss would hand to a reader as
+	// if it were a committed page. Readers hold readGate shared per
+	// statement; this is the only exclusive acquisition — commits never
+	// block readers. Retained page versions are untouched by the
+	// discard, so pinned old-epoch snapshots stay intact throughout.
+	db.readGate.Lock()
+	err = func() error {
+		if err := db.pool.DiscardDirty(); err != nil {
+			return err
 		}
-	}
-	if err := heap.Replay(db.pool, ops); err != nil {
-		return fmt.Errorf("sql: rollback replay: %w", err)
+		// DiscardDirty dropped unflushed index pages while the catalog's
+		// anchors still name them, and the checkpoint below makes that
+		// mismatch durable. Raise the header flag (durable within the
+		// checkpoint's flush, before the WAL truncate) so a process death
+		// anywhere before loadCatalog re-persists fresh anchors leaves a
+		// file that rebuilds its indexes on the next open.
+		if err := db.mgr.SetIndexesStale(true); err != nil {
+			return err
+		}
+		for _, op := range ops {
+			if err := db.mgr.EnsureAllocated(disk.PageID(op.Page)); err != nil {
+				return fmt.Errorf("sql: rollback extend: %w", err)
+			}
+		}
+		if err := heap.Replay(db.pool, ops); err != nil {
+			return fmt.Errorf("sql: rollback replay: %w", err)
+		}
+		return nil
+	}()
+	// Older snapshots must stop trusting their frozen B-tree views: the
+	// discard may have dropped never-flushed index pages their anchors
+	// reach. Bump the generation before readers resume.
+	db.rollbackGen.Add(1)
+	db.readGate.Unlock()
+	if err != nil {
+		return err
 	}
 	if err := db.checkpointLocked(); err != nil {
 		return err
@@ -599,7 +649,13 @@ func (db *DB) rollbackLocked() error {
 	if err := db.loadCatalog(true); err != nil {
 		return err
 	}
-	return db.mgr.SetIndexesStale(false)
+	if err := db.mgr.SetIndexesStale(false); err != nil {
+		return err
+	}
+	// Publish the restored state as a fresh epoch so new snapshot readers
+	// see the rebuilt catalog (with usable index anchors) immediately.
+	db.publishLocked()
+	return nil
 }
 
 func (db *DB) maybeCheckpointLocked() error {
@@ -631,6 +687,12 @@ func (db *DB) ExecStmt(stmt Statement) (Result, error) {
 			return Result{}, err
 		}
 		return Result{RowsAffected: len(rows.Rows)}, nil
+	case *BeginTx:
+		return Result{}, db.Begin()
+	case *CommitTx:
+		return Result{}, db.Commit()
+	case *RollbackTx:
+		return Result{}, db.Rollback()
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -673,7 +735,8 @@ func (db *DB) ExecStmt(stmt Statement) (Result, error) {
 }
 
 // commitAutoLocked commits a single auto-commit statement: append the
-// commit record, sync per policy, maybe checkpoint. Caller holds db.mu.
+// commit record, sync per policy, maybe checkpoint, publish the new
+// snapshot epoch. Caller holds db.mu.
 func (db *DB) commitAutoLocked(txn uint64) error {
 	if err := db.log.Append(wal.Record{Txn: txn, Op: wal.OpCommit}); err != nil {
 		return err
@@ -683,7 +746,11 @@ func (db *DB) commitAutoLocked(txn uint64) error {
 			return err
 		}
 	}
-	return db.maybeCheckpointLocked()
+	if err := db.maybeCheckpointLocked(); err != nil {
+		return err
+	}
+	db.publishLocked()
+	return nil
 }
 
 // stmtAbortLocked restores the last committed state after a failed
@@ -754,14 +821,37 @@ type ExecOpts struct {
 	// positive; 0 inherits the DB-wide setting. Results are
 	// byte-identical for any value.
 	MemBudget int64
+	// Snap, when non-nil, runs the query against that pinned snapshot
+	// (transaction reads): no db.mu is taken and concurrent commits are
+	// invisible. The caller owns the snapshot's pin.
+	Snap *Snap
+	// SnapshotRead acquires a per-statement snapshot at the current epoch
+	// and runs against it, again without db.mu — the lock-free read path
+	// the engine layer uses so queries never block behind a bulk load.
+	// Ignored when Snap is set.
+	SnapshotRead bool
 }
 
 // QueryStmtOptsContext runs a parsed SELECT under ctx with per-query
-// execution overrides (session-scoped worker caps, tracing).
+// execution overrides (session-scoped worker caps, tracing, snapshot
+// reads). Without a snapshot option the query holds db.mu shared for its
+// duration (legacy path: sees the writer's own uncommitted batch);
+// snapshot modes instead pin an epoch and hold only the readGate, so a
+// concurrent load commits freely while the query runs.
 func (db *DB) QueryStmtOptsContext(ctx context.Context, sel *Select, o ExecOpts) (*Rows, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.runSelect(ctx, sel, o.Trace, o.Workers, o.MemBudget)
+	snap := o.Snap
+	if snap == nil && o.SnapshotRead {
+		snap = db.AcquireSnapshot()
+		defer db.ReleaseSnapshot(snap)
+	}
+	if snap == nil {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return db.runSelect(ctx, sel, o, nil)
+	}
+	db.readGate.RLock()
+	defer db.readGate.RUnlock()
+	return db.runSelect(ctx, sel, o, snap)
 }
 
 // Table exposes table metadata (column defs and row count).
@@ -785,6 +875,7 @@ func (db *DB) SetQueryWorkers(n int) {
 		n = 1
 	}
 	db.opts.QueryWorkers = n
+	db.queryWorkers.Store(int64(n))
 }
 
 // SetMemBudget changes the per-query hash-join memory budget for
@@ -797,6 +888,7 @@ func (db *DB) SetMemBudget(n int64) {
 		n = 0
 	}
 	db.opts.QueryMemBudget = n
+	db.queryMemBudget.Store(n)
 }
 
 // Tables lists the table names in the catalog.
@@ -1121,7 +1213,13 @@ func (db *DB) ResumeIndexes() error {
 		}
 		return err
 	}
-	return db.mgr.SetIndexesStale(false)
+	if err := db.mgr.SetIndexesStale(false); err != nil {
+		return err
+	}
+	// The rebuilt anchors make indexes usable again: publish a fresh
+	// epoch so snapshot queries stop falling back to sequential scans.
+	db.publishLocked()
+	return nil
 }
 
 // IndexesDeferred reports whether a DeferIndexes window is open.

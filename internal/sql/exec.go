@@ -55,6 +55,13 @@ type execState struct {
 	spillBase  string
 	spillFiles []disk.File
 	spillPaths []string
+	// snap, when non-nil, is the pinned snapshot the query reads: table
+	// lookups resolve in its frozen catalog view and never touch db.cat.
+	// snapIndexes reports whether the snapshot's frozen B-trees are
+	// trustworthy (indexes not deferred at publish, no rollback since);
+	// false forces sequential access paths.
+	snap        *Snap
+	snapIndexes bool
 }
 
 // addSpillFile registers a spill file for end-of-query cleanup.
@@ -174,19 +181,38 @@ func tracedIf(op *obs.OpStats, it rowIter) rowIter {
 // overrides Options.QueryWorkers for this query when positive (per-session
 // overrides ride here); 0 inherits the DB-wide setting. memBudget
 // likewise overrides Options.QueryMemBudget when positive.
-func (db *DB) runSelect(ctx context.Context, sel *Select, qt *obs.QueryTrace, workers int, memBudget int64) (*Rows, error) {
+func (db *DB) runSelect(ctx context.Context, sel *Select, o ExecOpts, snap *Snap) (*Rows, error) {
 	if len(sel.From) == 0 {
 		return nil, fmt.Errorf("sql: SELECT requires FROM")
 	}
+	// Live-path defaults read db.opts under the db.mu the caller holds;
+	// snapshot-mode callers hold no db.mu and must not race the setters,
+	// so they read the atomic mirrors instead.
+	workers := o.Workers
 	if workers <= 0 {
-		workers = db.opts.QueryWorkers
+		if snap != nil {
+			workers = int(db.queryWorkers.Load())
+		} else {
+			workers = db.opts.QueryWorkers
+		}
 	}
+	memBudget := o.MemBudget
 	if memBudget <= 0 {
-		memBudget = db.opts.QueryMemBudget
+		if snap != nil {
+			memBudget = db.queryMemBudget.Load()
+		} else {
+			memBudget = db.opts.QueryMemBudget
+		}
 	}
 	es := newExecState(ctx, workers)
 	es.reg = db.reg
-	es.qt = qt
+	es.qt = o.Trace
+	es.snap = snap
+	if snap != nil {
+		// One check per statement suffices: the readGate (held shared for
+		// the whole statement) keeps a rollback from starting mid-query.
+		es.snapIndexes = snap.indexesOK && db.rollbackGen.Load() == snap.rollbackGen
+	}
 	if memBudget > 0 {
 		es.memBudget = memBudget
 		es.fs = db.opts.FS
@@ -227,7 +253,7 @@ func (db *DB) planSink(es *execState, sel *Select, in *Schema) *sinkPlan {
 	sp.exprs, sp.names = expandItems(sel, in)
 	sp.spec = newOrderSpec(sel, in, sp.names)
 	if hasAggregates(sel) {
-		sp.estGroups = db.estGroupsFor(sel)
+		sp.estGroups = db.estGroupsFor(es, sel)
 		sp.aggOp = es.tracef("hash aggregate (%d group cols, %d aggs) (est groups=%d)",
 			len(sel.GroupBy), len(collectAggs(sel, sp.exprs)), sp.estGroups)
 		if sel.Having != nil {
@@ -247,6 +273,16 @@ func (db *DB) planSink(es *execState, sel *Select, in *Schema) *sinkPlan {
 	return sp
 }
 
+// tableFor resolves a table name for the executor: through the pinned
+// snapshot's frozen catalog view when the query runs in snapshot mode,
+// through the live catalog (caller holds db.mu) otherwise.
+func (db *DB) tableFor(es *execState, name string) (*TableInfo, error) {
+	if es.snap != nil {
+		return es.snap.table(name)
+	}
+	return db.cat.table(name)
+}
+
 // buildFrom constructs the join tree for the FROM clause: an access path
 // for the first table, then one join per subsequent table. WHERE
 // conjuncts that reference a single binding are pushed down to that
@@ -256,7 +292,7 @@ func (db *DB) buildFrom(es *execState, sel *Select) (batchIter, error) {
 	conjs := conjuncts(sel.Where)
 	entries := make([]fromEntry, len(sel.From))
 	for i, ref := range sel.From {
-		t, err := db.cat.table(ref.Table)
+		t, err := db.tableFor(es, ref.Table)
 		if err != nil {
 			return nil, err
 		}
@@ -614,7 +650,14 @@ func refersTo(c *ColumnRef, binding string, t *TableInfo) bool {
 // seqScanIter and DML row collection needs the bare ridSource.
 func (db *DB) accessPath(es *execState, t *TableInfo, binding string, conjs []Expr) (rowIter, *obs.OpStats, error) {
 	schema := t.Schema(binding)
-	if db.indexesDeferred {
+	deferred := db.indexesDeferred
+	if es.snap != nil {
+		// Snapshot mode never inspects live catalog state; the Snap
+		// recorded at publish whether its frozen B-trees are usable
+		// (snapIndexes also folds in rollback-generation staleness).
+		deferred = !es.snapIndexes
+	}
+	if deferred {
 		// Bulk load in progress: the secondary indexes miss the freshly
 		// loaded rows until ResumeIndexes rebuilds them, so only the
 		// heaps are trustworthy.

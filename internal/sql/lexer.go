@@ -47,7 +47,7 @@ var keywords = map[string]bool{
 	"INT": true, "FLOAT": true, "TEXT": true, "BOOL": true, "BYTES": true,
 	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true,
 	"USING": true, "HASH": true, "UNIQUE": true, "PRIMARY": true, "KEY": true,
-	"IF": true, "EXISTS": true, "BEGIN": true, "COMMIT": true,
+	"IF": true, "EXISTS": true, "BEGIN": true, "COMMIT": true, "ROLLBACK": true,
 }
 
 type lexer struct {

@@ -90,6 +90,15 @@ func (p *parser) statement() (Statement, error) {
 		return p.createStmt()
 	case "DROP":
 		return p.dropStmt()
+	case "BEGIN":
+		p.advance()
+		return &BeginTx{}, nil
+	case "COMMIT":
+		p.advance()
+		return &CommitTx{}, nil
+	case "ROLLBACK":
+		p.advance()
+		return &RollbackTx{}, nil
 	default:
 		return nil, fmt.Errorf("sql: unsupported statement %s", t)
 	}

@@ -45,6 +45,12 @@ type Pool struct {
 	capacity int
 	shards   []*shard
 	mask     uint32
+
+	// MVCC state (see mvcc.go): the published epoch, and a refcount of
+	// readers pinned per epoch that holds retained page versions alive.
+	epoch atomic.Uint64
+	pinMu sync.Mutex
+	pins  map[uint64]int
 }
 
 // shard is one lock domain of the pool: a frame map, an LRU list and the
@@ -57,6 +63,11 @@ type shard struct {
 	lru       *list.List // of *Frame; front = most recently used
 	noSteal   bool
 	mutations uint64
+	// versions holds retained pre-images of pages mutated after an epoch
+	// was published, ascending by upTo. Guarded by vmu, separate from mu
+	// so version lookups never contend with frame-map traffic.
+	vmu      sync.RWMutex
+	versions map[disk.PageID][]pageVersion
 	// m holds the shard's cache-effectiveness counters. Always non-nil:
 	// New gives each shard a private block, and BindMetrics swaps in the
 	// engine registry's blocks, so the hot path increments without a nil
@@ -84,6 +95,11 @@ type Frame struct {
 	latch   sync.RWMutex
 	loadErr error
 	loaded  atomic.Bool
+
+	// born is epoch+1 at Allocate time for fresh pages (no published
+	// epoch has seen them, so FetchMut skips pre-image retention), and 0
+	// for frames loaded from disk. Only the single writer reads it.
+	born uint64
 }
 
 // ID reports the page id the frame holds.
@@ -117,6 +133,7 @@ func New(mgr *disk.Manager, capacity int) *Pool {
 		capacity: capacity,
 		shards:   make([]*shard, n),
 		mask:     uint32(n - 1),
+		pins:     make(map[uint64]int),
 	}
 	per := capacity / n
 	extra := capacity % n
@@ -130,6 +147,7 @@ func New(mgr *disk.Manager, capacity int) *Pool {
 			capacity: c,
 			frames:   make(map[disk.PageID]*Frame),
 			lru:      list.New(),
+			versions: make(map[disk.PageID][]pageVersion),
 			m:        &obs.PoolShardMetrics{},
 		}
 	}
@@ -248,6 +266,7 @@ func (p *Pool) Allocate(kind page.Kind) (*Frame, error) {
 	f.pg.Init(kind)
 	f.loaded.Store(true)
 	f.dirty = true
+	f.born = p.epoch.Load() + 1
 	s.mutations++
 	return f, nil
 }
@@ -365,19 +384,15 @@ func (p *Pool) Unpin(f *Frame, dirty bool) {
 // next Fetch of those pages rereads the last checkpointed state from
 // disk. This is the abort path of the no-steal/redo-only design: an
 // uncommitted transaction lives only in dirty frames (and the WAL tail),
-// so forgetting the frames forgets the transaction. It fails if any
-// dirty frame is still pinned.
+// so forgetting the frames forgets the transaction.
+//
+// A dirty frame that is still pinned is orphaned rather than an error:
+// the only pins a rollback can race are snapshot readers finishing a
+// page read (the writer holds none at abort time), and a reader's Frame
+// pointer stays valid with its committed bytes after the frame leaves
+// the map — the next Fetch simply builds a new frame from disk. The
+// unused error return is kept for call-site compatibility.
 func (p *Pool) DiscardDirty() error {
-	for _, s := range p.shards {
-		s.mu.Lock()
-		for _, f := range s.frames {
-			if f.dirty && f.pins.Load() > 0 {
-				s.mu.Unlock()
-				return fmt.Errorf("bufpool: discard of pinned dirty page %d", f.id)
-			}
-		}
-		s.mu.Unlock()
-	}
 	for _, s := range p.shards {
 		s.mu.Lock()
 		for _, f := range s.frames {

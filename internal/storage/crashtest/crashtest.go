@@ -58,6 +58,46 @@ type Workload struct {
 	Verify func(db *sql.DB) error
 }
 
+// WithSnapshotReader threads an MVCC reader through every step of w:
+// before the step mutates, a snapshot is pinned and read; after the
+// step commits, the same pinned snapshot is read again and must return
+// byte-identical content — the committed boundary the reader started
+// on, never a torn epoch. Because the reads run synchronously inside
+// each step they execute identically in the count run, the snapshot run
+// and every crashed run, preserving the harness's determinism
+// invariant; a crash point that lands inside a step therefore also
+// lands while a reader holds an old snapshot, which is exactly the
+// window this wrapper exists to sweep. read must be deterministic and
+// read-only, resolving all page access through the given snapshot.
+func WithSnapshotReader(w Workload, read func(db *sql.DB, s *sql.Snap) (string, error)) Workload {
+	out := w
+	out.Steps = make([]Step, len(w.Steps))
+	for i, st := range w.Steps {
+		st := st
+		out.Steps[i] = Step{Name: st.Name, Run: func(db *sql.DB) error {
+			snap := db.AcquireSnapshot()
+			defer db.ReleaseSnapshot(snap)
+			pinned, err := read(db, snap)
+			if err != nil {
+				return fmt.Errorf("snapshot read before %s: %w", st.Name, err)
+			}
+			if err := st.Run(db); err != nil {
+				return err
+			}
+			after, err := read(db, snap)
+			if err != nil {
+				return fmt.Errorf("snapshot re-read after %s: %w", st.Name, err)
+			}
+			if after != pinned {
+				return fmt.Errorf("snapshot reader across %s saw a torn epoch\n--- pinned ---\n%s--- after commit ---\n%s",
+					st.Name, pinned, after)
+			}
+			return nil
+		}}
+	}
+	return out
+}
+
 // Config tunes a sweep.
 type Config struct {
 	Seed int64

@@ -31,9 +31,13 @@ var ErrTooLarge = errors.New("heap: record exceeds page capacity")
 // maxRecord leaves room for the page header and one slot.
 const maxRecord = page.Size - 64
 
+// ErrFrozen is returned by mutators of a frozen (snapshot) heap.
+var ErrFrozen = errors.New("heap: mutation of frozen snapshot heap")
+
 // Heap is one heap file: a chain of pages linked through the page aux
-// field. It is not safe for concurrent use; the engine layer serialises
-// access.
+// field. Mutation is not safe for concurrent use (the engine layer
+// serialises writers); a frozen heap (see Freeze) is an immutable
+// epoch-bound view safe to read concurrently with the writer.
 type Heap struct {
 	pool  *bufpool.Pool
 	log   *wal.Log
@@ -41,6 +45,39 @@ type Heap struct {
 	last  disk.PageID
 	count int
 	pages []disk.PageID // chain order; parallel scans partition this
+
+	// Frozen heaps resolve page reads through the pool's version map at
+	// a fixed epoch instead of the live frames.
+	frozen bool
+	epoch  uint64
+}
+
+// Freeze returns an immutable view of the heap bound to the given
+// published epoch: reads resolve through the buffer pool's version map,
+// so a concurrent writer's page mutations are invisible. The page chain
+// and count are copied; mutators of the view fail with ErrFrozen. The
+// caller is responsible for keeping the epoch pinned (bufpool.PinEpoch)
+// while the view is in use.
+func (h *Heap) Freeze(epoch uint64) *Heap {
+	return &Heap{
+		pool:   h.pool,
+		first:  h.first,
+		last:   h.last,
+		count:  h.count,
+		pages:  append([]disk.PageID(nil), h.pages...),
+		frozen: true,
+		epoch:  epoch,
+	}
+}
+
+// fetchRead resolves a page for reading: version-mapped at the frozen
+// epoch, or the live frame for a mutable heap (whose callers are
+// serialised against the writer by the engine).
+func (h *Heap) fetchRead(id disk.PageID) (bufpool.PageRef, error) {
+	if h.frozen {
+		return h.pool.ReadAt(id, h.epoch)
+	}
+	return h.pool.FetchRef(id)
 }
 
 // Create allocates a new heap file and returns it. The first page ID is
@@ -95,49 +132,52 @@ func (h *Heap) appendLog(r wal.Record) error {
 
 // Insert appends a record and returns its RID.
 func (h *Heap) Insert(txn uint64, rec []byte) (RID, error) {
+	if h.frozen {
+		return RID{}, ErrFrozen
+	}
 	if len(rec) > maxRecord {
 		return RID{}, fmt.Errorf("heap: %d-byte record: %w", len(rec), ErrTooLarge)
 	}
-	f, err := h.pool.Fetch(h.last)
+	f, err := h.pool.FetchMut(h.last)
 	if err != nil {
 		return RID{}, err
 	}
 	slot, err := f.Page().Insert(rec)
 	if err == nil {
 		rid := RID{Page: f.ID(), Slot: uint16(slot)}
-		h.pool.Unpin(f, true)
+		h.pool.UnpinMut(f, true)
 		h.count++
 		return rid, h.appendLog(wal.Record{Txn: txn, Op: wal.OpInsertAt, Page: uint32(rid.Page), Slot: rid.Slot, Data: rec})
 	}
 	if !errors.Is(err, page.ErrPageFull) {
-		h.pool.Unpin(f, false)
+		h.pool.UnpinMut(f, false)
 		return RID{}, err
 	}
 	// Grow the chain.
-	nf, err := h.pool.Allocate(page.KindHeap)
+	nf, err := h.pool.AllocateMut(page.KindHeap)
 	if err != nil {
-		h.pool.Unpin(f, false)
+		h.pool.UnpinMut(f, false)
 		return RID{}, err
 	}
 	f.Page().SetAux(uint32(nf.ID()))
-	h.pool.Unpin(f, true)
+	h.pool.UnpinMut(f, true)
 	if err := h.appendLog(wal.Record{Txn: txn, Op: wal.OpInitPage, Page: uint32(nf.ID()), Kind: uint8(page.KindHeap)}); err != nil {
-		h.pool.Unpin(nf, true)
+		h.pool.UnpinMut(nf, true)
 		return RID{}, err
 	}
 	if err := h.appendLog(wal.Record{Txn: txn, Op: wal.OpSetAux, Page: uint32(h.last), Aux: uint32(nf.ID())}); err != nil {
-		h.pool.Unpin(nf, true)
+		h.pool.UnpinMut(nf, true)
 		return RID{}, err
 	}
 	h.last = nf.ID()
 	h.pages = append(h.pages, nf.ID())
 	slot, err = nf.Page().Insert(rec)
 	if err != nil {
-		h.pool.Unpin(nf, true)
+		h.pool.UnpinMut(nf, true)
 		return RID{}, fmt.Errorf("heap: insert into fresh page: %w", err)
 	}
 	rid := RID{Page: nf.ID(), Slot: uint16(slot)}
-	h.pool.Unpin(nf, true)
+	h.pool.UnpinMut(nf, true)
 	h.count++
 	return rid, h.appendLog(wal.Record{Txn: txn, Op: wal.OpInsertAt, Page: uint32(rid.Page), Slot: rid.Slot, Data: rec})
 }
@@ -170,47 +210,50 @@ func (h *Heap) logPageImage(txn uint64, f *bufpool.Frame) error {
 // order therefore reconstructs exactly the committed state; if this
 // transaction aborts, its images are filtered out with its other ops.
 func (h *Heap) InsertBatch(txn uint64, recs [][]byte) ([]RID, error) {
+	if h.frozen {
+		return nil, ErrFrozen
+	}
 	if len(recs) == 0 {
 		return nil, nil
 	}
 	rids := make([]RID, 0, len(recs))
-	f, err := h.pool.Fetch(h.last)
+	f, err := h.pool.FetchMut(h.last)
 	if err != nil {
 		return nil, err
 	}
 	touched := false // page has records from this batch not yet imaged
 	for _, rec := range recs {
 		if len(rec) > maxRecord {
-			h.pool.Unpin(f, touched)
+			h.pool.UnpinMut(f, touched)
 			return rids, fmt.Errorf("heap: %d-byte record: %w", len(rec), ErrTooLarge)
 		}
 		slot, err := f.Page().Insert(rec)
 		if errors.Is(err, page.ErrPageFull) {
 			// Grow the chain; the finished page's image includes the
 			// forward link, so no separate init/set-aux records.
-			nf, err := h.pool.Allocate(page.KindHeap)
+			nf, err := h.pool.AllocateMut(page.KindHeap)
 			if err != nil {
-				h.pool.Unpin(f, touched)
+				h.pool.UnpinMut(f, touched)
 				return rids, err
 			}
 			f.Page().SetAux(uint32(nf.ID()))
 			if err := h.logPageImage(txn, f); err != nil {
-				h.pool.Unpin(f, true)
-				h.pool.Unpin(nf, true)
+				h.pool.UnpinMut(f, true)
+				h.pool.UnpinMut(nf, true)
 				return rids, err
 			}
-			h.pool.Unpin(f, true)
+			h.pool.UnpinMut(f, true)
 			h.last = nf.ID()
 			h.pages = append(h.pages, nf.ID())
 			f = nf
 			touched = false
 			slot, err = f.Page().Insert(rec)
 			if err != nil {
-				h.pool.Unpin(f, true)
+				h.pool.UnpinMut(f, true)
 				return rids, fmt.Errorf("heap: batch insert into fresh page: %w", err)
 			}
 		} else if err != nil {
-			h.pool.Unpin(f, touched)
+			h.pool.UnpinMut(f, touched)
 			return rids, err
 		}
 		rids = append(rids, RID{Page: f.ID(), Slot: uint16(slot)})
@@ -219,41 +262,44 @@ func (h *Heap) InsertBatch(txn uint64, recs [][]byte) ([]RID, error) {
 	}
 	if touched {
 		if err := h.logPageImage(txn, f); err != nil {
-			h.pool.Unpin(f, true)
+			h.pool.UnpinMut(f, true)
 			return rids, err
 		}
 	}
-	h.pool.Unpin(f, touched)
+	h.pool.UnpinMut(f, touched)
 	return rids, nil
 }
 
 // Get returns a copy of the record at rid.
 func (h *Heap) Get(rid RID) ([]byte, error) {
-	f, err := h.pool.Fetch(rid.Page)
+	ref, err := h.fetchRead(rid.Page)
 	if err != nil {
 		return nil, err
 	}
-	rec, err := f.Page().Get(int(rid.Slot))
+	rec, err := ref.Page().Get(int(rid.Slot))
 	if err != nil {
-		h.pool.Unpin(f, false)
+		ref.Release()
 		return nil, err
 	}
 	out := append([]byte(nil), rec...)
-	h.pool.Unpin(f, false)
+	ref.Release()
 	return out, nil
 }
 
 // Delete removes the record at rid.
 func (h *Heap) Delete(txn uint64, rid RID) error {
-	f, err := h.pool.Fetch(rid.Page)
+	if h.frozen {
+		return ErrFrozen
+	}
+	f, err := h.pool.FetchMut(rid.Page)
 	if err != nil {
 		return err
 	}
 	if err := f.Page().Delete(int(rid.Slot)); err != nil {
-		h.pool.Unpin(f, false)
+		h.pool.UnpinMut(f, false)
 		return err
 	}
-	h.pool.Unpin(f, true)
+	h.pool.UnpinMut(f, true)
 	h.count--
 	return h.appendLog(wal.Record{Txn: txn, Op: wal.OpDelete, Page: uint32(rid.Page), Slot: rid.Slot})
 }
@@ -261,19 +307,22 @@ func (h *Heap) Delete(txn uint64, rid RID) error {
 // Update replaces the record at rid. When the new payload no longer fits
 // in its page the record moves; the returned RID is the current location.
 func (h *Heap) Update(txn uint64, rid RID, rec []byte) (RID, error) {
+	if h.frozen {
+		return rid, ErrFrozen
+	}
 	if len(rec) > maxRecord {
 		return rid, fmt.Errorf("heap: %d-byte record: %w", len(rec), ErrTooLarge)
 	}
-	f, err := h.pool.Fetch(rid.Page)
+	f, err := h.pool.FetchMut(rid.Page)
 	if err != nil {
 		return rid, err
 	}
 	err = f.Page().Update(int(rid.Slot), rec)
 	if err == nil {
-		h.pool.Unpin(f, true)
+		h.pool.UnpinMut(f, true)
 		return rid, h.appendLog(wal.Record{Txn: txn, Op: wal.OpUpdate, Page: uint32(rid.Page), Slot: rid.Slot, Data: rec})
 	}
-	h.pool.Unpin(f, false)
+	h.pool.UnpinMut(f, false)
 	if !errors.Is(err, page.ErrPageFull) {
 		return rid, err
 	}
@@ -299,19 +348,19 @@ func (h *Heap) PageIDs() []disk.PageID { return h.pages }
 // Streaming iterators and parallel scan workers are built on this: memory
 // stays O(page) and pages of one heap may be scanned concurrently.
 func (h *Heap) ScanPage(id disk.PageID, fn func(rid RID, rec []byte) bool) (next disk.PageID, stopped bool, err error) {
-	f, err := h.pool.Fetch(id)
+	ref, err := h.fetchRead(id)
 	if err != nil {
 		return disk.InvalidPage, false, err
 	}
-	f.Page().Records(func(slot int, rec []byte) bool {
+	ref.Page().Records(func(slot int, rec []byte) bool {
 		if !fn(RID{Page: id, Slot: uint16(slot)}, rec) {
 			stopped = true
 			return false
 		}
 		return true
 	})
-	next = disk.PageID(f.Page().Aux())
-	h.pool.Unpin(f, false)
+	next = disk.PageID(ref.Page().Aux())
+	ref.Release()
 	return next, stopped, nil
 }
 

@@ -28,6 +28,29 @@
 // Engine.Query/QueryContext surface remains as a thin wrapper over an
 // implicit default session.
 //
+// Reads are MVCC snapshots: every query pins the engine epoch current at
+// statement start and runs against immutable page versions, so bulk
+// loads commit concurrently without ever blocking a reader. For
+// multi-statement consistency, open an explicit transaction — all reads
+// inside it see the single epoch pinned at Begin, and writes stay
+// invisible to other sessions until Commit:
+//
+//	tx, _ := sess.Begin(ctx)
+//	res1, _ := tx.Query(ctx, q1) // stable snapshot, concurrent loads invisible
+//	res2, _ := tx.Query(ctx, q2) // same snapshot as res1
+//	if _, err := tx.Harness(ctx, "hlx_enzyme.DEFAULT"); err != nil {
+//		// a failed write rolled the transaction back;
+//		// errors.Is(err, xomatiq.ErrTxConflict) means another writer won
+//	}
+//	tx.Commit() // publish everything atomically
+//
+// The first write escalates the transaction to the engine's single
+// writer; losing that race — or writing after anything else committed —
+// fails fast with ErrTxConflict (first committer wins; retry in a fresh
+// transaction). The same transaction surface is reachable remotely via
+// the /v1/tx endpoints and the console's \begin, \commit and \rollback
+// commands.
+//
 // Results are wire-serializable — Result.JSON round-trips through
 // ResultFromJSON byte-identically — and errors classify into a stable
 // Code taxonomy (Error, ErrorCode) that survives serialization: a
@@ -105,6 +128,17 @@ type SessionOption = core.SessionOption
 // SessionInfo is the wire-ready description of one open session.
 type SessionInfo = core.SessionInfo
 
+// Tx is an explicit transaction on a session: a pinned snapshot for
+// reads, escalating to the engine's single writer on the first
+// Harness/Update. Open with Session.Begin or Session.BeginTx; exactly
+// one of Commit or Rollback finishes it (Session.Close rolls back an
+// open transaction).
+type Tx = core.Tx
+
+// TxOptions tunes a transaction at Session.BeginTx (ReadOnly refuses
+// writes with ErrTxReadOnly and can never conflict).
+type TxOptions = core.TxOptions
+
 // Session option re-exports (Engine.NewSession).
 var (
 	// WithDefaultDeadline sets the session's default per-query deadline.
@@ -140,6 +174,10 @@ const (
 	CodeSessionClosed   = core.CodeSessionClosed
 	CodeTooManySessions = core.CodeTooManySessions
 	CodeOverloaded      = core.CodeOverloaded
+	CodeTxConflict      = core.CodeTxConflict
+	CodeTxClosed        = core.CodeTxClosed
+	CodeTxActive        = core.CodeTxActive
+	CodeTxReadOnly      = core.CodeTxReadOnly
 	CodeInternal        = core.CodeInternal
 )
 
@@ -174,6 +212,19 @@ var (
 	// ErrOverloaded reports a query shed by MaxInflightQueries; back off
 	// and retry.
 	ErrOverloaded = core.ErrOverloaded
+	// ErrTxConflict reports a transaction write that lost the single-
+	// writer race, or whose snapshot went stale before its first write
+	// (first committer wins); retry in a fresh transaction.
+	ErrTxConflict = core.ErrTxConflict
+	// ErrTxClosed reports an operation on a committed or rolled-back
+	// transaction.
+	ErrTxClosed = core.ErrTxClosed
+	// ErrTxActive reports Session.Begin with a transaction already open
+	// (one per session).
+	ErrTxActive = core.ErrTxActive
+	// ErrTxReadOnly reports a write inside a TxOptions.ReadOnly
+	// transaction.
+	ErrTxReadOnly = core.ErrTxReadOnly
 )
 
 // NewConfig returns the default configuration for a warehouse at path.
@@ -236,6 +287,10 @@ func WithMaxSessions(n int) Option { return func(c *Config) { c.MaxSessions = n 
 // cap queries are shed with ErrOverloaded instead of queueing
 // (0 = unlimited).
 func WithMaxInflightQueries(n int) Option { return func(c *Config) { c.MaxInflightQueries = n } }
+
+// WithMaxOpenTx caps engine-wide concurrently open transactions;
+// Session.Begin past the cap fails with ErrOverloaded (0 = unlimited).
+func WithMaxOpenTx(n int) Option { return func(c *Config) { c.MaxOpenTx = n } }
 
 // Open opens (or creates) a warehouse at path with default settings,
 // adjusted by options.
